@@ -1,0 +1,27 @@
+"""§B.1 — sensitivity to the prediction shipping interval (50–350 ms).
+
+Paper shape: metrics are robust across 50–350 ms intervals; only very
+infrequent updates (> 300 ms) in the low-resource setting degrade
+accuracy enough to waste bandwidth on irrelevant data.
+"""
+
+import statistics
+
+from repro.experiments.figures import appb1_prediction_frequency
+
+
+def test_appb1_prediction_frequency(benchmark, bench_scale, bench_report):
+    rows = benchmark.pedantic(
+        lambda: appb1_prediction_frequency(scale=bench_scale), rounds=1, iterations=1
+    )
+    bench_report(
+        "appb1_prediction_frequency", rows, "App. B.1: prediction interval"
+    )
+
+    # Robustness: latency varies by less than an order of magnitude
+    # across intervals within each resource setting.
+    for resource in ("low", "med", "high"):
+        lats = [r["latency_ms"] for r in rows if r["resource"] == resource]
+        assert max(lats) < 10.0 * max(min(lats), 1.0)
+    # And every configuration stays interactive on average.
+    assert statistics.fmean(r["latency_ms"] for r in rows) < 150.0

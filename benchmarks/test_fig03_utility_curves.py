@@ -1,0 +1,24 @@
+"""Fig. 3 — utility functions of the two applications.
+
+Paper: the image application's SSIM-derived curve is strongly concave
+(the first ~25% of blocks already carry ≈ 80% of visual quality); the
+visualization application uses the conservative linear default.
+"""
+
+from repro.experiments.figures import fig3_utility_curves
+
+
+def test_fig03_utility_curves(benchmark, bench_report):
+    rows = benchmark.pedantic(fig3_utility_curves, rounds=1, iterations=1)
+    bench_report("fig03_utility_curves", rows, "Fig. 3: utility vs % blocks")
+
+    by_frac = {round(r["%blocks"]): r for r in rows}
+    # Concavity of the image curve: a 25% prefix is worth far more than
+    # 25% of full quality; the linear curve is exactly proportional.
+    assert by_frac[25]["image_utility"] >= 0.6
+    assert abs(by_frac[25]["vis_utility"] - 0.25) < 1e-9
+    # Both curves are monotone and reach (0, 0) and (1, 1).
+    assert by_frac[0]["image_utility"] == 0.0
+    assert by_frac[100]["image_utility"] == 1.0
+    image = [r["image_utility"] for r in rows]
+    assert all(b >= a for a, b in zip(image, image[1:]))

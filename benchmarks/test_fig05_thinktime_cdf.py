@@ -1,0 +1,27 @@
+"""Fig. 5 — think-time CDFs of the generated trace corpora.
+
+Paper: image-application think times concentrate between ~10 ms and a
+few seconds (20 ms average in the authors' traces, bursts up to 32
+requests/s); Falcon think times stretch from sub-second scrubs to
+minutes-long reading pauses.
+"""
+
+from repro.experiments.figures import fig5_thinktime_cdf
+
+
+def test_fig05_thinktime_cdf(benchmark, bench_scale, bench_report):
+    rows = benchmark.pedantic(
+        lambda: fig5_thinktime_cdf(scale=bench_scale), rounds=1, iterations=1
+    )
+    bench_report("fig05_thinktime_cdf", rows, "Fig. 5: think-time percentiles (ms)")
+
+    image = {r["percentile"]: r["think_time_ms"] for r in rows if r["app"] == "image"}
+    falcon = {r["percentile"]: r["think_time_ms"] for r in rows if r["app"] == "falcon"}
+    # Image app: bursty — the 10th percentile is tens of milliseconds,
+    # i.e., back-to-back requests at up to ~32/s.
+    assert image[10] < 50.0
+    # Image app: dwells give a long tail into the hundreds of ms.
+    assert image[99] > 100.0
+    # Falcon: much longer think times overall (reading + brushing).
+    assert falcon[50] > image[50]
+    assert falcon[90] > 1_000.0

@@ -1,0 +1,32 @@
+"""Fig. 6 — idealized prefetching baselines vs Khameleon across
+bandwidth (1.5 / 5.625 / 15 MB/s) and cache (10 / 50 / 100 MB).
+
+Paper shape: Khameleon raises cache hit rates by 23–257× over Baseline
+and 1.1–16× over the ACC-*-* upper bounds; its mean response latency
+never exceeds ~14 ms while the baselines sit orders of magnitude
+higher; the baselines hold utility 1 while Khameleon trades quality
+(0.5–0.8) for responsiveness.
+"""
+
+from conftest import mean_of
+
+from repro.experiments.figures import fig6_bandwidth_cache
+
+
+def test_fig06_bandwidth_cache(benchmark, bench_scale, bench_report):
+    rows = benchmark.pedantic(
+        lambda: fig6_bandwidth_cache(scale=bench_scale), rounds=1, iterations=1
+    )
+    bench_report(
+        "fig06_bandwidth_cache", rows, "Fig. 6: metrics vs bandwidth x cache"
+    )
+
+    # Khameleon wins hit rate and latency against every baseline.
+    kham_hit = mean_of(rows, "khameleon", "cache_hit_%")
+    kham_lat = mean_of(rows, "khameleon", "latency_ms")
+    for system in ("baseline", "acc-1-1", "acc-1-5", "acc-0.8-5"):
+        assert kham_hit > mean_of(rows, system, "cache_hit_%")
+        assert kham_lat < mean_of(rows, system, "latency_ms") / 10.0
+    # Baselines always deliver full quality; Khameleon trades some away.
+    assert mean_of(rows, "baseline", "utility") == 1.0
+    assert 0.2 < mean_of(rows, "khameleon", "utility") < 1.0

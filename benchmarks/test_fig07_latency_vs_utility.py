@@ -1,0 +1,32 @@
+"""Fig. 7 — response latency vs utility scatter, per condition.
+
+Paper shape: baselines pin utility at 1.0 with latencies spread up to
+tens of seconds; Khameleon stays under the 100 ms interactivity line
+at partial-but-useful utility (upper-left of the scatter is better).
+"""
+
+from conftest import mean_of
+
+from repro.experiments.figures import fig7_latency_vs_utility
+
+
+def test_fig07_latency_vs_utility(benchmark, bench_scale, bench_report):
+    rows = benchmark.pedantic(
+        lambda: fig7_latency_vs_utility(scale=bench_scale), rounds=1, iterations=1
+    )
+    bench_report("fig07_latency_vs_utility", rows, "Fig. 7: latency vs utility")
+
+    kham = [r for r in rows if r["system"] == "khameleon"]
+    # The paper's headline: every Khameleon condition is interactive.
+    assert all(r["latency_ms"] < 100.0 for r in kham)
+    # Increasing bandwidth improves baseline latency but never to
+    # Khameleon's level at the same condition.
+    for row in rows:
+        if row["system"] == "baseline":
+            peer = next(
+                k
+                for k in kham
+                if k["cache_mb"] == row["cache_mb"]
+                and k["bandwidth_mbps"] == row["bandwidth_mbps"]
+            )
+            assert peer["latency_ms"] < row["latency_ms"]

@@ -1,0 +1,34 @@
+"""Fig. 8 — sensitivity to request latency (20–400 ms) at 15 MB/s.
+
+Paper shape: as request latency grows, the baselines congest (at
+400 ms, Baseline is 79× and ACC-*-* 37× slower than Khameleon);
+Khameleon keeps ~11 ms mean responses by degrading utility, at the
+cost of ~3× more preempted requests.
+"""
+
+from conftest import mean_of
+
+from repro.experiments.figures import fig8_request_latency
+
+
+def test_fig08_request_latency(benchmark, bench_scale, bench_report):
+    rows = benchmark.pedantic(
+        lambda: fig8_request_latency(scale=bench_scale), rounds=1, iterations=1
+    )
+    bench_report("fig08_request_latency", rows, "Fig. 8: metrics vs request latency")
+
+    assert mean_of(rows, "khameleon", "latency_ms") < 100.0
+
+    worst = {"khameleon": 0.0, "baseline": 0.0, "acc-1-5": 0.0}
+    for row in rows:
+        if row["system"] in worst:
+            worst[row["system"]] = max(worst[row["system"]], row["latency_ms"])
+    # At the 400 ms end the gap is large (paper: 79x / 37x).
+    assert worst["baseline"] > 10.0 * worst["khameleon"]
+    assert worst["acc-1-5"] > 5.0 * worst["khameleon"]
+
+    # Khameleon degrades utility as request latency rises, instead of
+    # degrading latency.
+    kham = [r for r in rows if r["system"] == "khameleon"]
+    kham.sort(key=lambda r: r["request_latency_ms"])
+    assert kham[-1]["utility"] <= kham[0]["utility"] + 0.05

@@ -1,0 +1,40 @@
+"""Fig. 9 — synthetic think-time sweep (10–200 ms) across the low /
+medium / high resource settings, including the Oracle upper bound.
+
+Paper shape: more think time helps every prefetcher (less congestion,
+more slack); Khameleon holds near-instant latency throughout and
+spends the extra slack on utility; Oracle ≈ Khameleon except in
+high-resource settings where perfect prediction buys another ~2×.
+"""
+
+from conftest import mean_of
+
+from repro.experiments.figures import fig9_think_time
+
+
+def test_fig09_think_time(benchmark, bench_scale, bench_report):
+    rows = benchmark.pedantic(
+        lambda: fig9_think_time(scale=bench_scale), rounds=1, iterations=1
+    )
+    bench_report("fig09_think_time", rows, "Fig. 9: metrics vs think time x resources")
+
+    # Khameleon stays interactive in every setting.
+    assert mean_of(rows, "khameleon", "latency_ms") < 150.0
+    # The baselines improve with think time (row-wise monotone trend in
+    # the mean), but remain far slower than Khameleon overall.
+    assert mean_of(rows, "baseline", "latency_ms") > 5.0 * mean_of(
+        rows, "khameleon", "latency_ms"
+    )
+    # Oracle is at least as good as the Kalman predictor on hits.
+    assert (
+        mean_of(rows, "khameleon-oracle", "cache_hit_%")
+        >= mean_of(rows, "khameleon", "cache_hit_%") - 5.0
+    )
+
+    # Khameleon's utility grows with think time in the high setting
+    # (extra slack is spent on quality).
+    kham_high = sorted(
+        (r for r in rows if r["system"] == "khameleon" and r["resource"] == "high"),
+        key=lambda r: r["think_time_ms"],
+    )
+    assert kham_high[-1]["utility"] >= kham_high[0]["utility"] - 0.02

@@ -1,0 +1,37 @@
+"""Fig. 11 — ablation: prediction and progressive encoding in isolation.
+
+Paper shape: *Predictor* (joint scheduler + Kalman, whole responses)
+improves hit rate over Baseline by pushing proactively; *Progressive*
+(first block only, no prefetch) cuts transfer and congestion but has
+the lowest utility; only their combination (Khameleon) achieves high
+hit rates with consistently low latency.
+"""
+
+from conftest import mean_of
+
+from repro.experiments.figures import fig11_ablation
+
+
+def test_fig11_ablation(benchmark, bench_scale, bench_report):
+    rows = benchmark.pedantic(
+        lambda: fig11_ablation(scale=bench_scale), rounds=1, iterations=1
+    )
+    bench_report("fig11_ablation", rows, "Fig. 11: ablation vs request latency")
+
+    # Each mechanism alone improves on Baseline...
+    assert mean_of(rows, "predictor", "cache_hit_%") > mean_of(
+        rows, "baseline", "cache_hit_%"
+    )
+    assert mean_of(rows, "progressive", "latency_ms") < mean_of(
+        rows, "baseline", "latency_ms"
+    )
+    # ... but Progressive pays with the lowest utility of all arms.
+    for system in ("khameleon", "predictor", "baseline"):
+        assert mean_of(rows, "progressive", "utility") <= mean_of(
+            rows, system, "utility"
+        )
+    # The combination is the only arm that is both fast and high-hit.
+    assert mean_of(rows, "khameleon", "latency_ms") < 100.0
+    assert mean_of(rows, "khameleon", "cache_hit_%") >= mean_of(
+        rows, "predictor", "cache_hit_%"
+    )

@@ -1,0 +1,39 @@
+"""Fig. 12 — predictor sensitivity: Uniform vs Kalman vs Oracle.
+
+Paper shape: even Uniform (the framework with no prediction signal)
+already beats ACC-1-5 on latency at low bandwidth; Kalman improves on
+Uniform; Oracle is the upper bound and pulls ahead as bandwidth grows
+(1.7–5.7× lower latency than Kalman at 15 MB/s).
+"""
+
+from conftest import mean_of
+
+from repro.experiments.figures import fig12_predictors
+
+
+def test_fig12_predictors(benchmark, bench_scale, bench_report):
+    rows = benchmark.pedantic(
+        lambda: fig12_predictors(scale=bench_scale), rounds=1, iterations=1
+    )
+    bench_report("fig12_predictors", rows, "Fig. 12: predictor sensitivity")
+
+    # The framework alone (Uniform) already beats the idealized
+    # request-response prefetcher on latency.
+    assert mean_of(rows, "khameleon-uniform", "latency_ms") < mean_of(
+        rows, "acc-1-5", "latency_ms"
+    )
+    # Better predictions buy better hit rates: Kalman >= Uniform,
+    # Oracle >= Kalman (small tolerance for sampling noise).
+    assert (
+        mean_of(rows, "khameleon", "cache_hit_%")
+        >= mean_of(rows, "khameleon-uniform", "cache_hit_%") - 3.0
+    )
+    assert (
+        mean_of(rows, "khameleon-oracle", "cache_hit_%")
+        >= mean_of(rows, "khameleon", "cache_hit_%") - 3.0
+    )
+    # Oracle's utility dominates Kalman's: it wastes no bandwidth.
+    assert (
+        mean_of(rows, "khameleon-oracle", "utility")
+        >= mean_of(rows, "khameleon", "utility") - 0.02
+    )

@@ -1,0 +1,24 @@
+"""Fig. 13 — time-varying cellular networks (Verizon / AT&T LTE).
+
+Paper shape: on both emulated LTE links (100 ms minimum RTT, 100 ms
+request latency) Khameleon's cache hit rate is ~10× ACC-1-5's on AT&T
+and its latency is hundreds of times lower.
+"""
+
+from conftest import mean_of
+
+from repro.experiments.figures import fig13_cellular
+
+
+def test_fig13_cellular(benchmark, bench_scale, bench_report):
+    rows = benchmark.pedantic(
+        lambda: fig13_cellular(scale=bench_scale), rounds=1, iterations=1
+    )
+    bench_report("fig13_cellular", rows, "Fig. 13: cellular networks")
+
+    for network in ("verizon", "att"):
+        sub = [r for r in rows if r["network"] == network]
+        kham = next(r for r in sub if r["system"] == "khameleon")
+        acc = next(r for r in sub if r["system"] == "acc-1-5")
+        assert kham["cache_hit_%"] > acc["cache_hit_%"]
+        assert kham["latency_ms"] < acc["latency_ms"] / 10.0

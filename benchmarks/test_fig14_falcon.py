@@ -1,0 +1,46 @@
+"""Fig. 14 — the ported Falcon system on the Small (1M) and Big (7M)
+flights databases, varying blocks/response, predictor, and backend.
+
+Paper shape: Kalman beats OnHover (more hits, lower latency) because
+it starts the five-query slice fetch while the mouse is still
+travelling; the ScalableSQL backend (no concurrency penalty) improves
+response latency over PostgreSQL (≈2× for Kalman); the Big database's
+1.5–2.5 s queries stress everything harder than Small's 0.8 s.
+"""
+
+import statistics
+
+from repro.experiments.figures import fig14_falcon
+
+
+def _mean(rows, column, **match):
+    vals = [
+        r[column]
+        for r in rows
+        if all(r.get(k) == v for k, v in match.items()) and column in r
+    ]
+    assert vals, f"no rows matching {match}"
+    return statistics.fmean(vals)
+
+
+def test_fig14_falcon(benchmark, bench_report):
+    rows = benchmark.pedantic(
+        lambda: fig14_falcon(trace_duration_s=90.0, num_traces=1),
+        rounds=1,
+        iterations=1,
+    )
+    bench_report("fig14_falcon", rows, "Fig. 14: Falcon port")
+
+    # Kalman >= OnHover on cache hits (the headline of §6.4).
+    assert (
+        _mean(rows, "cache_hit_%", predictor="kalman")
+        >= _mean(rows, "cache_hit_%", predictor="onhover") - 2.0
+    )
+    # The scalable backend is faster than the concurrency-limited one.
+    assert _mean(rows, "latency_ms", backend="scalable") < _mean(
+        rows, "latency_ms", backend="postgres"
+    )
+    # The Big database hurts everyone relative to Small.
+    assert _mean(rows, "latency_ms", db="big") > _mean(rows, "latency_ms", db="small")
+    # More blocks per response trades utility for responsiveness.
+    assert _mean(rows, "utility", blocks=4) <= _mean(rows, "utility", blocks=1)

@@ -1,0 +1,24 @@
+"""Fig. 19 / §B.2 — overpush rate: pushed blocks never used by an upcall.
+
+Paper shape: Khameleon overpushes 50–75% of blocks (hedging is the
+point — each wasted block is cheap), versus 35–45% of *responses* for
+ACC-1-5; the tradeoff buys orders-of-magnitude lower latency.
+"""
+
+from conftest import mean_of
+
+from repro.experiments.figures import fig19_overpush
+
+
+def test_fig19_overpush(benchmark, bench_scale, bench_report):
+    rows = benchmark.pedantic(
+        lambda: fig19_overpush(scale=bench_scale), rounds=1, iterations=1
+    )
+    bench_report("fig19_overpush", rows, "Fig. 19: overpush rate")
+
+    kham = mean_of(rows, "khameleon", "overpush_%")
+    # Khameleon hedges: a substantial fraction of pushed blocks is
+    # never rendered (paper: 50-75%).
+    assert 20.0 < kham <= 100.0
+    # ACC prefetches conservatively, so it wastes less than Khameleon.
+    assert mean_of(rows, "acc-1-5", "overpush_%") < kham

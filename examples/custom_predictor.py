@@ -1,0 +1,132 @@
+"""Writing a custom predictor with the §4 decomposition API.
+
+Khameleon splits a predictor into a client component (events -> compact
+state) and a server component (state -> request distribution):
+
+    P_t(q | delta, e_t) = P_s(q | delta, s_t) . P_c(s_t | delta, e_t)
+
+This example builds a *frequency-prior Markov* predictor — §3.4's
+suggestion of weighting predictions "with a prior based on historical
+image access frequency" — plugs it into a live session, and compares
+it against the built-in Kalman filter.
+
+Run:  python examples/custom_predictor.py
+"""
+
+from typing import Any, Optional, Sequence
+
+import numpy as np
+
+from repro.core.distribution import RequestDistribution
+from repro.experiments.configs import DEFAULT_ENV, make_downlink, make_uplink
+from repro.core.session import KhameleonSession, SessionConfig
+from repro.experiments.runner import run_khameleon
+from repro.metrics.collector import collect
+from repro.predictors.base import ClientPredictor, Predictor, ServerPredictor
+from repro.predictors.markov import MarkovModel
+from repro.sim.engine import Simulator
+from repro.predictors.base import MouseEvent
+from repro.workloads.image_app import ImageExplorationApp
+from repro.workloads.mouse import MouseTraceGenerator
+
+
+class FrequencyMarkovClient(ClientPredictor):
+    """Client half: ships the last request id (8 bytes of state)."""
+
+    def __init__(self) -> None:
+        self.last: Optional[int] = None
+
+    def observe_request(self, time_s: float, request: int) -> None:
+        self.last = request
+
+    def state(self, time_s: float) -> Optional[int]:
+        return self.last
+
+    def state_size_bytes(self, state: Any) -> int:
+        return 8
+
+
+class FrequencyMarkovServer(ServerPredictor):
+    """Server half: first-order transitions blended with a frequency prior.
+
+    The server trains online from the stream of shipped states — no
+    offline training set needed, exactly the 'anytime' contract.
+    """
+
+    def __init__(self, n: int, prior_weight: float = 0.3) -> None:
+        self.model = MarkovModel(n)
+        self.counts = np.ones(n)  # Laplace-smoothed access frequency
+        self.prior_weight = prior_weight
+        self.n = n
+        self._last_seen: Optional[int] = None
+
+    def decode(self, state: Optional[int], deltas_s: Sequence[float]) -> RequestDistribution:
+        if state is None:
+            return RequestDistribution.uniform(self.n, deltas_s)
+        if state != self._last_seen:
+            self.model.observe(int(state))
+            self.counts[int(state)] += 1
+            self._last_seen = state
+        ids, probs, residual = self.model.transition_probs(int(state))
+        prior = self.counts / self.counts.sum()
+        dense = np.full(self.n, residual / self.n)
+        dense[ids] += probs
+        blended = (1 - self.prior_weight) * dense + self.prior_weight * prior
+        blended /= blended.sum()
+        return RequestDistribution.from_dense(
+            np.tile(blended, (len(deltas_s), 1)), deltas_s
+        )
+
+
+def main() -> None:
+    app = ImageExplorationApp(rows=12, cols=12)
+    trace = MouseTraceGenerator(app.layout, seed=21).generate(duration_s=20.0)
+
+    custom = Predictor(
+        name="freq-markov",
+        client=FrequencyMarkovClient(),
+        server=FrequencyMarkovServer(app.num_requests),
+    )
+
+    # Wire the custom predictor into a session by hand (the same thing
+    # run_khameleon does for the built-ins).
+    sim = Simulator()
+    session = KhameleonSession(
+        sim=sim,
+        backend=app.make_backend(sim, fetch_delay_s=DEFAULT_ENV.backend_delay_s),
+        predictor=custom,
+        utility=app.utility,
+        num_blocks=app.num_blocks,
+        downlink=make_downlink(sim, DEFAULT_ENV),
+        uplink=make_uplink(sim, DEFAULT_ENV),
+        config=SessionConfig(cache_bytes=DEFAULT_ENV.cache_bytes),
+    )
+    for event in trace.events:
+        sim.schedule_at(event.time_s, session.client.observe, MouseEvent(event.x, event.y))
+        if event.request is not None:
+            sim.schedule_at(event.time_s, session.client.request, event.request)
+    session.start()
+    sim.run(until=trace.duration_s + 3.0)
+    session.stop()
+    custom_summary = collect(session.cache_manager.outcomes)
+
+    kalman = run_khameleon(app, trace, DEFAULT_ENV, predictor="kalman")
+
+    print(f"{'predictor':12s} {'hit_%':>6s} {'latency_ms':>11s} {'utility':>8s}")
+    for name, s in (
+        ("freq-markov", custom_summary),
+        ("kalman", kalman.summary),
+    ):
+        print(
+            f"{name:12s} {100 * s.cache_hit_rate:6.1f} "
+            f"{s.mean_latency_ms:11.1f} {s.mean_utility:8.3f}"
+        )
+    print(
+        "\nThe Kalman filter exploits mouse kinematics the Markov model"
+        "\ncannot see; but the custom predictor needed ~40 lines and no"
+        "\nchanges anywhere else in the stack."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,50 @@
+"""Image exploration shoot-out: Khameleon vs classic prefetching.
+
+Reproduces the §6.2 comparison in miniature: the same user trace is
+replayed against Khameleon (Kalman predictor), the idealized ACC-1-5
+prefetcher (perfect knowledge of the next five requests!), and the
+no-prefetch Baseline, at three bandwidths.
+
+Run:  python examples/image_exploration.py
+"""
+
+from repro.experiments.configs import DEFAULT_ENV
+from repro.experiments.runner import run_image_system
+from repro.metrics.report import format_table
+from repro.workloads.image_app import ImageExplorationApp
+from repro.workloads.mouse import MouseTraceGenerator
+
+BANDWIDTHS_MBPS = (1.5, 5.625, 15.0)
+SYSTEMS = ("khameleon", "acc-1-5", "baseline")
+
+
+def main() -> None:
+    app = ImageExplorationApp(rows=16, cols=16)
+    trace = MouseTraceGenerator(app.layout, seed=7).generate(duration_s=20.0)
+    print(f"{app.num_requests} images; trace of {trace.num_requests} requests\n")
+
+    rows = []
+    for bw in BANDWIDTHS_MBPS:
+        env = DEFAULT_ENV.with_bandwidth(bw * 1e6)
+        for system in SYSTEMS:
+            result = run_image_system(system, app, trace, env)
+            d = result.summary.as_dict()
+            rows.append(
+                {
+                    "bandwidth_MB/s": bw,
+                    "system": system,
+                    "hit_%": d["cache_hit_%"],
+                    "preempted_%": d["preempted_%"],
+                    "latency_ms": d["latency_ms"],
+                    "utility": d["utility"],
+                }
+            )
+    print(format_table(rows, "Khameleon vs idealized prefetching (mini Fig. 6)"))
+    print()
+    print("Reading: ACC-1-5 *knows* the future, yet its full-response,"
+          " pull-based transfers congest the link; Khameleon hedges with"
+          " progressive blocks and stays interactive at every bandwidth.")
+
+
+if __name__ == "__main__":
+    main()

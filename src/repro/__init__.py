@@ -1,0 +1,27 @@
+"""Khameleon reproduction: continuous prefetch for interactive data applications.
+
+This package reproduces the Khameleon system from *Continuous Prefetch
+for Interactive Data Applications* (Mohammed, Wei, Wu, Netravali —
+VLDB/SIGMOD 2020, arXiv:2007.07858): a prefetching framework that
+jointly optimizes server-side push scheduling and progressive response
+encoding to trade response quality for consistently low latency.
+
+Layout (see DESIGN.md for the full inventory):
+
+- :mod:`repro.core` — scheduler (greedy + ILP), ring-buffer cache,
+  cache manager, predictor manager, sender, client/server assembly.
+- :mod:`repro.sim` — discrete-event network substrate (links, traces,
+  bandwidth estimation) replacing the paper's netem/Mahimahi testbed.
+- :mod:`repro.predictors` — Kalman, oracle, Markov, point, uniform,
+  hover, and ACC-style predictors behind the §4 decomposition API.
+- :mod:`repro.encoding` — progressive encoders (image-like, row-sample).
+- :mod:`repro.backends` — filesystem / key-value / mini column-store
+  database backends with concurrency limits and the §5.4 throttle.
+- :mod:`repro.workloads` — trace generators and the two evaluation
+  applications (image exploration, Falcon).
+- :mod:`repro.baselines` — Baseline, Progressive, and ACC-<acc>-<hor>.
+- :mod:`repro.metrics` / :mod:`repro.experiments` — measurement and the
+  per-figure experiment drivers.
+"""
+
+__version__ = "1.0.0"

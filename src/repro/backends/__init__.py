@@ -1,0 +1,25 @@
+"""Backends: file system, key-value, mini SQL column store (real
+histogram execution + simulated PostgreSQL-like latency/concurrency),
+the ScalableSQL simulation, and the §5.4 speculation throttle."""
+
+from .base import Backend, BackendStats
+from .database import ColumnTable, HistogramQuery, RangeFilter, SimulatedSQLDatabase
+from .filesystem import FileSystemBackend, KeyValueBackend
+from .pool import ConnectionPoolBackend
+from .scalable import ScalableSQLDatabase
+from .throttle import BackendThrottle, throttle_schedule
+
+__all__ = [
+    "Backend",
+    "BackendStats",
+    "FileSystemBackend",
+    "KeyValueBackend",
+    "ConnectionPoolBackend",
+    "ColumnTable",
+    "HistogramQuery",
+    "RangeFilter",
+    "SimulatedSQLDatabase",
+    "ScalableSQLDatabase",
+    "BackendThrottle",
+    "throttle_schedule",
+]

@@ -1,0 +1,115 @@
+"""Backend API (§3.3, §5.4).
+
+A backend is "a file system, a database engine, a connection pool, or
+any service that can process requests and return progressively encoded
+blocks".  The sender asks a backend for a request's response; the
+backend completes asynchronously on the simulator clock, modelling its
+processing delay, and the server caches the encoded result so repeat
+fetches are free.
+
+Backends report their *scalable concurrency* (§5.4): how many requests
+they can process at once without per-request degradation.  File
+systems and key-value stores are effectively unbounded; PostgreSQL in
+the Falcon experiments degrades beyond ~15 concurrent queries, which
+is what the scheduler's throttle heuristic consumes.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.core.blocks import ProgressiveResponse
+from repro.sim.engine import Simulator
+
+__all__ = ["Backend", "BackendStats"]
+
+OnComplete = Callable[[ProgressiveResponse], None]
+
+
+class BackendStats:
+    """Counters shared by all backends (for experiment reporting)."""
+
+    def __init__(self) -> None:
+        self.fetches_started = 0
+        self.fetches_completed = 0
+        self.cache_hits = 0
+        self.peak_concurrency = 0
+
+    def snapshot(self) -> dict:
+        return {
+            "fetches_started": self.fetches_started,
+            "fetches_completed": self.fetches_completed,
+            "cache_hits": self.cache_hits,
+            "peak_concurrency": self.peak_concurrency,
+        }
+
+
+class Backend:
+    """Base backend: async fetch with a server-side response cache."""
+
+    def __init__(self, sim: Simulator) -> None:
+        self.sim = sim
+        self.stats = BackendStats()
+        self._cache: dict[int, ProgressiveResponse] = {}
+        self._inflight: dict[int, list[OnComplete]] = {}
+
+    # -- subclass contract -------------------------------------------
+
+    def _produce(self, request: int) -> ProgressiveResponse:
+        """Compute/encode the response (synchronously, at completion time)."""
+        raise NotImplementedError
+
+    def _delay_s(self, request: int) -> float:
+        """Processing delay for ``request`` given current load."""
+        raise NotImplementedError
+
+    @property
+    def scalable_concurrency(self) -> Optional[int]:
+        """Concurrent requests handled without degradation (None = unbounded)."""
+        return None
+
+    # -- public API ----------------------------------------------------
+
+    @property
+    def active_requests(self) -> int:
+        """Requests currently being processed."""
+        return len(self._inflight)
+
+    def is_cached(self, request: int) -> bool:
+        return request in self._cache
+
+    def cached(self, request: int) -> Optional[ProgressiveResponse]:
+        return self._cache.get(request)
+
+    def fetch(self, request: int, on_complete: OnComplete) -> None:
+        """Request the encoded response; completion is asynchronous.
+
+        A cached response completes on the next simulator step (cost 0);
+        a fetch already in flight for the same request piggybacks on it
+        rather than issuing a duplicate.
+        """
+        hit = self._cache.get(request)
+        if hit is not None:
+            self.stats.cache_hits += 1
+            self.sim.schedule(0.0, on_complete, hit)
+            return
+        waiting = self._inflight.get(request)
+        if waiting is not None:
+            waiting.append(on_complete)
+            return
+        self._inflight[request] = [on_complete]
+        self.stats.fetches_started += 1
+        self.stats.peak_concurrency = max(self.stats.peak_concurrency, len(self._inflight))
+        self.sim.schedule(self._delay_s(request), self._complete, request)
+
+    def _complete(self, request: int) -> None:
+        response = self._produce(request)
+        self._cache[request] = response
+        callbacks = self._inflight.pop(request, [])
+        self.stats.fetches_completed += 1
+        for cb in callbacks:
+            cb(response)
+
+    def evict(self, request: int) -> None:
+        """Drop a cached response (for bounded server memory tests)."""
+        self._cache.pop(request, None)

@@ -1,0 +1,190 @@
+"""Mini column-store SQL database (§6.4).
+
+The Falcon experiments run filtered-histogram queries ("low
+dimensional data cube slices") against PostgreSQL.  This module
+provides the equivalent substrate: an in-memory column store that
+executes the same queries **for real** over NumPy columns, wrapped in
+a latency/concurrency simulation calibrated to the paper's
+measurements:
+
+* *Small* (1M rows): ≈ 800 ms per query in isolation,
+* *Big* (7M rows): ≈ 1.5–2.5 s per query,
+* per-query performance degrades once more than ``concurrency_limit``
+  (= 15, measured offline in the paper) queries run at once — the
+  property that makes indiscriminate speculation self-defeating and
+  motivates the §5.4 throttle.
+
+Queries are axis-aligned: a histogram over one column under a
+conjunction of range filters on other columns — exactly Falcon's
+workload shape.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Optional, Sequence
+
+import numpy as np
+
+from repro.sim.engine import Simulator
+
+__all__ = ["RangeFilter", "HistogramQuery", "ColumnTable", "SimulatedSQLDatabase"]
+
+
+@dataclass(frozen=True)
+class RangeFilter:
+    """Half-open range predicate ``lo <= column < hi``."""
+
+    column: str
+    lo: float
+    hi: float
+
+    def __post_init__(self) -> None:
+        if self.hi <= self.lo:
+            raise ValueError(f"empty range [{self.lo}, {self.hi}) on {self.column}")
+
+
+@dataclass(frozen=True)
+class HistogramQuery:
+    """``SELECT bin(column), count(*) ... WHERE filters GROUP BY 1``.
+
+    ``domain`` fixes the binning extent so results are comparable
+    across filters (Falcon charts have fixed axes).
+    """
+
+    column: str
+    bins: int
+    domain: tuple[float, float]
+    filters: tuple[RangeFilter, ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.bins < 1:
+            raise ValueError("bins must be >= 1")
+        if self.domain[1] <= self.domain[0]:
+            raise ValueError("empty domain")
+
+    def cache_key(self) -> str:
+        parts = [self.column, str(self.bins), repr(self.domain)]
+        for f in sorted(self.filters, key=lambda f: f.column):
+            parts.append(f"{f.column}:{f.lo}:{f.hi}")
+        return "|".join(parts)
+
+
+class ColumnTable:
+    """An immutable in-memory column store."""
+
+    def __init__(self, columns: Dict[str, np.ndarray]) -> None:
+        if not columns:
+            raise ValueError("table needs at least one column")
+        lengths = {len(v) for v in columns.values()}
+        if len(lengths) != 1:
+            raise ValueError(f"ragged columns: lengths {sorted(lengths)}")
+        self.columns = {k: np.asarray(v) for k, v in columns.items()}
+        self.num_rows = lengths.pop()
+
+    def column(self, name: str) -> np.ndarray:
+        if name not in self.columns:
+            raise KeyError(f"no column {name!r}; have {sorted(self.columns)}")
+        return self.columns[name]
+
+    def mask(self, filters: Sequence[RangeFilter]) -> np.ndarray:
+        """Boolean row mask for a conjunction of range filters."""
+        mask = np.ones(self.num_rows, dtype=bool)
+        for f in filters:
+            col = self.column(f.column)
+            mask &= (col >= f.lo) & (col < f.hi)
+        return mask
+
+    def histogram(self, query: HistogramQuery) -> np.ndarray:
+        """Execute the query exactly: per-bin counts (length ``query.bins``)."""
+        col = self.column(query.column)
+        mask = self.mask(query.filters) if query.filters else None
+        values = col[mask] if mask is not None else col
+        lo, hi = query.domain
+        counts, _edges = np.histogram(values, bins=query.bins, range=(lo, hi))
+        return counts.astype(np.int64)
+
+    def histogram_rows(self, query: HistogramQuery) -> np.ndarray:
+        """Result as (bin, count) rows — the wire format Falcon encodes."""
+        counts = self.histogram(query)
+        bins = np.arange(query.bins)
+        return np.column_stack([bins, counts])
+
+
+def _stable_jitter(key: str, seed: int) -> float:
+    """Deterministic per-query jitter factor in [0, 1)."""
+    digest = hashlib.sha256(f"{seed}:{key}".encode()).digest()
+    return int.from_bytes(digest[:8], "big") / 2**64
+
+
+class SimulatedSQLDatabase:
+    """Executes :class:`HistogramQuery` with PostgreSQL-like behaviour.
+
+    Results are computed exactly; only *when* they complete is
+    simulated.  Each query's isolated latency is
+    ``base_latency_s * (1 - jitter/2 + jitter * u(query))`` for a
+    deterministic per-query ``u`` — the Small dataset's 0.8 s base with
+    25% jitter spans 0.7–0.9 s; Big uses a 2.0 s base with 50% jitter
+    for the paper's 1.5–2.5 s.  Under load, latency inflates by
+    ``max(1, concurrent / concurrency_limit)``.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        table: ColumnTable,
+        base_latency_s: float,
+        concurrency_limit: int = 15,
+        jitter: float = 0.25,
+        seed: int = 0,
+    ) -> None:
+        if base_latency_s < 0:
+            raise ValueError("latency must be non-negative")
+        if concurrency_limit < 1:
+            raise ValueError("concurrency limit must be >= 1")
+        if not 0 <= jitter <= 1:
+            raise ValueError("jitter must be in [0, 1]")
+        self.sim = sim
+        self.table = table
+        self.base_latency_s = base_latency_s
+        self.concurrency_limit = concurrency_limit
+        self.jitter = jitter
+        self.seed = seed
+        self._active = 0
+        self.queries_executed = 0
+        self.peak_concurrency = 0
+
+    @property
+    def active_queries(self) -> int:
+        return self._active
+
+    def isolated_latency_s(self, query: HistogramQuery) -> float:
+        """Latency when running alone (the ScalableSQL 'offline log')."""
+        u = _stable_jitter(query.cache_key(), self.seed)
+        return self.base_latency_s * (1.0 - self.jitter / 2.0 + self.jitter * u)
+
+    def current_latency_s(self, query: HistogramQuery) -> float:
+        """Isolated latency inflated by the current concurrency overload."""
+        overload = max(1.0, (self._active + 1) / self.concurrency_limit)
+        return self.isolated_latency_s(query) * overload
+
+    def execute(
+        self, query: HistogramQuery, on_complete: Callable[[np.ndarray], None]
+    ) -> float:
+        """Run ``query``; ``on_complete(rows)`` fires at simulated completion.
+
+        Returns the latency charged to this query.
+        """
+        latency = self.current_latency_s(query)
+        self._active += 1
+        self.queries_executed += 1
+        self.peak_concurrency = max(self.peak_concurrency, self._active)
+        self.sim.schedule(latency, self._finish, query, on_complete)
+        return latency
+
+    def _finish(
+        self, query: HistogramQuery, on_complete: Callable[[np.ndarray], None]
+    ) -> None:
+        self._active -= 1
+        on_complete(self.table.histogram_rows(query))

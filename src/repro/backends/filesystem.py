@@ -1,0 +1,87 @@
+"""File-system and key-value backends (§3.3).
+
+The image application "pre-loads the file system with the blocks for
+progressively encoded images": fetching is a fixed, predictable delay
+and the store scales to arbitrarily many concurrent reads — the
+paper's default backend assumptions (§3.3, "By default, we assume that
+retrieving blocks from the backend incurs a predictable delay ...
+and that the backend is scalable").
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Hashable, Optional
+
+from repro.core.blocks import ProgressiveResponse
+from repro.encoding.base import ProgressiveEncoder
+from repro.sim.engine import Simulator
+
+from .base import Backend
+
+__all__ = ["FileSystemBackend", "KeyValueBackend"]
+
+
+class FileSystemBackend(Backend):
+    """Pre-encoded responses behind a fixed fetch delay.
+
+    ``encoder.encode(request, None)`` is invoked lazily at completion —
+    equivalent to reading pre-encoded blocks off disk.  The fetch delay
+    models the backend-processing share of the experiments' "request
+    latency" knob (§6.1 splits request latency into network latency +
+    simulated backend processing cost).
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        encoder: ProgressiveEncoder,
+        fetch_delay_s: float = 0.0,
+    ) -> None:
+        if fetch_delay_s < 0:
+            raise ValueError("fetch delay must be non-negative")
+        super().__init__(sim)
+        self.encoder = encoder
+        self.fetch_delay_s = fetch_delay_s
+
+    def _produce(self, request: int) -> ProgressiveResponse:
+        return self.encoder.encode(request, None)
+
+    def _delay_s(self, request: int) -> float:
+        return self.fetch_delay_s
+
+    @property
+    def scalable_concurrency(self) -> Optional[int]:
+        return None  # unbounded
+
+
+class KeyValueBackend(Backend):
+    """A key-value store: values put up front, encoded on fetch.
+
+    Anna-style KV stores [81] are the paper's example of a backend that
+    scales to any number of concurrent speculative requests.  The value
+    for a request id comes from ``value_of``; per-get latency is fixed.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        encoder: ProgressiveEncoder,
+        value_of: Callable[[int], Any],
+        get_latency_s: float = 0.001,
+    ) -> None:
+        if get_latency_s < 0:
+            raise ValueError("get latency must be non-negative")
+        super().__init__(sim)
+        self.encoder = encoder
+        self.value_of = value_of
+        self.get_latency_s = get_latency_s
+
+    def _produce(self, request: int) -> ProgressiveResponse:
+        return self.encoder.encode(request, self.value_of(request))
+
+    def _delay_s(self, request: int) -> float:
+        return self.get_latency_s
+
+    @property
+    def scalable_concurrency(self) -> Optional[int]:
+        return None  # unbounded

@@ -1,0 +1,103 @@
+"""Connection-pool backend (§3.3).
+
+The paper lists "a connection pool" among the backends Khameleon can
+drive.  This backend models one: ``pool_size`` connections in front of
+a per-request processing delay.  Fetches beyond the pool size *queue*
+(FIFO) rather than degrade — the complementary failure mode to
+:class:`~repro.backends.database.SimulatedSQLDatabase`'s latency
+inflation, and the reason §5.4's throttle treats "backend request
+limits in the same way as network constraints".
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Callable, Optional
+
+from repro.core.blocks import ProgressiveResponse
+from repro.encoding.base import ProgressiveEncoder
+from repro.sim.engine import Simulator
+
+from .base import Backend
+
+__all__ = ["ConnectionPoolBackend"]
+
+
+class ConnectionPoolBackend(Backend):
+    """A fixed pool of connections with FIFO admission.
+
+    ``service_time_s`` is the per-request processing time once a
+    connection is acquired; waiting time in the admission queue adds on
+    top, so observed latency = queue wait + service time.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        encoder: ProgressiveEncoder,
+        value_of: Callable[[int], Any] = lambda request: None,
+        pool_size: int = 4,
+        service_time_s: float = 0.050,
+    ) -> None:
+        if pool_size < 1:
+            raise ValueError("pool needs at least one connection")
+        if service_time_s < 0:
+            raise ValueError("service time must be non-negative")
+        super().__init__(sim)
+        self.encoder = encoder
+        self.value_of = value_of
+        self.pool_size = pool_size
+        self.service_time_s = service_time_s
+        self._busy = 0
+        self._waiting: deque[int] = deque()
+        self.max_queue_depth = 0
+
+    # -- Backend contract -------------------------------------------------
+
+    def _produce(self, request: int) -> ProgressiveResponse:
+        return self.encoder.encode(request, self.value_of(request))
+
+    def _delay_s(self, request: int) -> float:  # pragma: no cover - unused
+        return self.service_time_s
+
+    @property
+    def scalable_concurrency(self) -> Optional[int]:
+        return self.pool_size
+
+    @property
+    def queue_depth(self) -> int:
+        """Requests admitted but waiting for a connection."""
+        return len(self._waiting)
+
+    # -- pool admission ----------------------------------------------------
+
+    def fetch(self, request: int, on_complete) -> None:
+        hit = self._cache.get(request)
+        if hit is not None:
+            self.stats.cache_hits += 1
+            self.sim.schedule(0.0, on_complete, hit)
+            return
+        waiting = self._inflight.get(request)
+        if waiting is not None:
+            waiting.append(on_complete)
+            return
+        self._inflight[request] = [on_complete]
+        self.stats.fetches_started += 1
+        self.stats.peak_concurrency = max(
+            self.stats.peak_concurrency, len(self._inflight)
+        )
+        self._admit(request)
+
+    def _admit(self, request: int) -> None:
+        if self._busy < self.pool_size:
+            self._busy += 1
+            self.sim.schedule(self.service_time_s, self._finish, request)
+        else:
+            self._waiting.append(request)
+            self.max_queue_depth = max(self.max_queue_depth, len(self._waiting))
+
+    def _finish(self, request: int) -> None:
+        self._busy -= 1
+        self._complete(request)
+        if self._waiting:
+            self._admit(self._waiting.popleft())

@@ -1,0 +1,86 @@
+"""Backend-scalability throttle (§5.4).
+
+Khameleon assumes scalable backends, but "in cases where the backend
+can only scale to a limited number of requests, Khameleon employs a
+heuristic to limit the amount of speculation": with a backend that
+scales to ``C`` concurrent requests and ``n`` currently processing,
+schedules are post-processed so they "do not refer to blocks from more
+than ``C - n`` distinct requests" — backend limits are treated the
+same way as network constraints.
+
+:class:`BackendThrottle` implements that post-processing over any
+iterable of scheduled blocks: blocks whose responses are already
+materialized pass through freely; blocks needing a *new* backend fetch
+are admitted only while the distinct-request budget lasts, and the
+rest are deferred (handed back to be rescheduled later).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Sequence, TypeVar
+
+__all__ = ["BackendThrottle", "throttle_schedule"]
+
+T = TypeVar("T")
+
+
+def throttle_schedule(
+    schedule: Sequence[T],
+    request_of: Callable[[T], int],
+    is_materialized: Callable[[int], bool],
+    available_slots: int,
+) -> tuple[list[T], list[T]]:
+    """Split ``schedule`` into (admitted, deferred) per the §5.4 rule.
+
+    Walks the schedule in order.  A block is admitted if its request's
+    response is already materialized (cached or in flight), or if
+    admitting it keeps the number of distinct *new* requests within
+    ``available_slots``.  Deferred blocks keep their relative order.
+    """
+    if available_slots < 0:
+        raise ValueError("available_slots must be non-negative")
+    admitted: list[T] = []
+    deferred: list[T] = []
+    new_requests: set[int] = set()
+    for item in schedule:
+        request = request_of(item)
+        if is_materialized(request) or request in new_requests:
+            admitted.append(item)
+        elif len(new_requests) < available_slots:
+            new_requests.add(request)
+            admitted.append(item)
+        else:
+            deferred.append(item)
+    return admitted, deferred
+
+
+class BackendThrottle:
+    """Stateful §5.4 throttle bound to a backend's live counters.
+
+    ``capacity`` is the offline-benchmarked scalable concurrency
+    (``C``); ``active`` is a callable returning the number of requests
+    the backend is currently processing (``n``).
+    """
+
+    def __init__(self, capacity: int, active: Callable[[], int]) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.capacity = capacity
+        self._active = active
+        self.deferred_blocks = 0
+
+    @property
+    def available_slots(self) -> int:
+        return max(0, self.capacity - self._active())
+
+    def apply(
+        self,
+        schedule: Sequence[T],
+        request_of: Callable[[T], int],
+        is_materialized: Callable[[int], bool],
+    ) -> tuple[list[T], list[T]]:
+        admitted, deferred = throttle_schedule(
+            schedule, request_of, is_materialized, self.available_slots
+        )
+        self.deferred_blocks += len(deferred)
+        return admitted, deferred

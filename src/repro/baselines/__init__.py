@@ -1,0 +1,25 @@
+"""Comparison systems from §6.1.
+
+* ``Baseline`` — a standard request-response application with no
+  prefetching: requests travel the uplink, the server fetches the full
+  response from the backend, and the response streams back over the
+  shared downlink.  LRU client cache.
+* ``Progressive`` — same request-response loop, but only the first
+  block of each response is retrieved (progressive encoding without
+  prefetching; the Fig. 11 ablation arm).
+* ``ACC-<acc>-<hor>`` — idealized prefetching upper bounds: after each
+  user request, up to ``hor`` prefetch requests are issued, each
+  matching the *actual* next request in the trace with probability
+  ``acc`` (a perfect predictor degraded to a chosen accuracy).  A
+  bandwidth-determined outstanding-request threshold prevents the
+  prefetcher from flooding the link, exactly as described in §6.1.
+
+All of these share the Khameleon experiment substrate — simulator,
+links, backends, traces — so comparisons isolate the architecture, not
+the harness.
+"""
+
+from .classic import ClassicConfig, ClassicSession
+from .acc import ACCPrefetcher, acc_threshold
+
+__all__ = ["ClassicConfig", "ClassicSession", "ACCPrefetcher", "acc_threshold"]

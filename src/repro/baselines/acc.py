@@ -1,0 +1,140 @@
+"""Idealized ACC-<acc>-<hor> prefetching baselines (§6.1).
+
+The paper's strongest comparison points: "we use a perfect predictor
+that knows the next ``hor`` requests with ``acc`` accuracy per
+request.  After each user-initiated request, the prefetcher issues up
+to ``hor`` prefetching requests; to avoid triggering network
+congestion, it does not prefetch if the number of outstanding requests
+will exceed a bandwidth-determined threshold."
+
+``ACC-1-1`` and ``ACC-1-5`` therefore *cannot be beaten on prediction*
+— they read the actual future from the trace.  What they lack is
+Khameleon's decoupling of burstiness from network use: their prefetch
+traffic lands exactly when the user is already congesting the link.
+
+The accuracy knob degrades each individual prediction independently:
+with probability ``1 - acc`` the predicted request is replaced by a
+uniformly random *wrong* request (deterministic per seed).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from .classic import ClassicSession
+
+__all__ = ["ACCPrefetcher", "acc_threshold"]
+
+
+def acc_threshold(
+    bandwidth_bytes_per_s: float,
+    mean_response_bytes: float,
+    window_s: float = 3.0,
+    minimum: int = 1,
+) -> int:
+    """Bandwidth-determined outstanding-request threshold (§6.1).
+
+    Caps in-flight responses to roughly what the link can deliver in
+    ``window_s`` seconds — beyond that, additional prefetches only sit
+    in the queue and delay user-initiated responses.  The default
+    window lets ACC prefetch aggressively on fat links while still
+    strangling it on thin ones, which is the §6.2 behaviour (ACC gains
+    with bandwidth but congests itself at 1.5 MB/s).
+    """
+    if bandwidth_bytes_per_s <= 0:
+        raise ValueError("bandwidth must be positive")
+    if mean_response_bytes <= 0:
+        raise ValueError("mean response size must be positive")
+    return max(minimum, int(bandwidth_bytes_per_s * window_s / mean_response_bytes))
+
+
+class ACCPrefetcher:
+    """Trace-reading prefetcher attached to a :class:`ClassicSession`.
+
+    Parameters
+    ----------
+    session:
+        The request-response session to prefetch into.
+    future_requests:
+        The trace's full request-id sequence, in order.  The prefetcher
+        is *given the future* — this is what makes ACC an upper bound.
+    accuracy:
+        Per-prediction probability of being correct (``acc``).
+    horizon:
+        Number of upcoming requests predicted after each user request
+        (``hor``).
+    outstanding_limit:
+        §6.1's bandwidth-determined threshold (see :func:`acc_threshold`).
+    num_requests:
+        Universe size, for drawing wrong predictions.
+    """
+
+    def __init__(
+        self,
+        session: ClassicSession,
+        future_requests: Sequence[int],
+        accuracy: float,
+        horizon: int,
+        outstanding_limit: int,
+        num_requests: int,
+        seed: int = 0,
+    ) -> None:
+        if not 0 <= accuracy <= 1:
+            raise ValueError("accuracy must lie in [0, 1]")
+        if horizon < 1:
+            raise ValueError("horizon must be >= 1")
+        if outstanding_limit < 1:
+            raise ValueError("outstanding limit must be >= 1")
+        if num_requests < 1:
+            raise ValueError("num_requests must be >= 1")
+        self.session = session
+        self.future_requests = list(future_requests)
+        self.accuracy = accuracy
+        self.horizon = horizon
+        self.outstanding_limit = outstanding_limit
+        self.num_requests = num_requests
+        self._rng = np.random.default_rng(seed)
+        self.predictions_made = 0
+        self.predictions_correct = 0
+        self.prefetches_issued = 0
+        self.prefetches_suppressed = 0
+
+    def on_user_request(self, position: int) -> None:
+        """React to the user's ``position``-th request (0-based).
+
+        Issues up to ``horizon`` prefetches for positions ``position+1
+        .. position+horizon``, each individually degraded to
+        ``accuracy``, subject to the outstanding threshold.
+        """
+        if not 0 <= position < len(self.future_requests):
+            raise IndexError(f"position {position} outside the trace")
+        for k in range(1, self.horizon + 1):
+            idx = position + k
+            if idx >= len(self.future_requests):
+                break
+            prediction = self._predict(self.future_requests[idx])
+            if self.session.outstanding >= self.outstanding_limit:
+                self.prefetches_suppressed += 1
+                continue
+            if self.session.prefetch(prediction):
+                self.prefetches_issued += 1
+
+    def _predict(self, truth: int) -> int:
+        self.predictions_made += 1
+        if self._rng.random() < self.accuracy:
+            self.predictions_correct += 1
+            return truth
+        if self.num_requests == 1:
+            return truth  # no wrong answer exists
+        wrong = int(self._rng.integers(0, self.num_requests - 1))
+        if wrong >= truth:
+            wrong += 1
+        return wrong
+
+    @property
+    def empirical_accuracy(self) -> Optional[float]:
+        if self.predictions_made == 0:
+            return None
+        return self.predictions_correct / self.predictions_made

@@ -1,0 +1,93 @@
+"""Command-line interface: regenerate any paper figure.
+
+Usage::
+
+    python -m repro list
+    python -m repro fig6                 # default reduced scale
+    python -m repro fig9 --scale quick
+    python -m repro fig14 --out results.txt
+
+Scales mirror the benchmark harness: ``quick`` / ``default`` /
+``paper`` (the last takes hours — it is the authors' full
+configuration run in a pure-Python simulator).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Optional
+
+from repro.experiments import figures
+from repro.experiments.figures import ImageExperimentScale
+from repro.metrics.report import format_table
+
+__all__ = ["main", "FIGURES"]
+
+_SCALES = {
+    "quick": ImageExperimentScale(rows=12, cols=12, trace_duration_s=10.0, num_traces=1),
+    "default": ImageExperimentScale(rows=16, cols=16, trace_duration_s=15.0, num_traces=1),
+    "paper": ImageExperimentScale.paper(),
+}
+
+#: Figure name -> (driver, takes_image_scale, description)
+FIGURES: dict[str, tuple[Callable, bool, str]] = {
+    "fig3": (figures.fig3_utility_curves, False, "utility curves (image SSIM vs linear)"),
+    "fig5": (figures.fig5_thinktime_cdf, True, "think-time CDFs of both trace corpora"),
+    "fig6": (figures.fig6_bandwidth_cache, True, "metrics vs bandwidth x cache"),
+    "fig7": (figures.fig7_latency_vs_utility, True, "latency vs utility scatter"),
+    "fig8": (figures.fig8_request_latency, True, "metrics vs request latency"),
+    "fig9": (figures.fig9_think_time, True, "metrics vs think time x resources"),
+    "fig10": (figures.fig10_convergence, True, "utility convergence after a pause"),
+    "fig11": (figures.fig11_ablation, True, "ablation: predictor / progressive arms"),
+    "fig12": (figures.fig12_predictors, True, "predictor sensitivity"),
+    "fig13": (figures.fig13_cellular, True, "Verizon/AT&T LTE cellular links"),
+    "fig14": (figures.fig14_falcon, False, "Falcon port (blocks x predictor x backend)"),
+    "fig15": (figures.fig15_ilp_runtime, False, "ILP scheduler runtime"),
+    "fig16": (figures.fig16_greedy_runtime, False, "greedy scheduler runtime"),
+    "fig17": (figures.fig17_greedy_vs_ilp, False, "greedy vs ILP schedule utility"),
+    "fig19": (figures.fig19_overpush, True, "overpush rate"),
+    "appb1": (figures.appb1_prediction_frequency, True, "prediction-interval sensitivity"),
+}
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Regenerate figures from 'Continuous Prefetch for "
+        "Interactive Data Applications' (Khameleon).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    sub.add_parser("list", help="list available figures")
+    for name, (_fn, _scaled, desc) in FIGURES.items():
+        p = sub.add_parser(name, help=desc)
+        p.add_argument(
+            "--scale",
+            choices=sorted(_SCALES),
+            default="default",
+            help="experiment scale (default: reduced 'default' scale)",
+        )
+        p.add_argument("--out", help="also write the table to this file")
+    return parser
+
+
+def main(argv: Optional[list[str]] = None) -> int:
+    args = _build_parser().parse_args(argv)
+    if args.command == "list":
+        width = max(len(n) for n in FIGURES)
+        for name, (_fn, _scaled, desc) in FIGURES.items():
+            print(f"{name:<{width}}  {desc}")
+        return 0
+
+    driver, takes_scale, desc = FIGURES[args.command]
+    rows = driver(scale=_SCALES[args.scale]) if takes_scale else driver()
+    table = format_table(rows, title=f"{args.command}: {desc}")
+    print(table)
+    if args.out:
+        with open(args.out, "w") as f:
+            f.write(table + "\n")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

@@ -1,0 +1,121 @@
+"""Progressive response blocks (§3.3).
+
+Khameleon models every response as an ordered list of fixed-size
+blocks: any prefix renders a (possibly lower-quality) result, and the
+full list renders the complete result.  A single block is a complete —
+if coarse — response.  Requests are integers in ``[0, n)``; applications
+map their domain objects (image ids, query signatures) to request ids
+via :class:`RequestSpace`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Hashable, Iterator, Optional, Sequence
+
+__all__ = ["Block", "ProgressiveResponse", "RequestSpace"]
+
+
+@dataclass(frozen=True)
+class Block:
+    """One block of a progressively encoded response.
+
+    ``request`` is the request id, ``index`` the block's position in the
+    encoding (0-based: block 0 alone is a renderable coarse response),
+    ``size_bytes`` its on-the-wire size (encoders pad short final blocks
+    to keep sizes uniform, per §3.3), and ``payload`` opaque application
+    data (sampled rows, an image scan, ...).
+    """
+
+    request: int
+    index: int
+    size_bytes: int
+    payload: Any = field(default=None, compare=False, hash=False)
+
+    def __post_init__(self) -> None:
+        if self.request < 0:
+            raise ValueError(f"request id must be non-negative (got {self.request})")
+        if self.index < 0:
+            raise ValueError(f"block index must be non-negative (got {self.index})")
+        if self.size_bytes <= 0:
+            raise ValueError(f"block size must be positive (got {self.size_bytes})")
+
+
+@dataclass(frozen=True)
+class ProgressiveResponse:
+    """A full progressively encoded response: blocks 0..Nb-1 of one request."""
+
+    request: int
+    blocks: tuple[Block, ...]
+
+    def __post_init__(self) -> None:
+        if not self.blocks:
+            raise ValueError("a response needs at least one block")
+        for i, block in enumerate(self.blocks):
+            if block.request != self.request:
+                raise ValueError(
+                    f"block {i} belongs to request {block.request}, not {self.request}"
+                )
+            if block.index != i:
+                raise ValueError(f"block at position {i} has index {block.index}")
+
+    @property
+    def num_blocks(self) -> int:
+        return len(self.blocks)
+
+    @property
+    def total_bytes(self) -> int:
+        return sum(b.size_bytes for b in self.blocks)
+
+    def prefix(self, k: int) -> tuple[Block, ...]:
+        """The first ``k`` blocks (a renderable lower-quality response)."""
+        if not 0 <= k <= len(self.blocks):
+            raise ValueError(f"prefix length {k} out of range [0, {len(self.blocks)}]")
+        return self.blocks[:k]
+
+    def __iter__(self) -> Iterator[Block]:
+        return iter(self.blocks)
+
+
+class RequestSpace:
+    """Bidirectional mapping between application keys and request ids.
+
+    The scheduler works over dense integer ids (it holds per-request
+    NumPy arrays); applications think in domain keys (thumbnail (row,
+    col), query signatures).  A ``RequestSpace`` freezes the universe of
+    possible requests — the paper's ``Q = q_1 .. q_n`` — and translates
+    both ways in O(1).
+    """
+
+    def __init__(self, keys: Sequence[Hashable]) -> None:
+        if not keys:
+            raise ValueError("request space must not be empty")
+        self._keys: tuple[Hashable, ...] = tuple(keys)
+        self._ids: dict[Hashable, int] = {}
+        for i, key in enumerate(self._keys):
+            if key in self._ids:
+                raise ValueError(f"duplicate request key: {key!r}")
+            self._ids[key] = i
+
+    def __len__(self) -> int:
+        return len(self._keys)
+
+    def id_of(self, key: Hashable) -> int:
+        """Request id for an application key (KeyError if unknown)."""
+        return self._ids[key]
+
+    def key_of(self, request: int) -> Hashable:
+        """Application key for a request id (IndexError if out of range)."""
+        if not 0 <= request < len(self._keys):
+            raise IndexError(f"request id {request} outside [0, {len(self._keys)})")
+        return self._keys[request]
+
+    def get_id(self, key: Hashable) -> Optional[int]:
+        """Like :meth:`id_of`, but None for unknown keys."""
+        return self._ids.get(key)
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._ids
+
+    def __iter__(self) -> Iterator[Hashable]:
+        return iter(self._keys)

@@ -1,0 +1,212 @@
+"""Client-side cache manager (§3.2, §3.3).
+
+User-generated requests are **never sent to the network**.  They are
+registered here; the manager answers them from the local block cache —
+immediately when at least one block is present (a cache *hit*), or as
+soon as the first block arrives (a *miss*, with the wait counted as
+response latency).  Answering a request makes an application *upcall*.
+
+Preemptive interactions (§2): every registration gets an increasing
+logical timestamp, and an upcall for timestamp ``T`` deregisters all
+pending requests with earlier timestamps — the user has moved on, so
+rendering stale data would only confuse them.  Those dropped requests
+are *preempted*; the paper reports their percentage separately and
+computes latency/utility only over served requests.
+
+After an upcall, later blocks for the same (still most-recent) request
+trigger *improvement* upcalls, which is how quality converges to 1 when
+the user pauses (Fig. 10).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from .blocks import Block
+from .cache import RingBufferCache
+from .utility import UtilityFunction
+
+__all__ = ["CacheManager", "RequestOutcome", "Upcall"]
+
+
+@dataclass
+class Upcall:
+    """Data handed to the application when a request is answered."""
+
+    request: int
+    logical_ts: int
+    time_s: float
+    blocks_available: int
+    utility: float
+    is_improvement: bool = False
+
+
+@dataclass
+class RequestOutcome:
+    """Lifecycle record of one registered request (for metrics)."""
+
+    request: int
+    logical_ts: int
+    registered_at: float
+    cache_hit: bool = False
+    served_at: Optional[float] = None
+    preempted: bool = False
+    utility_at_upcall: float = 0.0
+    blocks_at_upcall: int = 0
+    improvements: list[Upcall] = field(default_factory=list)
+
+    @property
+    def served(self) -> bool:
+        return self.served_at is not None
+
+    @property
+    def latency_s(self) -> Optional[float]:
+        if self.served_at is None:
+            return None
+        return self.served_at - self.registered_at
+
+
+class _Clock:
+    """Minimal time source protocol: anything with a ``now`` attribute."""
+
+
+class CacheManager:
+    """Registers requests against the block cache and makes upcalls.
+
+    Parameters
+    ----------
+    clock:
+        Time source with a ``now`` property (a
+        :class:`~repro.sim.engine.Simulator` in practice).
+    cache:
+        The client's ring-buffer block cache.
+    num_blocks_of:
+        ``request -> Nb`` so utilities can be computed from prefix
+        fractions.
+    utility:
+        The application's utility function.
+    on_upcall:
+        Application callback invoked with each :class:`Upcall`.
+    """
+
+    def __init__(
+        self,
+        clock,
+        cache: RingBufferCache,
+        num_blocks_of: Callable[[int], int],
+        utility: UtilityFunction,
+        on_upcall: Optional[Callable[[Upcall], None]] = None,
+    ) -> None:
+        self.clock = clock
+        self.cache = cache
+        self.num_blocks_of = num_blocks_of
+        self.utility = utility
+        self.on_upcall = on_upcall
+        self._next_ts = 0
+        self._pending: dict[int, RequestOutcome] = {}  # logical ts -> outcome
+        self._latest_served: Optional[RequestOutcome] = None
+        self.outcomes: list[RequestOutcome] = []
+
+    # -- application side --------------------------------------------
+
+    def register(self, request: int) -> RequestOutcome:
+        """Register a user request; answer immediately on a cache hit."""
+        ts = self._next_ts
+        self._next_ts += 1
+        outcome = RequestOutcome(
+            request=request, logical_ts=ts, registered_at=self.clock.now
+        )
+        self.outcomes.append(outcome)
+        if self.cache.has(request):
+            outcome.cache_hit = True
+            self._serve(outcome)
+        else:
+            self._pending[ts] = outcome
+        return outcome
+
+    # -- network side ------------------------------------------------
+
+    def on_block(self, block: Block) -> None:
+        """Handle a block pushed from the server."""
+        self.cache.put(block)
+        # Serve the *newest* pending request for this block's request id
+        # (serving it preempts the older ones anyway).
+        match = None
+        for ts in sorted(self._pending, reverse=True):
+            if self._pending[ts].request == block.request:
+                match = self._pending[ts]
+                break
+        if match is not None:
+            self._serve(match)
+            return
+        latest = self._latest_served
+        if (
+            latest is not None
+            and latest.request == block.request
+            and not self._pending
+        ):
+            self._improve(latest)
+
+    # -- internals ---------------------------------------------------
+
+    def _quality(self, request: int) -> tuple[int, float]:
+        available = self.cache.prefix_len(request)
+        nb = self.num_blocks_of(request)
+        available = min(available, nb)
+        return available, float(self.utility(available / nb))
+
+    def _serve(self, outcome: RequestOutcome) -> None:
+        now = self.clock.now
+        blocks, utility = self._quality(outcome.request)
+        outcome.served_at = now
+        outcome.blocks_at_upcall = blocks
+        outcome.utility_at_upcall = utility
+        self._pending.pop(outcome.logical_ts, None)
+        # Preempt everything registered before this request (§3.3).
+        for ts in [t for t in self._pending if t < outcome.logical_ts]:
+            self._pending.pop(ts).preempted = True
+        self._latest_served = outcome
+        if self.on_upcall is not None:
+            self.on_upcall(
+                Upcall(
+                    request=outcome.request,
+                    logical_ts=outcome.logical_ts,
+                    time_s=now,
+                    blocks_available=blocks,
+                    utility=utility,
+                )
+            )
+
+    def _improve(self, outcome: RequestOutcome) -> None:
+        blocks, utility = self._quality(outcome.request)
+        if blocks <= outcome.blocks_at_upcall and not outcome.improvements:
+            return
+        last_blocks = (
+            outcome.improvements[-1].blocks_available
+            if outcome.improvements
+            else outcome.blocks_at_upcall
+        )
+        if blocks <= last_blocks:
+            return
+        upcall = Upcall(
+            request=outcome.request,
+            logical_ts=outcome.logical_ts,
+            time_s=self.clock.now,
+            blocks_available=blocks,
+            utility=utility,
+            is_improvement=True,
+        )
+        outcome.improvements.append(upcall)
+        if self.on_upcall is not None:
+            self.on_upcall(upcall)
+
+    # -- introspection -----------------------------------------------
+
+    @property
+    def pending_count(self) -> int:
+        return len(self._pending)
+
+    def finalize(self) -> None:
+        """Mark still-pending requests at end of run (never served)."""
+        self._pending.clear()

@@ -1,0 +1,63 @@
+"""Khameleon client assembly (§3.2).
+
+The client library a DVE application imports: requests go to the cache
+manager (never the network), events go to the predictor manager, and
+blocks pushed by the server feed both the block cache and the receive-
+rate monitor.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.core.blocks import Block
+from repro.core.cache_manager import CacheManager, RequestOutcome
+from repro.core.predictor_manager import PredictorManager
+from repro.sim.bandwidth import ReceiveRateMonitor
+from repro.sim.engine import Simulator
+
+__all__ = ["KhameleonClient"]
+
+
+class KhameleonClient:
+    """Client endpoint: application-facing requests and events."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        cache_manager: CacheManager,
+        predictor_manager: PredictorManager,
+        rate_monitor: ReceiveRateMonitor,
+    ) -> None:
+        self.sim = sim
+        self.cache_manager = cache_manager
+        self.predictor_manager = predictor_manager
+        self.rate_monitor = rate_monitor
+        self.blocks_received = 0
+        self.bytes_received = 0
+
+    # -- application side ----------------------------------------------
+
+    def request(self, request: int) -> RequestOutcome:
+        """Issue a user request (answered via upcall, §3.2)."""
+        self.predictor_manager.observe_request(request)
+        return self.cache_manager.register(request)
+
+    def observe(self, event: Any) -> None:
+        """Feed an interaction event (mouse move etc.) to the predictor."""
+        self.predictor_manager.observe_event(event)
+
+    # -- network side ----------------------------------------------------
+
+    def on_block(self, block: Block) -> None:
+        """Downlink delivery of one pushed block."""
+        self.blocks_received += 1
+        self.bytes_received += block.size_bytes
+        self.rate_monitor.on_bytes(block.size_bytes)
+        self.cache_manager.on_block(block)
+
+    def stop(self) -> None:
+        """Cancel periodic tasks (end of experiment)."""
+        self.predictor_manager.stop()
+        self.rate_monitor.stop()
+        self.cache_manager.finalize()

@@ -1,0 +1,361 @@
+"""Greedy scheduler (§5.3, Listing 1).
+
+Khameleon's production scheduler.  Per batch of ``C`` blocks (the
+client cache size), it repeatedly
+
+1. computes each candidate's expected utility gain for receiving one
+   more block — the probability the user still wants the request over
+   the rest of the batch, times the marginal gain ``g(b+1)`` of its
+   next block — and
+2. samples a request proportionally to those gains, allocating it the
+   next block.
+
+The remaining-batch probability ``P_{i,t} = Σ_{k=t}^{C-1} P(q_i | k)``
+is precomputed as a matrix per distribution update (a reverse
+cumulative sum approximating the paper's trapezoidal Riemann sum), so
+each allocation is a vectorized dot-and-sample over the explicit
+requests.
+
+**Meta-request optimization** (§5.3.1): with 10k possible requests,
+most share the same ≈ 0 probability.  Those pool into one
+*meta-request* whose probability is their sum; sampling it uniformly
+picks a concrete request, which is then *promoted* to individual
+tracking for the rest of the batch.  Disable with
+``meta_request=False`` to measure the difference (the paper reports
+13× on its 10k-request benchmark).
+
+Deviation from Listing 1, documented in DESIGN.md §5: the pseudocode
+resets per-request block counts ``B`` to zero every batch and ignores
+what the client already caches.  We additionally consult the server's
+cache mirror (exactly mirrorable thanks to the FIFO client cache) so
+that (a) block *indices* continue the prefix the client already has
+instead of resending block 0, and (b) fully cached requests get zero
+gain.  §5's problem statement requires the scheduler to "keep track of
+previously sent blocks"; this is that tracking.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from .cache import RingBufferCache
+from .distribution import RequestDistribution
+from .scheduler import GainTable, ScheduledBlock
+
+__all__ = ["GreedyScheduler"]
+
+
+class GreedyScheduler:
+    """Single-step-horizon sampling scheduler with batch resets.
+
+    Parameters
+    ----------
+    gains:
+        Per-request utility gain table (defines ``n`` and ``Nb_i``).
+    cache_blocks:
+        ``C`` — client cache capacity in blocks; also the batch length.
+    gamma:
+        Future discount applied inside the remaining-batch probability
+        (``γ^k`` weights; 1.0 = the paper's default behaviour).
+    mirror:
+        Optional server-side replica of the client ring buffer.  When
+        given, allocations extend the cached prefix.
+    meta_request:
+        Enable the §5.3.1 uniform-mass pooling (default True).
+    hedge_when_idle:
+        When every tracked request has zero expected gain (e.g., a point
+        distribution whose target is fully scheduled), push blocks for
+        uniformly random incomplete requests instead of idling — §3.4:
+        "use the remaining bandwidth to push random images for the
+        client to cache".
+    seed:
+        Sampling is stochastic (Listing 1 line 17); fixed seed for
+        reproducibility.
+    """
+
+    def __init__(
+        self,
+        gains: GainTable,
+        cache_blocks: int,
+        gamma: float = 1.0,
+        mirror: Optional[RingBufferCache] = None,
+        meta_request: bool = True,
+        hedge_when_idle: bool = True,
+        seed: int = 0,
+    ) -> None:
+        if cache_blocks < 1:
+            raise ValueError("cache must hold at least one block")
+        if not 0 <= gamma <= 1:
+            raise ValueError("gamma must lie in [0, 1]")
+        self.gains = gains
+        self.C = cache_blocks
+        self.gamma = gamma
+        self.mirror = mirror
+        self.meta_request = meta_request
+        self.hedge_when_idle = hedge_when_idle
+        self._rng = np.random.default_rng(seed)
+
+        self._dist = RequestDistribution.uniform(gains.n)
+        self._slot_duration_s = 0.01
+        # Batch position (Listing 1's t).
+        self._t = 0
+        # Blocks allocated but not yet confirmed sent.  With a mirror,
+        # the sender confirms via on_sent() as blocks hit the wire (the
+        # mirror then carries them); without one, pending *is* Listing
+        # 1's B and resets with the batch.
+        self._pending: dict[int, int] = {}
+        # Distribution-derived state.
+        self._ids = np.empty(0, dtype=np.int64)
+        self._Pmat = np.empty((0, 0))
+        self._Pres = np.empty(0)
+        self._explicit_set: set[int] = set()
+        self._promoted: list[int] = []
+        self._recompute_probabilities()
+
+        self.schedules_generated = 0
+        self.blocks_allocated = 0
+
+    # -- public API ----------------------------------------------------
+
+    def update_distribution(
+        self, dist: RequestDistribution, slot_duration_s: float
+    ) -> None:
+        """Install a new prediction (client may send them at any time).
+
+        Already-allocated slots of the current batch are untouched
+        (§5.3.2: blocks 0..i were sent); only the remaining ``C − t``
+        slots use the new probabilities.
+        """
+        if dist.n != self.gains.n:
+            raise ValueError(f"distribution over {dist.n} requests, expected {self.gains.n}")
+        if slot_duration_s <= 0:
+            raise ValueError("slot duration must be positive")
+        self._dist = dist
+        self._slot_duration_s = slot_duration_s
+        self._recompute_probabilities()
+
+    def next_block(self) -> Optional[ScheduledBlock]:
+        """Sample the next allocation (Listing 1 lines 14–19)."""
+        if self._t >= self.C:
+            self._reset_batch()
+        ids = self._all_ids()
+        weights = self._utility_gains(ids)
+        meta_weight = self._meta_weight()
+        total = weights.sum() + meta_weight
+        if total <= 1e-15:
+            if not self.hedge_when_idle:
+                return None
+            request = self._sample_incomplete_request()
+            if request is None:
+                return None
+            return self._allocate(request)
+        # Sample a request proportional to utility gain (line 17).
+        u = self._rng.random() * total
+        cumulative = np.cumsum(weights)
+        pos = int(np.searchsorted(cumulative, u, side="right"))
+        if pos < len(ids):
+            request = int(ids[pos])
+        else:
+            request = self._sample_uniform_request()
+            if request is None:
+                return None
+            self._promote(request)
+        return self._allocate(request)
+
+    def schedule_batch(self, max_blocks: Optional[int] = None) -> list[ScheduledBlock]:
+        """Allocate up to ``max_blocks`` (default: the rest of the batch).
+
+        This is Listing 1's inner loop with ``bs = max_blocks``; the
+        standalone micro-benchmarks (Fig. 16) call it directly.
+        """
+        limit = self.C - self._t if max_blocks is None else max_blocks
+        out: list[ScheduledBlock] = []
+        for _ in range(limit):
+            block = self.next_block()
+            if block is None:
+                break
+            out.append(block)
+        return out
+
+    def rollback(self, blocks: Sequence[ScheduledBlock]) -> None:
+        """Un-allocate scheduled-but-unsent blocks (sender preemption).
+
+        §5.3.2: when a new prediction arrives, the schedule past the
+        sender's position is discarded and regenerated.  The sender
+        hands back the unsent tail; we rewind ``t`` and the per-request
+        counts so the slots are re-decided under the new distribution.
+        """
+        for block in blocks:
+            have = self._pending.get(block.request, 0)
+            if have <= 0:
+                raise ValueError(f"cannot roll back {block}: not allocated")
+            if have == 1:
+                del self._pending[block.request]
+            else:
+                self._pending[block.request] = have - 1
+            self._t = max(0, self._t - 1)
+            self.blocks_allocated -= 1
+        # The rewound slots need probability rows again (they were only
+        # materialized from the position at the last distribution update).
+        if blocks:
+            self._recompute_probabilities()
+
+    def on_sent(self, block: ScheduledBlock) -> None:
+        """Sender confirmation that ``block`` reached the wire.
+
+        Only meaningful with a mirror: the block is now tracked by the
+        mirrored client cache, so the pending overlay must release it
+        (otherwise it would be double-counted).
+        """
+        if self.mirror is None:
+            return
+        have = self._pending.get(block.request, 0)
+        if have <= 0:
+            raise ValueError(f"on_sent for unallocated block {block}")
+        if have == 1:
+            del self._pending[block.request]
+        else:
+            self._pending[block.request] = have - 1
+
+    # -- introspection ---------------------------------------------------
+
+    @property
+    def position(self) -> int:
+        """Slots allocated in the current batch (Listing 1's ``t``)."""
+        return self._t
+
+    @property
+    def materialized_fraction(self) -> float:
+        """Fraction of requests with individually materialized probabilities."""
+        return (len(self._ids) + len(self._promoted)) / self.gains.n
+
+    # -- internals -------------------------------------------------------
+
+    def _reset_batch(self) -> None:
+        """Lines 22–23: after C blocks, reset t and B.
+
+        With a mirror, pending blocks are still in the sender pipeline
+        and must survive the reset (the mirror will absorb them as they
+        are sent); without one, pending is the per-batch B and clears.
+        """
+        self._t = 0
+        if self.mirror is None:
+            self._pending.clear()
+        self._promoted.clear()
+        self.schedules_generated += 1
+        self._recompute_probabilities()
+
+    def _recompute_probabilities(self) -> None:
+        """Materialize P_{i,t} for the remaining slots (lines 6–11).
+
+        Row ``k`` holds the γ-discounted probability mass of each
+        explicit request over slots ``k..C-1``, where slot ``k`` maps to
+        wall-clock offset ``(k − t + 1) · slot_duration``.
+        """
+        C, t = self.C, self._t
+        remaining = C - t
+        self._ids = self._dist.explicit_ids
+        self._explicit_set = set(int(i) for i in self._ids)
+        self._promoted = [q for q in self._promoted if q not in self._explicit_set]
+        if remaining <= 0:
+            self._Pmat = np.zeros((C, len(self._ids)))
+            self._Pres = np.zeros(C)
+            return
+        deltas = (np.arange(t, C) - t + 1) * self._slot_duration_s
+        probs, residual = self._dist.explicit_matrix(deltas)
+        if self.gamma < 1.0:
+            discount = self.gamma ** np.arange(t, C)
+            probs = probs * discount[:, None]
+            residual = residual * discount
+        # Reverse cumulative sum: row k = mass over slots k..C-1.
+        pmat = np.zeros((C, probs.shape[1]))
+        pres = np.zeros(C)
+        pmat[t:] = np.cumsum(probs[::-1], axis=0)[::-1]
+        pres[t:] = np.cumsum(residual[::-1])[::-1]
+        self._Pmat = pmat
+        self._Pres = pres
+
+    def _all_ids(self) -> np.ndarray:
+        if not self._promoted:
+            return self._ids
+        return np.concatenate([self._ids, np.array(self._promoted, dtype=np.int64)])
+
+    def _effective_blocks(self, request: int) -> int:
+        """Blocks the client will hold once the pipeline drains."""
+        base = self.mirror.prefix_len(request) if self.mirror is not None else 0
+        return base + self._pending.get(request, 0)
+
+    def _utility_gains(self, ids: np.ndarray) -> np.ndarray:
+        """Line 16: u = P_t · g[B] over explicit + promoted requests."""
+        t = min(self._t, self.C - 1)
+        m = len(self._ids)
+        weights = np.empty(len(ids))
+        uniform_p = self._uniform_request_prob(t)
+        for pos, request in enumerate(ids):
+            request = int(request)
+            p = self._Pmat[t, pos] if pos < m else uniform_p
+            weights[pos] = p * self.gains.gain(request, self._effective_blocks(request))
+        return weights
+
+    def _num_uniform(self) -> int:
+        return self.gains.n - len(self._ids) - len(self._promoted)
+
+    def _uniform_request_prob(self, t: int) -> float:
+        pool = self.gains.n - len(self._ids)
+        if pool <= 0:
+            return 0.0
+        return float(self._Pres[t]) / pool
+
+    def _meta_weight(self) -> float:
+        """Pooled weight of all still-uniform requests (§5.3.1)."""
+        if not self.meta_request:
+            return 0.0
+        n_meta = self._num_uniform()
+        if n_meta <= 0:
+            return 0.0
+        t = min(self._t, self.C - 1)
+        share = self._uniform_request_prob(t) * n_meta
+        return share * self.gains.mean_first_gain
+
+    def _sample_uniform_request(self) -> Optional[int]:
+        """Uniformly pick a pooled request (rejection sampling).
+
+        The explicit + promoted set is tiny next to ``n``, so rejection
+        terminates almost immediately; a deterministic scan backstops
+        adversarial cases.
+        """
+        n = self.gains.n
+        taken = self._explicit_set
+        promoted = set(self._promoted)
+        for _ in range(64):
+            candidate = int(self._rng.integers(0, n))
+            if candidate not in taken and candidate not in promoted:
+                return candidate
+        for candidate in range(n):
+            if candidate not in taken and candidate not in promoted:
+                return candidate
+        return None
+
+    def _promote(self, request: int) -> None:
+        self._promoted.append(request)
+
+    def _sample_incomplete_request(self) -> Optional[int]:
+        """Random request that still has unsent blocks (idle hedging)."""
+        n = self.gains.n
+        for _ in range(64):
+            candidate = int(self._rng.integers(0, n))
+            if self._effective_blocks(candidate) < self.gains.blocks_of(candidate):
+                return candidate
+        for candidate in range(n):
+            if self._effective_blocks(candidate) < self.gains.blocks_of(candidate):
+                return candidate
+        return None
+
+    def _allocate(self, request: int) -> ScheduledBlock:
+        index = self._effective_blocks(request)
+        self._pending[request] = self._pending.get(request, 0) + 1
+        self._t += 1
+        self.blocks_allocated += 1
+        return ScheduledBlock(request=request, index=index)

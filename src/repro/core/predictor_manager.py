@@ -1,0 +1,72 @@
+"""Client-side Predictor Manager (§3.3, §4).
+
+Owns the application-provided client predictor component: feeds it
+interaction events and requests, and **periodically** (every 150 ms by
+default, §6.1) asks it for its anytime state and ships that state to
+the server.  The manager — not the predictor — controls how often
+distributions are made and sent, which is the knob Appendix B.1
+sweeps (50–350 ms).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Callable, Optional
+
+if TYPE_CHECKING:  # typing only — avoids a core <-> predictors import cycle
+    from repro.predictors.base import ClientPredictor
+
+from repro.sim.engine import Simulator
+
+__all__ = ["PredictorManager"]
+
+
+class PredictorManager:
+    """Periodic state shipper wrapping a client predictor component.
+
+    ``send_state`` typically wraps the uplink control channel and the
+    server's ``on_predictor_state``.
+    """
+
+    DEFAULT_INTERVAL_S = 0.150
+
+    def __init__(
+        self,
+        sim: Simulator,
+        client_predictor: ClientPredictor,
+        send_state: Callable[[Any], None],
+        interval_s: float = DEFAULT_INTERVAL_S,
+        send_unchanged: bool = False,
+    ) -> None:
+        if interval_s <= 0:
+            raise ValueError("interval must be positive")
+        self.sim = sim
+        self.client_predictor = client_predictor
+        self.send_state = send_state
+        self.interval_s = interval_s
+        self.send_unchanged = send_unchanged
+        self._last_state: Any = object()  # sentinel != any real state
+        self._task = sim.every(interval_s, self._tick)
+        self.states_sent = 0
+        self.state_bytes_sent = 0
+
+    def observe_event(self, event: Any) -> None:
+        """Forward a client interaction event to the predictor."""
+        self.client_predictor.observe_event(self.sim.now, event)
+
+    def observe_request(self, request: int) -> None:
+        """Forward an issued request to the predictor."""
+        self.client_predictor.observe_request(self.sim.now, request)
+
+    def _tick(self) -> None:
+        state = self.client_predictor.state(self.sim.now)
+        if state is None:
+            return
+        if not self.send_unchanged and state == self._last_state:
+            return
+        self._last_state = state
+        self.states_sent += 1
+        self.state_bytes_sent += self.client_predictor.state_size_bytes(state)
+        self.send_state(state)
+
+    def stop(self) -> None:
+        self._task.cancel()

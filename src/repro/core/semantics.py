@@ -1,0 +1,106 @@
+"""Reference schedule semantics (Appendix A.2).
+
+The appendix defines what the *correct* global schedule is when the
+client sends a sequence of prediction distributions: block ``b_i`` of
+the global schedule must be the block that a scheduler using the most
+recent prediction to arrive before slot ``i`` would pick, with slots
+before the first prediction falling back to a uniform distribution and
+batch boundaries every ``C`` slots.
+
+:class:`ReferenceScheduler` implements those semantics directly (and
+slowly) on top of any single-distribution scheduler factory.  It is
+ground truth for testing the production pipeline's preemption logic:
+the sender + greedy scheduler must produce a schedule that matches the
+reference *given the same sampling decisions* — randomness is pinned
+by sharing the seed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional, Sequence
+
+from .distribution import RequestDistribution
+from .greedy import GreedyScheduler
+from .scheduler import GainTable, ScheduledBlock
+
+__all__ = ["PredictionArrival", "ReferenceScheduler"]
+
+
+@dataclass(frozen=True)
+class PredictionArrival:
+    """A prediction ``dist`` arriving at the server in slot ``slot``."""
+
+    slot: int
+    dist: RequestDistribution
+
+    def __post_init__(self) -> None:
+        if self.slot < 0:
+            raise ValueError("arrival slot must be non-negative")
+
+
+class ReferenceScheduler:
+    """Computes the Appendix A.2 idealized global schedule.
+
+    Parameters
+    ----------
+    gains, cache_blocks:
+        The usual scheduling inputs; ``cache_blocks`` is both horizon
+        and batch length ``C``.
+    scheduler_factory:
+        Builds a fresh single-distribution scheduler; defaults to the
+        greedy scheduler with a fixed seed so runs are comparable.
+    """
+
+    def __init__(
+        self,
+        gains: GainTable,
+        cache_blocks: int,
+        seed: int = 0,
+        scheduler_factory: Optional[Callable[[], GreedyScheduler]] = None,
+    ) -> None:
+        self.gains = gains
+        self.C = cache_blocks
+        self.seed = seed
+        self._factory = scheduler_factory or (
+            lambda: GreedyScheduler(
+                gains=gains,
+                cache_blocks=cache_blocks,
+                meta_request=True,
+                hedge_when_idle=True,
+                seed=seed,
+            )
+        )
+
+    def schedule(
+        self,
+        num_slots: int,
+        arrivals: Sequence[PredictionArrival],
+        slot_duration_s: float = 0.01,
+    ) -> list[Optional[ScheduledBlock]]:
+        """The global schedule ``b_1 .. b_num_slots``.
+
+        Implements the A.2 case analysis: each batch ``m`` covers slots
+        ``[mC, (m+1)C)``; within a batch, a new arrival at slot ``i``
+        reschedules slots ``i..`` of the batch under the new
+        distribution while keeping the already-emitted prefix.
+        """
+        if num_slots < 0:
+            raise ValueError("num_slots must be non-negative")
+        ordered = sorted(arrivals, key=lambda a: a.slot)
+        for a, b in zip(ordered, ordered[1:]):
+            if a.slot == b.slot:
+                raise ValueError(f"two predictions arrive in slot {a.slot}")
+
+        out: list[Optional[ScheduledBlock]] = []
+        scheduler = self._factory()
+        scheduler.update_distribution(
+            RequestDistribution.uniform(self.gains.n), slot_duration_s
+        )
+        pending = list(ordered)
+        for slot in range(num_slots):
+            while pending and pending[0].slot <= slot:
+                arrival = pending.pop(0)
+                scheduler.update_distribution(arrival.dist, slot_duration_s)
+            out.append(scheduler.next_block())
+        return out

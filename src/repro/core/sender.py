@@ -1,0 +1,230 @@
+"""Sender thread (§3.3, §5.3.2, §5.4).
+
+The sender reads the scheduler's block sequence, retrieves blocks from
+the backend, and places them onto the network at a rate matched to the
+bandwidth estimate ("aims to saturate the link" without congesting
+it).  Three coordination concerns from the paper:
+
+* **Pacing** — the sender keeps the link *backlogged but bounded*: it
+  transmits whenever the link's queueing delay is below
+  ``max_backlog_s`` (modelling a transport that keeps the pipe full
+  with a small send buffer).  A saturated link is what makes the
+  client's measured receive rate equal true capacity — the §5.4
+  observation that bandwidth "can be accurately estimated ... in
+  backlogged settings".  Pacing *at* the estimate instead would be
+  self-limiting: the client would only ever measure the paced rate, and
+  the estimate could never recover upward.  A user-configured bandwidth
+  cap (§B.2) adds explicit ``size / cap`` spacing on top.
+* **Fetch-ahead** — the sender pulls a window of upcoming scheduled
+  blocks and issues backend fetches for them concurrently, so backend
+  latency (tens to hundreds of ms) overlaps transmission instead of
+  serializing with it.  The backend dedupes in-flight fetches.
+* **Preemption** (§5.3.2) — when a new prediction arrives, the unsent
+  tail of the pipeline is handed back to the scheduler
+  (:meth:`GreedyScheduler.rollback`) and re-decided; blocks already on
+  the wire are not recalled.
+* **Backend throttle** (§5.4) — with a concurrency-limited backend, a
+  :class:`~repro.backends.throttle.BackendThrottle` caps how many
+  *distinct new* requests the pipeline may fetch at once; excess blocks
+  are deferred back to the scheduler at the next refresh.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import TYPE_CHECKING, Callable, Optional
+
+if TYPE_CHECKING:  # avoid core <-> backends import cycle at runtime
+    from repro.backends.base import Backend
+    from repro.backends.throttle import BackendThrottle
+
+from repro.core.blocks import Block, ProgressiveResponse
+from repro.core.cache import RingBufferCache
+from repro.core.scheduler import ScheduledBlock, Scheduler
+from repro.sim.bandwidth import HarmonicMeanEstimator
+from repro.sim.engine import Simulator
+from repro.sim.link import Link
+
+__all__ = ["Sender"]
+
+
+class Sender:
+    """Paced, pipelined block pusher.
+
+    ``deliver`` receives each :class:`~repro.core.blocks.Block` at the
+    client (after link serialization + propagation).
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        scheduler: Scheduler,
+        backend: "Backend",
+        link: Link,
+        estimator: HarmonicMeanEstimator,
+        deliver: Callable[[Block], None],
+        mirror: Optional[RingBufferCache] = None,
+        throttle: Optional["BackendThrottle"] = None,
+        lookahead: int = 32,
+        idle_retry_s: float = 0.005,
+        max_backlog_s: float = 0.020,
+    ) -> None:
+        if lookahead < 1:
+            raise ValueError("lookahead must be >= 1")
+        if idle_retry_s <= 0:
+            raise ValueError("idle retry must be positive")
+        if max_backlog_s <= 0:
+            raise ValueError("max backlog must be positive")
+        self.sim = sim
+        self.scheduler = scheduler
+        self.backend = backend
+        self.link = link
+        self.estimator = estimator
+        self.deliver = deliver
+        self.mirror = mirror
+        self.throttle = throttle
+        self.lookahead = lookahead
+        self.idle_retry_s = idle_retry_s
+        self.max_backlog_s = max_backlog_s
+
+        self._pipeline: deque[ScheduledBlock] = deque()
+        self._next_send_time = 0.0
+        self._send_scheduled = False
+        self._idle_timer = None
+        self._started = False
+
+        self.blocks_sent = 0
+        self.bytes_sent = 0
+        self.blocks_deferred = 0
+
+    # -- lifecycle -----------------------------------------------------
+
+    def start(self) -> None:
+        """Begin pushing (typically at simulation time zero)."""
+        self._started = True
+        self._pump()
+
+    def refresh(self) -> None:
+        """New prediction arrived: reschedule the unsent tail (§5.3.2)."""
+        if self._pipeline:
+            self.scheduler.rollback(list(self._pipeline))
+            self._pipeline.clear()
+        if self._started:
+            self._pump()
+
+    def stop(self) -> None:
+        """Stop pushing: no further sends; in-flight deliveries land.
+
+        Used at end of experiment so the client cache can quiesce to
+        the mirror's state (the mirror records blocks at send time, the
+        client at delivery time).
+        """
+        self._started = False
+        if self._idle_timer is not None:
+            self._idle_timer.cancel()
+            self._idle_timer = None
+
+    # -- pipeline ------------------------------------------------------
+
+    def _fill_pipeline(self) -> None:
+        """Pull schedule entries up to the lookahead window.
+
+        Applies the §5.4 throttle: a block needing a *new* backend fetch
+        is only admitted while backend slots remain; otherwise it is
+        rolled back for rescheduling and the fill stops (the schedule is
+        ordered — skipping ahead would reorder the stream).
+        """
+        while len(self._pipeline) < self.lookahead:
+            block = self.scheduler.next_block()
+            if block is None:
+                break
+            if self.throttle is not None and not self._admit(block):
+                self.scheduler.rollback([block])
+                self.blocks_deferred += 1
+                break
+            self._pipeline.append(block)
+            self._ensure_fetch(block.request)
+
+    def _admit(self, block: ScheduledBlock) -> bool:
+        materialized = self.backend.is_cached(block.request) or any(
+            entry.request == block.request for entry in self._pipeline
+        )
+        if materialized:
+            return True
+        return self.throttle.available_slots > 0
+
+    def _ensure_fetch(self, request: int) -> None:
+        if not self.backend.is_cached(request):
+            self.backend.fetch(request, self._on_fetched)
+
+    def _on_fetched(self, _response: ProgressiveResponse) -> None:
+        self._pump()
+
+    def _pump(self) -> None:
+        """Advance: fill the window, then send the head when ready."""
+        if not self._started:
+            return
+        self._fill_pipeline()
+        if not self._pipeline:
+            self._arm_idle_retry()
+            return
+        head = self._pipeline[0]
+        response = self.backend.cached(head.request)
+        if response is None:
+            return  # head fetch in flight; _on_fetched re-pumps
+        if self._send_scheduled:
+            return
+        when = max(self.sim.now, self._next_send_time)
+        self._send_scheduled = True
+        self.sim.schedule_at(when, self._transmit)
+
+    def _transmit(self) -> None:
+        self._send_scheduled = False
+        if not self._pipeline:
+            self._pump()
+            return
+        head = self._pipeline[0]
+        response = self.backend.cached(head.request)
+        if response is None:
+            self._pump()
+            return
+        if head.index >= response.num_blocks:
+            # Scheduler raced ahead of a shrunken response; skip the slot.
+            self._pipeline.popleft()
+            self._pump()
+            return
+        # Keep the link backlogged but bounded: defer while the send
+        # buffer (link queue) holds more than max_backlog_s of data.
+        # The slack tolerance and minimum wait keep float dust from
+        # producing a defer too small to advance the virtual clock.
+        slack = self.link.queue_delay() - self.max_backlog_s
+        if slack > 1e-9:
+            self._send_scheduled = True
+            self.sim.schedule(max(slack, 1e-6), self._transmit)
+            return
+        block = response.blocks[head.index]
+        self._pipeline.popleft()
+        start = self.sim.now
+        self.link.send(block.size_bytes, self._on_delivered, block)
+        if self.mirror is not None:
+            self.mirror.put(block)
+        self.scheduler.on_sent(head)
+        self.blocks_sent += 1
+        self.bytes_sent += block.size_bytes
+        # Explicit rate pacing only under a user-configured cap (§B.2).
+        cap = self.estimator.cap_bytes_per_s
+        if cap is not None:
+            self._next_send_time = start + block.size_bytes / cap
+        self._pump()
+
+    def _on_delivered(self, block: Block) -> None:
+        self.deliver(block)
+
+    def _arm_idle_retry(self) -> None:
+        if self._idle_timer is not None and not self._idle_timer.cancelled:
+            return
+        self._idle_timer = self.sim.schedule(self.idle_retry_s, self._idle_tick)
+
+    def _idle_tick(self) -> None:
+        self._idle_timer = None
+        self._pump()

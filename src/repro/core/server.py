@@ -1,0 +1,81 @@
+"""Khameleon server assembly (§3.2).
+
+Glues the server-side pieces together: predictor decoding → scheduler
+update → sender refresh, plus bandwidth-estimate reports from the
+client.  The server's *slot duration* — how long one block occupies
+the wire — is derived from the nominal block size and the current
+bandwidth estimate; it is what maps schedule slots onto the
+predictor's wall-clock horizons.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Optional, Sequence
+
+if TYPE_CHECKING:  # typing only — avoids a core <-> predictors import cycle
+    from repro.predictors.base import ServerPredictor
+
+from repro.core.distribution import RequestDistribution
+from repro.core.scheduler import Scheduler
+from repro.core.sender import Sender
+from repro.sim.bandwidth import HarmonicMeanEstimator
+from repro.sim.engine import Simulator
+
+__all__ = ["KhameleonServer"]
+
+
+class KhameleonServer:
+    """Server endpoint: receives predictor states and rate reports."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        scheduler: Scheduler,
+        sender: Sender,
+        predictor_server: ServerPredictor,
+        deltas_s: Sequence[float],
+        estimator: HarmonicMeanEstimator,
+        nominal_block_bytes: int,
+        num_requests: int,
+    ) -> None:
+        if nominal_block_bytes <= 0:
+            raise ValueError("block size must be positive")
+        if num_requests < 1:
+            raise ValueError("num_requests must be >= 1")
+        self.sim = sim
+        self.scheduler = scheduler
+        self.sender = sender
+        self.predictor_server = predictor_server
+        self.deltas_s = tuple(deltas_s)
+        self.estimator = estimator
+        self.nominal_block_bytes = nominal_block_bytes
+        self.num_requests = num_requests
+        self.states_received = 0
+        self.rate_reports_received = 0
+
+    @property
+    def slot_duration_s(self) -> float:
+        """Transmission time of one block at the current estimate."""
+        return self.nominal_block_bytes / self.estimator.estimate
+
+    def start(self) -> None:
+        """Begin pushing immediately, hedging uniformly until a
+        prediction arrives (§3.2: all requests equally likely by
+        default)."""
+        self.scheduler.update_distribution(
+            RequestDistribution.uniform(self.num_requests, self.deltas_s),
+            self.slot_duration_s,
+        )
+        self.sender.start()
+
+    def on_predictor_state(self, state: Any) -> None:
+        """Uplink delivery of a client predictor state."""
+        self.states_received += 1
+        dist = self.predictor_server.decode(state, self.deltas_s)
+        self.scheduler.update_distribution(dist, self.slot_duration_s)
+        self.sender.refresh()
+
+    def on_rate_report(self, bytes_per_s: float) -> None:
+        """Uplink delivery of a client receive-rate measurement (§5.4)."""
+        self.rate_reports_received += 1
+        self.estimator.report(bytes_per_s)

@@ -1,0 +1,152 @@
+"""Utility functions (§3.3, Fig. 3).
+
+A utility function ``U: [0,1] -> [0,1]`` maps the *fraction of blocks
+available* for a request to a quality score: 0 means most dissimilar to
+the full result, 1 means identical in expectation.  ``U`` must be
+monotonically non-decreasing with ``U(0) = 0``.
+
+The scheduler never evaluates ``U`` directly — it linearizes it into
+per-block *gains* ``g(i) = U(i/Nb) - U((i-1)/Nb)`` (§5.2), which is
+exact because block counts are discrete.
+
+Khameleon's conservative default is :class:`LinearUtility`; the image
+application uses a concave SSIM-derived curve (Fig. 3) where the first
+few blocks carry most of the quality — reproduced here by
+:func:`ssim_image_utility`.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+__all__ = [
+    "UtilityFunction",
+    "LinearUtility",
+    "PowerUtility",
+    "PiecewiseUtility",
+    "ssim_image_utility",
+]
+
+
+class UtilityFunction:
+    """Base class: monotone quality curve over the block-prefix fraction."""
+
+    def __call__(self, fraction: float) -> float:
+        """Utility of having ``fraction`` of a response's blocks."""
+        raise NotImplementedError
+
+    def gains(self, num_blocks: int) -> np.ndarray:
+        """Per-block utility gains ``g(1..Nb)`` for an Nb-block response.
+
+        ``gains(Nb)[j-1] == U(j/Nb) - U((j-1)/Nb)``; they sum to ``U(1)``.
+        """
+        if num_blocks < 1:
+            raise ValueError(f"num_blocks must be >= 1 (got {num_blocks})")
+        fractions = np.arange(num_blocks + 1) / num_blocks
+        values = np.array([self(f) for f in fractions])
+        return np.diff(values)
+
+    def validate(self, samples: int = 101) -> None:
+        """Check the §3.3 contract: U(0)=0, U(1)<=1, monotone, in range."""
+        xs = np.linspace(0.0, 1.0, samples)
+        values = np.array([self(x) for x in xs])
+        if abs(values[0]) > 1e-12:
+            raise ValueError(f"U(0) must be 0 (got {values[0]})")
+        if values[-1] > 1.0 + 1e-12:
+            raise ValueError(f"U(1) must be <= 1 (got {values[-1]})")
+        if (np.diff(values) < -1e-12).any():
+            raise ValueError("utility function must be monotonically non-decreasing")
+        if (values < -1e-12).any() or (values > 1 + 1e-12).any():
+            raise ValueError("utility values must lie in [0, 1]")
+
+
+class LinearUtility(UtilityFunction):
+    """The system default: every block contributes equal utility."""
+
+    def __call__(self, fraction: float) -> float:
+        return float(min(max(fraction, 0.0), 1.0))
+
+    def __repr__(self) -> str:
+        return "LinearUtility()"
+
+
+class PowerUtility(UtilityFunction):
+    """``U(x) = x ** exponent``; exponent < 1 gives a concave curve.
+
+    A compact stand-in for diminishing-returns encodings (progressive
+    images, top-k samples) when no measured curve is available.
+    """
+
+    def __init__(self, exponent: float) -> None:
+        if exponent <= 0:
+            raise ValueError(f"exponent must be positive (got {exponent})")
+        self.exponent = exponent
+
+    def __call__(self, fraction: float) -> float:
+        x = min(max(fraction, 0.0), 1.0)
+        return float(x**self.exponent)
+
+    def __repr__(self) -> str:
+        return f"PowerUtility(exponent={self.exponent!r})"
+
+
+class PiecewiseUtility(UtilityFunction):
+    """Linear interpolation through measured ``(fraction, utility)`` points.
+
+    This is how an application turns an empirical quality study (e.g.,
+    structural similarity of progressive-JPEG prefixes over a sample of
+    images, §3.4) into a utility function.
+    """
+
+    def __init__(self, points: Sequence[tuple[float, float]]) -> None:
+        pts = sorted(points)
+        if len(pts) < 2:
+            raise ValueError("need at least two points")
+        xs = np.array([p[0] for p in pts], dtype=float)
+        ys = np.array([p[1] for p in pts], dtype=float)
+        if xs[0] != 0.0 or xs[-1] != 1.0:
+            raise ValueError("points must span fractions 0.0 .. 1.0")
+        if len(np.unique(xs)) != len(xs):
+            raise ValueError("fractions must be distinct")
+        if (np.diff(ys) < 0).any():
+            raise ValueError("utilities must be non-decreasing")
+        if ys[0] != 0.0:
+            raise ValueError("U(0) must be 0")
+        if ys[-1] > 1.0:
+            raise ValueError("U(1) must be <= 1")
+        self._xs = xs
+        self._ys = ys
+
+    def __call__(self, fraction: float) -> float:
+        x = min(max(fraction, 0.0), 1.0)
+        return float(np.interp(x, self._xs, self._ys))
+
+    def __repr__(self) -> str:
+        pts = list(zip(self._xs.tolist(), self._ys.tolist()))
+        return f"PiecewiseUtility({pts!r})"
+
+
+def ssim_image_utility() -> PiecewiseUtility:
+    """The image application's utility curve (Fig. 3, red line).
+
+    The paper derives it from the average structural similarity [76]
+    between a progressive-JPEG prefix and the full image: quality rises
+    steeply over the first quarter of the blocks and saturates.  These
+    control points trace the published curve.
+    """
+    return PiecewiseUtility(
+        [
+            (0.00, 0.00),
+            (0.02, 0.30),
+            (0.05, 0.48),
+            (0.10, 0.62),
+            (0.15, 0.70),
+            (0.25, 0.80),
+            (0.40, 0.88),
+            (0.50, 0.92),
+            (0.75, 0.97),
+            (1.00, 1.00),
+        ]
+    )

@@ -1,0 +1,30 @@
+"""Progressive encoders (§3.3): naive single-block, image scans,
+round-robin row sampling for query results."""
+
+from .base import ProgressiveEncoder, split_padded
+from .image import ImageAsset, ProgressiveImageEncoder
+from .naive import SingleBlockEncoder
+from .wavelet import WaveletEncoder, WaveletPass, wavelet_utility
+from .rowsample import (
+    RowSampleEncoder,
+    RowSamplePayload,
+    aggregate_histogram,
+    decode_prefix,
+    estimation_error,
+)
+
+__all__ = [
+    "ProgressiveEncoder",
+    "split_padded",
+    "SingleBlockEncoder",
+    "WaveletEncoder",
+    "WaveletPass",
+    "wavelet_utility",
+    "ImageAsset",
+    "ProgressiveImageEncoder",
+    "RowSampleEncoder",
+    "RowSamplePayload",
+    "decode_prefix",
+    "aggregate_histogram",
+    "estimation_error",
+]

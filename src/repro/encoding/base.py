@@ -1,0 +1,60 @@
+"""Progressive encoder API (§3.3, §3.4).
+
+An encoder turns an application response into a
+:class:`~repro.core.blocks.ProgressiveResponse`: an ordered list of
+fixed-size blocks where any prefix renders a lower-quality result.
+Block sizes are kept uniform — the paper pads smaller blocks — because
+uniform sizes are what make the client ring-buffer cache state a pure
+function of the block sequence (and hence mirrorable by the server).
+
+Encoders also declare how many blocks a given request will produce
+(:meth:`ProgressiveEncoder.num_blocks`) so the scheduler can size its
+utility-gain tables without fetching anything.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.core.blocks import Block, ProgressiveResponse
+
+__all__ = ["ProgressiveEncoder", "split_padded"]
+
+
+def split_padded(total_bytes: int, block_size: int) -> list[int]:
+    """Split ``total_bytes`` into equal padded block sizes.
+
+    Returns ``ceil(total/block_size)`` entries, all equal to
+    ``block_size`` — the final short block is padded up, as §3.3
+    prescribes.  At least one block is always produced.
+    """
+    if total_bytes < 0:
+        raise ValueError("total_bytes must be non-negative")
+    if block_size <= 0:
+        raise ValueError("block_size must be positive")
+    count = max(1, -(-total_bytes // block_size))
+    return [block_size] * count
+
+
+class ProgressiveEncoder:
+    """Base encoder: application data → progressive block list."""
+
+    def num_blocks(self, request: int) -> int:
+        """Block count for ``request`` (known without encoding)."""
+        raise NotImplementedError
+
+    def encode(self, request: int, data: Any) -> ProgressiveResponse:
+        """Encode ``data`` into blocks for ``request``."""
+        raise NotImplementedError
+
+    def _build(
+        self, request: int, sizes: list[int], payloads: list[Any]
+    ) -> ProgressiveResponse:
+        """Assemble a response from per-block sizes and payloads."""
+        if len(sizes) != len(payloads):
+            raise ValueError("sizes and payloads must align")
+        blocks = tuple(
+            Block(request=request, index=i, size_bytes=size, payload=payload)
+            for i, (size, payload) in enumerate(zip(sizes, payloads))
+        )
+        return ProgressiveResponse(request=request, blocks=blocks)

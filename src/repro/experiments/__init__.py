@@ -1,0 +1,33 @@
+"""Experiment drivers: one function per paper figure (§6, Appendix).
+
+* :mod:`repro.experiments.configs` — the §6.1 environment grid
+  (bandwidth, cache, request latency, cellular traces) and the
+  low/medium/high resource settings of §6.2.
+* :mod:`repro.experiments.runner` — end-to-end drivers that wire an
+  application + trace + environment into a Khameleon session or a
+  baseline session, replay the trace, and collect metrics.
+* :mod:`repro.experiments.figures` — per-figure sweeps returning the
+  rows each figure plots; the benchmark harness prints them.
+"""
+
+from .configs import (
+    DEFAULT_ENV,
+    HIGH_RESOURCE,
+    LOW_RESOURCE,
+    MED_RESOURCE,
+    EnvironmentConfig,
+)
+from .runner import RunResult, run_classic, run_convergence, run_falcon, run_khameleon
+
+__all__ = [
+    "EnvironmentConfig",
+    "DEFAULT_ENV",
+    "LOW_RESOURCE",
+    "MED_RESOURCE",
+    "HIGH_RESOURCE",
+    "RunResult",
+    "run_khameleon",
+    "run_classic",
+    "run_falcon",
+    "run_convergence",
+]

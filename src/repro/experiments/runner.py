@@ -1,0 +1,431 @@
+"""End-to-end experiment drivers (§6).
+
+Each driver assembles one *system under test* over the shared simulated
+substrate, replays an interaction trace against it, and returns a
+:class:`RunResult` with the §6.1 metrics:
+
+* :func:`run_khameleon` — the full Khameleon stack over the image
+  application's file-system backend (optionally without progressive
+  encoding: the Fig. 11 "Predictor" ablation arm).
+* :func:`run_classic` — the request-response architectures: Baseline,
+  Progressive (first block only), and the ACC-<acc>-<hor> idealized
+  prefetchers.
+* :func:`run_falcon` — Khameleon over the Falcon port with the
+  PostgreSQL-like or ScalableSQL backend (§6.4).
+* :func:`run_convergence` — the Fig. 10 protocol: pause the trace and
+  track utility upcalls until quality converges.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Optional, Sequence
+
+from repro.baselines.acc import ACCPrefetcher, acc_threshold
+from repro.baselines.classic import ClassicConfig, ClassicSession
+from repro.core.cache_manager import RequestOutcome
+from repro.core.session import KhameleonSession, SessionConfig
+from repro.encoding.naive import SingleBlockEncoder
+from repro.backends.filesystem import FileSystemBackend
+from repro.metrics.collector import MetricSummary, collect, convergence_curve, overpush_rate
+from repro.predictors.base import MouseEvent
+from repro.sim.engine import Simulator
+from repro.workloads.falcon import FalconApp, FalconTrace
+from repro.workloads.image_app import ImageExplorationApp
+from repro.workloads.trace import InteractionTrace, TraceEvent
+
+from .configs import EnvironmentConfig, make_downlink, make_uplink
+
+__all__ = [
+    "RunResult",
+    "run_khameleon",
+    "run_classic",
+    "run_falcon",
+    "run_convergence",
+    "run_image_system",
+    "extend_with_pause",
+]
+
+#: Simulated seconds to keep running after the trace ends, so in-flight
+#: blocks land and late upcalls fire (Khameleon pushes forever; classic
+#: sessions instead drain their event queue completely).
+DEFAULT_DRAIN_S = 3.0
+
+
+@dataclass
+class RunResult:
+    """Everything a figure needs from one (system, trace, env) run."""
+
+    system: str
+    trace_name: str
+    env: EnvironmentConfig
+    summary: MetricSummary
+    outcomes: list[RequestOutcome]
+    blocks_pushed: int = 0
+    bytes_pushed: int = 0
+    overpush: Optional[float] = None
+    extras: dict = field(default_factory=dict)
+
+    def row(self, **extra_columns: Any) -> dict:
+        """Flatten into a report row (figure drivers add sweep columns)."""
+        row = {"system": self.system, **extra_columns, **self.summary.as_dict()}
+        if self.overpush is not None:
+            row["overpush_%"] = 100.0 * self.overpush
+        return row
+
+
+def _replay(
+    sim: Simulator,
+    trace: InteractionTrace,
+    observe,
+    request,
+    on_request_position=None,
+) -> None:
+    """Schedule the trace's events into the simulator.
+
+    ``observe(event)`` fires for every sample; ``request(id)`` for
+    request-bearing samples; ``on_request_position(i)`` (optional)
+    additionally reports the request's ordinal position — the hook the
+    ACC prefetchers use to read the future.
+    """
+    position = 0
+    for event in trace.events:
+        sim.schedule_at(event.time_s, observe, MouseEvent(event.x, event.y))
+        if event.request is not None:
+            sim.schedule_at(event.time_s, request, event.request)
+            if on_request_position is not None:
+                sim.schedule_at(event.time_s, on_request_position, position)
+            position += 1
+
+
+def run_khameleon(
+    app: ImageExplorationApp,
+    trace: InteractionTrace,
+    env: EnvironmentConfig,
+    predictor: str = "kalman",
+    progressive: bool = True,
+    drain_s: float = DEFAULT_DRAIN_S,
+    prediction_interval_s: float = 0.150,
+    seed: int = 0,
+    gamma: float = 1.0,
+) -> RunResult:
+    """Replay ``trace`` against a full Khameleon session.
+
+    ``progressive=False`` swaps the app's progressive encoder for a
+    single-block one (whole responses pushed speculatively — the
+    Fig. 11 "Predictor" arm); the nominal block size then becomes the
+    mean response size so cache and slot accounting stay consistent.
+    """
+    sim = Simulator()
+    downlink = make_downlink(sim, env, seed=seed)
+    uplink = make_uplink(sim, env)
+
+    if progressive:
+        backend = app.make_backend(sim, fetch_delay_s=env.backend_delay_s)
+        num_blocks = app.num_blocks
+        block_bytes = app.block_bytes
+    else:
+        encoder = SingleBlockEncoder(app.response_bytes)
+        backend = FileSystemBackend(sim, encoder, fetch_delay_s=env.backend_delay_s)
+        num_blocks = [1] * app.num_requests
+        block_bytes = int(app.mean_response_bytes())
+
+    config = SessionConfig(
+        cache_bytes=env.cache_bytes,
+        block_bytes=block_bytes,
+        prediction_interval_s=prediction_interval_s,
+        scheduler_seed=seed,
+        gamma=gamma,
+        initial_bandwidth_bytes_per_s=env.bandwidth_bytes_per_s,
+    )
+    session = KhameleonSession(
+        sim=sim,
+        backend=backend,
+        predictor=app.make_predictor(predictor, trace=trace),
+        utility=app.utility,
+        num_blocks=num_blocks,
+        downlink=downlink,
+        uplink=uplink,
+        config=config,
+    )
+    _replay(sim, trace, session.client.observe, session.client.request)
+    session.start()
+    sim.run(until=trace.duration_s + drain_s)
+    session.stop()
+
+    outcomes = session.cache_manager.outcomes
+    name = "khameleon" if progressive else "predictor"
+    if predictor != "kalman":
+        name = f"khameleon-{predictor}"
+    if not progressive and predictor != "kalman":
+        name = f"predictor-{predictor}"
+    return RunResult(
+        system=name,
+        trace_name=trace.name,
+        env=env,
+        summary=collect(outcomes),
+        outcomes=outcomes,
+        blocks_pushed=session.sender.blocks_sent,
+        bytes_pushed=session.sender.bytes_sent,
+        overpush=overpush_rate(session.sender.blocks_sent, outcomes),
+        extras={
+            "states_received": session.server.states_received,
+            "backend": backend.stats.snapshot(),
+            "bandwidth_estimate": session.estimator.estimate,
+        },
+    )
+
+
+def run_classic(
+    app: ImageExplorationApp,
+    trace: InteractionTrace,
+    env: EnvironmentConfig,
+    variant: str = "full",
+    acc: Optional[tuple[float, int]] = None,
+    seed: int = 0,
+) -> RunResult:
+    """Replay ``trace`` against a request-response system.
+
+    ``variant="full"`` is the paper's Baseline, ``"first_block"`` its
+    Progressive arm.  ``acc=(accuracy, horizon)`` attaches the
+    idealized ACC prefetcher (always over full responses, as in §6.1).
+    """
+    sim = Simulator()
+    downlink = make_downlink(sim, env, seed=seed)
+    uplink = make_uplink(sim, env)
+    backend = app.make_backend(sim, fetch_delay_s=env.backend_delay_s)
+    session = ClassicSession(
+        sim=sim,
+        backend=backend,
+        utility=app.utility,
+        num_blocks_of=lambda r: app.encoder.num_blocks(r),
+        downlink=downlink,
+        uplink=uplink,
+        config=ClassicConfig(cache_bytes=env.cache_bytes, variant=variant),
+    )
+    prefetcher = None
+    on_position = None
+    if acc is not None:
+        accuracy, horizon = acc
+        request_ids = [e.request for e in trace.requests()]
+        prefetcher = ACCPrefetcher(
+            session=session,
+            future_requests=request_ids,
+            accuracy=accuracy,
+            horizon=horizon,
+            outstanding_limit=acc_threshold(
+                env.bandwidth_bytes_per_s, app.mean_response_bytes()
+            ),
+            num_requests=app.num_requests,
+            seed=seed,
+        )
+        on_position = prefetcher.on_user_request
+
+    _replay(
+        sim,
+        trace,
+        observe=lambda event: None,  # classic systems ignore mouse moves
+        request=session.request,
+        on_request_position=on_position,
+    )
+    # Classic sessions have no periodic tasks: run to quiescence so
+    # queued responses drain and true (possibly huge) latencies are
+    # measured rather than truncated.
+    sim.run()
+    session.finalize()
+
+    if acc is not None:
+        name = f"acc-{acc[0]:g}-{acc[1]}"
+    elif variant == "first_block":
+        name = "progressive"
+    else:
+        name = "baseline"
+    outcomes = session.outcomes
+    responses = max(1, session.responses_received)
+    return RunResult(
+        system=name,
+        trace_name=trace.name,
+        env=env,
+        summary=collect(outcomes),
+        outcomes=outcomes,
+        blocks_pushed=session.responses_received,
+        bytes_pushed=session.bytes_received,
+        overpush=session.unused_prefetches / responses if acc is not None else None,
+        extras={
+            "prefetches_sent": session.prefetches_sent,
+            "prefetches_suppressed": (
+                prefetcher.prefetches_suppressed if prefetcher else 0
+            ),
+            "backend": backend.stats.snapshot(),
+        },
+    )
+
+
+def run_falcon(
+    app: FalconApp,
+    trace: "FalconTrace",
+    env: EnvironmentConfig,
+    predictor: str = "kalman",
+    backend_kind: str = "postgres",
+    db_scale: str = "small",
+    drain_s: float = DEFAULT_DRAIN_S,
+    seed: int = 0,
+    cache_responses: int = 0,
+) -> RunResult:
+    """Khameleon over the ported Falcon application (§6.4, Fig. 14).
+
+    ``backend_kind`` selects the PostgreSQL-like engine (15-query
+    concurrency limit + §5.4 throttle) or the ScalableSQL simulation.
+    ``cache_responses`` sizes the client ring buffer in responses
+    (default: one full response per chart).
+
+    Selection commits in the trace invalidate every cached slice: the
+    backend's response cache and the client block cache immediately
+    (both are client/app knowledge), and the server's scheduler mirror
+    one uplink latency later (when the server learns).
+    """
+    if backend_kind not in ("postgres", "scalable"):
+        raise ValueError(f"unknown backend {backend_kind!r}")
+    sim = Simulator()
+    downlink = make_downlink(sim, env, seed=seed)
+    uplink = make_uplink(sim, env)
+    db = app.make_db(sim, scale=db_scale, scalable=backend_kind == "scalable", seed=seed)
+    backend = app.make_backend(sim, db)
+
+    block_bytes = app.nominal_block_bytes()
+    responses = cache_responses if cache_responses > 0 else app.num_requests
+    cache_blocks = responses * app.blocks_per_response
+    config = SessionConfig(
+        cache_bytes=cache_blocks * block_bytes,
+        block_bytes=block_bytes,
+        scheduler_seed=seed,
+        initial_bandwidth_bytes_per_s=env.bandwidth_bytes_per_s,
+        backend_concurrency=(
+            app.max_concurrent_requests if backend_kind == "postgres" else None
+        ),
+    )
+    session = KhameleonSession(
+        sim=sim,
+        backend=backend,
+        predictor=app.make_predictor(predictor, trace=trace.interaction),
+        utility=app.utility,
+        num_blocks=app.num_blocks,
+        downlink=downlink,
+        uplink=uplink,
+        config=config,
+    )
+    _replay(sim, trace.interaction, session.client.observe, session.client.request)
+
+    def commit_selection(event) -> None:
+        app.apply_selection(event)  # also clears the backend response cache
+        session.cache.clear()
+        # The server's mirror learns after one uplink hop.
+        uplink.send(lambda _payload: session.mirror.clear())
+
+    for sel in trace.selections:
+        sim.schedule_at(sel.time_s, commit_selection, sel)
+
+    session.start()
+    sim.run(until=trace.duration_s + drain_s)
+    session.stop()
+
+    outcomes = session.cache_manager.outcomes
+    return RunResult(
+        system=f"khameleon-{predictor}-{backend_kind}",
+        trace_name=trace.name,
+        env=env,
+        summary=collect(outcomes),
+        outcomes=outcomes,
+        blocks_pushed=session.sender.blocks_sent,
+        bytes_pushed=session.sender.bytes_sent,
+        overpush=overpush_rate(session.sender.blocks_sent, outcomes),
+        extras={
+            "queries_executed": db.queries_executed,
+            "peak_db_concurrency": getattr(db, "peak_concurrency", None),
+            "blocks_deferred": session.sender.blocks_deferred,
+        },
+    )
+
+
+def extend_with_pause(
+    trace: InteractionTrace, pause_s: float, hold_s: float, sample_rate_hz: float = 20.0
+) -> InteractionTrace:
+    """Truncate at ``pause_s`` and hold the mouse still for ``hold_s``.
+
+    The Fig. 10 protocol: the user stops on a request.  Stationary
+    samples keep anytime predictors honest (a Kalman filter fed no
+    events would extrapolate the last velocity off the interface).
+    """
+    if hold_s <= 0:
+        raise ValueError("hold duration must be positive")
+    base = trace.truncated(pause_s)
+    x, y = base.events[-1].x, base.events[-1].y
+    t = base.events[-1].time_s
+    dt = 1.0 / sample_rate_hz
+    events = list(base.events)
+    while t + dt <= pause_s + hold_s:
+        t += dt
+        events.append(TraceEvent(t, x, y))
+    return InteractionTrace(events, name=f"{trace.name}|pause@{pause_s:g}s")
+
+
+def run_convergence(
+    app: ImageExplorationApp,
+    trace: InteractionTrace,
+    env: EnvironmentConfig,
+    system: str,
+    pause_s: float,
+    hold_s: float = 10.0,
+    sample_points: Sequence[float] = (),
+    seed: int = 0,
+) -> list[tuple[float, float]]:
+    """Utility-vs-elapsed-time after a pause (Fig. 10).
+
+    Returns ``(elapsed_s, utility)`` samples for the request the user
+    paused on, measured from its registration.
+    """
+    paused = extend_with_pause(trace, pause_s, hold_s)
+    result = run_image_system(system, app, paused, env, drain_s=hold_s, seed=seed)
+    served = [o for o in result.outcomes if o.served or not o.preempted]
+    if not served:
+        return [(p, 0.0) for p in sample_points]
+    final = max(served, key=lambda o: o.logical_ts)
+    points = sample_points or [0.05 * (1.35**i) for i in range(24)]
+    return convergence_curve(final, horizon_s=hold_s, points=points)
+
+
+def run_image_system(
+    system: str,
+    app: ImageExplorationApp,
+    trace: InteractionTrace,
+    env: EnvironmentConfig,
+    drain_s: float = DEFAULT_DRAIN_S,
+    seed: int = 0,
+) -> RunResult:
+    """Dispatch a system name from the figures to the right driver.
+
+    Names: ``khameleon``, ``khameleon-oracle``, ``khameleon-uniform``,
+    ``predictor`` (no progressive encoding), ``progressive`` (no
+    prefetch), ``baseline``, and ``acc-<acc>-<hor>``.
+    """
+    if system == "khameleon":
+        return run_khameleon(app, trace, env, predictor="kalman", drain_s=drain_s, seed=seed)
+    if system == "khameleon-oracle":
+        return run_khameleon(app, trace, env, predictor="oracle", drain_s=drain_s, seed=seed)
+    if system == "khameleon-uniform":
+        return run_khameleon(app, trace, env, predictor="uniform", drain_s=drain_s, seed=seed)
+    if system == "predictor":
+        return run_khameleon(
+            app, trace, env, predictor="kalman", progressive=False, drain_s=drain_s, seed=seed
+        )
+    if system == "baseline":
+        return run_classic(app, trace, env, variant="full", seed=seed)
+    if system == "progressive":
+        return run_classic(app, trace, env, variant="first_block", seed=seed)
+    if system.startswith("acc-"):
+        parts = system.split("-")
+        if len(parts) != 3:
+            raise ValueError(f"bad ACC spec {system!r} (want acc-<acc>-<hor>)")
+        accuracy, horizon = float(parts[1]), int(parts[2])
+        return run_classic(app, trace, env, variant="full", acc=(accuracy, horizon), seed=seed)
+    raise ValueError(f"unknown system {system!r}")

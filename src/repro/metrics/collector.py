@@ -1,0 +1,142 @@
+"""Outcome aggregation into the paper's §6.1 metrics.
+
+The collector consumes the :class:`~repro.core.cache_manager.RequestOutcome`
+records that both the Khameleon cache manager and the classic baseline
+sessions produce, so every system is measured identically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Optional, Sequence
+
+import numpy as np
+
+from repro.core.cache_manager import RequestOutcome
+
+__all__ = ["MetricSummary", "collect", "convergence_curve", "overpush_rate"]
+
+
+@dataclass(frozen=True)
+class MetricSummary:
+    """One experimental condition's worth of §6.1 metrics."""
+
+    num_requests: int
+    num_served: int
+    num_preempted: int
+    num_unanswered: int
+    cache_hit_rate: float
+    preempted_rate: float
+    mean_latency_s: float
+    median_latency_s: float
+    p95_latency_s: float
+    mean_utility: float
+
+    @property
+    def mean_latency_ms(self) -> float:
+        return self.mean_latency_s * 1e3
+
+    @property
+    def log10_latency_ms(self) -> float:
+        """The paper plots latency on a log axis; 0 if no request served."""
+        if self.mean_latency_s <= 0:
+            return 0.0
+        return float(np.log10(self.mean_latency_s * 1e3))
+
+    def as_dict(self) -> dict:
+        return {
+            "requests": self.num_requests,
+            "served": self.num_served,
+            "preempted": self.num_preempted,
+            "unanswered": self.num_unanswered,
+            "cache_hit_%": 100.0 * self.cache_hit_rate,
+            "preempted_%": 100.0 * self.preempted_rate,
+            "latency_ms": self.mean_latency_ms,
+            "median_latency_ms": self.median_latency_s * 1e3,
+            "p95_latency_ms": self.p95_latency_s * 1e3,
+            "utility": self.mean_utility,
+        }
+
+
+def collect(outcomes: Sequence[RequestOutcome]) -> MetricSummary:
+    """Aggregate a run's request outcomes.
+
+    Mirrors the paper's accounting: preempted requests are excluded
+    from latency/utility/hit-rate (those are measured over requests
+    that actually produced an upcall), and requests still pending at
+    the end of the run count as unanswered.
+    """
+    if not outcomes:
+        raise ValueError("no outcomes to collect")
+    served = [o for o in outcomes if o.served]
+    preempted = [o for o in outcomes if o.preempted]
+    unanswered = [o for o in outcomes if not o.served and not o.preempted]
+    n = len(outcomes)
+    latencies = np.array([o.latency_s for o in served], dtype=float)
+    utilities = np.array([o.utility_at_upcall for o in served], dtype=float)
+    hits = sum(1 for o in served if o.cache_hit)
+    return MetricSummary(
+        num_requests=n,
+        num_served=len(served),
+        num_preempted=len(preempted),
+        num_unanswered=len(unanswered),
+        cache_hit_rate=hits / max(1, len(served) + len(unanswered)),
+        preempted_rate=len(preempted) / n,
+        mean_latency_s=float(latencies.mean()) if len(latencies) else 0.0,
+        median_latency_s=float(np.median(latencies)) if len(latencies) else 0.0,
+        p95_latency_s=float(np.percentile(latencies, 95)) if len(latencies) else 0.0,
+        mean_utility=float(utilities.mean()) if len(utilities) else 0.0,
+    )
+
+
+def convergence_curve(
+    outcome: RequestOutcome, horizon_s: float, points: Iterable[float]
+) -> list[tuple[float, float]]:
+    """Utility as a function of elapsed time since the request (Fig. 10).
+
+    Samples the step function defined by the initial upcall and its
+    improvement upcalls at each elapsed offset in ``points`` (seconds);
+    the utility before the first upcall is 0.
+    """
+    if not outcome.served:
+        return [(p, 0.0) for p in points]
+    steps: list[tuple[float, float]] = [
+        (outcome.served_at - outcome.registered_at, outcome.utility_at_upcall)
+    ]
+    steps.extend(
+        (u.time_s - outcome.registered_at, u.utility) for u in outcome.improvements
+    )
+    out = []
+    for p in points:
+        if p > horizon_s:
+            break
+        utility = 0.0
+        for when, value in steps:
+            if when <= p:
+                utility = value
+            else:
+                break
+        out.append((p, utility))
+    return out
+
+
+def overpush_rate(
+    blocks_pushed: int, outcomes: Sequence[RequestOutcome]
+) -> Optional[float]:
+    """Fraction of pushed blocks never involved in an upcall (§B.2).
+
+    A block counts as *used* if it was available at a request's final
+    upcall (initial or improvement) — the paper's "involved in upcalls
+    to answer application requests".
+    """
+    if blocks_pushed <= 0:
+        return None
+    used = 0
+    for outcome in outcomes:
+        if not outcome.served:
+            continue
+        peak = outcome.blocks_at_upcall
+        if outcome.improvements:
+            peak = max(peak, max(u.blocks_available for u in outcome.improvements))
+        used += peak
+    return max(0.0, 1.0 - used / blocks_pushed)

@@ -1,0 +1,85 @@
+"""Time-binned session metrics.
+
+The aggregate §6.1 metrics hide *when* a system struggles: a burst of
+misses at the start of a session and a mid-session congestion collapse
+produce identical means.  :func:`bin_outcomes` slices a run's request
+outcomes into fixed windows, yielding per-window hit rate, latency,
+and utility series — the view used when debugging predictor or
+scheduler regressions (§3.4: "assess the benefits of any modifications
+... based on ... cache hit rates").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.cache_manager import RequestOutcome
+
+__all__ = ["WindowMetrics", "bin_outcomes"]
+
+
+@dataclass(frozen=True)
+class WindowMetrics:
+    """One time window's worth of request metrics."""
+
+    start_s: float
+    end_s: float
+    num_requests: int
+    num_served: int
+    num_preempted: int
+    cache_hit_rate: float
+    mean_latency_s: float
+    mean_utility: float
+
+    @property
+    def midpoint_s(self) -> float:
+        return (self.start_s + self.end_s) / 2.0
+
+
+def bin_outcomes(
+    outcomes: Sequence[RequestOutcome],
+    window_s: float,
+    duration_s: float = 0.0,
+) -> list[WindowMetrics]:
+    """Slice outcomes into ``window_s``-wide bins by registration time.
+
+    ``duration_s`` extends the series to a fixed horizon (empty
+    trailing windows included), so series from different systems align
+    bin-for-bin.  Latency/utility/hit-rate within a window follow the
+    same §6.1 accounting as the aggregate collector: served requests
+    only, preempted requests counted separately.
+    """
+    if window_s <= 0:
+        raise ValueError("window must be positive")
+    last = max((o.registered_at for o in outcomes), default=0.0)
+    horizon = max(duration_s, last + 1e-9)
+    num_windows = int(np.ceil(horizon / window_s))
+    buckets: list[list[RequestOutcome]] = [[] for _ in range(num_windows)]
+    for outcome in outcomes:
+        index = min(int(outcome.registered_at / window_s), num_windows - 1)
+        buckets[index].append(outcome)
+
+    series = []
+    for i, bucket in enumerate(buckets):
+        served = [o for o in bucket if o.served]
+        preempted = [o for o in bucket if o.preempted]
+        latencies = [o.latency_s for o in served]
+        utilities = [o.utility_at_upcall for o in served]
+        hits = sum(1 for o in served if o.cache_hit)
+        answerable = len(bucket) - len(preempted)
+        series.append(
+            WindowMetrics(
+                start_s=i * window_s,
+                end_s=(i + 1) * window_s,
+                num_requests=len(bucket),
+                num_served=len(served),
+                num_preempted=len(preempted),
+                cache_hit_rate=hits / answerable if answerable else 0.0,
+                mean_latency_s=float(np.mean(latencies)) if latencies else 0.0,
+                mean_utility=float(np.mean(utilities)) if utilities else 0.0,
+            )
+        )
+    return series

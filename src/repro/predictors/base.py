@@ -1,0 +1,99 @@
+"""Predictor API (§4).
+
+Khameleon decomposes a prediction model into a **client component**
+and a **server component**::
+
+    P_t(q | Δ, e_t) = P_s(q | Δ, s_t) · P_c(s_t | Δ, e_t)
+
+The client component observes interaction events ``e_t`` (mouse moves,
+issued requests) and compresses them into a compact *state* ``s_t`` —
+model parameters, recent events, or probabilities directly.  The state
+is shipped to the server, whose component decodes it into a
+:class:`~repro.core.distribution.RequestDistribution` for the
+scheduler.
+
+Two contract requirements (§3.3):
+
+* predictors are **anytime** — ``state()`` must be callable whenever
+  the Predictor Manager decides to ship an update, and
+* states must be compact — :meth:`ClientPredictor.state_size_bytes`
+  reports the wire size (the Kalman predictor's state is 6 floats per
+  horizon).
+
+Khameleon mandates no particular accuracy; the framework reports
+empirical accuracy and downstream metrics so developers can iterate
+(§3.4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Optional, Sequence
+
+from repro.core.distribution import RequestDistribution
+
+__all__ = [
+    "MouseEvent",
+    "ClientPredictor",
+    "ServerPredictor",
+    "Predictor",
+    "DEFAULT_DELTAS_S",
+]
+
+#: The paper's prediction horizons: 50, 150, 250, 500 ms (§4).
+DEFAULT_DELTAS_S: tuple[float, ...] = (0.05, 0.15, 0.25, 0.5)
+
+
+@dataclass(frozen=True)
+class MouseEvent:
+    """A pointer sample in interface coordinates (pixels)."""
+
+    x: float
+    y: float
+
+
+class ClientPredictor:
+    """Client half: consumes events, produces compact anytime state."""
+
+    def observe_event(self, time_s: float, event: Any) -> None:
+        """Feed one interaction event (e.g., a :class:`MouseEvent`)."""
+
+    def observe_request(self, time_s: float, request: int) -> None:
+        """Feed one issued request (for request-sequence models)."""
+
+    def state(self, time_s: float) -> Any:
+        """Current predictor state ``s_t`` (must be cheap, anytime)."""
+        raise NotImplementedError
+
+    def state_size_bytes(self, state: Any) -> int:
+        """Wire size of a state (for overhead accounting). Default: 64."""
+        return 64
+
+
+class ServerPredictor:
+    """Server half: decodes shipped state into a request distribution."""
+
+    def decode(
+        self, state: Any, deltas_s: Sequence[float]
+    ) -> RequestDistribution:
+        """Turn client state into ``P(q | Δ)`` at the given horizons."""
+        raise NotImplementedError
+
+
+@dataclass
+class Predictor:
+    """A matched client/server pair plus its prediction horizons.
+
+    This is what applications register with Khameleon.  ``name`` shows
+    up in experiment reports (e.g., ``kalman``, ``oracle``,
+    ``uniform``).
+    """
+
+    name: str
+    client: ClientPredictor
+    server: ServerPredictor
+    deltas_s: tuple[float, ...] = DEFAULT_DELTAS_S
+
+    def distribution_now(self, time_s: float) -> RequestDistribution:
+        """Convenience: encode + decode in one step (used in tests)."""
+        return self.server.decode(self.client.state(time_s), self.deltas_s)

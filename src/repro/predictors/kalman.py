@@ -1,0 +1,231 @@
+"""Kalman-filter mouse predictor (§4, [77]).
+
+The paper's custom predictor for static layouts: a *naive Kalman
+filter* tracks the mouse with a constant-velocity model on the client;
+the shipped state is, per horizon Δ ∈ {50, 150, 250, 500 ms}, the
+predicted position centroid plus a 2×2 position covariance — six
+floats per horizon.  The server decodes each Gaussian into a request
+distribution through the layout's bounding boxes; the longest horizon
+is treated as uniform (the paper: "the 500 ms values follow a uniform
+distribution"), because half a second of mouse inertia predicts very
+little.
+
+The filter is *anytime*: prediction to an arbitrary future time is a
+closed-form extrapolation that doesn't mutate filter state.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Optional, Sequence, Union
+
+import numpy as np
+
+from repro.core.distribution import RequestDistribution
+
+from .base import ClientPredictor, MouseEvent, Predictor, ServerPredictor, DEFAULT_DELTAS_S
+from .layout import ChartLayout, GridLayout
+
+__all__ = [
+    "ConstantVelocityKalman",
+    "KalmanClientPredictor",
+    "KalmanServerPredictor",
+    "KalmanState",
+    "make_kalman_predictor",
+]
+
+Layout = Union[GridLayout, ChartLayout]
+
+
+@dataclass(frozen=True)
+class KalmanState:
+    """Wire state: per-horizon predicted centroid and position stddevs.
+
+    ``means[j]`` is the (x, y) centroid at horizon j; ``stds[j]`` the
+    per-axis standard deviations (the paper ships the full 2×2
+    covariance; the layouts integrate axis-aligned boxes, so the
+    diagonal is what they consume — 6 floats per horizon either way).
+    ``uniform[j]`` marks horizons the client declares uninformative.
+    """
+
+    means: tuple[tuple[float, float], ...]
+    stds: tuple[tuple[float, float], ...]
+    uniform: tuple[bool, ...]
+
+    @property
+    def size_bytes(self) -> int:
+        # 6 floats per horizon, 4 bytes each (f32 on the wire).
+        return len(self.means) * 6 * 4
+
+
+class ConstantVelocityKalman:
+    """2-D constant-velocity Kalman filter over mouse samples.
+
+    State vector ``[x, y, vx, vy]``; observations are positions.
+    ``process_noise`` is the white-acceleration intensity (px/s²),
+    ``measurement_noise`` the per-axis observation stddev (px).
+    """
+
+    def __init__(
+        self,
+        process_noise: float = 800.0,
+        measurement_noise: float = 2.0,
+        initial_position_var: float = 1e4,
+        initial_velocity_var: float = 1e6,
+    ) -> None:
+        self.q = process_noise
+        self.r = measurement_noise
+        self._x: Optional[np.ndarray] = None
+        self._P = np.diag(
+            [initial_position_var, initial_position_var, initial_velocity_var, initial_velocity_var]
+        ).astype(float)
+        self._init_P = self._P.copy()
+        self._last_t: Optional[float] = None
+        self._H = np.zeros((2, 4))
+        self._H[0, 0] = self._H[1, 1] = 1.0
+        self._R = np.eye(2) * measurement_noise**2
+
+    @property
+    def initialized(self) -> bool:
+        return self._x is not None
+
+    @staticmethod
+    def _F(dt: float) -> np.ndarray:
+        F = np.eye(4)
+        F[0, 2] = F[1, 3] = dt
+        return F
+
+    def _Q(self, dt: float) -> np.ndarray:
+        # Discretized white-acceleration model (per axis):
+        # [[dt^4/4, dt^3/2], [dt^3/2, dt^2]] * q^2
+        q2 = self.q**2
+        d4, d3, d2 = dt**4 / 4.0, dt**3 / 2.0, dt**2
+        Q = np.zeros((4, 4))
+        for axis in (0, 1):
+            Q[axis, axis] = d4 * q2
+            Q[axis, axis + 2] = Q[axis + 2, axis] = d3 * q2
+            Q[axis + 2, axis + 2] = d2 * q2
+        return Q
+
+    def observe(self, time_s: float, x: float, y: float) -> None:
+        """Fold one position sample into the filter."""
+        z = np.array([x, y], dtype=float)
+        if self._x is None:
+            self._x = np.array([x, y, 0.0, 0.0])
+            self._P = self._init_P.copy()
+            self._last_t = time_s
+            # First measurement collapses position uncertainty.
+            self._update(z)
+            return
+        dt = max(0.0, time_s - self._last_t)
+        if dt > 0:
+            F = self._F(dt)
+            self._x = F @ self._x
+            self._P = F @ self._P @ F.T + self._Q(dt)
+        self._last_t = time_s
+        self._update(z)
+
+    def _update(self, z: np.ndarray) -> None:
+        H, R = self._H, self._R
+        y = z - H @ self._x
+        S = H @ self._P @ H.T + R
+        K = self._P @ H.T @ np.linalg.inv(S)
+        self._x = self._x + K @ y
+        self._P = (np.eye(4) - K @ H) @ self._P
+        # Symmetrize to keep the covariance numerically PSD.
+        self._P = 0.5 * (self._P + self._P.T)
+
+    def predict_at(self, time_s: float) -> tuple[np.ndarray, np.ndarray]:
+        """Predicted (mean, covariance) at absolute ``time_s`` (pure)."""
+        if self._x is None:
+            raise RuntimeError("filter has no observations yet")
+        dt = max(0.0, time_s - self._last_t)
+        F = self._F(dt)
+        mean = F @ self._x
+        cov = F @ self._P @ F.T + (self._Q(dt) if dt > 0 else 0.0)
+        return mean, cov
+
+
+class KalmanClientPredictor(ClientPredictor):
+    """Client half: runs the filter, emits :class:`KalmanState`.
+
+    ``uniform_after_s`` marks horizons at or beyond that offset as
+    uniform (paper default: the 500 ms horizon).
+    """
+
+    def __init__(
+        self,
+        deltas_s: Sequence[float] = DEFAULT_DELTAS_S,
+        uniform_after_s: float = 0.5,
+        filter_factory=ConstantVelocityKalman,
+    ) -> None:
+        self.deltas_s = tuple(deltas_s)
+        self.uniform_after_s = uniform_after_s
+        self.filter = filter_factory()
+
+    def observe_event(self, time_s: float, event: Any) -> None:
+        if isinstance(event, MouseEvent):
+            self.filter.observe(time_s, event.x, event.y)
+
+    def state(self, time_s: float) -> Optional[KalmanState]:
+        """Per-horizon Gaussians; None before any mouse sample."""
+        if not self.filter.initialized:
+            return None
+        means, stds, uniform = [], [], []
+        for delta in self.deltas_s:
+            mean, cov = self.filter.predict_at(time_s + delta)
+            means.append((float(mean[0]), float(mean[1])))
+            stds.append(
+                (float(np.sqrt(max(cov[0, 0], 0.0))), float(np.sqrt(max(cov[1, 1], 0.0))))
+            )
+            uniform.append(delta >= self.uniform_after_s)
+        return KalmanState(tuple(means), tuple(stds), tuple(uniform))
+
+    def state_size_bytes(self, state: Any) -> int:
+        return state.size_bytes if isinstance(state, KalmanState) else 1
+
+
+class KalmanServerPredictor(ServerPredictor):
+    """Server half: Gaussian state → request distribution via the layout."""
+
+    def __init__(self, layout: Layout, truncate_sigmas: float = 3.0) -> None:
+        self.layout = layout
+        self.truncate_sigmas = truncate_sigmas
+
+    def decode(
+        self, state: Optional[KalmanState], deltas_s: Sequence[float]
+    ) -> RequestDistribution:
+        if state is None:
+            return RequestDistribution.uniform(self.layout.num_requests, deltas_s)
+        if isinstance(self.layout, GridLayout):
+            return self.layout.gaussian_distribution(
+                state.means,
+                state.stds,
+                deltas_s,
+                truncate_sigmas=self.truncate_sigmas,
+                uniform_rows=state.uniform,
+            )
+        return self.layout.gaussian_distribution(
+            state.means, state.stds, deltas_s, uniform_rows=state.uniform
+        )
+
+
+def make_kalman_predictor(
+    layout: Layout,
+    deltas_s: Sequence[float] = DEFAULT_DELTAS_S,
+    process_noise: float = 800.0,
+    measurement_noise: float = 2.0,
+) -> Predictor:
+    """The paper's experiment predictor: Kalman client + layout decoder."""
+    client = KalmanClientPredictor(
+        deltas_s=deltas_s,
+        filter_factory=lambda: ConstantVelocityKalman(
+            process_noise=process_noise, measurement_noise=measurement_noise
+        ),
+    )
+    return Predictor(
+        name="kalman",
+        client=client,
+        server=KalmanServerPredictor(layout),
+        deltas_s=tuple(deltas_s),
+    )

@@ -1,0 +1,266 @@
+"""Interface layouts: widget bounding boxes → request distributions (§4).
+
+Both evaluation applications use *static layouts*: the image gallery is
+a dense grid of thumbnails, Falcon a fixed row of charts.  Requests are
+only generated when the mouse is over a widget, so a distribution over
+mouse position translates directly into a distribution over requests
+through the widget bounding boxes — the ``P_l(q | Δ, x, y, l)`` factor
+in the paper's custom predictor.
+
+:class:`GridLayout` handles the gallery's regular grid analytically
+(per-cell Gaussian mass via axis-aligned CDF products, touching only
+cells within a few standard deviations of the mean — essential with
+10,000 thumbnails).  :class:`ChartLayout` handles a small number of
+irregular widgets by integrating per widget.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.core.distribution import RequestDistribution
+
+__all__ = ["GridLayout", "ChartLayout", "BoundingBox"]
+
+_SQRT2 = math.sqrt(2.0)
+
+
+def _norm_cdf(z: np.ndarray) -> np.ndarray:
+    """Standard normal CDF (vectorized, no scipy needed at this layer)."""
+    return 0.5 * (1.0 + np.vectorize(math.erf)(z / _SQRT2))
+
+
+@dataclass(frozen=True)
+class BoundingBox:
+    """Axis-aligned widget rectangle ``[x0, x1) x [y0, y1)`` in pixels."""
+
+    x0: float
+    y0: float
+    x1: float
+    y1: float
+
+    def __post_init__(self) -> None:
+        if self.x1 <= self.x0 or self.y1 <= self.y0:
+            raise ValueError(f"degenerate bounding box: {self}")
+
+    def contains(self, x: float, y: float) -> bool:
+        return self.x0 <= x < self.x1 and self.y0 <= y < self.y1
+
+    def gaussian_mass(
+        self, mean_x: float, mean_y: float, std_x: float, std_y: float
+    ) -> float:
+        """Probability a diagonal Gaussian lands inside this box."""
+        px = _mass_1d(self.x0, self.x1, mean_x, std_x)
+        py = _mass_1d(self.y0, self.y1, mean_y, std_y)
+        return float(px * py)
+
+
+def _mass_1d(lo: float, hi: float, mean: float, std: float) -> float:
+    if std <= 0:
+        return 1.0 if lo <= mean < hi else 0.0
+    zlo = (lo - mean) / std
+    zhi = (hi - mean) / std
+    return 0.5 * (math.erf(zhi / _SQRT2) - math.erf(zlo / _SQRT2))
+
+
+class GridLayout:
+    """A regular ``rows x cols`` grid of equally sized cells.
+
+    Request id of cell ``(row, col)`` is ``row * cols + col`` — the
+    same dense ids the scheduler uses.  The image application's mosaic
+    of 10,000 thumbnails is a ``100 x 100`` grid.
+    """
+
+    def __init__(
+        self,
+        rows: int,
+        cols: int,
+        cell_width: float,
+        cell_height: float,
+        origin_x: float = 0.0,
+        origin_y: float = 0.0,
+    ) -> None:
+        if rows < 1 or cols < 1:
+            raise ValueError("grid must have at least one row and column")
+        if cell_width <= 0 or cell_height <= 0:
+            raise ValueError("cell dimensions must be positive")
+        self.rows = rows
+        self.cols = cols
+        self.cell_width = cell_width
+        self.cell_height = cell_height
+        self.origin_x = origin_x
+        self.origin_y = origin_y
+
+    @property
+    def num_requests(self) -> int:
+        return self.rows * self.cols
+
+    @property
+    def width(self) -> float:
+        return self.cols * self.cell_width
+
+    @property
+    def height(self) -> float:
+        return self.rows * self.cell_height
+
+    def request_at(self, x: float, y: float) -> Optional[int]:
+        """Request id of the cell containing ``(x, y)``, or None outside."""
+        col = int((x - self.origin_x) // self.cell_width)
+        row = int((y - self.origin_y) // self.cell_height)
+        if 0 <= row < self.rows and 0 <= col < self.cols:
+            return row * self.cols + col
+        return None
+
+    def bbox(self, request: int) -> BoundingBox:
+        if not 0 <= request < self.num_requests:
+            raise IndexError(f"request {request} outside grid")
+        row, col = divmod(request, self.cols)
+        x0 = self.origin_x + col * self.cell_width
+        y0 = self.origin_y + row * self.cell_height
+        return BoundingBox(x0, y0, x0 + self.cell_width, y0 + self.cell_height)
+
+    def clamp(self, x: float, y: float) -> tuple[float, float]:
+        """Clamp a point into the grid's extent (mouse can overshoot)."""
+        x = min(max(x, self.origin_x), self.origin_x + self.width - 1e-9)
+        y = min(max(y, self.origin_y), self.origin_y + self.height - 1e-9)
+        return x, y
+
+    def gaussian_distribution(
+        self,
+        means: Sequence[tuple[float, float]],
+        stds: Sequence[tuple[float, float]],
+        deltas_s: Sequence[float],
+        truncate_sigmas: float = 3.0,
+        uniform_rows: Sequence[bool] = (),
+    ) -> RequestDistribution:
+        """Gaussian position estimates (one per horizon) → distribution.
+
+        Only cells within ``truncate_sigmas`` standard deviations of a
+        mean get explicit probabilities; everything else pools into the
+        residual.  Rows flagged in ``uniform_rows`` are fully uniform
+        (the paper's 500 ms horizon).
+        """
+        if len(means) != len(deltas_s) or len(stds) != len(deltas_s):
+            raise ValueError("need one (mean, std) pair per horizon")
+        explicit: set[int] = set()
+        per_row_cells: list[list[int]] = []
+        for j, ((mx, my), (sx, sy)) in enumerate(zip(means, stds)):
+            if uniform_rows and uniform_rows[j]:
+                per_row_cells.append([])
+                continue
+            cells = self._cells_near(mx, my, sx, sy, truncate_sigmas)
+            per_row_cells.append(cells)
+            explicit.update(cells)
+        ids = np.array(sorted(explicit), dtype=np.int64)
+        id_pos = {int(r): i for i, r in enumerate(ids)}
+        k = len(deltas_s)
+        n = self.num_requests
+        probs = np.zeros((k, len(ids)))
+        residual = np.ones(k)
+        for j, ((mx, my), (sx, sy)) in enumerate(zip(means, stds)):
+            if uniform_rows and uniform_rows[j]:
+                # Truly uniform: explicit ids get 1/n like everyone else.
+                probs[j] = 1.0 / n
+                residual[j] = (n - len(ids)) / n
+                continue
+            for request in per_row_cells[j]:
+                mass = self.bbox(request).gaussian_mass(mx, my, sx, sy)
+                probs[j, id_pos[request]] = mass
+            row_sum = probs[j].sum()
+            if row_sum > 1.0:
+                probs[j] /= row_sum
+                row_sum = 1.0
+            residual[j] = 1.0 - row_sum
+        if len(ids) == self.num_requests:
+            scale = probs.sum(axis=1, keepdims=True)
+            scale[scale == 0] = 1.0
+            probs = probs / scale
+            residual = np.zeros(k)
+        return RequestDistribution(
+            n=self.num_requests,
+            deltas_s=np.asarray(deltas_s, dtype=float),
+            explicit_ids=ids,
+            explicit_probs=probs,
+            residual=residual,
+        )
+
+    def _cells_near(
+        self, mx: float, my: float, sx: float, sy: float, sigmas: float
+    ) -> list[int]:
+        """Cells intersecting the mean ± sigmas·std rectangle."""
+        # Guarantee at least the cell under the mean is covered even
+        # with tiny variance.
+        half_w = max(sx * sigmas, self.cell_width)
+        half_h = max(sy * sigmas, self.cell_height)
+        c0 = int((mx - half_w - self.origin_x) // self.cell_width)
+        c1 = int((mx + half_w - self.origin_x) // self.cell_width)
+        r0 = int((my - half_h - self.origin_y) // self.cell_height)
+        r1 = int((my + half_h - self.origin_y) // self.cell_height)
+        c0, c1 = max(c0, 0), min(c1, self.cols - 1)
+        r0, r1 = max(r0, 0), min(r1, self.rows - 1)
+        return [
+            r * self.cols + c
+            for r in range(r0, r1 + 1)
+            for c in range(c0, c1 + 1)
+        ]
+
+
+class ChartLayout:
+    """A small set of irregular widgets (Falcon's chart row).
+
+    Request ids are the widget positions in ``boxes`` order.
+    """
+
+    def __init__(self, boxes: Sequence[BoundingBox]) -> None:
+        if not boxes:
+            raise ValueError("need at least one widget")
+        self.boxes = tuple(boxes)
+
+    @property
+    def num_requests(self) -> int:
+        return len(self.boxes)
+
+    def request_at(self, x: float, y: float) -> Optional[int]:
+        for i, box in enumerate(self.boxes):
+            if box.contains(x, y):
+                return i
+        return None
+
+    def bbox(self, request: int) -> BoundingBox:
+        return self.boxes[request]
+
+    def gaussian_distribution(
+        self,
+        means: Sequence[tuple[float, float]],
+        stds: Sequence[tuple[float, float]],
+        deltas_s: Sequence[float],
+        uniform_rows: Sequence[bool] = (),
+    ) -> RequestDistribution:
+        """Per-widget Gaussian mass; leftover mass pools into residual
+        only if some widget is non-explicit — with few widgets all are
+        explicit, so rows renormalize over the widgets."""
+        k = len(deltas_s)
+        n = self.num_requests
+        probs = np.zeros((k, n))
+        for j, ((mx, my), (sx, sy)) in enumerate(zip(means, stds)):
+            if uniform_rows and uniform_rows[j]:
+                probs[j] = 1.0 / n
+                continue
+            for i, box in enumerate(self.boxes):
+                probs[j, i] = box.gaussian_mass(mx, my, sx, sy)
+            total = probs[j].sum()
+            if total <= 0:
+                probs[j] = 1.0 / n
+            else:
+                probs[j] /= total
+        return RequestDistribution(
+            n=n,
+            deltas_s=np.asarray(deltas_s, dtype=float),
+            explicit_ids=np.arange(n, dtype=np.int64),
+            explicit_probs=probs,
+            residual=np.zeros(k),
+        )

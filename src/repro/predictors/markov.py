@@ -1,0 +1,144 @@
+"""Markov-chain request predictor (§4, [33, 10, 19]).
+
+Button- and click-based interfaces benefit from Markov models over the
+request sequence: the next request depends on the current one.  The
+paper sketches two deployments of such a model under its decomposition
+API, both supported here:
+
+* **server-resident** (the default): the model lives in the server
+  component; the client ships each issued request as its state
+  (``s_t = e_t``).
+* **client-resident** via :meth:`MarkovModel.top_k_distribution`: the
+  model lives on the client, which ships only the top-k most likely
+  next requests; the server assumes all others have probability ≈ 0.
+
+The model itself is a first-order chain with add-one (Laplace)
+smoothing, learned online from the observed request stream.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Any, Optional, Sequence
+
+import numpy as np
+
+from repro.core.distribution import RequestDistribution
+
+from .base import DEFAULT_DELTAS_S, ClientPredictor, Predictor, ServerPredictor
+
+__all__ = ["MarkovModel", "make_markov_predictor", "MarkovServerPredictor"]
+
+
+class MarkovModel:
+    """Online first-order Markov chain over request ids."""
+
+    def __init__(self, n: int, smoothing: float = 1.0) -> None:
+        if n < 1:
+            raise ValueError("n must be >= 1")
+        if smoothing < 0:
+            raise ValueError("smoothing must be non-negative")
+        self.n = n
+        self.smoothing = smoothing
+        self._counts: dict[int, dict[int, int]] = defaultdict(lambda: defaultdict(int))
+        self._last: Optional[int] = None
+
+    def observe(self, request: int) -> None:
+        """Record one transition from the previous request."""
+        if not 0 <= request < self.n:
+            raise ValueError(f"request {request} outside [0, {self.n})")
+        if self._last is not None:
+            self._counts[self._last][request] += 1
+        self._last = request
+
+    @property
+    def last_request(self) -> Optional[int]:
+        return self._last
+
+    def transition_probs(self, request: int) -> tuple[np.ndarray, np.ndarray, float]:
+        """``(ids, probs, residual)`` for the row of ``request``.
+
+        Observed successors get explicit probabilities; the smoothing
+        mass for never-seen successors is returned as residual.
+        """
+        row = self._counts.get(request, {})
+        ids = np.array(sorted(row), dtype=np.int64)
+        counts = np.array([row[i] for i in ids], dtype=float)
+        total = counts.sum() + self.smoothing * self.n
+        if total == 0:
+            return np.empty(0, dtype=np.int64), np.empty(0), 1.0
+        probs = (counts + self.smoothing) / total
+        residual = self.smoothing * (self.n - len(ids)) / total
+        return ids, probs, float(residual)
+
+    def top_k_distribution(self, request: int, k: int) -> list[tuple[int, float]]:
+        """Top-k likely successors (client-resident deployment)."""
+        ids, probs, _residual = self.transition_probs(request)
+        order = np.argsort(-probs, kind="stable")[:k]
+        return [(int(ids[i]), float(probs[i])) for i in order]
+
+
+class MarkovClientPredictor(ClientPredictor):
+    """Ships the latest request id; the chain lives server-side."""
+
+    def __init__(self) -> None:
+        self._last: Optional[int] = None
+
+    def observe_request(self, time_s: float, request: int) -> None:
+        self._last = request
+
+    def state(self, time_s: float) -> Optional[int]:
+        return self._last
+
+    def state_size_bytes(self, state: Any) -> int:
+        return 8
+
+
+class MarkovServerPredictor(ServerPredictor):
+    """Learns the chain from shipped requests; decodes its current row.
+
+    The same row is used at every horizon: a first-order chain predicts
+    "the next request", not a time-indexed future, and DVE think times
+    are shorter than the horizon spacing anyway.
+    """
+
+    def __init__(self, model: MarkovModel) -> None:
+        self.model = model
+        self._last_decoded: Optional[int] = None
+
+    def decode(self, state: Optional[int], deltas_s: Sequence[float]) -> RequestDistribution:
+        n = self.model.n
+        if state is None:
+            return RequestDistribution.uniform(n, deltas_s)
+        request = int(state)
+        # Learning happens here: the shipped state *is* the event.
+        if request != self._last_decoded or self.model.last_request != request:
+            self.model.observe(request)
+        self._last_decoded = request
+        ids, probs, residual = self.model.transition_probs(request)
+        if len(ids) == 0:
+            return RequestDistribution.uniform(n, deltas_s)
+        k = len(deltas_s)
+        return RequestDistribution(
+            n=n,
+            deltas_s=np.asarray(deltas_s, dtype=float),
+            explicit_ids=ids,
+            explicit_probs=np.tile(probs, (k, 1)),
+            residual=np.full(k, residual),
+        )
+
+
+def make_markov_predictor(
+    n: int,
+    smoothing: float = 1.0,
+    deltas_s: Sequence[float] = DEFAULT_DELTAS_S,
+    model: Optional[MarkovModel] = None,
+) -> Predictor:
+    """Server-resident first-order Markov predictor."""
+    model = model or MarkovModel(n, smoothing=smoothing)
+    return Predictor(
+        name="markov",
+        client=MarkovClientPredictor(),
+        server=MarkovServerPredictor(model),
+        deltas_s=tuple(deltas_s),
+    )

@@ -1,0 +1,101 @@
+"""Oracle predictor (§6.1).
+
+The paper's upper bound: "an Oracle version of Khameleon where the
+predictor knows the exact position of the mouse after Δ milliseconds
+(by examining the trace)".  The client ships the current time; the
+server consults the trace to find which request will be active at each
+horizon and emits a point mass on it.
+
+The oracle is deliberately built on a generic ``future_request``
+callable so it works for both applications: the image gallery passes a
+mouse-trace lookup, Falcon a chart-hover lookup.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional, Sequence
+
+import numpy as np
+
+from repro.core.distribution import RequestDistribution
+
+from .base import DEFAULT_DELTAS_S, ClientPredictor, Predictor, ServerPredictor
+
+__all__ = ["make_oracle_predictor", "OracleClientPredictor", "OracleServerPredictor"]
+
+
+class OracleClientPredictor(ClientPredictor):
+    """State = the current client time (the trace is on the server)."""
+
+    def state(self, time_s: float) -> float:
+        return time_s
+
+    def state_size_bytes(self, state: Any) -> int:
+        return 8
+
+
+class OracleServerPredictor(ServerPredictor):
+    """Looks the future up in the trace.
+
+    ``future_request(t)`` returns the request the user will be issuing
+    (or hovering) at absolute time ``t``, or None when the trace has no
+    answer (off-widget, past the end) — those horizons fall back to
+    uniform.
+    """
+
+    def __init__(self, n: int, future_request: Callable[[float], Optional[int]]) -> None:
+        if n < 1:
+            raise ValueError("n must be >= 1")
+        self.n = n
+        self.future_request = future_request
+
+    def decode(self, state: float, deltas_s: Sequence[float]) -> RequestDistribution:
+        ids: list[int] = []
+        rows: list[dict[int, float]] = []
+        uniform_rows: list[bool] = []
+        for delta in deltas_s:
+            request = self.future_request(state + delta)
+            if request is None:
+                rows.append({})
+                uniform_rows.append(True)
+            else:
+                rows.append({int(request): 1.0})
+                uniform_rows.append(False)
+                if request not in ids:
+                    ids.append(int(request))
+        if not ids:
+            return RequestDistribution.uniform(self.n, deltas_s)
+        ids_arr = np.array(sorted(ids), dtype=np.int64)
+        pos = {int(r): i for i, r in enumerate(ids_arr)}
+        k = len(deltas_s)
+        probs = np.zeros((k, len(ids_arr)))
+        residual = np.zeros(k)
+        for j in range(k):
+            if uniform_rows[j]:
+                # Truly uniform: explicit ids get 1/n like everyone else.
+                probs[j] = 1.0 / self.n
+                residual[j] = (self.n - len(ids_arr)) / self.n
+            else:
+                for request, p in rows[j].items():
+                    probs[j, pos[request]] = p
+        return RequestDistribution(
+            n=self.n,
+            deltas_s=np.asarray(deltas_s, dtype=float),
+            explicit_ids=ids_arr,
+            explicit_probs=probs,
+            residual=residual,
+        )
+
+
+def make_oracle_predictor(
+    n: int,
+    future_request: Callable[[float], Optional[int]],
+    deltas_s: Sequence[float] = DEFAULT_DELTAS_S,
+) -> Predictor:
+    """Perfect-foresight predictor reading the interaction trace."""
+    return Predictor(
+        name="oracle",
+        client=OracleClientPredictor(),
+        server=OracleServerPredictor(n, future_request),
+        deltas_s=tuple(deltas_s),
+    )

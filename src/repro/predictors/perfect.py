@@ -1,0 +1,112 @@
+"""ACC-style predictor for Khameleon (§6.1, Fig. 9 caption).
+
+The ACC baselines degrade a perfect trace-reading predictor to a
+chosen per-prediction accuracy and horizon.  This module packages the
+same signal as a *Khameleon* predictor, so the push scheduler can be
+driven by exactly the predictions the request-response baselines get —
+isolating the architecture from the prediction quality.
+
+The client ships the index of the user's most recent request; the
+server looks up the next ``horizon`` trace requests and emits a
+distribution that gives each of them probability ``accuracy``
+(mass split over the future positions, nearer ones first), with the
+remaining ``1 - accuracy`` mass spread uniformly — the same
+per-prediction degradation the ACC prefetchers apply.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional, Sequence
+
+import numpy as np
+
+from repro.core.distribution import RequestDistribution
+
+from .base import DEFAULT_DELTAS_S, ClientPredictor, Predictor, ServerPredictor
+
+__all__ = ["make_acc_predictor", "ACCClientPredictor", "ACCServerPredictor"]
+
+
+class ACCClientPredictor(ClientPredictor):
+    """State = how many requests the user has issued so far."""
+
+    def __init__(self) -> None:
+        self._position = -1
+
+    def observe_request(self, time_s: float, request: int) -> None:
+        self._position += 1
+
+    def state(self, time_s: float) -> Optional[int]:
+        return self._position if self._position >= 0 else None
+
+    def state_size_bytes(self, state: Any) -> int:
+        return 8
+
+
+class ACCServerPredictor(ServerPredictor):
+    """Reads the next-``horizon`` requests off the replay trace."""
+
+    def __init__(
+        self,
+        n: int,
+        future_requests: Sequence[int],
+        accuracy: float,
+        horizon: int,
+    ) -> None:
+        if n < 1:
+            raise ValueError("n must be >= 1")
+        if not 0 <= accuracy <= 1:
+            raise ValueError("accuracy must lie in [0, 1]")
+        if horizon < 1:
+            raise ValueError("horizon must be >= 1")
+        self.n = n
+        self.future_requests = list(future_requests)
+        self.accuracy = accuracy
+        self.horizon = horizon
+
+    def decode(self, state: Optional[int], deltas_s: Sequence[float]) -> RequestDistribution:
+        if state is None:
+            return RequestDistribution.uniform(self.n, deltas_s)
+        upcoming: list[int] = []
+        for k in range(1, self.horizon + 1):
+            idx = int(state) + k
+            if idx >= len(self.future_requests):
+                break
+            request = self.future_requests[idx]
+            if request not in upcoming:
+                upcoming.append(request)
+        if not upcoming:
+            return RequestDistribution.uniform(self.n, deltas_s)
+        # Nearer predictions get geometrically more of the accurate mass.
+        weights = np.array([0.5**k for k in range(len(upcoming))])
+        weights = self.accuracy * weights / weights.sum()
+        ids = np.array(sorted(set(upcoming)), dtype=np.int64)
+        pos = {int(r): i for i, r in enumerate(ids)}
+        k = len(deltas_s)
+        probs = np.zeros((k, len(ids)))
+        for request, w in zip(upcoming, weights):
+            probs[:, pos[request]] += w
+        residual = np.full(k, 1.0 - self.accuracy)
+        return RequestDistribution(
+            n=self.n,
+            deltas_s=np.asarray(deltas_s, dtype=float),
+            explicit_ids=ids,
+            explicit_probs=probs,
+            residual=residual,
+        )
+
+
+def make_acc_predictor(
+    n: int,
+    future_requests: Sequence[int],
+    accuracy: float = 1.0,
+    horizon: int = 5,
+    deltas_s: Sequence[float] = DEFAULT_DELTAS_S,
+) -> Predictor:
+    """Khameleon driven by the ACC baselines' oracle signal."""
+    return Predictor(
+        name=f"acc-{accuracy:g}-{horizon}",
+        client=ACCClientPredictor(),
+        server=ACCServerPredictor(n, future_requests, accuracy, horizon),
+        deltas_s=tuple(deltas_s),
+    )

@@ -1,0 +1,146 @@
+"""Point, uniform, and hover predictors.
+
+These are the degenerate-but-useful predictors from §3.4 and §6.4:
+
+* :func:`make_point_predictor` — all mass on the most recent request.
+  This is the "traditional request" special case: with it, the
+  scheduler fetches exactly what was asked for first and spends
+  leftover bandwidth hedging uniformly.
+* :func:`make_uniform_predictor` — no information; every request
+  equally likely (the Fig. 12 ``Uniform`` arm, and the system default
+  when the application registers no predictor).
+* :func:`make_hover_predictor` — Falcon's hand-written policy:
+  probability 1 on the view the mouse currently hovers over (§6.4's
+  ``OnHover`` arm).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional, Sequence, Union
+
+from repro.core.distribution import RequestDistribution
+
+from .base import (
+    DEFAULT_DELTAS_S,
+    ClientPredictor,
+    MouseEvent,
+    Predictor,
+    ServerPredictor,
+)
+from .layout import ChartLayout, GridLayout
+
+__all__ = [
+    "make_point_predictor",
+    "make_uniform_predictor",
+    "make_hover_predictor",
+    "PointClientPredictor",
+    "PointServerPredictor",
+    "UniformClientPredictor",
+    "UniformServerPredictor",
+    "HoverClientPredictor",
+]
+
+Layout = Union[GridLayout, ChartLayout]
+
+
+class PointClientPredictor(ClientPredictor):
+    """State = the most recently issued request id (or None)."""
+
+    def __init__(self) -> None:
+        self._last_request: Optional[int] = None
+
+    def observe_request(self, time_s: float, request: int) -> None:
+        self._last_request = request
+
+    def state(self, time_s: float) -> Optional[int]:
+        return self._last_request
+
+    def state_size_bytes(self, state: Any) -> int:
+        return 8
+
+
+class PointServerPredictor(ServerPredictor):
+    """Point mass on the shipped request id; uniform before any request."""
+
+    def __init__(self, n: int) -> None:
+        if n < 1:
+            raise ValueError("n must be >= 1")
+        self.n = n
+
+    def decode(self, state: Optional[int], deltas_s: Sequence[float]) -> RequestDistribution:
+        if state is None:
+            return RequestDistribution.uniform(self.n, deltas_s)
+        return RequestDistribution.point(self.n, int(state), deltas_s)
+
+
+class UniformClientPredictor(ClientPredictor):
+    """No state at all."""
+
+    def state(self, time_s: float) -> None:
+        return None
+
+    def state_size_bytes(self, state: Any) -> int:
+        return 1
+
+
+class UniformServerPredictor(ServerPredictor):
+    def __init__(self, n: int) -> None:
+        if n < 1:
+            raise ValueError("n must be >= 1")
+        self.n = n
+
+    def decode(self, state: Any, deltas_s: Sequence[float]) -> RequestDistribution:
+        return RequestDistribution.uniform(self.n, deltas_s)
+
+
+class HoverClientPredictor(ClientPredictor):
+    """State = the widget currently under the mouse (Falcon OnHover)."""
+
+    def __init__(self, layout: Layout) -> None:
+        self.layout = layout
+        self._hovered: Optional[int] = None
+
+    def observe_event(self, time_s: float, event: Any) -> None:
+        if isinstance(event, MouseEvent):
+            request = self.layout.request_at(event.x, event.y)
+            if request is not None:
+                self._hovered = request
+
+    def observe_request(self, time_s: float, request: int) -> None:
+        self._hovered = request
+
+    def state(self, time_s: float) -> Optional[int]:
+        return self._hovered
+
+    def state_size_bytes(self, state: Any) -> int:
+        return 8
+
+
+def make_point_predictor(n: int, deltas_s: Sequence[float] = DEFAULT_DELTAS_S) -> Predictor:
+    """§3.4's generic default: each request is a point distribution."""
+    return Predictor(
+        name="point",
+        client=PointClientPredictor(),
+        server=PointServerPredictor(n),
+        deltas_s=tuple(deltas_s),
+    )
+
+
+def make_uniform_predictor(n: int, deltas_s: Sequence[float] = DEFAULT_DELTAS_S) -> Predictor:
+    """All requests equally likely (system default / Fig. 12 Uniform)."""
+    return Predictor(
+        name="uniform",
+        client=UniformClientPredictor(),
+        server=UniformServerPredictor(n),
+        deltas_s=tuple(deltas_s),
+    )
+
+
+def make_hover_predictor(layout: Layout, deltas_s: Sequence[float] = DEFAULT_DELTAS_S) -> Predictor:
+    """Falcon's OnHover policy: probability 1 on the hovered view (§6.4)."""
+    return Predictor(
+        name="onhover",
+        client=HoverClientPredictor(layout),
+        server=PointServerPredictor(layout.num_requests),
+        deltas_s=tuple(deltas_s),
+    )

@@ -1,0 +1,115 @@
+"""Bandwidth estimation (§5.4).
+
+The Khameleon client periodically reports its measured data receive
+rate to the server; the server uses the **harmonic mean of the last
+five reports** as its bandwidth estimate for the next timestep and
+paces the sender to saturate — but not exceed — that rate.  The
+harmonic mean is the right average for rates (it is dominated by slow
+intervals, making the estimate conservative under variance), the same
+reasoning behind its use in ABR video players the paper cites [85].
+
+Khameleon may alternatively run under a *user-configured bandwidth
+cap* (e.g., limited data plans); :class:`HarmonicMeanEstimator` supports
+that via ``cap_bytes_per_s``.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Optional
+
+from .engine import Simulator
+
+__all__ = ["HarmonicMeanEstimator", "ReceiveRateMonitor"]
+
+
+class HarmonicMeanEstimator:
+    """Server-side bandwidth estimate from client rate reports.
+
+    Parameters
+    ----------
+    initial_bytes_per_s:
+        Estimate used before any report arrives.  The paper's sender
+        must start pushing immediately; a configured starting guess
+        (typically the provisioned link rate, or a conservative default)
+        plays the role of the transport's initial window.
+    window:
+        Number of most-recent reports averaged (paper: 5).
+    cap_bytes_per_s:
+        Optional hard cap (user-configured bandwidth budget, §B.2).
+    """
+
+    def __init__(
+        self,
+        initial_bytes_per_s: float,
+        window: int = 5,
+        cap_bytes_per_s: Optional[float] = None,
+    ) -> None:
+        if initial_bytes_per_s <= 0:
+            raise ValueError("initial estimate must be positive")
+        if window < 1:
+            raise ValueError("window must be >= 1")
+        if cap_bytes_per_s is not None and cap_bytes_per_s <= 0:
+            raise ValueError("cap must be positive when given")
+        self._initial = initial_bytes_per_s
+        self._reports: deque[float] = deque(maxlen=window)
+        self.cap_bytes_per_s = cap_bytes_per_s
+
+    def report(self, bytes_per_s: float) -> None:
+        """Record one client receive-rate report (non-positive ignored)."""
+        if bytes_per_s > 0:
+            self._reports.append(bytes_per_s)
+
+    @property
+    def estimate(self) -> float:
+        """Current bandwidth estimate in bytes/s."""
+        if not self._reports:
+            rate = self._initial
+        else:
+            rate = len(self._reports) / sum(1.0 / r for r in self._reports)
+        if self.cap_bytes_per_s is not None:
+            rate = min(rate, self.cap_bytes_per_s)
+        return rate
+
+    @property
+    def report_count(self) -> int:
+        return len(self._reports)
+
+
+class ReceiveRateMonitor:
+    """Client-side receive-rate measurement and reporting.
+
+    Every ``interval_s`` the monitor computes bytes received since the
+    last tick divided by the interval and invokes ``publish(rate)``
+    (which typically ships the number to the server over the control
+    channel).  Idle intervals (zero bytes) are not published: with a
+    push-based sender the link is meant to be backlogged, so a zero
+    sample means "nothing was in flight", not "the link is dead" — and
+    feeding zeros to a harmonic mean would wedge the estimate at nought.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        interval_s: float,
+        publish: Callable[[float], None],
+    ) -> None:
+        if interval_s <= 0:
+            raise ValueError("interval must be positive")
+        self.sim = sim
+        self.interval_s = interval_s
+        self._publish = publish
+        self._bytes_since_tick = 0
+        self._task = sim.every(interval_s, self._tick)
+
+    def on_bytes(self, nbytes: int) -> None:
+        """Record ``nbytes`` received from the server."""
+        self._bytes_since_tick += nbytes
+
+    def _tick(self) -> None:
+        if self._bytes_since_tick > 0:
+            self._publish(self._bytes_since_tick / self.interval_s)
+        self._bytes_since_tick = 0
+
+    def stop(self) -> None:
+        self._task.cancel()

@@ -1,0 +1,199 @@
+"""Discrete-event simulation engine.
+
+All Khameleon components in this reproduction run on a single virtual
+clock instead of wall-clock asyncio.  The paper's prototype measured a
+TypeScript client and Rust server over emulated networks; in Python,
+wall-clock scheduling jitter would swamp the millisecond-scale effects
+the paper studies (see DESIGN.md §2).  A discrete-event simulator gives
+deterministic, reproducible timing at any bandwidth.
+
+Time is measured in **seconds** as floats.  Events scheduled for the
+same instant fire in FIFO order of scheduling (a monotonically
+increasing sequence number breaks ties), which keeps runs deterministic.
+
+Example
+-------
+>>> sim = Simulator()
+>>> fired = []
+>>> handle = sim.schedule(1.5, fired.append, "a")
+>>> sim.schedule(0.5, fired.append, "b")  # doctest: +ELLIPSIS
+<repro.sim.engine.EventHandle object at ...>
+>>> sim.run()
+>>> fired
+['b', 'a']
+>>> sim.now
+1.5
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Any, Callable, Optional
+
+__all__ = ["Simulator", "EventHandle", "SimulationError"]
+
+
+class SimulationError(RuntimeError):
+    """Raised for invalid uses of the simulator (e.g., scheduling in the past)."""
+
+
+class EventHandle:
+    """A cancellable reference to a scheduled event.
+
+    Returned by :meth:`Simulator.schedule`; call :meth:`cancel` to
+    prevent the callback from firing.  Cancelling an event that already
+    fired is a harmless no-op.
+    """
+
+    __slots__ = ("time", "_callback", "_args", "_cancelled")
+
+    def __init__(self, time: float, callback: Callable[..., Any], args: tuple):
+        self.time = time
+        self._callback = callback
+        self._args = args
+        self._cancelled = False
+
+    def cancel(self) -> None:
+        """Prevent this event from firing (idempotent)."""
+        self._cancelled = True
+        # Drop references so cancelled events don't pin large objects
+        # while they wait to be popped from the heap.
+        self._callback = None
+        self._args = ()
+
+    @property
+    def cancelled(self) -> bool:
+        return self._cancelled
+
+    def _fire(self) -> None:
+        if not self._cancelled:
+            self._callback(*self._args)
+
+
+class Simulator:
+    """Event-heap simulator with a virtual clock.
+
+    The simulator is intentionally minimal: components schedule plain
+    callbacks.  Higher-level constructs (periodic tasks, links, paced
+    senders) are built on top of :meth:`schedule`.
+    """
+
+    def __init__(self) -> None:
+        self._now = 0.0
+        self._heap: list[tuple[float, int, EventHandle]] = []
+        self._seq = itertools.count()
+        self._events_processed = 0
+
+    @property
+    def now(self) -> float:
+        """Current virtual time in seconds."""
+        return self._now
+
+    @property
+    def events_processed(self) -> int:
+        """Number of events that have fired so far (diagnostics)."""
+        return self._events_processed
+
+    def schedule(self, delay: float, callback: Callable[..., Any], *args: Any) -> EventHandle:
+        """Schedule ``callback(*args)`` to fire ``delay`` seconds from now."""
+        if delay < 0:
+            raise SimulationError(f"cannot schedule into the past (delay={delay!r})")
+        return self.schedule_at(self._now + delay, callback, *args)
+
+    def schedule_at(self, time: float, callback: Callable[..., Any], *args: Any) -> EventHandle:
+        """Schedule ``callback(*args)`` to fire at absolute virtual ``time``."""
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule at {time!r}, which is before now ({self._now!r})"
+            )
+        handle = EventHandle(time, callback, args)
+        heapq.heappush(self._heap, (time, next(self._seq), handle))
+        return handle
+
+    def every(
+        self,
+        interval: float,
+        callback: Callable[..., Any],
+        *args: Any,
+        start: Optional[float] = None,
+    ) -> "PeriodicTask":
+        """Run ``callback(*args)`` every ``interval`` seconds.
+
+        The first firing happens at ``start`` (absolute time; defaults to
+        ``now + interval``).  Returns a :class:`PeriodicTask` whose
+        ``cancel()`` stops the repetition.
+        """
+        if interval <= 0:
+            raise SimulationError(f"interval must be positive (got {interval!r})")
+        task = PeriodicTask(self, interval, callback, args)
+        first = self._now + interval if start is None else start
+        task._arm(first)
+        return task
+
+    def run(self, until: Optional[float] = None) -> None:
+        """Process events until the heap is empty or ``until`` is reached.
+
+        When ``until`` is given, the clock is advanced to exactly
+        ``until`` even if the last event fires earlier, so back-to-back
+        ``run(until=...)`` calls behave like contiguous wall-clock spans.
+        """
+        while self._heap:
+            time, _seq, handle = self._heap[0]
+            if until is not None and time > until:
+                break
+            heapq.heappop(self._heap)
+            if handle.cancelled:
+                continue
+            self._now = time
+            self._events_processed += 1
+            handle._fire()
+        if until is not None and until > self._now:
+            self._now = until
+
+    def run_for(self, duration: float) -> None:
+        """Advance the clock by ``duration`` seconds, processing events."""
+        if duration < 0:
+            raise SimulationError(f"duration must be non-negative (got {duration!r})")
+        self.run(until=self._now + duration)
+
+    def peek(self) -> Optional[float]:
+        """Time of the next pending (non-cancelled) event, or None."""
+        while self._heap and self._heap[0][2].cancelled:
+            heapq.heappop(self._heap)
+        return self._heap[0][0] if self._heap else None
+
+
+class PeriodicTask:
+    """A repeating event created by :meth:`Simulator.every`."""
+
+    __slots__ = ("_sim", "_interval", "_callback", "_args", "_handle", "_cancelled")
+
+    def __init__(self, sim: Simulator, interval: float, callback: Callable[..., Any], args: tuple):
+        self._sim = sim
+        self._interval = interval
+        self._callback = callback
+        self._args = args
+        self._handle: Optional[EventHandle] = None
+        self._cancelled = False
+
+    def _arm(self, at: float) -> None:
+        self._handle = self._sim.schedule_at(at, self._tick)
+
+    def _tick(self) -> None:
+        if self._cancelled:
+            return
+        self._callback(*self._args)
+        if not self._cancelled:
+            self._arm(self._sim.now + self._interval)
+
+    def cancel(self) -> None:
+        """Stop the periodic task (idempotent)."""
+        self._cancelled = True
+        if self._handle is not None:
+            self._handle.cancel()
+            self._handle = None
+
+    @property
+    def cancelled(self) -> bool:
+        return self._cancelled

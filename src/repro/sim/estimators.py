@@ -1,0 +1,98 @@
+"""Alternative bandwidth estimators (§5.4 ablation).
+
+The paper uses the harmonic mean of the last five client receive-rate
+reports, citing robustness to outliers in backlogged settings.  This
+module adds the two obvious alternatives so the choice is measurable
+(``benchmarks/test_ext_estimators.py``):
+
+* :class:`EWMAEstimator` — exponentially weighted moving average, the
+  classic TCP-style smoother; reacts faster, overshoots on spikes.
+* :class:`SlidingMaxEstimator` — max over a sliding window, BBR-style;
+  aggressive, best when the link is stable and reports under-measure.
+
+All share the :class:`~repro.sim.bandwidth.HarmonicMeanEstimator`
+interface (``report`` / ``estimate`` / optional cap), so they drop
+into :class:`~repro.core.session.KhameleonSession` unchanged.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Optional
+
+__all__ = ["EWMAEstimator", "SlidingMaxEstimator"]
+
+
+class EWMAEstimator:
+    """Exponentially weighted moving average of receive-rate reports."""
+
+    def __init__(
+        self,
+        initial_bytes_per_s: float,
+        alpha: float = 0.3,
+        cap_bytes_per_s: Optional[float] = None,
+    ) -> None:
+        if initial_bytes_per_s <= 0:
+            raise ValueError("initial estimate must be positive")
+        if not 0 < alpha <= 1:
+            raise ValueError("alpha must lie in (0, 1]")
+        if cap_bytes_per_s is not None and cap_bytes_per_s <= 0:
+            raise ValueError("cap must be positive")
+        self._estimate = initial_bytes_per_s
+        self.alpha = alpha
+        self.cap_bytes_per_s = cap_bytes_per_s
+        self._reports = 0
+
+    def report(self, bytes_per_s: float) -> None:
+        if bytes_per_s <= 0:
+            return  # idle intervals carry no rate information
+        self._estimate += self.alpha * (bytes_per_s - self._estimate)
+        self._reports += 1
+
+    @property
+    def estimate(self) -> float:
+        if self.cap_bytes_per_s is not None:
+            return min(self._estimate, self.cap_bytes_per_s)
+        return self._estimate
+
+    @property
+    def report_count(self) -> int:
+        return self._reports
+
+
+class SlidingMaxEstimator:
+    """Maximum receive rate over the last ``window`` reports."""
+
+    def __init__(
+        self,
+        initial_bytes_per_s: float,
+        window: int = 5,
+        cap_bytes_per_s: Optional[float] = None,
+    ) -> None:
+        if initial_bytes_per_s <= 0:
+            raise ValueError("initial estimate must be positive")
+        if window < 1:
+            raise ValueError("window must be >= 1")
+        if cap_bytes_per_s is not None and cap_bytes_per_s <= 0:
+            raise ValueError("cap must be positive")
+        self._initial = initial_bytes_per_s
+        self._window: deque[float] = deque(maxlen=window)
+        self.cap_bytes_per_s = cap_bytes_per_s
+        self._reports = 0
+
+    def report(self, bytes_per_s: float) -> None:
+        if bytes_per_s <= 0:
+            return
+        self._window.append(bytes_per_s)
+        self._reports += 1
+
+    @property
+    def estimate(self) -> float:
+        value = max(self._window) if self._window else self._initial
+        if self.cap_bytes_per_s is not None:
+            return min(value, self.cap_bytes_per_s)
+        return value
+
+    @property
+    def report_count(self) -> int:
+        return self._reports

@@ -1,0 +1,129 @@
+"""Failure injection for robustness testing.
+
+The paper's evaluation uses well-behaved links and backends; a
+production deployment sees outages, latency spikes, and failed
+fetches.  These wrappers inject such faults into the existing
+substrate without touching it, so the test suite can assert that
+Khameleon *degrades* (lower utility, later upcalls) instead of
+deadlocking or crashing:
+
+* :class:`OutageLink` — wraps any link; during configured outage
+  windows the link's rate drops to (near) zero, modelling the zero-
+  delivery periods of real cellular traces at arbitrary severity.
+* :class:`FlakyBackend` — wraps any backend; a deterministic fraction
+  of fetches fail and complete only after retrying, modelling
+  transient query errors with client-transparent retry.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Callable, Optional, Sequence
+
+if TYPE_CHECKING:
+    from repro.backends.base import Backend, OnComplete
+
+from repro.sim.engine import Simulator
+from repro.sim.link import Link
+
+__all__ = ["OutageLink", "FlakyBackend"]
+
+
+class OutageLink(Link):
+    """A link whose rate collapses during outage windows.
+
+    ``outages`` is a sequence of ``(start_s, end_s)`` windows.  A
+    payload whose serialization would start inside a window is stalled
+    to the window's end first — the FIFO queue behind it backs up, and
+    queueing delay spikes exactly as on a real dead link.
+    """
+
+    def __init__(
+        self,
+        inner: Link,
+        outages: Sequence[tuple[float, float]],
+    ) -> None:
+        super().__init__(inner.sim, inner.propagation_delay_s)
+        for start, end in outages:
+            if end <= start:
+                raise ValueError(f"empty outage window ({start}, {end})")
+        self.inner = inner
+        self.outages = tuple(sorted(outages))
+
+    def _stall_until(self, time_s: float) -> float:
+        for start, end in self.outages:
+            if start <= time_s < end:
+                return end
+        return time_s
+
+    def _transmit_finish(self, start_s: float, nbytes: int) -> float:
+        start_s = self._stall_until(start_s)
+        finish = self.inner._transmit_finish(start_s, nbytes)
+        # A transfer spanning into an outage resumes after it.
+        for begin, end in self.outages:
+            if start_s < begin < finish:
+                finish += end - begin
+        return finish
+
+
+class FlakyBackend:
+    """Backend wrapper injecting deterministic fetch failures.
+
+    Every ``failure_period``-th fetch "fails": its completion is
+    delayed by ``retry_delay_s`` (one transparent retry), and the
+    failure is counted.  The wrapped backend's response cache and
+    in-flight dedup still apply, so correctness properties (each
+    response computed once, callbacks always fire) are preserved —
+    that invariant is what the tests pin down.
+    """
+
+    def __init__(
+        self,
+        inner: "Backend",
+        failure_period: int = 5,
+        retry_delay_s: float = 0.2,
+    ) -> None:
+        if failure_period < 1:
+            raise ValueError("failure period must be >= 1")
+        if retry_delay_s < 0:
+            raise ValueError("retry delay must be non-negative")
+        self.inner = inner
+        self.sim: Simulator = inner.sim
+        self.failure_period = failure_period
+        self.retry_delay_s = retry_delay_s
+        self.failures_injected = 0
+        self._fetch_count = 0
+
+    # -- Backend protocol pass-through ----------------------------------
+
+    @property
+    def stats(self):
+        return self.inner.stats
+
+    @property
+    def active_requests(self) -> int:
+        return self.inner.active_requests
+
+    @property
+    def scalable_concurrency(self) -> Optional[int]:
+        return self.inner.scalable_concurrency
+
+    def is_cached(self, request: int) -> bool:
+        return self.inner.is_cached(request)
+
+    def cached(self, request: int):
+        return self.inner.cached(request)
+
+    def evict(self, request: int) -> None:
+        self.inner.evict(request)
+
+    def fetch(self, request: int, on_complete: "OnComplete") -> None:
+        self._fetch_count += 1
+        if self._fetch_count % self.failure_period == 0 and not self.inner.is_cached(
+            request
+        ):
+            self.failures_injected += 1
+            self.sim.schedule(
+                self.retry_delay_s, self.inner.fetch, request, on_complete
+            )
+            return
+        self.inner.fetch(request, on_complete)

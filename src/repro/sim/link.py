@@ -1,0 +1,158 @@
+"""Network link models.
+
+A link is a one-directional FIFO pipe: payloads serialize onto the wire
+in send order at the link's (possibly time-varying) rate, then arrive
+after a fixed propagation delay.  This is the same first-order model
+``netem``/Mahimahi enforce in the paper's testbed: a token-bucket rate
+limit plus a delay box, with queueing delay emerging when senders
+outpace the link — which is exactly the congestion collapse the
+baselines suffer in §6.2.
+
+Two rate models are provided:
+
+* :class:`FixedRateLink` — constant ``bytes_per_second`` (netem analogue,
+  used for the 1.5–15 MB/s sweeps), and
+* :class:`TraceDrivenLink` — rate driven by a :class:`MahimahiTrace`
+  (cellular experiments, Fig. 13).
+
+:class:`ControlChannel` models the client→server path for requests and
+predictor states: these payloads are tiny (a handful of floats), so only
+propagation delay is modelled.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional
+
+from .engine import Simulator
+from .traces import MahimahiTrace
+
+__all__ = ["Link", "FixedRateLink", "TraceDrivenLink", "ControlChannel"]
+
+Deliver = Callable[[Any], None]
+
+
+class Link:
+    """Base FIFO link: serialization queue + propagation delay.
+
+    Subclasses implement :meth:`_transmit_finish` to define the rate
+    model.  ``send`` never rejects: payloads queue behind in-flight
+    transmissions, so sustained over-sending manifests as growing
+    queueing delay (observable via :meth:`queue_delay`), not loss.
+    """
+
+    def __init__(self, sim: Simulator, propagation_delay_s: float = 0.0) -> None:
+        if propagation_delay_s < 0:
+            raise ValueError("propagation delay must be non-negative")
+        self.sim = sim
+        self.propagation_delay_s = propagation_delay_s
+        self._busy_until = 0.0
+        self.bytes_accepted = 0
+        self.bytes_delivered = 0
+        self.payloads_delivered = 0
+
+    # -- rate model --------------------------------------------------
+
+    def _transmit_finish(self, start_s: float, nbytes: int) -> float:
+        raise NotImplementedError
+
+    # -- public API --------------------------------------------------
+
+    def send(self, nbytes: int, deliver: Deliver, payload: Any = None) -> float:
+        """Enqueue ``nbytes``; call ``deliver(payload)`` on arrival.
+
+        Returns the arrival time.  Serialization starts when the link
+        frees up (FIFO), and the payload arrives ``propagation_delay_s``
+        after its last byte clears the link.
+        """
+        if nbytes < 0:
+            raise ValueError("payload size must be non-negative")
+        start = max(self.sim.now, self._busy_until)
+        finish = self._transmit_finish(start, nbytes)
+        self._busy_until = finish
+        self.bytes_accepted += nbytes
+        arrival = finish + self.propagation_delay_s
+        self.sim.schedule_at(arrival, self._deliver, nbytes, deliver, payload)
+        return arrival
+
+    def _deliver(self, nbytes: int, deliver: Deliver, payload: Any) -> None:
+        self.bytes_delivered += nbytes
+        self.payloads_delivered += 1
+        deliver(payload)
+
+    def queue_delay(self) -> float:
+        """Seconds a byte sent *now* would wait before serialization starts."""
+        return max(0.0, self._busy_until - self.sim.now)
+
+    @property
+    def busy_until(self) -> float:
+        """Virtual time at which the serialization queue drains."""
+        return self._busy_until
+
+
+class FixedRateLink(Link):
+    """Link with a constant serialization rate (netem fixed-bandwidth box)."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        bytes_per_second: float,
+        propagation_delay_s: float = 0.0,
+    ) -> None:
+        if bytes_per_second <= 0:
+            raise ValueError("bandwidth must be positive")
+        super().__init__(sim, propagation_delay_s)
+        self.bytes_per_second = bytes_per_second
+
+    def _transmit_finish(self, start_s: float, nbytes: int) -> float:
+        return start_s + nbytes / self.bytes_per_second
+
+    def capacity_bytes(self, a_s: float, b_s: float) -> float:
+        """Bytes deliverable in ``[a_s, b_s)`` (for conservation checks)."""
+        return max(0.0, b_s - a_s) * self.bytes_per_second
+
+
+class TraceDrivenLink(Link):
+    """Link whose delivery opportunities come from a Mahimahi trace."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        trace: MahimahiTrace,
+        propagation_delay_s: float = 0.0,
+    ) -> None:
+        super().__init__(sim, propagation_delay_s)
+        self.trace = trace
+
+    def _transmit_finish(self, start_s: float, nbytes: int) -> float:
+        return self.trace.transmit_finish(start_s, nbytes)
+
+    def capacity_bytes(self, a_s: float, b_s: float) -> int:
+        return self.trace.capacity_bytes(a_s, b_s)
+
+
+class ControlChannel:
+    """Latency-only channel for small control messages.
+
+    Used for client→server traffic: explicit requests (baselines),
+    predictor state summaries, and receive-rate reports.  These are a
+    few dozen bytes; their serialization time on any realistic uplink is
+    negligible next to propagation delay, so only the latter is modelled.
+    Messages are delivered in order.
+    """
+
+    def __init__(self, sim: Simulator, latency_s: float = 0.0) -> None:
+        if latency_s < 0:
+            raise ValueError("latency must be non-negative")
+        self.sim = sim
+        self.latency_s = latency_s
+        self.messages_sent = 0
+        self._last_delivery = 0.0
+
+    def send(self, deliver: Deliver, payload: Any = None) -> float:
+        """Deliver ``payload`` after the channel latency (FIFO order)."""
+        self.messages_sent += 1
+        arrival = max(self.sim.now + self.latency_s, self._last_delivery)
+        self._last_delivery = arrival
+        self.sim.schedule_at(arrival, deliver, payload)
+        return arrival

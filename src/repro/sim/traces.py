@@ -1,0 +1,145 @@
+"""Mahimahi-style packet-delivery traces.
+
+The paper's cellular experiments (Fig. 13) replay Verizon and AT&T LTE
+traces through the Mahimahi link emulator [57].  Mahimahi's trace format
+is a text file with one integer millisecond timestamp per line; each
+line is an *opportunity* to deliver one MTU-sized packet (1500 bytes) at
+that instant.  The trace repeats cyclically for links longer than its
+duration.
+
+:class:`MahimahiTrace` implements that format exactly, plus the two
+queries a link model needs:
+
+* ``transmit_finish(start, nbytes)`` — the time at which the last byte
+  of an ``nbytes`` transfer beginning at ``start`` clears the link, and
+* ``capacity(a, b)`` — total bytes the link can deliver in ``[a, b)``.
+
+We cannot ship the original recorded traces (no network access), so
+:mod:`repro.sim.cellular` generates statistically similar LTE traces in
+this same format; see DESIGN.md §2 for the substitution rationale.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+__all__ = ["MahimahiTrace", "MTU_BYTES"]
+
+MTU_BYTES = 1500
+"""Bytes delivered per trace opportunity (Mahimahi's fixed packet size)."""
+
+
+@dataclass(frozen=True)
+class MahimahiTrace:
+    """A cyclic packet-delivery-opportunity schedule.
+
+    Parameters
+    ----------
+    opportunities_ms:
+        Sorted, non-negative integer millisecond timestamps.  Repeated
+        timestamps mean multiple packets may be delivered in the same
+        millisecond (this is how Mahimahi encodes high rates).
+    period_ms:
+        Cycle length.  Defaults to the last timestamp, matching
+        Mahimahi's convention that the trace wraps after its final entry.
+    """
+
+    opportunities_ms: tuple[int, ...]
+    period_ms: int = field(default=0)
+
+    def __post_init__(self) -> None:
+        opp = self.opportunities_ms
+        if not opp:
+            raise ValueError("trace must contain at least one opportunity")
+        if any(b < a for a, b in zip(opp, opp[1:])):
+            raise ValueError("opportunities must be sorted")
+        if opp[0] < 0:
+            raise ValueError("opportunities must be non-negative")
+        period = self.period_ms or max(opp[-1], 1)
+        if period < opp[-1]:
+            raise ValueError("period_ms must cover the last opportunity")
+        object.__setattr__(self, "period_ms", period)
+
+    # -- constructors ------------------------------------------------
+
+    @classmethod
+    def from_lines(cls, lines: Iterable[str]) -> "MahimahiTrace":
+        """Parse the on-disk Mahimahi format (one int per line)."""
+        stamps = tuple(int(line.strip()) for line in lines if line.strip())
+        return cls(stamps)
+
+    @classmethod
+    def constant_rate(cls, bytes_per_second: float, period_ms: int = 1000) -> "MahimahiTrace":
+        """Build a trace approximating a constant-rate link.
+
+        Opportunities are spread uniformly over ``period_ms``; the
+        resulting rate is within one packet per period of the request.
+        """
+        if bytes_per_second <= 0:
+            raise ValueError("bytes_per_second must be positive")
+        n_packets = max(1, round(bytes_per_second * period_ms / 1000.0 / MTU_BYTES))
+        stamps = tuple(
+            int(round((k + 1) * period_ms / n_packets)) for k in range(n_packets)
+        )
+        return cls(stamps, period_ms=period_ms)
+
+    # -- queries -----------------------------------------------------
+
+    @property
+    def mean_rate_bytes_per_s(self) -> float:
+        """Long-run average delivery rate of the cyclic trace."""
+        return len(self.opportunities_ms) * MTU_BYTES * 1000.0 / self.period_ms
+
+    def _opportunities_before(self, t_ms: float) -> int:
+        """Number of opportunities at timestamps <= t_ms since time 0."""
+        if t_ms < 0:
+            return 0
+        # Opportunities live at integer milliseconds, but callers convert
+        # seconds -> ms and back (1.001 s * 1000 = 1000.999...).  Quantize
+        # to 10 ns so an opportunity consumed at exactly t is not reused.
+        t_ms = round(t_ms, 5)
+        per_cycle = len(self.opportunities_ms)
+        full_cycles, within = divmod(t_ms, self.period_ms)
+        return int(full_cycles) * per_cycle + bisect.bisect_right(
+            self.opportunities_ms, within
+        )
+
+    def _opportunity_time(self, k: int) -> float:
+        """Millisecond timestamp of the k-th opportunity (1-indexed)."""
+        per_cycle = len(self.opportunities_ms)
+        cycle, idx = divmod(k - 1, per_cycle)
+        return cycle * self.period_ms + self.opportunities_ms[idx]
+
+    def transmit_finish(self, start_s: float, nbytes: int) -> float:
+        """Finish time (seconds) for ``nbytes`` starting at ``start_s``.
+
+        Consumes the next ``ceil(nbytes / MTU)`` opportunities strictly
+        after ``start_s``.  Consecutive transfers serialize naturally
+        when the caller feeds each transfer's finish time as the next
+        one's start time.
+        """
+        if nbytes <= 0:
+            return start_s
+        packets = -(-nbytes // MTU_BYTES)  # ceil division
+        used = self._opportunities_before(start_s * 1000.0)
+        finish_ms = self._opportunity_time(used + packets)
+        return finish_ms / 1000.0
+
+    def capacity_bytes(self, a_s: float, b_s: float) -> int:
+        """Total bytes deliverable in the half-open interval ``[a_s, b_s)``."""
+        if b_s <= a_s:
+            return 0
+        return (
+            self._opportunities_before(b_s * 1000.0)
+            - self._opportunities_before(a_s * 1000.0)
+        ) * MTU_BYTES
+
+    def to_lines(self, cycles: int = 1) -> list[str]:
+        """Serialize back to the Mahimahi text format."""
+        lines = []
+        for c in range(cycles):
+            base = c * self.period_ms
+            lines.extend(str(base + t) for t in self.opportunities_ms)
+        return lines

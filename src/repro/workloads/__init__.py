@@ -1,0 +1,37 @@
+"""Workloads: trace generators and the two evaluation applications (§2, §6.1).
+
+The paper evaluates Khameleon on
+
+* a **large-scale image exploration** application — a dense mosaic of
+  10,000 thumbnails where hovering loads the full-resolution image
+  (1.3–2 MB each), driven by mouse traces from 14 graduate students; and
+* **Falcon** — six linked histograms over a flights dataset, where
+  hovering a chart triggers five SQL queries against a backend database,
+  driven by 70 benchmark traces.
+
+Neither trace corpus is redistributable, so this package generates
+statistically similar traces (saccade/dwell mouse model, hover/brush
+session model) calibrated to the think-time CDFs of Fig. 5 — see
+DESIGN.md §2 for the substitution argument.
+"""
+
+from .trace import InteractionTrace, TraceEvent
+from .mouse import MouseTraceGenerator
+from .thinktime import rescale_think_times, mean_think_time_s
+from .image_app import ImageExplorationApp, SyntheticImageStore
+from .flights import FlightsDataset, FLIGHT_CHARTS
+from .falcon import FalconApp, FalconTraceGenerator
+
+__all__ = [
+    "InteractionTrace",
+    "TraceEvent",
+    "MouseTraceGenerator",
+    "rescale_think_times",
+    "mean_think_time_s",
+    "ImageExplorationApp",
+    "SyntheticImageStore",
+    "FlightsDataset",
+    "FLIGHT_CHARTS",
+    "FalconApp",
+    "FalconTraceGenerator",
+]

@@ -1,0 +1,20 @@
+"""Shared pytest configuration.
+
+Hypothesis profiles: property tests default to a bounded ``repro``
+profile so the full suite stays fast; export
+``HYPOTHESIS_PROFILE=thorough`` for a deeper search when hunting a
+shrunk counterexample.
+"""
+
+import os
+
+from hypothesis import HealthCheck, settings
+
+settings.register_profile(
+    "repro",
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.register_profile("thorough", max_examples=300, deadline=None)
+settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "repro"))

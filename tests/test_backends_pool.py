@@ -1,0 +1,69 @@
+"""Tests for the connection-pool backend."""
+
+import pytest
+
+from repro.backends.pool import ConnectionPoolBackend
+from repro.encoding.naive import SingleBlockEncoder
+from repro.sim.engine import Simulator
+
+
+def make(pool_size=2, service=0.1):
+    sim = Simulator()
+    backend = ConnectionPoolBackend(
+        sim,
+        SingleBlockEncoder(lambda r: 100),
+        pool_size=pool_size,
+        service_time_s=service,
+    )
+    return sim, backend
+
+
+class TestAdmission:
+    def test_within_pool_runs_concurrently(self):
+        sim, backend = make(pool_size=2, service=0.1)
+        done = []
+        backend.fetch(0, lambda r: done.append(sim.now))
+        backend.fetch(1, lambda r: done.append(sim.now))
+        sim.run()
+        assert done == [pytest.approx(0.1), pytest.approx(0.1)]
+
+    def test_excess_queues_fifo(self):
+        sim, backend = make(pool_size=1, service=0.1)
+        done = []
+        for r in range(3):
+            backend.fetch(r, lambda resp, r=r: done.append((r, sim.now)))
+        assert backend.queue_depth == 2
+        sim.run()
+        assert [r for r, _t in done] == [0, 1, 2]
+        assert done[2][1] == pytest.approx(0.3)
+        assert backend.max_queue_depth == 2
+
+    def test_queue_drains_as_connections_free(self):
+        sim, backend = make(pool_size=2, service=0.1)
+        for r in range(5):
+            backend.fetch(r, lambda resp: None)
+        sim.run()
+        assert backend.queue_depth == 0
+        assert backend.stats.fetches_completed == 5
+
+    def test_cache_hits_skip_the_pool(self):
+        sim, backend = make(pool_size=1, service=0.1)
+        backend.fetch(0, lambda r: None)
+        sim.run()
+        done = []
+        backend.fetch(0, lambda r: done.append(sim.now))
+        backend.fetch(1, lambda r: done.append(sim.now))
+        sim.run()
+        assert done[0] < done[1]  # hit returns before the pooled fetch
+
+    def test_scalable_concurrency_reports_pool_size(self):
+        _sim, backend = make(pool_size=3)
+        assert backend.scalable_concurrency == 3
+
+    def test_validation(self):
+        sim = Simulator()
+        enc = SingleBlockEncoder(lambda r: 1)
+        with pytest.raises(ValueError):
+            ConnectionPoolBackend(sim, enc, pool_size=0)
+        with pytest.raises(ValueError):
+            ConnectionPoolBackend(sim, enc, service_time_s=-1.0)

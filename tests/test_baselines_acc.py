@@ -1,0 +1,99 @@
+"""Tests for the idealized ACC-<acc>-<hor> prefetchers."""
+
+import pytest
+
+from repro.baselines.acc import ACCPrefetcher, acc_threshold
+from tests.test_baselines_classic import build
+
+
+class TestThreshold:
+    def test_scales_with_bandwidth(self):
+        assert acc_threshold(15e6, 1.65e6) > acc_threshold(1.5e6, 1.65e6)
+
+    def test_minimum_floor(self):
+        assert acc_threshold(1.0, 1e9, minimum=2) == 2
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(ValueError):
+            acc_threshold(0.0, 1.0)
+        with pytest.raises(ValueError):
+            acc_threshold(1.0, 0.0)
+
+
+def make_prefetcher(session, future, acc=1.0, hor=2, limit=10, n=6, seed=0):
+    return ACCPrefetcher(
+        session=session,
+        future_requests=future,
+        accuracy=acc,
+        horizon=hor,
+        outstanding_limit=limit,
+        num_requests=n,
+        seed=seed,
+    )
+
+
+class TestPrefetching:
+    def test_perfect_accuracy_prefetches_the_future(self):
+        sim, session = build()
+        future = [0, 1, 2, 3]
+        pf = make_prefetcher(session, future, acc=1.0, hor=2)
+        pf.on_user_request(0)  # predicts positions 1 and 2
+        sim.run()
+        assert session.cache.peek(1) is not None
+        assert session.cache.peek(2) is not None
+        assert pf.empirical_accuracy == 1.0
+
+    def test_horizon_respected_at_trace_end(self):
+        sim, session = build()
+        pf = make_prefetcher(session, [0, 1], acc=1.0, hor=5)
+        pf.on_user_request(0)  # only position 1 exists
+        sim.run()
+        assert pf.predictions_made == 1
+
+    def test_zero_accuracy_always_wrong(self):
+        sim, session = build()
+        pf = make_prefetcher(session, [0, 1, 2], acc=0.0, hor=2, seed=3)
+        pf.on_user_request(0)
+        sim.run()
+        assert pf.empirical_accuracy == 0.0
+        # Wrong predictions still land in the cache (as waste).
+        assert session.prefetches_sent >= 1
+
+    def test_outstanding_limit_suppresses(self):
+        sim, session = build()
+        session.request(0)  # one outstanding user request
+        pf = make_prefetcher(session, [0, 1, 2, 3, 4], acc=1.0, hor=3, limit=1)
+        pf.on_user_request(0)
+        assert pf.prefetches_issued == 0
+        assert pf.prefetches_suppressed == 3
+
+    def test_deterministic_per_seed(self):
+        sim1, s1 = build()
+        sim2, s2 = build()
+        a = make_prefetcher(s1, list(range(6)), acc=0.5, hor=3, seed=7)
+        b = make_prefetcher(s2, list(range(6)), acc=0.5, hor=3, seed=7)
+        a.on_user_request(0)
+        b.on_user_request(0)
+        assert a.predictions_correct == b.predictions_correct
+
+    def test_position_bounds_checked(self):
+        sim, session = build()
+        pf = make_prefetcher(session, [0, 1])
+        with pytest.raises(IndexError):
+            pf.on_user_request(5)
+
+    def test_parameter_validation(self):
+        sim, session = build()
+        with pytest.raises(ValueError):
+            make_prefetcher(session, [0], acc=1.5)
+        with pytest.raises(ValueError):
+            make_prefetcher(session, [0], hor=0)
+        with pytest.raises(ValueError):
+            make_prefetcher(session, [0], limit=0)
+        with pytest.raises(ValueError):
+            make_prefetcher(session, [0], n=0)
+
+    def test_empirical_accuracy_none_before_predictions(self):
+        sim, session = build()
+        pf = make_prefetcher(session, [0, 1])
+        assert pf.empirical_accuracy is None

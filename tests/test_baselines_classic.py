@@ -1,0 +1,150 @@
+"""Tests for the request-response baseline architectures."""
+
+import pytest
+
+from repro.baselines.classic import ClassicConfig, ClassicSession
+from repro.core.utility import LinearUtility
+from repro.encoding.image import ImageAsset, ProgressiveImageEncoder
+from repro.backends.filesystem import FileSystemBackend
+from repro.sim.engine import Simulator
+from repro.sim.link import ControlChannel, FixedRateLink
+
+
+def build(variant="full", cache_bytes=10_000_000, bandwidth=1_000_000,
+          fetch_delay=0.05, uplink_latency=0.01, images=6, image_bytes=200_000):
+    sim = Simulator()
+    assets = {
+        i: ImageAsset(image_id=i, size_bytes=image_bytes) for i in range(images)
+    }
+    encoder = ProgressiveImageEncoder(assets, block_size_bytes=50_000)
+    backend = FileSystemBackend(sim, encoder, fetch_delay_s=fetch_delay)
+    session = ClassicSession(
+        sim=sim,
+        backend=backend,
+        utility=LinearUtility(),
+        num_blocks_of=encoder.num_blocks,
+        downlink=FixedRateLink(sim, bandwidth, propagation_delay_s=0.01),
+        uplink=ControlChannel(sim, latency_s=uplink_latency),
+        config=ClassicConfig(cache_bytes=cache_bytes, variant=variant),
+    )
+    return sim, session
+
+
+class TestRequestResponse:
+    def test_miss_then_full_response(self):
+        sim, session = build()
+        outcome = session.request(2)
+        sim.run()
+        assert outcome.served
+        assert not outcome.cache_hit
+        assert outcome.utility_at_upcall == 1.0
+        # Latency = uplink 10ms + fetch 50ms + serialization 200ms + prop 10ms.
+        assert outcome.latency_s == pytest.approx(0.27, rel=0.05)
+
+    def test_repeat_request_hits_lru(self):
+        sim, session = build()
+        session.request(2)
+        sim.run()
+        outcome = session.request(2)
+        assert outcome.cache_hit
+        assert outcome.latency_s == 0.0
+
+    def test_first_block_variant_transfers_one_block(self):
+        sim, session = build(variant="first_block")
+        outcome = session.request(0)
+        sim.run()
+        assert outcome.served
+        assert outcome.blocks_at_upcall == 1
+        assert 0.0 < outcome.utility_at_upcall < 1.0
+        # One 50 KB block at 1 MB/s: far faster than the 200 KB response.
+        assert outcome.latency_s < 0.15
+
+    def test_preemption_drops_older_pending(self):
+        sim, session = build()
+        old = session.request(0)
+        sim.run_for(0.001)
+        new = session.request(1)
+        sim.run()
+        assert new.served
+        # Request 0's response arrives first (FIFO), serving it before
+        # request 1 lands — or it is preempted if 1 is served first.
+        assert old.served or old.preempted
+
+    def test_newest_pending_served_on_response(self):
+        """When the same id is requested twice, the response answers
+        the newest registration and preempts the older."""
+        sim, session = build()
+        first = session.request(3)
+        second = session.request(3)
+        sim.run()
+        assert second.served
+        assert first.preempted and not first.served
+
+    def test_lru_eviction_under_pressure(self):
+        sim, session = build(cache_bytes=450_000)  # fits two 200 KB entries
+        for r in (0, 1, 2):
+            session.request(r)
+            sim.run()
+        assert session.cache.peek(0) is None  # evicted
+        assert session.cache.peek(2) is not None
+
+    def test_outstanding_counts_in_flight(self):
+        sim, session = build()
+        session.request(0)
+        session.request(1)
+        assert session.outstanding == 2
+        sim.run()
+        assert session.outstanding == 0
+
+    def test_duplicate_requests_share_flight(self):
+        sim, session = build()
+        session.request(4)
+        session.request(4)
+        assert session.outstanding == 1
+        sim.run()
+        assert session.requests_sent == 1
+
+
+class TestPrefetchAccounting:
+    def test_prefetch_fills_cache(self):
+        sim, session = build()
+        assert session.prefetch(5)
+        sim.run()
+        outcome = session.request(5)
+        assert outcome.cache_hit
+
+    def test_prefetch_dedupes(self):
+        sim, session = build()
+        assert session.prefetch(5)
+        assert not session.prefetch(5)  # already in flight
+        sim.run()
+        assert not session.prefetch(5)  # already cached
+
+    def test_unused_prefetches_counted(self):
+        sim, session = build()
+        session.prefetch(1)
+        session.prefetch(2)
+        sim.run()
+        session.request(1)
+        assert session.unused_prefetches == 1  # only 2 never used
+
+    def test_variant_validation(self):
+        with pytest.raises(ValueError):
+            ClassicConfig(variant="half")
+        with pytest.raises(ValueError):
+            ClassicConfig(cache_bytes=0)
+
+
+class TestCongestionBehaviour:
+    def test_burst_queues_on_shared_link(self):
+        """Back-to-back misses share the downlink FIFO: the k-th
+        response waits behind k-1 serializations — the §3.1 congestion
+        story."""
+        sim, session = build(images=8)
+        outcomes = [session.request(r) for r in range(6)]
+        sim.run()
+        served = [o for o in outcomes if o.served]
+        assert served, "at least the newest requests get responses"
+        latencies = [o.latency_s for o in outcomes if o.served]
+        # Later responses wait behind earlier ones.
+        assert max(latencies) > 3 * min(latencies)

@@ -1,0 +1,36 @@
+"""Tests for the figure-regeneration CLI."""
+
+import pytest
+
+from repro.cli import FIGURES, main
+
+
+class TestCLI:
+    def test_list_prints_every_figure(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for name in FIGURES:
+            assert name in out
+
+    def test_fig3_runs_and_prints_table(self, capsys):
+        assert main(["fig3"]) == 0
+        out = capsys.readouterr().out
+        assert "image_utility" in out
+
+    def test_out_file_written(self, tmp_path, capsys):
+        target = tmp_path / "fig3.txt"
+        assert main(["fig3", "--out", str(target)]) == 0
+        capsys.readouterr()
+        assert "vis_utility" in target.read_text()
+
+    def test_fig15_micro_driver(self, capsys):
+        assert main(["fig15"]) == 0
+        assert "runtime_ms" in capsys.readouterr().out
+
+    def test_unknown_figure_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["fig99"])
+
+    def test_unknown_scale_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["fig6", "--scale", "galactic"])

@@ -1,0 +1,104 @@
+"""Tests for blocks, responses, and the request space."""
+
+import pytest
+
+from repro.core.blocks import Block, ProgressiveResponse, RequestSpace
+
+
+def make_response(request=0, nb=4, size=100):
+    return ProgressiveResponse(
+        request=request,
+        blocks=tuple(Block(request, i, size) for i in range(nb)),
+    )
+
+
+class TestBlock:
+    def test_valid_block(self):
+        b = Block(request=3, index=0, size_bytes=50_000)
+        assert (b.request, b.index, b.size_bytes) == (3, 0, 50_000)
+
+    def test_payload_excluded_from_equality(self):
+        assert Block(0, 0, 10, payload="a") == Block(0, 0, 10, payload="b")
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"request": -1, "index": 0, "size_bytes": 1},
+            {"request": 0, "index": -1, "size_bytes": 1},
+            {"request": 0, "index": 0, "size_bytes": 0},
+        ],
+    )
+    def test_invalid_block(self, kwargs):
+        with pytest.raises(ValueError):
+            Block(**kwargs)
+
+
+class TestProgressiveResponse:
+    def test_valid_response(self):
+        r = make_response(nb=3)
+        assert r.num_blocks == 3
+        assert r.total_bytes == 300
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            ProgressiveResponse(request=0, blocks=())
+
+    def test_wrong_request_rejected(self):
+        with pytest.raises(ValueError):
+            ProgressiveResponse(request=0, blocks=(Block(1, 0, 10),))
+
+    def test_out_of_order_indices_rejected(self):
+        with pytest.raises(ValueError):
+            ProgressiveResponse(
+                request=0, blocks=(Block(0, 1, 10), Block(0, 0, 10))
+            )
+
+    def test_prefix(self):
+        r = make_response(nb=4)
+        assert len(r.prefix(2)) == 2
+        assert r.prefix(0) == ()
+        assert r.prefix(4) == r.blocks
+
+    def test_prefix_out_of_range(self):
+        with pytest.raises(ValueError):
+            make_response(nb=2).prefix(3)
+
+    def test_iteration(self):
+        assert [b.index for b in make_response(nb=3)] == [0, 1, 2]
+
+
+class TestRequestSpace:
+    def test_roundtrip(self):
+        space = RequestSpace(["a", "b", "c"])
+        assert len(space) == 3
+        assert space.id_of("b") == 1
+        assert space.key_of(1) == "b"
+
+    def test_tuple_keys(self):
+        keys = [(r, c) for r in range(3) for c in range(3)]
+        space = RequestSpace(keys)
+        assert space.key_of(space.id_of((2, 1))) == (2, 1)
+
+    def test_duplicate_keys_rejected(self):
+        with pytest.raises(ValueError):
+            RequestSpace(["a", "a"])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            RequestSpace([])
+
+    def test_unknown_key(self):
+        space = RequestSpace(["a"])
+        with pytest.raises(KeyError):
+            space.id_of("z")
+        assert space.get_id("z") is None
+        assert "z" not in space
+        assert "a" in space
+
+    def test_bad_id(self):
+        space = RequestSpace(["a"])
+        with pytest.raises(IndexError):
+            space.key_of(5)
+
+    def test_iteration_preserves_order(self):
+        assert list(RequestSpace(["x", "y"])) == ["x", "y"]

@@ -1,0 +1,154 @@
+"""Tests for the client-side cache manager: upcalls and preemption."""
+
+import pytest
+
+from repro.core.blocks import Block
+from repro.core.cache import RingBufferCache
+from repro.core.cache_manager import CacheManager
+from repro.core.utility import LinearUtility
+from repro.sim import Simulator
+
+
+def make_manager(sim=None, capacity=16, nb=4):
+    sim = sim or Simulator()
+    upcalls = []
+    manager = CacheManager(
+        clock=sim,
+        cache=RingBufferCache(capacity),
+        num_blocks_of=lambda r: nb,
+        utility=LinearUtility(),
+        on_upcall=upcalls.append,
+    )
+    return sim, manager, upcalls
+
+
+def blk(request, index, size=10):
+    return Block(request=request, index=index, size_bytes=size)
+
+
+class TestCacheHit:
+    def test_hit_serves_immediately(self):
+        sim, mgr, upcalls = make_manager()
+        mgr.on_block(blk(1, 0))
+        outcome = mgr.register(1)
+        assert outcome.cache_hit
+        assert outcome.served
+        assert outcome.latency_s == 0.0
+        assert len(upcalls) == 1
+
+    def test_hit_utility_reflects_prefix(self):
+        sim, mgr, upcalls = make_manager(nb=4)
+        mgr.on_block(blk(1, 0))
+        mgr.on_block(blk(1, 1))
+        outcome = mgr.register(1)
+        assert outcome.blocks_at_upcall == 2
+        assert outcome.utility_at_upcall == pytest.approx(0.5)
+
+    def test_miss_waits_for_block(self):
+        sim, mgr, upcalls = make_manager()
+        sim.schedule(0.0, lambda: mgr.register(5))
+        sim.schedule(0.3, lambda: mgr.on_block(blk(5, 0)))
+        sim.run()
+        outcome = mgr.outcomes[0]
+        assert not outcome.cache_hit
+        assert outcome.served_at == pytest.approx(0.3)
+        assert outcome.latency_s == pytest.approx(0.3)
+
+
+class TestPreemption:
+    def test_newer_upcall_preempts_older_pending(self):
+        sim, mgr, upcalls = make_manager()
+        mgr.register(1)  # pending
+        mgr.register(2)  # pending
+        mgr.on_block(blk(2, 0))  # serves request 2 -> preempts 1
+        o1, o2 = mgr.outcomes
+        assert o1.preempted and not o1.served
+        assert o2.served and not o2.preempted
+
+    def test_hit_preempts_older_pending(self):
+        sim, mgr, upcalls = make_manager()
+        mgr.register(1)  # pending (no data)
+        mgr.on_block(blk(2, 0))  # ignored: serves nothing yet for 1... caches 2
+        mgr.register(2)  # immediate hit -> preempts request 1
+        o1, o2 = mgr.outcomes
+        assert o1.preempted
+        assert o2.cache_hit
+
+    def test_block_serves_newest_pending_of_same_request(self):
+        sim, mgr, upcalls = make_manager()
+        mgr.register(7)
+        mgr.register(7)
+        mgr.on_block(blk(7, 0))
+        first, second = mgr.outcomes
+        assert first.preempted
+        assert second.served
+
+    def test_out_of_order_completion_counts_preempted(self):
+        """Request stream 1,2,3; only 3's data arrives -> 1,2 preempted."""
+        sim, mgr, upcalls = make_manager()
+        for r in (1, 2, 3):
+            mgr.register(r)
+        mgr.on_block(blk(3, 0))
+        preempted = [o for o in mgr.outcomes if o.preempted]
+        assert {o.request for o in preempted} == {1, 2}
+
+
+class TestImprovements:
+    def test_later_blocks_improve_latest_served(self):
+        sim, mgr, upcalls = make_manager(nb=4)
+        mgr.on_block(blk(1, 0))
+        mgr.register(1)
+        mgr.on_block(blk(1, 1))
+        mgr.on_block(blk(1, 2))
+        outcome = mgr.outcomes[0]
+        assert [u.blocks_available for u in outcome.improvements] == [2, 3]
+        assert outcome.improvements[-1].utility == pytest.approx(0.75)
+        assert all(u.is_improvement for u in outcome.improvements)
+
+    def test_improvement_stops_when_new_request_pending(self):
+        sim, mgr, upcalls = make_manager(nb=4)
+        mgr.on_block(blk(1, 0))
+        mgr.register(1)
+        mgr.register(2)  # user moved on
+        mgr.on_block(blk(1, 1))  # stale data: no improvement upcall
+        assert mgr.outcomes[0].improvements == []
+
+    def test_non_prefix_block_does_not_improve(self):
+        sim, mgr, upcalls = make_manager(nb=4)
+        mgr.on_block(blk(1, 0))
+        mgr.register(1)
+        mgr.on_block(blk(1, 3))  # hole at 1,2: prefix still 1
+        assert mgr.outcomes[0].improvements == []
+
+
+class TestBookkeeping:
+    def test_logical_timestamps_increase(self):
+        sim, mgr, _ = make_manager()
+        a = mgr.register(1)
+        b = mgr.register(2)
+        assert b.logical_ts > a.logical_ts
+
+    def test_pending_count(self):
+        sim, mgr, _ = make_manager()
+        mgr.register(1)
+        mgr.register(2)
+        assert mgr.pending_count == 2
+        mgr.on_block(blk(2, 0))
+        assert mgr.pending_count == 0  # served 2, preempted 1
+
+    def test_finalize_clears_pending(self):
+        sim, mgr, _ = make_manager()
+        mgr.register(1)
+        mgr.finalize()
+        assert mgr.pending_count == 0
+        assert not mgr.outcomes[0].served
+        assert not mgr.outcomes[0].preempted
+
+    def test_utility_capped_at_one(self):
+        """More cached blocks than Nb (stale + new copies) can't exceed 1."""
+        sim, mgr, _ = make_manager(nb=2)
+        mgr.on_block(blk(1, 0))
+        mgr.on_block(blk(1, 1))
+        mgr.on_block(blk(1, 2))  # beyond Nb (shouldn't happen, but defend)
+        outcome = mgr.register(1)
+        assert outcome.utility_at_upcall == 1.0

@@ -1,0 +1,173 @@
+"""Tests for sparse request distributions."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.distribution import RequestDistribution
+
+
+class TestConstructors:
+    def test_uniform(self):
+        d = RequestDistribution.uniform(100, deltas_s=[0.05, 0.15])
+        assert d.num_explicit == 0
+        assert d.num_uniform == 100
+        assert d.prob_of(42, 0.05) == pytest.approx(0.01)
+
+    def test_point(self):
+        d = RequestDistribution.point(10, request=7)
+        assert d.prob_of(7, 0.05) == 1.0
+        assert d.prob_of(3, 0.05) == 0.0
+
+    def test_from_dense_thresholding(self):
+        dense = np.full((1, 100), 0.5 / 98)
+        dense[0, 3] = 0.3
+        dense[0, 9] = 0.2
+        dense[0, 3] += 0.5 / 98  # keep the row summing to 1 after overwrite
+        dense[0, 9] += 0.5 / 98
+        dense[0, 3] -= 2 * 0.5 / 98
+        d = RequestDistribution.from_dense(dense, deltas_s=[0.05], threshold=0.01)
+        assert set(d.explicit_ids.tolist()) == {3, 9}
+        assert d.residual[0] == pytest.approx(0.5, abs=1e-6)
+
+    def test_from_dense_normalizes(self):
+        d = RequestDistribution.from_dense(np.array([[2.0, 2.0]]), deltas_s=[0.05])
+        assert d.prob_of(0, 0.05) == pytest.approx(0.5)
+
+    def test_from_dense_rejects_negative(self):
+        with pytest.raises(ValueError):
+            RequestDistribution.from_dense(np.array([[-1.0, 2.0]]), deltas_s=[0.05])
+
+    def test_from_dense_rejects_zero_mass(self):
+        with pytest.raises(ValueError):
+            RequestDistribution.from_dense(np.array([[0.0, 0.0]]), deltas_s=[0.05])
+
+
+class TestValidation:
+    def test_rejects_bad_sum(self):
+        with pytest.raises(ValueError):
+            RequestDistribution(
+                n=4,
+                deltas_s=np.array([0.05]),
+                explicit_ids=np.array([0]),
+                explicit_probs=np.array([[0.5]]),
+                residual=np.array([0.2]),
+            )
+
+    def test_rejects_duplicate_ids(self):
+        with pytest.raises(ValueError):
+            RequestDistribution(
+                n=4,
+                deltas_s=np.array([0.05]),
+                explicit_ids=np.array([1, 1]),
+                explicit_probs=np.array([[0.5, 0.5]]),
+                residual=np.array([0.0]),
+            )
+
+    def test_rejects_out_of_range_ids(self):
+        with pytest.raises(ValueError):
+            RequestDistribution(
+                n=4,
+                deltas_s=np.array([0.05]),
+                explicit_ids=np.array([9]),
+                explicit_probs=np.array([[1.0]]),
+                residual=np.array([0.0]),
+            )
+
+    def test_rejects_unsorted_deltas(self):
+        with pytest.raises(ValueError):
+            RequestDistribution.uniform(4, deltas_s=[0.15, 0.05])
+
+    def test_rejects_residual_with_all_explicit(self):
+        with pytest.raises(ValueError):
+            RequestDistribution(
+                n=1,
+                deltas_s=np.array([0.05]),
+                explicit_ids=np.array([0]),
+                explicit_probs=np.array([[0.5]]),
+                residual=np.array([0.5]),
+            )
+
+
+class TestInterpolation:
+    def make(self):
+        """Request 0's probability decays 0.8 -> 0.2 across horizons."""
+        return RequestDistribution(
+            n=10,
+            deltas_s=np.array([0.05, 0.25]),
+            explicit_ids=np.array([0]),
+            explicit_probs=np.array([[0.8], [0.2]]),
+            residual=np.array([0.2, 0.8]),
+        )
+
+    def test_midpoint(self):
+        d = self.make()
+        assert d.prob_of(0, 0.15) == pytest.approx(0.5)
+
+    def test_clamps_before_first(self):
+        assert self.make().prob_of(0, 0.0) == pytest.approx(0.8)
+
+    def test_clamps_after_last(self):
+        assert self.make().prob_of(0, 1.0) == pytest.approx(0.2)
+
+    def test_interpolated_rows_still_sum_to_one(self):
+        d = self.make()
+        for delta in (0.0, 0.1, 0.18, 0.3):
+            assert d.dense_at(delta).sum() == pytest.approx(1.0)
+
+    def test_explicit_matrix_matches_pointwise(self):
+        d = self.make()
+        qs = np.array([0.0, 0.1, 0.2, 0.5])
+        probs, residual = d.explicit_matrix(qs)
+        for row, delta in enumerate(qs):
+            _ids, p, r = d.explicit_at(float(delta))
+            assert np.allclose(probs[row], p)
+            assert residual[row] == pytest.approx(r)
+
+
+class TestQueries:
+    def test_top_k_ranks_by_probability(self):
+        d = RequestDistribution(
+            n=100,
+            deltas_s=np.array([0.05]),
+            explicit_ids=np.array([5, 6, 7]),
+            explicit_probs=np.array([[0.2, 0.5, 0.1]]),
+            residual=np.array([0.2]),
+        )
+        assert d.top_k(2) == [6, 5]
+
+    def test_top_k_excludes_below_uniform(self):
+        """Explicit ids less likely than the uniform pool don't rank."""
+        d = RequestDistribution(
+            n=10,
+            deltas_s=np.array([0.05]),
+            explicit_ids=np.array([0, 1]),
+            explicit_probs=np.array([[0.6, 0.001]]),
+            residual=np.array([0.399]),
+        )
+        assert d.top_k(5) == [0]
+
+    def test_uniform_top_k_empty(self):
+        assert RequestDistribution.uniform(10).top_k(3) == []
+
+    def test_dense_at_shape(self):
+        d = RequestDistribution.point(7, 2)
+        dense = d.dense_at(0.05)
+        assert dense.shape == (7,)
+        assert dense.sum() == pytest.approx(1.0)
+
+
+@given(
+    n=st.integers(min_value=2, max_value=50),
+    seed=st.integers(min_value=0, max_value=2**31),
+    delta=st.floats(min_value=0.0, max_value=1.0),
+)
+def test_property_dense_normalized_at_any_horizon(n, seed, delta):
+    rng = np.random.default_rng(seed)
+    dense = rng.random((3, n)) + 1e-6
+    d = RequestDistribution.from_dense(dense, deltas_s=[0.05, 0.15, 0.5])
+    vec = d.dense_at(delta)
+    assert vec.shape == (n,)
+    assert (vec >= -1e-12).all()
+    assert vec.sum() == pytest.approx(1.0, abs=1e-6)

@@ -1,0 +1,260 @@
+"""Tests for the greedy scheduler (Listing 1)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    GainTable,
+    GreedyScheduler,
+    LinearUtility,
+    RequestDistribution,
+    RingBufferCache,
+    ssim_image_utility,
+)
+
+
+def make_scheduler(
+    n=10, nb=4, C=8, mirror=None, meta=True, seed=0, utility=None, hedge=True
+):
+    gains = GainTable(utility or LinearUtility(), [nb] * n)
+    return GreedyScheduler(
+        gains,
+        cache_blocks=C,
+        mirror=mirror,
+        meta_request=meta,
+        hedge_when_idle=hedge,
+        seed=seed,
+    )
+
+
+class TestBasicAllocation:
+    def test_point_distribution_gets_all_early_blocks(self):
+        sched = make_scheduler(n=10, nb=4, C=8)
+        sched.update_distribution(RequestDistribution.point(10, 3), 0.01)
+        batch = sched.schedule_batch(4)
+        assert all(b.request == 3 for b in batch)
+        assert [b.index for b in batch] == [0, 1, 2, 3]
+
+    def test_completed_request_yields_to_idle_hedging(self):
+        """§3.4: after the point-distribution target is fully scheduled,
+        remaining bandwidth pushes random other requests."""
+        sched = make_scheduler(n=10, nb=4, C=8)
+        sched.update_distribution(RequestDistribution.point(10, 3), 0.01)
+        batch = sched.schedule_batch()  # full batch of 8
+        from_target = [b for b in batch if b.request == 3]
+        others = [b for b in batch if b.request != 3]
+        assert len(from_target) == 4
+        assert len(others) == 4  # idle hedging filled the rest
+        seen = set()
+        for b in batch:
+            assert (b.request, b.index) not in seen
+            seen.add((b.request, b.index))
+
+    def test_idle_hedging_can_be_disabled(self):
+        sched = make_scheduler(n=10, nb=4, C=8, hedge=False)
+        sched.update_distribution(RequestDistribution.point(10, 3), 0.01)
+        batch = sched.schedule_batch()
+        assert len(batch) == 4
+        assert sched.next_block() is None
+
+    def test_uniform_distribution_spreads_blocks(self):
+        sched = make_scheduler(n=20, nb=4, C=16, seed=1)
+        sched.update_distribution(RequestDistribution.uniform(20), 0.01)
+        batch = sched.schedule_batch()
+        assert len(batch) == 16
+        assert len({b.request for b in batch}) > 4  # hedged across many
+
+    def test_first_blocks_before_later_blocks_under_concave_utility(self):
+        """Concave utility: block 0 of B beats block 3 of A eventually."""
+        sched = make_scheduler(n=4, nb=8, C=16, utility=ssim_image_utility(), seed=2)
+        dist = RequestDistribution.from_dense(
+            np.array([[0.5, 0.5, 0.0, 0.0]]), deltas_s=[0.05]
+        )
+        sched.update_distribution(dist, 0.01)
+        batch = sched.schedule_batch()
+        by_request = {}
+        for b in batch:
+            by_request.setdefault(b.request, []).append(b.index)
+        # Both likely requests should receive blocks (hedging).
+        assert 0 in by_request and 1 in by_request
+
+    def test_indices_are_contiguous_prefixes(self):
+        sched = make_scheduler(n=6, nb=6, C=18, seed=3)
+        dist = RequestDistribution.from_dense(
+            np.array([[0.4, 0.3, 0.2, 0.05, 0.03, 0.02]]), deltas_s=[0.05]
+        )
+        sched.update_distribution(dist, 0.01)
+        batch = sched.schedule_batch()
+        by_request = {}
+        for b in batch:
+            by_request.setdefault(b.request, []).append(b.index)
+        for indices in by_request.values():
+            assert indices == list(range(len(indices)))
+
+
+class TestBatchReset:
+    def test_resets_after_full_batch(self):
+        sched = make_scheduler(n=10, nb=10, C=4)
+        sched.update_distribution(RequestDistribution.point(10, 2), 0.01)
+        first = sched.schedule_batch()
+        assert sched.position == 4
+        second_first_block = sched.next_block()
+        assert sched.position == 1  # new batch started
+        assert sched.schedules_generated == 1
+        assert second_first_block is not None
+
+    def test_batch_reset_without_mirror_restarts_indices(self):
+        """Without a mirror the scheduler forgets, as in Listing 1."""
+        sched = make_scheduler(n=10, nb=10, C=4, mirror=None)
+        sched.update_distribution(RequestDistribution.point(10, 2), 0.01)
+        sched.schedule_batch()
+        nxt = sched.next_block()
+        assert nxt.request == 2
+        assert nxt.index == 0  # B reset; no cross-batch memory
+
+    def test_batch_reset_with_mirror_continues_prefix(self):
+        """With the mirror, the next batch extends what the client holds."""
+        mirror = RingBufferCache(4)
+        sched = make_scheduler(n=10, nb=10, C=4, mirror=mirror)
+        sched.update_distribution(RequestDistribution.point(10, 2), 0.01)
+        for block in sched.schedule_batch():
+            mirror.mirror_put(block.request, block.index)
+            sched.on_sent(block)  # sender confirmation contract
+        nxt = sched.next_block()
+        assert nxt.request == 2
+        assert nxt.index == 4  # continues past the 4 mirrored blocks
+
+
+class TestMirrorIntegration:
+    def test_fully_cached_request_gets_zero_weight(self):
+        mirror = RingBufferCache(8)
+        sched = make_scheduler(n=5, nb=2, C=8, mirror=mirror)
+        for i in range(2):
+            mirror.mirror_put(1, i)
+        sched.update_distribution(RequestDistribution.point(5, 1), 0.01)
+        block = sched.next_block()
+        # Request 1 is complete; with zero residual there is nothing to send.
+        assert block is None or block.request != 1
+
+
+class TestDistributionUpdates:
+    def test_update_mid_batch_keeps_position(self):
+        sched = make_scheduler(n=10, nb=8, C=8)
+        sched.update_distribution(RequestDistribution.point(10, 1), 0.01)
+        sched.schedule_batch(3)
+        assert sched.position == 3
+        sched.update_distribution(RequestDistribution.point(10, 7), 0.01)
+        assert sched.position == 3  # §5.3.2: sent slots unchanged
+        batch = sched.schedule_batch(3)
+        assert all(b.request == 7 for b in batch)
+
+    def test_rejects_wrong_size_distribution(self):
+        sched = make_scheduler(n=10)
+        with pytest.raises(ValueError):
+            sched.update_distribution(RequestDistribution.uniform(5), 0.01)
+
+    def test_rejects_bad_slot_duration(self):
+        sched = make_scheduler(n=10)
+        with pytest.raises(ValueError):
+            sched.update_distribution(RequestDistribution.uniform(10), 0.0)
+
+
+class TestRollback:
+    def test_rollback_rewinds_position_and_counts(self):
+        sched = make_scheduler(n=10, nb=8, C=8)
+        sched.update_distribution(RequestDistribution.point(10, 1), 0.01)
+        batch = sched.schedule_batch(4)
+        sched.rollback(batch[2:])
+        assert sched.position == 2
+        nxt = sched.next_block()
+        assert nxt.request == 1
+        assert nxt.index == 2  # continues after the two kept blocks
+
+    def test_rollback_unallocated_raises(self):
+        sched = make_scheduler(n=10)
+        from repro.core import ScheduledBlock
+
+        with pytest.raises(ValueError):
+            sched.rollback([ScheduledBlock(request=1, index=0)])
+
+
+class TestMetaRequest:
+    def test_uniform_mass_reaches_unlikely_requests(self):
+        sched = make_scheduler(n=100, nb=2, C=50, seed=5)
+        dist = RequestDistribution(
+            n=100,
+            deltas_s=np.array([0.05]),
+            explicit_ids=np.array([0]),
+            explicit_probs=np.array([[0.5]]),
+            residual=np.array([0.5]),
+        )
+        sched.update_distribution(dist, 0.01)
+        batch = sched.schedule_batch()
+        hedged = {b.request for b in batch if b.request != 0}
+        assert len(hedged) >= 10  # residual mass got hedged widely
+
+    def test_meta_disabled_only_schedules_explicit(self):
+        sched = make_scheduler(n=100, nb=2, C=50, meta=False, seed=5, hedge=False)
+        dist = RequestDistribution(
+            n=100,
+            deltas_s=np.array([0.05]),
+            explicit_ids=np.array([0, 1]),
+            explicit_probs=np.array([[0.3, 0.3]]),
+            residual=np.array([0.4]),
+        )
+        sched.update_distribution(dist, 0.01)
+        batch = sched.schedule_batch()
+        assert {b.request for b in batch} <= {0, 1}
+
+    def test_materialized_fraction_reported(self):
+        sched = make_scheduler(n=100)
+        dist = RequestDistribution(
+            n=100,
+            deltas_s=np.array([0.05]),
+            explicit_ids=np.arange(10, dtype=np.int64),
+            explicit_probs=np.full((1, 10), 0.08),
+            residual=np.array([0.2]),
+        )
+        sched.update_distribution(dist, 0.01)
+        assert sched.materialized_fraction == pytest.approx(0.1)
+
+
+class TestDeterminism:
+    def test_same_seed_same_schedule(self):
+        def run(seed):
+            sched = make_scheduler(n=50, nb=4, C=32, seed=seed)
+            sched.update_distribution(RequestDistribution.uniform(50), 0.01)
+            return sched.schedule_batch()
+
+        assert run(7) == run(7)
+        assert run(7) != run(8)
+
+
+@settings(deadline=None, max_examples=30)
+@given(
+    n=st.integers(min_value=2, max_value=30),
+    nb=st.integers(min_value=1, max_value=6),
+    C=st.integers(min_value=1, max_value=40),
+    seed=st.integers(min_value=0, max_value=100),
+)
+def test_property_schedule_within_batch_never_duplicates_blocks(n, nb, C, seed):
+    """No (request, index) pair is scheduled twice within a batch, and
+    indices never exceed the encoding length."""
+    gains = GainTable(LinearUtility(), [nb] * n)
+    sched = GreedyScheduler(gains, cache_blocks=C, seed=seed)
+    rng = np.random.default_rng(seed)
+    dense = rng.random((1, n)) + 1e-9
+    sched.update_distribution(
+        RequestDistribution.from_dense(dense, deltas_s=[0.05]), 0.01
+    )
+    batch = sched.schedule_batch()
+    assert len(batch) <= C
+    seen = set()
+    for block in batch:
+        assert 0 <= block.request < n
+        assert 0 <= block.index < nb
+        key = (block.request, block.index)
+        assert key not in seen
+        seen.add(key)

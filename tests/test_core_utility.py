@@ -1,0 +1,135 @@
+"""Tests for utility functions and per-block gains."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.utility import (
+    LinearUtility,
+    PiecewiseUtility,
+    PowerUtility,
+    ssim_image_utility,
+)
+
+
+class TestLinearUtility:
+    def test_identity_on_unit_interval(self):
+        u = LinearUtility()
+        assert u(0.0) == 0.0
+        assert u(0.5) == 0.5
+        assert u(1.0) == 1.0
+
+    def test_clamps(self):
+        u = LinearUtility()
+        assert u(-1.0) == 0.0
+        assert u(2.0) == 1.0
+
+    def test_gains_uniform(self):
+        g = LinearUtility().gains(4)
+        assert np.allclose(g, 0.25)
+
+    def test_validate_passes(self):
+        LinearUtility().validate()
+
+
+class TestPowerUtility:
+    def test_concave_exponent_front_loads_gains(self):
+        g = PowerUtility(0.3).gains(10)
+        assert g[0] > g[-1]
+        assert (np.diff(g) <= 1e-12).all()
+
+    def test_exponent_one_is_linear(self):
+        assert np.allclose(PowerUtility(1.0).gains(5), LinearUtility().gains(5))
+
+    def test_invalid_exponent(self):
+        with pytest.raises(ValueError):
+            PowerUtility(0.0)
+
+    def test_validate_passes(self):
+        PowerUtility(0.5).validate()
+
+
+class TestPiecewiseUtility:
+    def test_interpolation(self):
+        u = PiecewiseUtility([(0.0, 0.0), (0.5, 0.8), (1.0, 1.0)])
+        assert u(0.25) == pytest.approx(0.4)
+        assert u(0.75) == pytest.approx(0.9)
+
+    def test_rejects_decreasing(self):
+        with pytest.raises(ValueError):
+            PiecewiseUtility([(0.0, 0.0), (0.5, 0.9), (1.0, 0.8)])
+
+    def test_rejects_bad_span(self):
+        with pytest.raises(ValueError):
+            PiecewiseUtility([(0.1, 0.0), (1.0, 1.0)])
+        with pytest.raises(ValueError):
+            PiecewiseUtility([(0.0, 0.0), (0.9, 1.0)])
+
+    def test_rejects_nonzero_origin(self):
+        with pytest.raises(ValueError):
+            PiecewiseUtility([(0.0, 0.1), (1.0, 1.0)])
+
+    def test_rejects_duplicate_fractions(self):
+        with pytest.raises(ValueError):
+            PiecewiseUtility([(0.0, 0.0), (0.5, 0.5), (0.5, 0.6), (1.0, 1.0)])
+
+
+class TestSSIMImageUtility:
+    """Fig. 3's red curve: steep start, saturation."""
+
+    def test_satisfies_contract(self):
+        ssim_image_utility().validate()
+
+    def test_quarter_blocks_give_80_percent(self):
+        assert ssim_image_utility()(0.25) == pytest.approx(0.80, abs=0.02)
+
+    def test_concave_vs_linear(self):
+        """Image curve dominates linear everywhere (approximation tolerance)."""
+        u, lin = ssim_image_utility(), LinearUtility()
+        for x in np.linspace(0.01, 0.99, 20):
+            assert u(x) >= lin(x)
+
+    def test_first_block_carries_most_utility(self):
+        g = ssim_image_utility().gains(20)
+        assert g[0] > 5 * g[-1]
+
+
+class TestGains:
+    def test_gains_sum_to_full_utility(self):
+        for u in (LinearUtility(), PowerUtility(0.4), ssim_image_utility()):
+            for nb in (1, 3, 10):
+                assert np.sum(u.gains(nb)) == pytest.approx(u(1.0))
+
+    def test_gains_nonnegative(self):
+        for u in (LinearUtility(), PowerUtility(0.4), ssim_image_utility()):
+            assert (u.gains(17) >= -1e-12).all()
+
+    def test_bad_block_count(self):
+        with pytest.raises(ValueError):
+            LinearUtility().gains(0)
+
+
+@given(
+    exponent=st.floats(min_value=0.05, max_value=3.0),
+    nb=st.integers(min_value=1, max_value=64),
+)
+def test_property_power_gains_partition_unity(exponent, nb):
+    g = PowerUtility(exponent).gains(nb)
+    assert g.shape == (nb,)
+    assert np.sum(g) == pytest.approx(1.0)
+    assert (g >= -1e-12).all()
+
+
+@given(
+    ys=st.lists(
+        st.floats(min_value=0.0, max_value=1.0), min_size=2, max_size=8
+    ).map(sorted),
+    nb=st.integers(min_value=1, max_value=32),
+)
+def test_property_piecewise_gains_match_endpoint(ys, nb):
+    """gains sum to U(1) for any monotone piecewise curve anchored at 0."""
+    ys = [0.0] + list(ys)
+    xs = np.linspace(0.0, 1.0, len(ys))
+    u = PiecewiseUtility(list(zip(xs, ys)))
+    assert np.sum(u.gains(nb)) == pytest.approx(u(1.0), abs=1e-9)

@@ -1,0 +1,167 @@
+"""Tests for progressive encoders."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.encoding import (
+    ImageAsset,
+    ProgressiveImageEncoder,
+    RowSampleEncoder,
+    SingleBlockEncoder,
+    aggregate_histogram,
+    decode_prefix,
+    estimation_error,
+    split_padded,
+)
+
+
+class TestSplitPadded:
+    def test_exact_multiple(self):
+        assert split_padded(100, 25) == [25, 25, 25, 25]
+
+    def test_padding_last_block(self):
+        assert split_padded(90, 25) == [25, 25, 25, 25]
+
+    def test_zero_bytes_one_block(self):
+        assert split_padded(0, 25) == [25]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            split_padded(-1, 25)
+        with pytest.raises(ValueError):
+            split_padded(10, 0)
+
+
+class TestSingleBlockEncoder:
+    def test_one_block_full_size(self):
+        enc = SingleBlockEncoder(size_of=lambda r: 1_500_000)
+        resp = enc.encode(3, "data")
+        assert resp.num_blocks == 1
+        assert resp.total_bytes == 1_500_000
+        assert resp.blocks[0].payload == "data"
+        assert enc.num_blocks(3) == 1
+
+    def test_invalid_size(self):
+        enc = SingleBlockEncoder(size_of=lambda r: 0)
+        with pytest.raises(ValueError):
+            enc.encode(0, None)
+
+
+class TestProgressiveImageEncoder:
+    def make(self, size=1_500_000, block=50_000):
+        assets = {7: ImageAsset(image_id=7, size_bytes=size)}
+        return ProgressiveImageEncoder(assets, block_size_bytes=block)
+
+    def test_block_count_matches_size(self):
+        enc = self.make(size=1_500_000, block=50_000)
+        assert enc.num_blocks(7) == 30
+        assert enc.encode(7).num_blocks == 30
+
+    def test_blocks_are_uniform_size(self):
+        enc = self.make(size=1_490_001, block=50_000)
+        resp = enc.encode(7)
+        sizes = {b.size_bytes for b in resp.blocks}
+        assert sizes == {50_000}
+
+    def test_payload_scan_descriptors(self):
+        resp = self.make().encode(7)
+        scans = [b.payload for b in resp.blocks]
+        assert [s.scan for s in scans] == list(range(30))
+        assert all(s.image_id == 7 and s.total_scans == 30 for s in scans)
+
+    def test_asset_validation(self):
+        with pytest.raises(ValueError):
+            ImageAsset(image_id=0, size_bytes=0)
+        with pytest.raises(ValueError):
+            ProgressiveImageEncoder({}, block_size_bytes=0)
+
+
+class TestRowSampleEncoder:
+    def rows(self, n=100):
+        return np.column_stack([np.arange(n) % 10, np.ones(n)])
+
+    def test_round_robin_striping(self):
+        enc = RowSampleEncoder(blocks_per_response=4)
+        resp = enc.encode(0, self.rows(100))
+        assert resp.num_blocks == 4
+        for b, block in enumerate(resp.blocks):
+            expected = self.rows(100)[b::4]
+            assert np.array_equal(block.payload.rows, expected)
+
+    def test_uniform_block_sizes(self):
+        enc = RowSampleEncoder(blocks_per_response=3, bytes_per_row=16)
+        resp = enc.encode(0, self.rows(100))  # stripes of 34/33/33 rows
+        assert {b.size_bytes for b in resp.blocks} == {34 * 16}
+
+    def test_single_block_is_full_result(self):
+        enc = RowSampleEncoder(blocks_per_response=1)
+        resp = enc.encode(0, self.rows(50))
+        assert np.array_equal(resp.blocks[0].payload.rows, self.rows(50))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RowSampleEncoder(0)
+        with pytest.raises(ValueError):
+            RowSampleEncoder(2, bytes_per_row=0)
+
+
+class TestDecodePrefix:
+    def histogram_rows(self):
+        """(bin, count) rows: bin i has count 10*i."""
+        return np.column_stack([np.arange(8), 10.0 * np.arange(8)])
+
+    def test_full_prefix_is_exact(self):
+        enc = RowSampleEncoder(blocks_per_response=4)
+        resp = enc.encode(0, self.histogram_rows())
+        decoded = aggregate_histogram(decode_prefix(resp.blocks), 8)
+        assert np.allclose(decoded, 10.0 * np.arange(8))
+
+    def test_partial_prefix_scales_counts(self):
+        enc = RowSampleEncoder(blocks_per_response=4)
+        resp = enc.encode(0, self.histogram_rows())
+        decoded = decode_prefix(resp.blocks[:2])
+        # 2/4 stripes present, counts scaled by 2x: totals comparable.
+        assert decoded[:, 1].sum() == pytest.approx(
+            self.histogram_rows()[:, 1].sum(), rel=0.5
+        )
+
+    def test_estimation_error_decreases_with_prefix(self):
+        rng = np.random.default_rng(1)
+        rows = np.column_stack([rng.integers(0, 20, 400), rng.poisson(30, 400)])
+        enc = RowSampleEncoder(blocks_per_response=8)
+        resp = enc.encode(0, rows)
+        errors = [
+            estimation_error(resp.blocks[:k], rows, 20) for k in (1, 4, 8)
+        ]
+        assert errors[2] == pytest.approx(0.0, abs=1e-9)
+        assert errors[0] >= errors[2]
+
+    def test_decode_empty_raises(self):
+        with pytest.raises(ValueError):
+            decode_prefix([])
+
+    def test_decode_foreign_blocks_raises(self):
+        enc = SingleBlockEncoder(size_of=lambda r: 10)
+        resp = enc.encode(0, "x")
+        with pytest.raises(TypeError):
+            decode_prefix(resp.blocks)
+
+
+@given(
+    n_rows=st.integers(min_value=0, max_value=300),
+    nb=st.integers(min_value=1, max_value=16),
+)
+def test_property_striping_partitions_rows(n_rows, nb):
+    """Every row lands in exactly one stripe; stripes interleave evenly."""
+    rows = np.column_stack([np.arange(n_rows), np.arange(n_rows)])
+    enc = RowSampleEncoder(blocks_per_response=nb)
+    resp = enc.encode(0, rows) if n_rows else None
+    if resp is None:
+        return
+    recovered = np.vstack([b.payload.rows for b in resp.blocks if len(b.payload.rows)])
+    assert len(recovered) == n_rows
+    assert set(recovered[:, 0].astype(int)) == set(range(n_rows))
+    counts = [len(b.payload.rows) for b in resp.blocks]
+    assert max(counts) - min(counts) <= 1

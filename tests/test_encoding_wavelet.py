@@ -1,0 +1,56 @@
+"""Tests for the wavelet-style progressive encoder."""
+
+import pytest
+
+from repro.encoding.wavelet import WaveletEncoder, WaveletPass, wavelet_utility
+
+
+class TestWaveletEncoder:
+    def test_block_structure(self):
+        enc = WaveletEncoder(lambda r: 220_000, block_size_bytes=50_000)
+        response = enc.encode(7)
+        assert response.num_blocks == enc.num_blocks(7) == 5
+        for i, block in enumerate(response.blocks):
+            assert isinstance(block.payload, WaveletPass)
+            assert block.payload.pass_index == i
+            assert block.payload.item_id == 7
+
+    def test_significance_decays_and_normalizes(self):
+        enc = WaveletEncoder(lambda r: 200_000, block_size_bytes=50_000, decay=0.5)
+        response = enc.encode(0)
+        sigs = [b.payload.significance for b in response.blocks]
+        assert all(a > b for a, b in zip(sigs, sigs[1:]))
+        assert sum(sigs) == pytest.approx(1.0)
+        assert sigs[0] == pytest.approx(2 * sigs[1])
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            WaveletEncoder(lambda r: 1, block_size_bytes=0)
+        with pytest.raises(ValueError):
+            WaveletEncoder(lambda r: 1, decay=1.0)
+
+
+class TestWaveletUtility:
+    def test_endpoints_and_monotonicity(self):
+        u = wavelet_utility()
+        assert u(0.0) == 0.0
+        assert u(1.0) == 1.0
+        samples = [u(i / 50) for i in range(51)]
+        assert all(b >= a for a, b in zip(samples, samples[1:]))
+
+    def test_steeper_than_linear(self):
+        """Wavelet quality is front-loaded: the first quarter of the
+        passes carries most of the quality."""
+        u = wavelet_utility(decay=0.5)
+        assert u(0.25) > 0.9
+
+    def test_decay_controls_concavity(self):
+        gentle = wavelet_utility(decay=0.9)
+        steep = wavelet_utility(decay=0.3)
+        assert steep(0.2) > gentle(0.2)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            wavelet_utility(num_points=1)
+        with pytest.raises(ValueError):
+            wavelet_utility(decay=0.0)

@@ -1,0 +1,90 @@
+"""Tests for the §6.1 environment configurations."""
+
+import pytest
+
+from repro.experiments.configs import (
+    DEFAULT_ENV,
+    HIGH_RESOURCE,
+    LOW_RESOURCE,
+    EnvironmentConfig,
+    make_downlink,
+    make_uplink,
+)
+from repro.sim.engine import Simulator
+from repro.sim.link import FixedRateLink, TraceDrivenLink
+
+
+class TestLatencySplit:
+    def test_paper_endpoints(self):
+        """§6.1: 20 ms request latency = 5 ms network + 15 ms backend;
+        400 ms = 100 + 300."""
+        short = DEFAULT_ENV.with_request_latency(0.020)
+        assert short.network_rtt_s == pytest.approx(0.005)
+        assert short.backend_delay_s == pytest.approx(0.015)
+        long = DEFAULT_ENV.with_request_latency(0.400)
+        assert long.network_rtt_s == pytest.approx(0.100)
+        assert long.backend_delay_s == pytest.approx(0.300)
+
+    def test_one_way_is_half_rtt(self):
+        env = DEFAULT_ENV.with_request_latency(0.100)
+        assert env.one_way_latency_s == pytest.approx(env.network_rtt_s / 2)
+
+    def test_min_rtt_override(self):
+        env = EnvironmentConfig(min_rtt_s=0.100, request_latency_s=0.100)
+        assert env.network_rtt_s == 0.100
+        assert env.one_way_latency_s == 0.050
+
+
+class TestResourceSettings:
+    def test_paper_values(self):
+        assert LOW_RESOURCE.bandwidth_bytes_per_s == 1_500_000.0
+        assert LOW_RESOURCE.cache_bytes == 10_000_000
+        assert HIGH_RESOURCE.bandwidth_bytes_per_s == 15_000_000.0
+        assert HIGH_RESOURCE.cache_bytes == 100_000_000
+
+    def test_with_helpers_leave_original(self):
+        env = DEFAULT_ENV.with_bandwidth(1.0e6)
+        assert env.bandwidth_bytes_per_s == 1.0e6
+        assert DEFAULT_ENV.bandwidth_bytes_per_s == 5_625_000.0
+
+
+class TestValidation:
+    def test_rejects_bad_bandwidth(self):
+        with pytest.raises(ValueError):
+            EnvironmentConfig(bandwidth_bytes_per_s=0.0)
+
+    def test_rejects_bad_cache(self):
+        with pytest.raises(ValueError):
+            EnvironmentConfig(cache_bytes=0)
+
+    def test_rejects_unknown_cellular(self):
+        with pytest.raises(ValueError):
+            EnvironmentConfig(cellular="tmobile")
+
+
+class TestLinkFactories:
+    def test_fixed_link_by_default(self):
+        sim = Simulator()
+        link = make_downlink(sim, DEFAULT_ENV)
+        assert isinstance(link, FixedRateLink)
+        assert link.bytes_per_second == DEFAULT_ENV.bandwidth_bytes_per_s
+        assert link.propagation_delay_s == DEFAULT_ENV.one_way_latency_s
+
+    def test_cellular_link(self):
+        sim = Simulator()
+        env = EnvironmentConfig(cellular="verizon", min_rtt_s=0.100)
+        link = make_downlink(sim, env)
+        assert isinstance(link, TraceDrivenLink)
+        assert link.propagation_delay_s == pytest.approx(0.050)
+
+    def test_cellular_deterministic_per_seed(self):
+        sim = Simulator()
+        env = EnvironmentConfig(cellular="att")
+        a = make_downlink(sim, env, seed=1)
+        b = make_downlink(sim, env, seed=1)
+        assert a.trace.opportunities_ms == b.trace.opportunities_ms
+
+    def test_uplink_latency(self):
+        sim = Simulator()
+        uplink = make_uplink(sim, DEFAULT_ENV)
+        assert uplink.latency_s == DEFAULT_ENV.one_way_latency_s

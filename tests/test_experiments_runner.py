@@ -1,0 +1,190 @@
+"""Tests for the end-to-end experiment runners.
+
+These use tiny applications and short traces so the whole file runs in
+seconds while still exercising every driver end to end.
+"""
+
+import pytest
+
+from repro.experiments.configs import DEFAULT_ENV, EnvironmentConfig
+from repro.experiments.runner import (
+    extend_with_pause,
+    run_classic,
+    run_convergence,
+    run_falcon,
+    run_image_system,
+    run_khameleon,
+)
+from repro.workloads.falcon import FalconApp, FalconTraceGenerator
+from repro.workloads.image_app import ImageExplorationApp
+from repro.workloads.mouse import MouseTraceGenerator
+
+
+@pytest.fixture(scope="module")
+def app():
+    return ImageExplorationApp(rows=8, cols=8)
+
+
+@pytest.fixture(scope="module")
+def trace(app):
+    return MouseTraceGenerator(app.layout, seed=3).generate(duration_s=8.0)
+
+
+@pytest.fixture(scope="module")
+def khameleon_result(app, trace):
+    return run_khameleon(app, trace, DEFAULT_ENV)
+
+
+@pytest.fixture(scope="module")
+def baseline_result(app, trace):
+    return run_classic(app, trace, DEFAULT_ENV)
+
+
+class TestRunKhameleon:
+    def test_every_trace_request_has_an_outcome(self, khameleon_result, trace):
+        assert khameleon_result.summary.num_requests == trace.num_requests
+
+    def test_pushes_blocks_and_reports_overpush(self, khameleon_result):
+        assert khameleon_result.blocks_pushed > 0
+        assert khameleon_result.bytes_pushed > 0
+        assert 0.0 <= khameleon_result.overpush <= 1.0
+
+    def test_server_received_predictions(self, khameleon_result):
+        assert khameleon_result.extras["states_received"] > 5
+
+    def test_deterministic(self, app, trace):
+        a = run_khameleon(app, trace, DEFAULT_ENV, seed=4)
+        b = run_khameleon(app, trace, DEFAULT_ENV, seed=4)
+        assert a.summary.as_dict() == b.summary.as_dict()
+
+    def test_nonprogressive_variant_has_full_utility(self, app, trace):
+        result = run_khameleon(app, trace, DEFAULT_ENV, progressive=False)
+        assert result.system == "predictor"
+        served = [o for o in result.outcomes if o.served]
+        assert served
+        assert all(o.utility_at_upcall == 1.0 for o in served)
+
+
+class TestRunClassic:
+    def test_all_requests_resolve_after_drain(self, baseline_result):
+        s = baseline_result.summary
+        assert s.num_unanswered == 0  # classic runs drain to quiescence
+        assert s.num_served + s.num_preempted == s.num_requests
+
+    def test_baseline_full_quality(self, baseline_result):
+        served = [o for o in baseline_result.outcomes if o.served]
+        assert all(o.utility_at_upcall == 1.0 for o in served)
+
+    def test_progressive_variant_lower_quality(self, app, trace):
+        result = run_classic(app, trace, DEFAULT_ENV, variant="first_block")
+        assert result.system == "progressive"
+        served = [o for o in result.outcomes if o.served and not o.cache_hit]
+        assert served
+        assert all(o.utility_at_upcall < 1.0 for o in served)
+
+    def test_acc_names_and_overpush(self, app, trace):
+        result = run_classic(app, trace, DEFAULT_ENV, acc=(0.8, 5))
+        assert result.system == "acc-0.8-5"
+        assert result.overpush is not None
+
+
+class TestHeadlineComparison:
+    def test_khameleon_beats_baseline_on_latency(
+        self, khameleon_result, baseline_result
+    ):
+        """The paper's core claim, at miniature scale: orders of
+        magnitude lower response latency."""
+        assert (
+            khameleon_result.summary.mean_latency_s
+            < baseline_result.summary.mean_latency_s / 5.0
+        )
+
+    def test_khameleon_beats_baseline_on_hits(
+        self, khameleon_result, baseline_result
+    ):
+        assert (
+            khameleon_result.summary.cache_hit_rate
+            > baseline_result.summary.cache_hit_rate
+        )
+
+
+class TestDispatch:
+    def test_known_names(self, app, trace):
+        result = run_image_system("khameleon-uniform", app, trace, DEFAULT_ENV)
+        assert result.system == "khameleon-uniform"
+
+    def test_acc_spec_parsing(self, app, trace):
+        result = run_image_system("acc-0.8-1", app, trace, DEFAULT_ENV)
+        assert result.system == "acc-0.8-1"
+
+    def test_bad_acc_spec(self, app, trace):
+        with pytest.raises(ValueError):
+            run_image_system("acc-5", app, trace, DEFAULT_ENV)
+
+    def test_unknown_system(self, app, trace):
+        with pytest.raises(ValueError):
+            run_image_system("magic", app, trace, DEFAULT_ENV)
+
+
+class TestPauseAndConvergence:
+    def test_extend_with_pause_holds_position(self, trace):
+        paused = extend_with_pause(trace, pause_s=4.0, hold_s=2.0)
+        tail = [e for e in paused.events if e.time_s > 4.0]
+        assert tail
+        assert len({(e.x, e.y) for e in tail}) == 1
+        assert all(e.request is None for e in tail)
+        assert paused.duration_s <= 6.0
+
+    def test_convergence_curve_monotone(self, app, trace):
+        points = (0.1, 0.5, 1.0, 2.0, 4.0)
+        curve = run_convergence(
+            app, trace, DEFAULT_ENV, "khameleon", pause_s=5.0, hold_s=5.0,
+            sample_points=points,
+        )
+        utilities = [u for _t, u in curve]
+        assert all(b >= a for a, b in zip(utilities, utilities[1:]))
+        assert utilities[-1] > 0.0
+
+    def test_extend_with_pause_validation(self, trace):
+        with pytest.raises(ValueError):
+            extend_with_pause(trace, pause_s=1.0, hold_s=0.0)
+
+
+class TestRunFalcon:
+    def test_small_session_end_to_end(self):
+        app = FalconApp(blocks_per_response=2)
+        trace = FalconTraceGenerator(app, seed=1).generate(duration_s=40.0)
+        result = run_falcon(app, trace, DEFAULT_ENV, db_scale="small")
+        assert result.summary.num_requests == trace.num_requests
+        assert result.extras["queries_executed"] > 0
+
+    def test_backend_kind_validation(self):
+        app = FalconApp()
+        trace = FalconTraceGenerator(app, seed=1).generate(duration_s=20.0)
+        with pytest.raises(ValueError):
+            run_falcon(app, trace, DEFAULT_ENV, backend_kind="oracle")
+
+    def test_scalable_not_slower_than_postgres(self):
+        app = FalconApp(blocks_per_response=2)
+        trace = FalconTraceGenerator(app, seed=6).generate(duration_s=60.0)
+        pg = run_falcon(app, trace, DEFAULT_ENV, backend_kind="postgres")
+        sc = run_falcon(app, trace, DEFAULT_ENV, backend_kind="scalable")
+        assert (
+            sc.summary.mean_latency_s
+            <= pg.summary.mean_latency_s * 1.5
+        )
+
+
+class TestACCAsKhameleonPredictor:
+    def test_acc_oracle_signal_drives_the_push_scheduler(self, app, trace):
+        """Fig. 9's 'Khameleon vs ACC using perfect predictors': the
+        ACC baselines' oracle signal plugged into Khameleon's push
+        architecture outperforms the same signal in the pull-based
+        prefetcher — the architecture, not the prediction, is the win."""
+        from repro.experiments.runner import run_classic, run_khameleon
+
+        kham = run_khameleon(app, trace, DEFAULT_ENV, predictor="acc-1-5")
+        pull = run_classic(app, trace, DEFAULT_ENV, acc=(1.0, 5))
+        assert kham.system == "khameleon-acc-1-5"
+        assert kham.summary.mean_latency_s < pull.summary.mean_latency_s
+        assert kham.summary.cache_hit_rate > pull.summary.cache_hit_rate

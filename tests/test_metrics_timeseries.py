@@ -1,0 +1,61 @@
+"""Tests for windowed time-series metrics."""
+
+import pytest
+
+from repro.metrics.timeseries import bin_outcomes
+from tests.test_metrics import outcome
+
+
+class TestBinOutcomes:
+    def test_windows_cover_horizon(self):
+        series = bin_outcomes([], window_s=1.0, duration_s=3.5)
+        assert len(series) == 4
+        assert series[0].start_s == 0.0
+        assert series[-1].end_s == 4.0
+
+    def test_outcomes_assigned_by_registration_time(self):
+        outcomes = [
+            outcome(ts=0, registered=0.2, served=0.3, hit=True, utility=0.5),
+            outcome(ts=1, registered=1.7, served=2.0, utility=1.0),
+            outcome(ts=2, registered=1.9, preempted=True),
+        ]
+        series = bin_outcomes(outcomes, window_s=1.0)
+        assert series[0].num_requests == 1
+        assert series[1].num_requests == 2
+        assert series[1].num_preempted == 1
+
+    def test_window_metrics_follow_collector_accounting(self):
+        outcomes = [
+            outcome(ts=0, registered=0.1, served=0.2, hit=True, utility=0.4),
+            outcome(ts=1, registered=0.3, served=0.8, utility=0.8),
+        ]
+        w = bin_outcomes(outcomes, window_s=1.0)[0]
+        assert w.cache_hit_rate == pytest.approx(0.5)
+        assert w.mean_latency_s == pytest.approx((0.1 + 0.5) / 2)
+        assert w.mean_utility == pytest.approx(0.6)
+
+    def test_empty_window_is_zeroed(self):
+        series = bin_outcomes(
+            [outcome(registered=2.5, served=2.6)], window_s=1.0
+        )
+        assert series[0].num_requests == 0
+        assert series[0].mean_latency_s == 0.0
+        assert series[2].num_requests == 1
+
+    def test_late_outcomes_clamp_to_last_window(self):
+        series = bin_outcomes(
+            [outcome(registered=5.0, served=5.1)], window_s=1.0, duration_s=3.0
+        )
+        assert series[-1].num_requests == 1
+
+    def test_invalid_window_rejected(self):
+        with pytest.raises(ValueError):
+            bin_outcomes([], window_s=0.0)
+
+    def test_series_aligns_across_systems(self):
+        """Two runs binned with the same duration produce comparable
+        series lengths regardless of when their requests landed."""
+        a = bin_outcomes([outcome(registered=0.5, served=0.6)], 1.0, duration_s=5.0)
+        b = bin_outcomes([outcome(registered=4.5, served=4.6)], 1.0, duration_s=5.0)
+        assert len(a) == len(b) == 5
+        assert [w.midpoint_s for w in a] == [w.midpoint_s for w in b]

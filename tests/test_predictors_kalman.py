@@ -1,0 +1,136 @@
+"""Tests for the Kalman-filter mouse predictor."""
+
+import numpy as np
+import pytest
+
+from repro.predictors import (
+    GridLayout,
+    MouseEvent,
+    make_kalman_predictor,
+)
+from repro.predictors.kalman import (
+    ConstantVelocityKalman,
+    KalmanClientPredictor,
+    KalmanServerPredictor,
+)
+
+
+class TestConstantVelocityKalman:
+    def test_uninitialized_predict_raises(self):
+        with pytest.raises(RuntimeError):
+            ConstantVelocityKalman().predict_at(1.0)
+
+    def test_first_observation_anchors_position(self):
+        kf = ConstantVelocityKalman()
+        kf.observe(0.0, 100.0, 200.0)
+        mean, cov = kf.predict_at(0.0)
+        assert mean[0] == pytest.approx(100.0, abs=1.0)
+        assert mean[1] == pytest.approx(200.0, abs=1.0)
+
+    def test_learns_constant_velocity(self):
+        """Samples moving at 100 px/s predict ahead along the motion."""
+        kf = ConstantVelocityKalman()
+        for i in range(20):
+            t = i * 0.02
+            kf.observe(t, 100.0 * t, 50.0)
+        mean, _ = kf.predict_at(0.38 + 0.1)  # 100 ms ahead of last sample
+        assert mean[0] == pytest.approx(48.0, abs=5.0)
+        assert mean[1] == pytest.approx(50.0, abs=2.0)
+
+    def test_uncertainty_grows_with_horizon(self):
+        kf = ConstantVelocityKalman()
+        for i in range(10):
+            kf.observe(i * 0.02, float(i), 0.0)
+        _, cov_near = kf.predict_at(0.18 + 0.05)
+        _, cov_far = kf.predict_at(0.18 + 0.5)
+        assert cov_far[0, 0] > cov_near[0, 0]
+
+    def test_predict_is_pure(self):
+        kf = ConstantVelocityKalman()
+        kf.observe(0.0, 0.0, 0.0)
+        kf.observe(0.02, 1.0, 1.0)
+        m1, _ = kf.predict_at(0.5)
+        m2, _ = kf.predict_at(0.5)
+        assert np.allclose(m1, m2)
+
+    def test_stationary_mouse_predicts_in_place(self):
+        kf = ConstantVelocityKalman()
+        for i in range(30):
+            kf.observe(i * 0.02, 300.0, 300.0)
+        mean, _ = kf.predict_at(0.58 + 0.25)
+        assert mean[0] == pytest.approx(300.0, abs=2.0)
+        assert abs(mean[2]) < 5.0  # learned velocity ~ 0
+
+    def test_covariance_stays_symmetric_psd(self):
+        kf = ConstantVelocityKalman()
+        rng = np.random.default_rng(0)
+        for i in range(200):
+            kf.observe(i * 0.01, rng.normal(0, 100), rng.normal(0, 100))
+        _, cov = kf.predict_at(2.1)
+        assert np.allclose(cov, cov.T)
+        assert (np.linalg.eigvalsh(cov) > -1e-6).all()
+
+
+class TestKalmanClientPredictor:
+    def test_state_none_before_observations(self):
+        client = KalmanClientPredictor()
+        assert client.state(0.0) is None
+
+    def test_state_has_one_gaussian_per_horizon(self):
+        client = KalmanClientPredictor(deltas_s=(0.05, 0.15, 0.25, 0.5))
+        client.observe_event(0.0, MouseEvent(10, 10))
+        state = client.state(0.0)
+        assert len(state.means) == 4
+        assert len(state.stds) == 4
+
+    def test_long_horizon_marked_uniform(self):
+        client = KalmanClientPredictor(deltas_s=(0.05, 0.5), uniform_after_s=0.5)
+        client.observe_event(0.0, MouseEvent(10, 10))
+        state = client.state(0.0)
+        assert state.uniform == (False, True)
+
+    def test_state_size_is_six_floats_per_horizon(self):
+        client = KalmanClientPredictor(deltas_s=(0.05, 0.15, 0.25, 0.5))
+        client.observe_event(0.0, MouseEvent(10, 10))
+        state = client.state(0.0)
+        assert client.state_size_bytes(state) == 4 * 6 * 4
+
+    def test_ignores_non_mouse_events(self):
+        client = KalmanClientPredictor()
+        client.observe_event(0.0, "not-a-mouse-event")
+        assert client.state(0.0) is None
+
+
+class TestKalmanServerPredictor:
+    def test_decodes_none_as_uniform(self):
+        grid = GridLayout(10, 10, 50, 50)
+        server = KalmanServerPredictor(grid)
+        dist = server.decode(None, (0.05,))
+        assert dist.prob_of(0, 0.05) == pytest.approx(0.01)
+
+    def test_end_to_end_tracks_moving_mouse(self):
+        """Moving right: short-horizon mass should sit ahead of the mouse."""
+        grid = GridLayout(10, 10, 50, 50)
+        predictor = make_kalman_predictor(grid)
+        for i in range(25):
+            t = i * 0.02
+            predictor.client.observe_event(t, MouseEvent(50 + 400 * t, 275.0))
+        now = 24 * 0.02
+        dist = predictor.distribution_now(now)
+        x_now = 50 + 400 * now
+        current = grid.request_at(x_now, 275.0)
+        # Mass at the 150 ms horizon should centre near x_now + 60 px.
+        ahead = grid.request_at(min(x_now + 400 * 0.15, 499), 275.0)
+        p_ahead = dist.prob_of(ahead, 0.15)
+        assert p_ahead > 0.05
+        assert dist.dense_at(0.15).sum() == pytest.approx(1.0, abs=1e-5)
+        assert current is not None
+
+    def test_500ms_horizon_uniform(self):
+        grid = GridLayout(10, 10, 50, 50)
+        predictor = make_kalman_predictor(grid)
+        predictor.client.observe_event(0.0, MouseEvent(275, 275))
+        dist = predictor.distribution_now(0.0)
+        assert dist.prob_of(0, 0.5) == pytest.approx(
+            dist.prob_of(99, 0.5), abs=1e-9
+        )

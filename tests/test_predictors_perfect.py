@@ -1,0 +1,59 @@
+"""Tests for the ACC-style Khameleon predictor."""
+
+import pytest
+
+from repro.predictors.perfect import make_acc_predictor
+
+
+FUTURE = [3, 1, 4, 1, 5, 2]
+
+
+class TestACCPredictor:
+    def test_name_encodes_parameters(self):
+        p = make_acc_predictor(6, FUTURE, accuracy=0.8, horizon=5)
+        assert p.name == "acc-0.8-5"
+
+    def test_uniform_before_first_request(self):
+        p = make_acc_predictor(6, FUTURE)
+        dist = p.server.decode(p.client.state(0.0), p.deltas_s)
+        assert dist.num_explicit == 0
+
+    def test_mass_on_upcoming_requests(self):
+        p = make_acc_predictor(6, FUTURE, accuracy=1.0, horizon=2)
+        p.client.observe_request(0.0, FUTURE[0])  # position 0
+        dist = p.server.decode(p.client.state(0.0), p.deltas_s)
+        # Upcoming: positions 1 and 2 -> requests 1 and 4.
+        p1 = dist.prob_of(1, 0.05)
+        p4 = dist.prob_of(4, 0.05)
+        assert p1 > p4 > 0.0  # nearer prediction gets more mass
+        assert p1 + p4 == pytest.approx(1.0)
+
+    def test_accuracy_leaves_residual(self):
+        p = make_acc_predictor(6, FUTURE, accuracy=0.6, horizon=1)
+        p.client.observe_request(0.0, FUTURE[0])
+        dist = p.server.decode(p.client.state(0.0), p.deltas_s)
+        # The predicted request gets exactly the accurate mass; the
+        # other 0.4 spreads uniformly over the non-explicit requests.
+        assert dist.prob_of(1, 0.05) == pytest.approx(0.6, abs=1e-9)
+        assert dist.prob_of(0, 0.05) == pytest.approx(0.4 / 5, abs=1e-9)
+
+    def test_trace_end_falls_back_to_uniform(self):
+        p = make_acc_predictor(6, FUTURE, horizon=3)
+        for request in FUTURE:
+            p.client.observe_request(0.0, request)
+        dist = p.server.decode(p.client.state(0.0), p.deltas_s)
+        assert dist.num_explicit == 0
+
+    def test_duplicate_future_requests_merge(self):
+        p = make_acc_predictor(6, [0, 1, 1, 1], accuracy=1.0, horizon=3)
+        p.client.observe_request(0.0, 0)
+        dist = p.server.decode(p.client.state(0.0), p.deltas_s)
+        assert dist.prob_of(1, 0.05) == pytest.approx(1.0)
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            make_acc_predictor(0, FUTURE)
+        with pytest.raises(ValueError):
+            make_acc_predictor(6, FUTURE, accuracy=1.5)
+        with pytest.raises(ValueError):
+            make_acc_predictor(6, FUTURE, horizon=0)

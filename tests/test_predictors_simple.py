@@ -1,0 +1,132 @@
+"""Tests for point/uniform/hover/oracle/markov predictors."""
+
+import pytest
+
+from repro.predictors import (
+    BoundingBox,
+    ChartLayout,
+    MarkovModel,
+    MouseEvent,
+    make_hover_predictor,
+    make_markov_predictor,
+    make_oracle_predictor,
+    make_point_predictor,
+    make_uniform_predictor,
+)
+
+
+class TestPointPredictor:
+    def test_uniform_before_any_request(self):
+        p = make_point_predictor(10)
+        dist = p.distribution_now(0.0)
+        assert dist.prob_of(3, 0.05) == pytest.approx(0.1)
+
+    def test_point_mass_on_last_request(self):
+        p = make_point_predictor(10)
+        p.client.observe_request(0.0, 7)
+        dist = p.distribution_now(0.0)
+        assert dist.prob_of(7, 0.05) == 1.0
+        assert dist.prob_of(7, 0.5) == 1.0
+
+    def test_latest_request_wins(self):
+        p = make_point_predictor(10)
+        p.client.observe_request(0.0, 3)
+        p.client.observe_request(0.1, 9)
+        assert p.distribution_now(0.1).prob_of(9, 0.05) == 1.0
+
+
+class TestUniformPredictor:
+    def test_always_uniform(self):
+        p = make_uniform_predictor(4)
+        p.client.observe_request(0.0, 2)
+        dist = p.distribution_now(0.0)
+        for r in range(4):
+            assert dist.prob_of(r, 0.05) == pytest.approx(0.25)
+
+
+class TestHoverPredictor:
+    def make_layout(self):
+        return ChartLayout([BoundingBox(i * 100, 0, i * 100 + 90, 80) for i in range(6)])
+
+    def test_tracks_hovered_chart(self):
+        p = make_hover_predictor(self.make_layout())
+        p.client.observe_event(0.0, MouseEvent(250, 40))  # chart 2
+        assert p.distribution_now(0.0).prob_of(2, 0.05) == 1.0
+
+    def test_keeps_last_hover_when_in_gutter(self):
+        p = make_hover_predictor(self.make_layout())
+        p.client.observe_event(0.0, MouseEvent(250, 40))
+        p.client.observe_event(0.1, MouseEvent(295, 40))  # gutter
+        assert p.distribution_now(0.1).prob_of(2, 0.05) == 1.0
+
+    def test_uniform_before_any_hover(self):
+        p = make_hover_predictor(self.make_layout())
+        assert p.distribution_now(0.0).prob_of(0, 0.05) == pytest.approx(1 / 6)
+
+
+class TestOraclePredictor:
+    def test_reads_future_from_trace(self):
+        future = {0.05: 3, 0.15: 4, 0.25: 4, 0.5: 5}
+        p = make_oracle_predictor(10, lambda t: future.get(round(t, 2)))
+        dist = p.distribution_now(0.0)
+        assert dist.prob_of(3, 0.05) == 1.0
+        assert dist.prob_of(4, 0.15) == 1.0
+        assert dist.prob_of(5, 0.5) == 1.0
+
+    def test_unknown_future_is_uniform(self):
+        p = make_oracle_predictor(10, lambda t: None)
+        dist = p.distribution_now(0.0)
+        assert dist.prob_of(0, 0.05) == pytest.approx(0.1)
+
+    def test_mixed_known_unknown_horizons(self):
+        p = make_oracle_predictor(4, lambda t: 2 if t < 0.1 else None)
+        dist = p.distribution_now(0.0)
+        assert dist.prob_of(2, 0.05) == 1.0
+        assert dist.prob_of(0, 0.5) == pytest.approx(0.25)
+
+
+class TestMarkovModel:
+    def test_learns_transitions(self):
+        m = MarkovModel(4, smoothing=0.0)
+        for r in (0, 1, 0, 1, 0, 2):
+            m.observe(r)
+        ids, probs, residual = m.transition_probs(0)
+        by_id = dict(zip(ids.tolist(), probs.tolist()))
+        assert by_id[1] == pytest.approx(2 / 3)
+        assert by_id[2] == pytest.approx(1 / 3)
+        assert residual == 0.0
+
+    def test_smoothing_leaves_residual(self):
+        m = MarkovModel(10, smoothing=1.0)
+        m.observe(0)
+        m.observe(1)
+        ids, probs, residual = m.transition_probs(0)
+        total = probs.sum() + residual
+        assert total == pytest.approx(1.0)
+        assert residual > 0
+
+    def test_top_k(self):
+        m = MarkovModel(4, smoothing=0.0)
+        for r in (0, 1, 0, 1, 0, 2):
+            m.observe(r)
+        top = m.top_k_distribution(0, 1)
+        assert top[0][0] == 1
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            MarkovModel(4).observe(4)
+
+
+class TestMarkovPredictor:
+    def test_end_to_end_prediction(self):
+        p = make_markov_predictor(4, smoothing=0.1)
+        # Teach the chain 0 -> 1 by replaying the stream through states.
+        for r in (0, 1, 0, 1, 0):
+            p.client.observe_request(0.0, r)
+            p.distribution_now(0.0)
+        dist = p.distribution_now(0.0)
+        assert dist.prob_of(1, 0.05) > dist.prob_of(3, 0.05)
+
+    def test_uniform_before_any_request(self):
+        p = make_markov_predictor(4)
+        assert p.distribution_now(0.0).prob_of(2, 0.05) == pytest.approx(0.25)

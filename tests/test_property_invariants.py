@@ -1,0 +1,123 @@
+"""Cross-module property tests on core invariants.
+
+These target the contracts the paper's design depends on, rather than
+any single module's behaviour:
+
+* greedy schedules are always *valid* (block indices form prefixes,
+  never exceed Nb, batches fill exactly C);
+* rollback is an inverse: allocate-then-rollback leaves the scheduler
+  able to re-produce a full batch;
+* a live end-to-end session conserves blocks (sent = delivered after
+  drain) and never caches an invalid index.
+"""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.core.distribution import RequestDistribution
+from repro.core.greedy import GreedyScheduler
+from repro.core.scheduler import GainTable
+from repro.core.utility import LinearUtility, PowerUtility
+
+
+def distributions(n):
+    """Strategy: a sparse distribution over n requests, 2 horizons."""
+
+    def build(seed, residual_mass):
+        rng = np.random.default_rng(seed)
+        k = max(1, n // 3)
+        ids = np.sort(rng.choice(n, size=k, replace=False)).astype(np.int64)
+        raw = rng.random((2, k)) + 1e-6
+        probs = (1.0 - residual_mass) * raw / raw.sum(axis=1, keepdims=True)
+        return RequestDistribution(
+            n=n,
+            deltas_s=np.array([0.05, 0.25]),
+            explicit_ids=ids,
+            explicit_probs=probs,
+            residual=np.full(2, residual_mass),
+        )
+
+    return st.builds(
+        build,
+        seed=st.integers(0, 10_000),
+        residual_mass=st.floats(0.0, 0.9),
+    )
+
+
+class TestGreedyScheduleValidity:
+    @given(
+        dist=distributions(12),
+        nb=st.integers(1, 6),
+        cache=st.integers(1, 40),
+        seed=st.integers(0, 100),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_batches_are_valid_prefix_allocations(self, dist, nb, cache, seed):
+        gains = GainTable(LinearUtility(), [nb] * 12)
+        scheduler = GreedyScheduler(gains, cache_blocks=cache, seed=seed)
+        scheduler.update_distribution(dist, slot_duration_s=0.01)
+        schedule = scheduler.schedule_batch()
+        counts: dict[int, int] = {}
+        for block in schedule:
+            # Each allocation extends that request's prefix by one.
+            assert block.index == counts.get(block.request, 0)
+            counts[block.request] = block.index + 1
+            assert counts[block.request] <= nb
+        # The batch fills C slots unless every block of every request
+        # was allocated first.
+        total_capacity = 12 * nb
+        assert len(schedule) == min(cache, total_capacity)
+
+    @given(dist=distributions(10), seed=st.integers(0, 100))
+    @settings(max_examples=25, deadline=None)
+    def test_rollback_then_reschedule_still_fills_batch(self, dist, seed):
+        gains = GainTable(PowerUtility(0.5), [4] * 10)
+        scheduler = GreedyScheduler(gains, cache_blocks=12, seed=seed)
+        scheduler.update_distribution(dist, slot_duration_s=0.01)
+        first = scheduler.schedule_batch(max_blocks=7)
+        scheduler.rollback(first)
+        assert scheduler.position == 0
+        redone = scheduler.schedule_batch()
+        assert len(redone) == 12
+        counts: dict[int, int] = {}
+        for block in redone:
+            assert block.index == counts.get(block.request, 0)
+            counts[block.request] = block.index + 1
+
+
+class TestEndToEndConservation:
+    @given(seed=st.integers(0, 30), bandwidth=st.sampled_from([5e5, 2e6, 8e6]))
+    @settings(max_examples=8, deadline=None)
+    def test_blocks_sent_equal_blocks_delivered(self, seed, bandwidth):
+        from repro.core.session import KhameleonSession, SessionConfig
+        from repro.experiments.configs import EnvironmentConfig, make_downlink, make_uplink
+        from repro.sim.engine import Simulator
+        from repro.workloads.image_app import ImageExplorationApp
+
+        env = EnvironmentConfig(bandwidth_bytes_per_s=bandwidth, cache_bytes=4_000_000)
+        sim = Simulator()
+        app = ImageExplorationApp(rows=4, cols=4, seed=seed)
+        session = KhameleonSession(
+            sim=sim,
+            backend=app.make_backend(sim, fetch_delay_s=0.02),
+            predictor=app.make_predictor("uniform"),
+            utility=app.utility,
+            num_blocks=app.num_blocks,
+            downlink=make_downlink(sim, env),
+            uplink=make_uplink(sim, env),
+            config=SessionConfig(cache_bytes=env.cache_bytes,
+                                 scheduler_seed=seed),
+        )
+        session.start()
+        sim.run(until=2.0)
+        session.sender.stop()
+        sim.run(until=4.0)  # drain in-flight deliveries
+
+        assert session.client.blocks_received == session.sender.blocks_sent
+        assert session.client.bytes_received == session.sender.bytes_sent
+        # The link delivered no more than its capacity.
+        assert session.sender.bytes_sent <= bandwidth * 4.0 * 1.01
+        # Every cached index is within its request's block count.
+        for request in session.cache.cached_requests():
+            nb = app.encoder.num_blocks(request)
+            assert all(i < nb for i in session.cache.block_indices(request))

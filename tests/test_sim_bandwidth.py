@@ -1,0 +1,116 @@
+"""Tests for bandwidth estimation (§5.4)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.sim import HarmonicMeanEstimator, ReceiveRateMonitor, Simulator
+
+
+class TestHarmonicMeanEstimator:
+    def test_initial_estimate_before_reports(self):
+        est = HarmonicMeanEstimator(1_000_000)
+        assert est.estimate == 1_000_000
+
+    def test_single_report_dominates(self):
+        est = HarmonicMeanEstimator(1_000_000)
+        est.report(500_000)
+        assert est.estimate == 500_000
+
+    def test_harmonic_mean_of_window(self):
+        est = HarmonicMeanEstimator(1.0, window=2)
+        est.report(100.0)
+        est.report(50.0)
+        # harmonic mean of 100 and 50 = 2/(1/100+1/50) = 66.67
+        assert est.estimate == pytest.approx(200.0 / 3.0)
+
+    def test_window_slides(self):
+        est = HarmonicMeanEstimator(1.0, window=2)
+        for rate in (10.0, 100.0, 100.0):
+            est.report(rate)
+        assert est.estimate == pytest.approx(100.0)
+
+    def test_default_window_is_five(self):
+        est = HarmonicMeanEstimator(1.0)
+        for rate in (1.0, 2.0, 3.0, 4.0, 5.0, 6.0):
+            est.report(rate)
+        assert est.report_count == 5
+
+    def test_nonpositive_reports_ignored(self):
+        est = HarmonicMeanEstimator(42.0)
+        est.report(0.0)
+        est.report(-5.0)
+        assert est.estimate == 42.0
+        assert est.report_count == 0
+
+    def test_cap_applies(self):
+        est = HarmonicMeanEstimator(1_000_000, cap_bytes_per_s=100.0)
+        assert est.estimate == 100.0
+        est.report(1_000_000.0)
+        assert est.estimate == 100.0
+
+    def test_harmonic_mean_is_conservative(self):
+        """Harmonic mean <= arithmetic mean: slow samples dominate."""
+        est = HarmonicMeanEstimator(1.0)
+        rates = [10.0, 1000.0, 1000.0, 1000.0, 1000.0]
+        for r in rates:
+            est.report(r)
+        assert est.estimate < sum(rates) / len(rates)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            HarmonicMeanEstimator(0.0)
+        with pytest.raises(ValueError):
+            HarmonicMeanEstimator(1.0, window=0)
+        with pytest.raises(ValueError):
+            HarmonicMeanEstimator(1.0, cap_bytes_per_s=0.0)
+
+
+class TestReceiveRateMonitor:
+    def test_publishes_measured_rate(self):
+        sim = Simulator()
+        published = []
+        mon = ReceiveRateMonitor(sim, interval_s=1.0, publish=published.append)
+        sim.schedule(0.2, mon.on_bytes, 500)
+        sim.schedule(0.7, mon.on_bytes, 500)
+        sim.run(until=1.0)
+        assert published == [pytest.approx(1000.0)]
+
+    def test_idle_interval_not_published(self):
+        sim = Simulator()
+        published = []
+        ReceiveRateMonitor(sim, interval_s=1.0, publish=published.append)
+        sim.run(until=3.0)
+        assert published == []
+
+    def test_counter_resets_each_interval(self):
+        sim = Simulator()
+        published = []
+        mon = ReceiveRateMonitor(sim, interval_s=1.0, publish=published.append)
+        sim.schedule(0.5, mon.on_bytes, 100)
+        sim.schedule(1.5, mon.on_bytes, 300)
+        sim.run(until=2.0)
+        assert published == [pytest.approx(100.0), pytest.approx(300.0)]
+
+    def test_stop_halts_publishing(self):
+        sim = Simulator()
+        published = []
+        mon = ReceiveRateMonitor(sim, interval_s=1.0, publish=published.append)
+        mon.on_bytes(100)
+        mon.stop()
+        sim.run(until=5.0)
+        assert published == []
+
+    def test_rejects_nonpositive_interval(self):
+        with pytest.raises(ValueError):
+            ReceiveRateMonitor(Simulator(), interval_s=0.0, publish=lambda r: None)
+
+
+@given(rates=st.lists(st.floats(min_value=0.1, max_value=1e9), min_size=1, max_size=20))
+def test_property_estimate_bounded_by_min_max(rates):
+    """Harmonic mean of the window lies within [min, max] of the window."""
+    est = HarmonicMeanEstimator(1.0, window=5)
+    for r in rates:
+        est.report(r)
+    window = rates[-5:]
+    assert min(window) * (1 - 1e-9) <= est.estimate <= max(window) * (1 + 1e-9)

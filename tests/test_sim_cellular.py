@@ -1,0 +1,62 @@
+"""Tests for synthetic cellular trace generation."""
+
+import numpy as np
+import pytest
+
+from repro.sim import ATT_LTE, VERIZON_LTE, CellularProfile, CellularTraceGenerator
+
+
+class TestProfiles:
+    def test_builtin_profiles_valid(self):
+        assert VERIZON_LTE.mean_rate_mbps > ATT_LTE.mean_rate_mbps
+
+    def test_verizon_mean_in_published_range(self):
+        assert 8.0 <= VERIZON_LTE.mean_rate_mbps <= 12.0
+
+    def test_att_mean_in_published_range(self):
+        assert 4.0 <= ATT_LTE.mean_rate_mbps <= 7.0
+
+    def test_validation_weights_sum(self):
+        with pytest.raises(ValueError):
+            CellularProfile("x", (1.0, 2.0), (0.5, 0.6))
+
+    def test_validation_length_mismatch(self):
+        with pytest.raises(ValueError):
+            CellularProfile("x", (1.0,), (0.5, 0.5))
+
+    def test_validation_dwell(self):
+        with pytest.raises(ValueError):
+            CellularProfile("x", (1.0,), (1.0,), mean_dwell_ms=0)
+
+
+class TestGenerator:
+    def test_deterministic_for_seed(self):
+        a = CellularTraceGenerator(VERIZON_LTE, seed=7).generate(10_000)
+        b = CellularTraceGenerator(VERIZON_LTE, seed=7).generate(10_000)
+        assert a.opportunities_ms == b.opportunities_ms
+
+    def test_different_seeds_differ(self):
+        a = CellularTraceGenerator(VERIZON_LTE, seed=1).generate(10_000)
+        b = CellularTraceGenerator(VERIZON_LTE, seed=2).generate(10_000)
+        assert a.opportunities_ms != b.opportunities_ms
+
+    def test_mean_rate_tracks_profile(self):
+        for profile in (VERIZON_LTE, ATT_LTE):
+            trace = CellularTraceGenerator(profile, seed=0).generate(60_000)
+            target = profile.mean_rate_mbps * 1e6 / 8
+            assert trace.mean_rate_bytes_per_s == pytest.approx(target, rel=0.25)
+
+    def test_rate_varies_over_time(self):
+        """The whole point of the cellular experiments: rate is not flat."""
+        gen = CellularTraceGenerator(ATT_LTE, seed=3)
+        timeline = gen.rate_timeline(30_000)
+        assert np.std(timeline) > 0.2 * np.mean(timeline)
+
+    def test_trace_period_matches_duration(self):
+        trace = CellularTraceGenerator(VERIZON_LTE, seed=0).generate(5_000)
+        assert trace.period_ms == 5_000
+
+    def test_timeline_covers_duration(self):
+        timeline = CellularTraceGenerator(VERIZON_LTE, seed=0).rate_timeline(2_500)
+        assert timeline.shape == (2_500,)
+        assert (timeline > 0).all()

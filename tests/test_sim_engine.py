@@ -1,0 +1,202 @@
+"""Unit and property tests for the discrete-event engine."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.sim import SimulationError, Simulator
+
+
+class TestScheduling:
+    def test_clock_starts_at_zero(self):
+        assert Simulator().now == 0.0
+
+    def test_events_fire_in_time_order(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(2.0, fired.append, "late")
+        sim.schedule(1.0, fired.append, "early")
+        sim.run()
+        assert fired == ["early", "late"]
+
+    def test_clock_advances_to_event_time(self):
+        sim = Simulator()
+        sim.schedule(3.5, lambda: None)
+        sim.run()
+        assert sim.now == 3.5
+
+    def test_ties_fire_in_scheduling_order(self):
+        sim = Simulator()
+        fired = []
+        for i in range(10):
+            sim.schedule(1.0, fired.append, i)
+        sim.run()
+        assert fired == list(range(10))
+
+    def test_schedule_in_past_raises(self):
+        sim = Simulator()
+        with pytest.raises(SimulationError):
+            sim.schedule(-0.1, lambda: None)
+
+    def test_schedule_at_before_now_raises(self):
+        sim = Simulator()
+        sim.schedule(1.0, lambda: None)
+        sim.run()
+        with pytest.raises(SimulationError):
+            sim.schedule_at(0.5, lambda: None)
+
+    def test_nested_scheduling_from_callback(self):
+        sim = Simulator()
+        fired = []
+
+        def outer():
+            fired.append("outer")
+            sim.schedule(1.0, fired.append, "inner")
+
+        sim.schedule(1.0, outer)
+        sim.run()
+        assert fired == ["outer", "inner"]
+        assert sim.now == 2.0
+
+    def test_zero_delay_event_fires_at_now(self):
+        sim = Simulator()
+        times = []
+        sim.schedule(1.0, lambda: sim.schedule(0.0, lambda: times.append(sim.now)))
+        sim.run()
+        assert times == [1.0]
+
+    def test_events_processed_counter(self):
+        sim = Simulator()
+        for _ in range(5):
+            sim.schedule(1.0, lambda: None)
+        sim.run()
+        assert sim.events_processed == 5
+
+
+class TestCancellation:
+    def test_cancelled_event_does_not_fire(self):
+        sim = Simulator()
+        fired = []
+        handle = sim.schedule(1.0, fired.append, "x")
+        handle.cancel()
+        sim.run()
+        assert fired == []
+
+    def test_cancel_is_idempotent(self):
+        sim = Simulator()
+        handle = sim.schedule(1.0, lambda: None)
+        handle.cancel()
+        handle.cancel()
+        assert handle.cancelled
+
+    def test_cancel_after_fire_is_noop(self):
+        sim = Simulator()
+        handle = sim.schedule(1.0, lambda: None)
+        sim.run()
+        handle.cancel()
+
+    def test_peek_skips_cancelled(self):
+        sim = Simulator()
+        h = sim.schedule(1.0, lambda: None)
+        sim.schedule(2.0, lambda: None)
+        h.cancel()
+        assert sim.peek() == 2.0
+
+
+class TestRunUntil:
+    def test_run_until_stops_future_events(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(1.0, fired.append, "a")
+        sim.schedule(5.0, fired.append, "b")
+        sim.run(until=2.0)
+        assert fired == ["a"]
+        assert sim.now == 2.0
+
+    def test_run_until_then_resume(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(1.0, fired.append, "a")
+        sim.schedule(5.0, fired.append, "b")
+        sim.run(until=2.0)
+        sim.run()
+        assert fired == ["a", "b"]
+
+    def test_run_for_advances_relative(self):
+        sim = Simulator()
+        sim.run_for(2.0)
+        sim.run_for(3.0)
+        assert sim.now == 5.0
+
+    def test_run_for_negative_raises(self):
+        with pytest.raises(SimulationError):
+            Simulator().run_for(-1.0)
+
+    def test_run_until_boundary_event_fires(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(2.0, fired.append, "edge")
+        sim.run(until=2.0)
+        assert fired == ["edge"]
+
+
+class TestPeriodicTask:
+    def test_fires_at_interval(self):
+        sim = Simulator()
+        times = []
+        sim.every(0.5, lambda: times.append(sim.now))
+        sim.run(until=2.0)
+        assert times == [0.5, 1.0, 1.5, 2.0]
+
+    def test_custom_start(self):
+        sim = Simulator()
+        times = []
+        sim.every(1.0, lambda: times.append(sim.now), start=0.25)
+        sim.run(until=2.5)
+        assert times == [0.25, 1.25, 2.25]
+
+    def test_cancel_stops_repetition(self):
+        sim = Simulator()
+        times = []
+        task = sim.every(1.0, lambda: times.append(sim.now))
+        sim.run(until=2.0)
+        task.cancel()
+        sim.run(until=10.0)
+        assert times == [1.0, 2.0]
+
+    def test_cancel_from_within_callback(self):
+        sim = Simulator()
+        count = []
+        task = sim.every(1.0, lambda: (count.append(1), task.cancel()))
+        sim.run(until=5.0)
+        assert len(count) == 1
+
+    def test_nonpositive_interval_raises(self):
+        with pytest.raises(SimulationError):
+            Simulator().every(0.0, lambda: None)
+
+
+@given(delays=st.lists(st.floats(min_value=0.0, max_value=1e6), min_size=1, max_size=200))
+def test_property_events_fire_in_nondecreasing_time(delays):
+    """Whatever the scheduling order, firing times are sorted."""
+    sim = Simulator()
+    observed = []
+    for d in delays:
+        sim.schedule(d, lambda: observed.append(sim.now))
+    sim.run()
+    assert observed == sorted(observed)
+    assert len(observed) == len(delays)
+
+
+@given(
+    delays=st.lists(st.floats(min_value=0.0, max_value=100.0), min_size=1, max_size=50),
+    cutoff=st.floats(min_value=0.0, max_value=100.0),
+)
+def test_property_run_until_is_a_clean_partition(delays, cutoff):
+    """run(until=c) fires exactly the events with time <= c."""
+    sim = Simulator()
+    fired = []
+    for d in delays:
+        sim.schedule(d, fired.append, d)
+    sim.run(until=cutoff)
+    assert sorted(fired) == sorted(d for d in delays if d <= cutoff)

@@ -1,0 +1,153 @@
+"""Tests for link models: serialization, queueing, propagation."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.sim import (
+    ControlChannel,
+    FixedRateLink,
+    MahimahiTrace,
+    Simulator,
+    TraceDrivenLink,
+)
+
+
+class TestFixedRateLink:
+    def test_serialization_delay(self):
+        sim = Simulator()
+        link = FixedRateLink(sim, bytes_per_second=1000)
+        arrivals = []
+        link.send(500, lambda p: arrivals.append(sim.now))
+        sim.run()
+        assert arrivals == [0.5]
+
+    def test_propagation_adds_latency(self):
+        sim = Simulator()
+        link = FixedRateLink(sim, bytes_per_second=1000, propagation_delay_s=0.1)
+        arrivals = []
+        link.send(500, lambda p: arrivals.append(sim.now))
+        sim.run()
+        assert arrivals == [pytest.approx(0.6)]
+
+    def test_fifo_queueing(self):
+        """Back-to-back sends serialize one after another."""
+        sim = Simulator()
+        link = FixedRateLink(sim, bytes_per_second=1000)
+        arrivals = []
+        link.send(1000, lambda p: arrivals.append((p, sim.now)), "a")
+        link.send(1000, lambda p: arrivals.append((p, sim.now)), "b")
+        sim.run()
+        assert arrivals == [("a", 1.0), ("b", 2.0)]
+
+    def test_queue_delay_reflects_backlog(self):
+        sim = Simulator()
+        link = FixedRateLink(sim, bytes_per_second=1000)
+        link.send(2000, lambda p: None)
+        assert link.queue_delay() == pytest.approx(2.0)
+        sim.run()
+        assert link.queue_delay() == 0.0
+
+    def test_idle_gap_resets_queue(self):
+        sim = Simulator()
+        link = FixedRateLink(sim, bytes_per_second=1000)
+        link.send(1000, lambda p: None)
+        sim.run()
+        sim.run_for(5.0)
+        arrivals = []
+        link.send(1000, lambda p: arrivals.append(sim.now))
+        sim.run()
+        assert arrivals == [pytest.approx(7.0)]
+
+    def test_counters(self):
+        sim = Simulator()
+        link = FixedRateLink(sim, bytes_per_second=1000)
+        link.send(300, lambda p: None)
+        link.send(700, lambda p: None)
+        sim.run()
+        assert link.bytes_accepted == 1000
+        assert link.bytes_delivered == 1000
+        assert link.payloads_delivered == 2
+
+    def test_rejects_bad_params(self):
+        sim = Simulator()
+        with pytest.raises(ValueError):
+            FixedRateLink(sim, bytes_per_second=0)
+        with pytest.raises(ValueError):
+            FixedRateLink(sim, bytes_per_second=1, propagation_delay_s=-1)
+        link = FixedRateLink(sim, bytes_per_second=1)
+        with pytest.raises(ValueError):
+            link.send(-5, lambda p: None)
+
+    def test_zero_byte_payload_arrives_after_latency_only(self):
+        sim = Simulator()
+        link = FixedRateLink(sim, bytes_per_second=1000, propagation_delay_s=0.25)
+        arrivals = []
+        link.send(0, lambda p: arrivals.append(sim.now))
+        sim.run()
+        assert arrivals == [pytest.approx(0.25)]
+
+
+class TestTraceDrivenLink:
+    def test_delivery_follows_trace_opportunities(self):
+        sim = Simulator()
+        trace = MahimahiTrace((10, 20, 30), period_ms=30)
+        link = TraceDrivenLink(sim, trace)
+        arrivals = []
+        link.send(100, lambda p: arrivals.append(sim.now))
+        link.send(100, lambda p: arrivals.append(sim.now))
+        sim.run()
+        assert arrivals == [pytest.approx(0.010), pytest.approx(0.020)]
+
+    def test_mean_rate_matches_trace(self):
+        sim = Simulator()
+        trace = MahimahiTrace.constant_rate(150_000)  # 100 packets/s
+        link = TraceDrivenLink(sim, trace)
+        arrivals = []
+        total = 0
+        for _ in range(100):
+            link.send(1500, lambda p: arrivals.append(sim.now))
+            total += 1500
+        sim.run()
+        # 150 KB at 150 KB/s should take ~1s end to end.
+        assert arrivals[-1] == pytest.approx(1.0, rel=0.05)
+
+
+class TestControlChannel:
+    def test_latency_only(self):
+        sim = Simulator()
+        chan = ControlChannel(sim, latency_s=0.05)
+        arrivals = []
+        chan.send(lambda p: arrivals.append((p, sim.now)), "msg")
+        sim.run()
+        assert arrivals == [("msg", 0.05)]
+
+    def test_fifo_ordering_preserved(self):
+        sim = Simulator()
+        chan = ControlChannel(sim, latency_s=0.05)
+        arrivals = []
+        chan.send(lambda p: arrivals.append(p), 1)
+        chan.send(lambda p: arrivals.append(p), 2)
+        sim.run()
+        assert arrivals == [1, 2]
+
+    def test_rejects_negative_latency(self):
+        with pytest.raises(ValueError):
+            ControlChannel(Simulator(), latency_s=-0.1)
+
+
+@given(
+    sizes=st.lists(st.integers(min_value=1, max_value=100_000), min_size=1, max_size=40),
+    rate=st.integers(min_value=1_000, max_value=10_000_000),
+)
+def test_property_fixed_link_conserves_bandwidth(sizes, rate):
+    """Total delivery time >= total bytes / rate, and FIFO order holds."""
+    sim = Simulator()
+    link = FixedRateLink(sim, bytes_per_second=rate)
+    order = []
+    for i, size in enumerate(sizes):
+        link.send(size, order.append, i)
+    sim.run()
+    assert order == list(range(len(sizes)))
+    assert sim.now >= sum(sizes) / rate - 1e-9
+    assert sim.now == pytest.approx(sum(sizes) / rate)

@@ -1,0 +1,121 @@
+"""Tests for the Mahimahi trace model."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.sim import MTU_BYTES, MahimahiTrace
+
+
+class TestConstruction:
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            MahimahiTrace(())
+
+    def test_rejects_unsorted(self):
+        with pytest.raises(ValueError):
+            MahimahiTrace((5, 3))
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            MahimahiTrace((-1, 3))
+
+    def test_period_defaults_to_last_stamp(self):
+        assert MahimahiTrace((10, 20, 30)).period_ms == 30
+
+    def test_period_must_cover_last_stamp(self):
+        with pytest.raises(ValueError):
+            MahimahiTrace((10, 50), period_ms=40)
+
+    def test_from_lines_roundtrip(self):
+        trace = MahimahiTrace((1, 2, 5), period_ms=10)
+        parsed = MahimahiTrace.from_lines(trace.to_lines())
+        assert parsed.opportunities_ms == (1, 2, 5)
+
+    def test_repeated_stamps_allowed(self):
+        trace = MahimahiTrace((5, 5, 5), period_ms=10)
+        assert trace.capacity_bytes(0.0, 0.010) == 3 * MTU_BYTES
+
+
+class TestConstantRate:
+    def test_mean_rate_close_to_request(self):
+        for rate in (100_000, 1_500_000, 15_000_000):
+            trace = MahimahiTrace.constant_rate(rate)
+            assert trace.mean_rate_bytes_per_s == pytest.approx(rate, rel=0.02)
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            MahimahiTrace.constant_rate(0)
+
+
+class TestTransmitFinish:
+    def test_zero_bytes_is_instant(self):
+        trace = MahimahiTrace((10, 20), period_ms=20)
+        assert trace.transmit_finish(0.005, 0) == 0.005
+
+    def test_single_packet_uses_next_opportunity(self):
+        trace = MahimahiTrace((10, 20), period_ms=20)
+        assert trace.transmit_finish(0.0, 100) == pytest.approx(0.010)
+        assert trace.transmit_finish(0.010, 100) == pytest.approx(0.020)
+
+    def test_wraps_across_cycles(self):
+        trace = MahimahiTrace((10, 20), period_ms=20)
+        # Third packet is the first opportunity of the second cycle.
+        assert trace.transmit_finish(0.0, 3 * MTU_BYTES) == pytest.approx(0.030)
+
+    def test_large_transfer_spans_many_opportunities(self):
+        trace = MahimahiTrace.constant_rate(1_500_000)  # 1000 pkts/s
+        finish = trace.transmit_finish(0.0, 1_500_000)
+        assert finish == pytest.approx(1.0, rel=0.01)
+
+    def test_serialization_chains(self):
+        """Feeding finish back as start serializes transfers FIFO."""
+        trace = MahimahiTrace.constant_rate(1_500_000)
+        t1 = trace.transmit_finish(0.0, 150_000)
+        t2 = trace.transmit_finish(t1, 150_000)
+        assert t2 > t1
+        assert t2 == pytest.approx(0.2, rel=0.05)
+
+
+class TestCapacity:
+    def test_empty_interval(self):
+        trace = MahimahiTrace((10,), period_ms=20)
+        assert trace.capacity_bytes(1.0, 1.0) == 0
+        assert trace.capacity_bytes(2.0, 1.0) == 0
+
+    def test_one_cycle(self):
+        trace = MahimahiTrace((10, 20), period_ms=20)
+        assert trace.capacity_bytes(0.0, 0.020) == 2 * MTU_BYTES
+
+    def test_many_cycles(self):
+        trace = MahimahiTrace((10, 20), period_ms=20)
+        assert trace.capacity_bytes(0.0, 0.200) == 20 * MTU_BYTES
+
+
+@given(
+    stamps=st.lists(st.integers(min_value=0, max_value=1000), min_size=1, max_size=50),
+    nbytes=st.integers(min_value=1, max_value=10 * MTU_BYTES),
+    start_ms=st.integers(min_value=0, max_value=5000),
+)
+def test_property_finish_never_before_start(stamps, nbytes, start_ms):
+    trace = MahimahiTrace(tuple(sorted(stamps)))
+    start = start_ms / 1000.0
+    assert trace.transmit_finish(start, nbytes) >= start
+
+
+@given(
+    stamps=st.lists(st.integers(min_value=1, max_value=1000), min_size=2, max_size=50),
+    sizes=st.lists(st.integers(min_value=1, max_value=3 * MTU_BYTES), min_size=2, max_size=10),
+)
+def test_property_chained_transfers_respect_capacity(stamps, sizes):
+    """Bytes pushed through chained transfers never exceed link capacity."""
+    trace = MahimahiTrace(tuple(sorted(stamps)))
+    t = 0.0
+    for size in sizes:
+        t = trace.transmit_finish(t, size)
+    total = sum(sizes)
+    # Capacity up to and including the final instant must cover the
+    # packets consumed (each packet carries up to MTU bytes).
+    packets_used = sum(-(-s // MTU_BYTES) for s in sizes)
+    assert trace.capacity_bytes(0.0, t + 1e-9) >= packets_used * MTU_BYTES
+    assert total <= packets_used * MTU_BYTES

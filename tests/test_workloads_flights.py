@@ -1,0 +1,80 @@
+"""Tests for the synthetic flights dataset."""
+
+import numpy as np
+import pytest
+
+from repro.backends.database import RangeFilter
+from repro.workloads.flights import FLIGHT_CHARTS, ChartSpec, FlightsDataset
+
+
+class TestChartSpec:
+    def test_query_carries_domain_and_bins(self):
+        spec = FLIGHT_CHARTS[0]
+        q = spec.query()
+        assert q.column == spec.column
+        assert q.bins == spec.bins
+        assert q.domain == spec.domain
+
+    def test_middle_filter_centered(self):
+        spec = ChartSpec("X", "x", bins=10, domain=(0.0, 100.0))
+        f = spec.middle_filter(0.5)
+        assert f.lo == pytest.approx(25.0)
+        assert f.hi == pytest.approx(75.0)
+
+    def test_middle_filter_rejects_bad_fraction(self):
+        spec = ChartSpec("X", "x", bins=10, domain=(0.0, 100.0))
+        with pytest.raises(ValueError):
+            spec.middle_filter(0.0)
+
+    def test_rejects_empty_domain(self):
+        with pytest.raises(ValueError):
+            ChartSpec("X", "x", bins=10, domain=(5.0, 5.0))
+
+
+class TestFlightsDataset:
+    @pytest.fixture(scope="class")
+    def table(self):
+        return FlightsDataset(seed=42).generate(20_000)
+
+    def test_schema_covers_all_charts(self, table):
+        for spec in FLIGHT_CHARTS:
+            assert spec.column in table.columns
+
+    def test_deterministic(self):
+        a = FlightsDataset(seed=1).generate(1_000)
+        b = FlightsDataset(seed=1).generate(1_000)
+        assert np.array_equal(a.column("distance"), b.column("distance"))
+
+    def test_air_time_correlates_with_distance(self, table):
+        r = np.corrcoef(table.column("distance"), table.column("air_time"))[0, 1]
+        assert r > 0.9
+
+    def test_arrival_tracks_departure_delay(self, table):
+        r = np.corrcoef(table.column("dep_delay"), table.column("arr_delay"))[0, 1]
+        assert r > 0.7
+
+    def test_domains_cover_bulk_of_data(self, table):
+        """Chart domains should capture >= 95% of rows (fixed axes)."""
+        for spec in FLIGHT_CHARTS:
+            col = table.column(spec.column)
+            lo, hi = spec.domain
+            inside = ((col >= lo) & (col < hi)).mean()
+            assert inside >= 0.95, spec.name
+
+    def test_histograms_respond_to_filters(self, table):
+        spec = FLIGHT_CHARTS[0]
+        unfiltered = table.histogram(spec.query())
+        filtered = table.histogram(
+            spec.query(filters=(RangeFilter("dep_delay", 30.0, 600.0),))
+        )
+        assert filtered.sum() < unfiltered.sum()
+        assert (filtered <= unfiltered).all()
+
+    def test_scale_helpers(self):
+        ds = FlightsDataset(seed=0)
+        assert ds.small(scale=0.001).num_rows == 1_000
+        assert ds.big(scale=0.001).num_rows == 7_000
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            FlightsDataset().generate(0)

@@ -1,0 +1,92 @@
+"""Tests for the image exploration application bundle."""
+
+import pytest
+
+from repro.sim.engine import Simulator
+from repro.workloads.image_app import ImageExplorationApp, SyntheticImageStore
+from repro.workloads.mouse import MouseTraceGenerator
+
+
+class TestSyntheticImageStore:
+    def test_sizes_in_paper_range(self):
+        store = SyntheticImageStore(200)
+        for asset in store.assets.values():
+            assert 1_300_000 <= asset.size_bytes <= 2_000_000
+
+    def test_deterministic(self):
+        a = SyntheticImageStore(50, seed=9)
+        b = SyntheticImageStore(50, seed=9)
+        assert [x.size_bytes for x in a.assets.values()] == [
+            x.size_bytes for x in b.assets.values()
+        ]
+
+    def test_different_seeds_differ(self):
+        a = SyntheticImageStore(50, seed=1)
+        b = SyntheticImageStore(50, seed=2)
+        assert [x.size_bytes for x in a.assets.values()] != [
+            x.size_bytes for x in b.assets.values()
+        ]
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            SyntheticImageStore(0)
+
+    def test_rejects_bad_range(self):
+        with pytest.raises(ValueError):
+            SyntheticImageStore(5, min_bytes=100, max_bytes=50)
+
+
+class TestImageExplorationApp:
+    def test_block_counts_match_encoder(self):
+        app = ImageExplorationApp(rows=5, cols=5)
+        blocks = app.num_blocks
+        assert len(blocks) == 25
+        for request, nb in enumerate(blocks):
+            assert nb == app.encoder.num_blocks(request)
+            # 1.3-2 MB at 50 KB blocks: 26-40 blocks.
+            assert 26 <= nb <= 40
+
+    def test_mean_response_bytes(self):
+        app = ImageExplorationApp(rows=4, cols=4)
+        mean = app.mean_response_bytes()
+        assert 1_300_000 <= mean <= 2_000_000
+
+    def test_backend_encodes_matching_blocks(self):
+        sim = Simulator()
+        app = ImageExplorationApp(rows=3, cols=3)
+        backend = app.make_backend(sim, fetch_delay_s=0.05)
+        got = []
+        backend.fetch(4, got.append)
+        sim.run()
+        assert len(got) == 1
+        assert got[0].num_blocks == app.num_blocks[4]
+
+    def test_predictor_factory_names(self):
+        app = ImageExplorationApp(rows=3, cols=3)
+        trace = MouseTraceGenerator(app.layout, seed=0).generate(2.0)
+        assert app.make_predictor("kalman").name == "kalman"
+        assert app.make_predictor("uniform").name == "uniform"
+        assert app.make_predictor("point").name == "point"
+        assert app.make_predictor("oracle", trace=trace).name == "oracle"
+
+    def test_oracle_requires_trace(self):
+        app = ImageExplorationApp(rows=3, cols=3)
+        with pytest.raises(ValueError):
+            app.make_predictor("oracle")
+
+    def test_unknown_predictor_rejected(self):
+        app = ImageExplorationApp(rows=3, cols=3)
+        with pytest.raises(ValueError):
+            app.make_predictor("psychic")
+
+    def test_oracle_reads_future_position(self):
+        """The oracle's distribution at time t concentrates on the cell
+        the trace visits at t + delta."""
+        app = ImageExplorationApp(rows=4, cols=4)
+        trace = MouseTraceGenerator(app.layout, seed=1).generate(5.0)
+        predictor = app.make_predictor("oracle", trace=trace)
+        t = 2.0
+        dist = predictor.server.decode(t, predictor.deltas_s)
+        x, y = trace.position_at(t + predictor.deltas_s[0])
+        expected = app.layout.request_at(x, y)
+        assert dist.prob_of(expected, predictor.deltas_s[0]) > 0.5

@@ -1,0 +1,97 @@
+"""Tests for the saccade/dwell mouse trace generator."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.predictors.layout import GridLayout
+from repro.workloads.mouse import MouseTraceGenerator, SaccadeDwellParams
+
+
+@pytest.fixture()
+def layout() -> GridLayout:
+    return GridLayout(10, 10, cell_width=20.0, cell_height=20.0)
+
+
+class TestGeneration:
+    def test_deterministic_for_same_seed(self, layout):
+        a = MouseTraceGenerator(layout, seed=5).generate(10.0, trace_id=3)
+        b = MouseTraceGenerator(layout, seed=5).generate(10.0, trace_id=3)
+        assert [(e.time_s, e.x, e.y, e.request) for e in a.events] == [
+            (e.time_s, e.x, e.y, e.request) for e in b.events
+        ]
+
+    def test_distinct_users_differ(self, layout):
+        gen = MouseTraceGenerator(layout, seed=5)
+        a = gen.generate(10.0, trace_id=0)
+        b = gen.generate(10.0, trace_id=1)
+        assert [(e.x, e.y) for e in a.events[:50]] != [
+            (e.x, e.y) for e in b.events[:50]
+        ]
+
+    def test_duration_respected(self, layout):
+        trace = MouseTraceGenerator(layout, seed=1).generate(duration_s=7.5)
+        assert trace.duration_s <= 7.5
+
+    def test_positions_stay_inside_layout(self, layout):
+        trace = MouseTraceGenerator(layout, seed=2).generate(15.0)
+        for e in trace.events:
+            assert 0.0 <= e.x <= layout.width
+            assert 0.0 <= e.y <= layout.height
+
+    def test_requests_fire_on_cell_change_only(self, layout):
+        """A request id always matches the cell under the new position,
+        and consecutive identical cells never re-fire."""
+        trace = MouseTraceGenerator(layout, seed=3).generate(15.0)
+        current = None
+        for e in trace.events:
+            cell = layout.request_at(e.x, e.y)
+            if e.request is not None:
+                assert e.request == cell
+                assert e.request != current
+                current = e.request
+
+    def test_request_rate_is_bursty_but_bounded(self, layout):
+        """Bursts exist (sub-10 ms gaps) but stay near the paper's
+        ~32 requests/s; the mean think time is tens of milliseconds."""
+        trace = MouseTraceGenerator(layout, seed=4).generate(30.0)
+        thinks = trace.think_times_s()
+        assert thinks.min() < 0.020
+        assert 0.01 < thinks.mean() < 0.5
+
+    def test_corpus_size_and_names(self, layout):
+        traces = MouseTraceGenerator(layout, seed=1).generate_corpus(3, 5.0)
+        assert [t.name for t in traces] == ["mouse-0", "mouse-1", "mouse-2"]
+
+    def test_invalid_duration_rejected(self, layout):
+        with pytest.raises(ValueError):
+            MouseTraceGenerator(layout).generate(duration_s=0.0)
+
+    def test_invalid_corpus_rejected(self, layout):
+        with pytest.raises(ValueError):
+            MouseTraceGenerator(layout).generate_corpus(0)
+
+
+class TestParams:
+    def test_negative_rate_rejected(self):
+        with pytest.raises(ValueError):
+            SaccadeDwellParams(sample_rate_hz=0.0)
+
+    def test_negative_speed_rejected(self):
+        with pytest.raises(ValueError):
+            SaccadeDwellParams(speed_px_s=-1.0)
+
+    def test_bad_pause_prob_rejected(self):
+        with pytest.raises(ValueError):
+            SaccadeDwellParams(long_pause_prob=1.5)
+
+
+@given(seed=st.integers(0, 1_000), duration=st.floats(1.0, 20.0))
+def test_property_traces_are_time_ordered_and_sampled(seed, duration):
+    layout = GridLayout(6, 6, cell_width=25.0, cell_height=25.0)
+    trace = MouseTraceGenerator(layout, seed=seed).generate(duration)
+    times = [e.time_s for e in trace.events]
+    assert all(b >= a for a, b in zip(times, times[1:]))
+    # Sampling gaps never exceed one sample interval (plus float slack).
+    dt = 1.0 / SaccadeDwellParams().sample_rate_hz
+    assert all((b - a) <= dt * 1.01 for a, b in zip(times, times[1:]))

@@ -1,0 +1,93 @@
+"""Tests for think-time rescaling (§6.2)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.workloads.thinktime import mean_think_time_s, rescale_think_times, scale_time
+from repro.workloads.trace import InteractionTrace, TraceEvent
+
+
+def make_trace(request_times, name="t"):
+    events = []
+    t = 0.0
+    for rt in request_times:
+        events.append(TraceEvent(t, 0.0, 0.0))
+        events.append(TraceEvent(rt, 1.0, 1.0, request=len(events)))
+        t = rt
+    return InteractionTrace(events, name=name)
+
+
+class TestMeanThinkTime:
+    def test_simple_mean(self):
+        trace = make_trace([1.0, 2.0, 4.0])
+        # Gaps: 1.0 and 2.0 -> mean 1.5
+        assert mean_think_time_s(trace) == pytest.approx(1.5)
+
+    def test_single_request_is_zero(self):
+        trace = InteractionTrace(
+            [TraceEvent(0.0, 0, 0, request=1), TraceEvent(1.0, 0, 0)]
+        )
+        assert mean_think_time_s(trace) == 0.0
+
+
+class TestRescale:
+    def test_hits_target_mean(self):
+        trace = make_trace([0.5, 1.5, 3.5])
+        warped = rescale_think_times(trace, 0.1)
+        assert mean_think_time_s(warped) == pytest.approx(0.1)
+
+    def test_request_sequence_preserved(self):
+        trace = make_trace([0.5, 1.5, 3.5])
+        warped = rescale_think_times(trace, 0.2)
+        assert [e.request for e in warped.events] == [
+            e.request for e in trace.events
+        ]
+
+    def test_positions_untouched(self):
+        trace = make_trace([0.5, 1.5])
+        warped = rescale_think_times(trace, 0.05)
+        assert [(e.x, e.y) for e in warped.events] == [
+            (e.x, e.y) for e in trace.events
+        ]
+
+    def test_rejects_nonpositive_target(self):
+        trace = make_trace([1.0, 2.0])
+        with pytest.raises(ValueError):
+            rescale_think_times(trace, 0.0)
+
+    def test_rejects_trace_without_gaps(self):
+        trace = InteractionTrace(
+            [TraceEvent(0.0, 0, 0, request=1), TraceEvent(1.0, 0, 0)]
+        )
+        with pytest.raises(ValueError):
+            rescale_think_times(trace, 0.1)
+
+
+class TestScaleTime:
+    def test_uniform_scaling(self):
+        trace = make_trace([1.0, 3.0])
+        scaled = scale_time(trace, 0.5)
+        assert scaled.events[-1].time_s == pytest.approx(1.5)
+
+    def test_rejects_nonpositive_factor(self):
+        trace = make_trace([1.0])
+        with pytest.raises(ValueError):
+            scale_time(trace, -1.0)
+
+
+@given(
+    gaps=st.lists(st.floats(0.01, 5.0), min_size=2, max_size=20),
+    target=st.floats(0.005, 2.0),
+)
+def test_property_rescale_preserves_gap_ratios(gaps, target):
+    """Rescaling multiplies every gap by the same factor, so the
+    distribution's shape (ratios between gaps) is preserved."""
+    times = list(np.cumsum(gaps))
+    trace = make_trace(times)
+    warped = rescale_think_times(trace, target)
+    original = trace.think_times_s()
+    new = warped.think_times_s()
+    assert mean_think_time_s(warped) == pytest.approx(target, rel=1e-6)
+    ratio = new / original
+    assert np.allclose(ratio, ratio[0], rtol=1e-6)
