@@ -1,0 +1,77 @@
+"""Fleet scaling — N concurrent sessions over one backend + downlink.
+
+Beyond the paper: the ROADMAP's serving scenario.  Sweeps the fleet
+size over N ∈ {1, 8, 32} sessions, all exploring the same application
+through a shared backend (cross-session fetch dedup) and a weighted
+fair-shared downlink, and records per-session plus aggregate cache-hit
+rate and p95 response latency.
+
+Expected shape: per-session bandwidth shrinks ~1/N, so aggregate
+utility degrades gracefully with N while the downlink stays fairly
+shared (Jain index near 1) and backend sharing absorbs a growing
+fraction of fetches.
+"""
+
+from repro.experiments.configs import DEFAULT_ENV, FleetEnvironment
+from repro.experiments.runner import run_fleet
+from repro.workloads.image_app import ImageExplorationApp
+from repro.workloads.mouse import MouseTraceGenerator
+
+FLEET_SIZES = (1, 8, 32)
+TRACE_DURATION_S = 8.0
+
+
+def run_one(num_sessions: int, bench_scale) -> dict:
+    app = ImageExplorationApp(rows=bench_scale.rows, cols=bench_scale.cols)
+    traces = [
+        MouseTraceGenerator(app.layout, seed=100 + i).generate(
+            duration_s=TRACE_DURATION_S
+        )
+        for i in range(num_sessions)
+    ]
+    fleet_env = FleetEnvironment(num_sessions=num_sessions, env=DEFAULT_ENV)
+    return run_fleet(app, traces, fleet_env, predictor="kalman")
+
+
+def test_fleet_scaling(benchmark, bench_scale, bench_report):
+    results = benchmark.pedantic(
+        lambda: [run_one(n, bench_scale) for n in FLEET_SIZES],
+        rounds=1,
+        iterations=1,
+    )
+    rows = [r.aggregate_row() for r in results]
+    bench_report(
+        "fleet_scaling", rows, "Fleet scaling: aggregate metrics vs sessions"
+    )
+    per_session_rows = [row for r in results for row in r.rows(sessions=len(r.summary.per_session))]
+    bench_report(
+        "fleet_scaling_sessions",
+        per_session_rows,
+        "Fleet scaling: per-session metrics",
+    )
+
+    by_n = dict(zip(FLEET_SIZES, results))
+
+    # Every fleet size runs to completion and serves requests in every
+    # session (the 32-session acceptance criterion).
+    for n, result in by_n.items():
+        agg = result.summary.aggregate
+        assert agg.num_requests > 0
+        assert agg.num_served > 0
+        assert len(result.summary.per_session) == n
+        served_sessions = sum(
+            1 for s in result.summary.per_session if s is not None and s.num_served > 0
+        )
+        assert served_sessions == n
+
+    # The downlink is shared fairly at every size.
+    for result in results:
+        assert result.diagnostics["link_fairness"] > 0.9
+
+    # Sharing one backend pays off once there is more than one session.
+    assert by_n[32].diagnostics["shared_hit_rate"] > by_n[1].diagnostics["shared_hit_rate"]
+    assert by_n[32].diagnostics["shared_hit_rate"] > 0.05
+
+    # Per-session capacity shrinks with N, so aggregate quality should
+    # not improve as the fleet grows.
+    assert by_n[32].summary.aggregate.mean_utility <= by_n[1].summary.aggregate.mean_utility + 0.05

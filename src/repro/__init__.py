@@ -20,6 +20,9 @@ Layout (see DESIGN.md for the full inventory):
 - :mod:`repro.workloads` — trace generators and the two evaluation
   applications (image exploration, Falcon).
 - :mod:`repro.baselines` — Baseline, Progressive, and ACC-<acc>-<hor>.
+- :mod:`repro.fleet` — multi-tenant serving: N concurrent sessions over
+  one backend (cross-session fetch dedup, shared §5.4 throttle budget)
+  and one weighted fair-shared downlink.
 - :mod:`repro.metrics` / :mod:`repro.experiments` — measurement and the
   per-figure experiment drivers.
 """

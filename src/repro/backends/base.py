@@ -33,13 +33,25 @@ class BackendStats:
         self.fetches_started = 0
         self.fetches_completed = 0
         self.cache_hits = 0
+        self.piggybacked = 0
         self.peak_concurrency = 0
+
+    @property
+    def shared_hits(self) -> int:
+        """Fetches answered without new backend work (cache + piggyback).
+
+        With several sessions sharing one backend this counts the
+        cross-session dedup benefit: a fetch that found the response
+        cached, or joined another session's in-flight fetch.
+        """
+        return self.cache_hits + self.piggybacked
 
     def snapshot(self) -> dict:
         return {
             "fetches_started": self.fetches_started,
             "fetches_completed": self.fetches_completed,
             "cache_hits": self.cache_hits,
+            "piggybacked": self.piggybacked,
             "peak_concurrency": self.peak_concurrency,
         }
 
@@ -78,6 +90,14 @@ class Backend:
     def is_cached(self, request: int) -> bool:
         return request in self._cache
 
+    def is_inflight(self, request: int) -> bool:
+        """True while a fetch for ``request`` is being processed."""
+        return request in self._inflight
+
+    def is_materialized(self, request: int) -> bool:
+        """Cached or in flight — the §5.4 throttle's admission rule."""
+        return request in self._cache or request in self._inflight
+
     def cached(self, request: int) -> Optional[ProgressiveResponse]:
         return self._cache.get(request)
 
@@ -95,6 +115,7 @@ class Backend:
             return
         waiting = self._inflight.get(request)
         if waiting is not None:
+            self.stats.piggybacked += 1
             waiting.append(on_complete)
             return
         self._inflight[request] = [on_complete]

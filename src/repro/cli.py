@@ -59,6 +59,29 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
     sub.add_parser("list", help="list available figures")
+    fleet = sub.add_parser(
+        "fleet",
+        help="multi-session fleet serving over a shared backend + downlink",
+    )
+    fleet.add_argument(
+        "--sessions", type=int, default=8, help="concurrent sessions (default: 8)"
+    )
+    fleet.add_argument(
+        "--scale",
+        choices=sorted(_SCALES),
+        default="default",
+        help="application scale (default: reduced 'default' scale)",
+    )
+    fleet.add_argument(
+        "--predictor", default="kalman", help="per-session predictor (default: kalman)"
+    )
+    fleet.add_argument(
+        "--backend-concurrency",
+        type=int,
+        default=None,
+        help="shared backend throttle budget (default: unthrottled)",
+    )
+    fleet.add_argument("--out", help="also write the table to this file")
     for name, (_fn, _scaled, desc) in FIGURES.items():
         p = sub.add_parser(name, help=desc)
         p.add_argument(
@@ -71,6 +94,37 @@ def _build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _run_fleet_command(args) -> tuple[list[dict], str]:
+    """Run N concurrent sessions and report per-session + fleet rows."""
+    from repro.experiments.configs import DEFAULT_ENV, FleetEnvironment
+    from repro.experiments.runner import run_fleet
+    from repro.workloads.image_app import ImageExplorationApp
+    from repro.workloads.mouse import MouseTraceGenerator
+
+    scale = _SCALES[args.scale]
+    app = ImageExplorationApp(rows=scale.rows, cols=scale.cols)
+    traces = [
+        MouseTraceGenerator(app.layout, seed=100 + i).generate(
+            duration_s=scale.trace_duration_s
+        )
+        for i in range(args.sessions)
+    ]
+    fleet_env = FleetEnvironment(
+        num_sessions=args.sessions,
+        env=DEFAULT_ENV,
+        backend_concurrency=args.backend_concurrency,
+    )
+    result = run_fleet(app, traces, fleet_env, predictor=args.predictor)
+    rows = result.rows()
+    d = result.diagnostics
+    title = (
+        f"fleet: {args.sessions} sessions | link fairness "
+        f"{d['link_fairness']:.3f} | shared backend hits "
+        f"{100 * d['shared_hit_rate']:.1f}%"
+    )
+    return rows, title
+
+
 def main(argv: Optional[list[str]] = None) -> int:
     args = _build_parser().parse_args(argv)
     if args.command == "list":
@@ -79,9 +133,13 @@ def main(argv: Optional[list[str]] = None) -> int:
             print(f"{name:<{width}}  {desc}")
         return 0
 
-    driver, takes_scale, desc = FIGURES[args.command]
-    rows = driver(scale=_SCALES[args.scale]) if takes_scale else driver()
-    table = format_table(rows, title=f"{args.command}: {desc}")
+    if args.command == "fleet":
+        rows, title = _run_fleet_command(args)
+    else:
+        driver, takes_scale, desc = FIGURES[args.command]
+        rows = driver(scale=_SCALES[args.scale]) if takes_scale else driver()
+        title = f"{args.command}: {desc}"
+    table = format_table(rows, title=title)
     print(table)
     if args.out:
         with open(args.out, "w") as f:

@@ -193,6 +193,18 @@ class GreedyScheduler:
                 raise ValueError(f"cannot roll back {block}: not allocated")
             if have == 1:
                 del self._pending[block.request]
+                # A request promoted out of the meta pool in a slot that
+                # is now rolled back has no allocation left backing the
+                # promotion: return it to the pool so it stops carrying
+                # an individual probability weight until the batch reset.
+                # Blocks already sent (mirror-held) still back it — the
+                # concrete next-block gain must survive for requests the
+                # client holds a prefix of.
+                if (
+                    block.request in self._promoted
+                    and self._effective_blocks(block.request) == 0
+                ):
+                    self._promoted.remove(block.request)
             else:
                 self._pending[block.request] = have - 1
             self._t = max(0, self._t - 1)

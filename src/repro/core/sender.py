@@ -146,7 +146,11 @@ class Sender:
             self._ensure_fetch(block.request)
 
     def _admit(self, block: ScheduledBlock) -> bool:
-        materialized = self.backend.is_cached(block.request) or any(
+        # §5.4: "cached or in flight" counts as materialized — an
+        # in-flight fetch already holds its backend slot, so re-admitting
+        # the request (e.g. after refresh() cleared the pipeline) must
+        # not be deferred or charged a second slot.
+        materialized = self.backend.is_materialized(block.request) or any(
             entry.request == block.request for entry in self._pipeline
         )
         if materialized:
@@ -154,8 +158,13 @@ class Sender:
         return self.throttle.available_slots > 0
 
     def _ensure_fetch(self, request: int) -> None:
-        if not self.backend.is_cached(request):
-            self.backend.fetch(request, self._on_fetched)
+        if self.backend.is_cached(request):
+            # Count the avoided fetch: reuse of a cached response must
+            # show up in the backend's hit accounting (it never reaches
+            # fetch(), which only sees uncached/in-flight requests).
+            self.backend.stats.cache_hits += 1
+            return
+        self.backend.fetch(request, self._on_fetched)
 
     def _on_fetched(self, _response: ProgressiveResponse) -> None:
         self._pump()
@@ -180,6 +189,10 @@ class Sender:
 
     def _transmit(self) -> None:
         self._send_scheduled = False
+        if not self._started:
+            # stop() cannot cancel an already-scheduled transmit event;
+            # honour the "no further sends" contract here instead.
+            return
         if not self._pipeline:
             self._pump()
             return

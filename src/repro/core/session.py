@@ -32,6 +32,7 @@ from typing import TYPE_CHECKING, Optional, Sequence
 if TYPE_CHECKING:  # core is the lower layer; import upper layers for typing only
     from repro.predictors.base import Predictor
     from repro.backends.base import Backend
+    from repro.backends.throttle import BackendThrottle
 
 from repro.core.cache import RingBufferCache
 from repro.core.cache_manager import CacheManager
@@ -88,6 +89,7 @@ class KhameleonSession:
         downlink: Link,
         uplink: ControlChannel,
         config: Optional[SessionConfig] = None,
+        throttle: Optional["BackendThrottle"] = None,
     ) -> None:
         self.sim = sim
         self.config = config or SessionConfig()
@@ -110,8 +112,10 @@ class KhameleonSession:
             cfg.initial_bandwidth_bytes_per_s,
             cap_bytes_per_s=cfg.bandwidth_cap_bytes_per_s,
         )
-        throttle = None
-        if cfg.backend_concurrency is not None:
+        # An externally supplied throttle is shared (fleet sessions
+        # split one backend's concurrency budget); otherwise the session
+        # owns a private one sized by its config.
+        if throttle is None and cfg.backend_concurrency is not None:
             from repro.backends.throttle import BackendThrottle
 
             throttle = BackendThrottle(

@@ -12,22 +12,36 @@
 
 from .configs import (
     DEFAULT_ENV,
+    DEFAULT_FLEET,
     HIGH_RESOURCE,
     LOW_RESOURCE,
     MED_RESOURCE,
     EnvironmentConfig,
+    FleetEnvironment,
 )
-from .runner import RunResult, run_classic, run_convergence, run_falcon, run_khameleon
+from .runner import (
+    FleetRunResult,
+    RunResult,
+    run_classic,
+    run_convergence,
+    run_falcon,
+    run_fleet,
+    run_khameleon,
+)
 
 __all__ = [
     "EnvironmentConfig",
+    "FleetEnvironment",
     "DEFAULT_ENV",
+    "DEFAULT_FLEET",
     "LOW_RESOURCE",
     "MED_RESOURCE",
     "HIGH_RESOURCE",
     "RunResult",
+    "FleetRunResult",
     "run_khameleon",
     "run_classic",
     "run_falcon",
+    "run_fleet",
     "run_convergence",
 ]

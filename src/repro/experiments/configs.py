@@ -18,20 +18,28 @@ plus the §6.2 composite settings: **low** (1.5 MB/s, 10 MB), **medium**
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
-from typing import Optional
+from typing import TYPE_CHECKING, Optional
+
+if TYPE_CHECKING:  # experiments sits above fleet; import for typing only
+    from repro.core.session import SessionConfig
+    from repro.fleet import FleetConfig
 
 from repro.sim.cellular import ATT_LTE, VERIZON_LTE, CellularTraceGenerator
 from repro.sim.engine import Simulator
+from repro.sim.fairshare import SharedDownlink
 from repro.sim.link import ControlChannel, FixedRateLink, Link, TraceDrivenLink
 
 __all__ = [
     "EnvironmentConfig",
+    "FleetEnvironment",
     "DEFAULT_ENV",
+    "DEFAULT_FLEET",
     "LOW_RESOURCE",
     "MED_RESOURCE",
     "HIGH_RESOURCE",
     "make_downlink",
     "make_uplink",
+    "make_shared_downlink",
 ]
 
 #: Fraction of the request-latency knob attributed to the network; the
@@ -89,6 +97,48 @@ class EnvironmentConfig:
 
 DEFAULT_ENV = EnvironmentConfig()
 
+
+@dataclass(frozen=True)
+class FleetEnvironment:
+    """A multi-tenant serving condition: N users over one environment.
+
+    The single-user sweeps hold the environment fixed and vary the
+    system; fleet experiments additionally vary how many sessions
+    contend for the one downlink and backend.  ``weights`` sets the
+    downlink fair shares (None = equal); ``backend_concurrency`` sizes
+    the *shared* §5.4 speculation budget over the common backend.
+
+    Validation of the fleet shape lives in
+    :class:`repro.fleet.FleetConfig`, which :meth:`fleet_config` builds.
+    """
+
+    num_sessions: int = 8
+    env: EnvironmentConfig = DEFAULT_ENV
+    weights: Optional[tuple[float, ...]] = None
+    backend_concurrency: Optional[int] = None
+
+    def fleet_config(self, session: "SessionConfig") -> "FleetConfig":
+        """Map this condition onto the fleet layer's config.
+
+        ``session`` is the per-session :class:`SessionConfig` template;
+        the single source of truth for field meaning and validation is
+        :class:`repro.fleet.FleetConfig`.
+        """
+        from repro.fleet import FleetConfig
+
+        return FleetConfig(
+            num_sessions=self.num_sessions,
+            weights=self.weights,
+            backend_concurrency=self.backend_concurrency,
+            session=session,
+        )
+
+    def with_sessions(self, n: int) -> "FleetEnvironment":
+        return replace(self, num_sessions=n, weights=None)
+
+
+DEFAULT_FLEET = FleetEnvironment()
+
 #: §6.2 composite resource settings for the think-time and convergence
 #: experiments.
 LOW_RESOURCE = EnvironmentConfig(
@@ -122,3 +172,10 @@ def make_downlink(sim: Simulator, env: EnvironmentConfig, seed: int = 0) -> Link
 def make_uplink(sim: Simulator, env: EnvironmentConfig) -> ControlChannel:
     """Client→server control path (requests, predictor states, rates)."""
     return ControlChannel(sim, latency_s=env.one_way_latency_s)
+
+
+def make_shared_downlink(
+    sim: Simulator, env: EnvironmentConfig, seed: int = 0
+) -> SharedDownlink:
+    """A weighted fair-sharing arbiter over the condition's downlink."""
+    return SharedDownlink(sim, make_downlink(sim, env, seed=seed))

@@ -27,20 +27,30 @@ from repro.core.cache_manager import RequestOutcome
 from repro.core.session import KhameleonSession, SessionConfig
 from repro.encoding.naive import SingleBlockEncoder
 from repro.backends.filesystem import FileSystemBackend
+from repro.fleet import KhameleonFleet
 from repro.metrics.collector import MetricSummary, collect, convergence_curve, overpush_rate
+from repro.metrics.fleet import FleetSummary
 from repro.predictors.base import MouseEvent
 from repro.sim.engine import Simulator
 from repro.workloads.falcon import FalconApp, FalconTrace
 from repro.workloads.image_app import ImageExplorationApp
 from repro.workloads.trace import InteractionTrace, TraceEvent
 
-from .configs import EnvironmentConfig, make_downlink, make_uplink
+from .configs import (
+    EnvironmentConfig,
+    FleetEnvironment,
+    make_downlink,
+    make_shared_downlink,
+    make_uplink,
+)
 
 __all__ = [
     "RunResult",
+    "FleetRunResult",
     "run_khameleon",
     "run_classic",
     "run_falcon",
+    "run_fleet",
     "run_convergence",
     "run_image_system",
     "extend_with_pause",
@@ -173,6 +183,90 @@ def run_khameleon(
             "backend": backend.stats.snapshot(),
             "bandwidth_estimate": session.estimator.estimate,
         },
+    )
+
+
+@dataclass
+class FleetRunResult:
+    """Everything a fleet experiment needs from one multi-session run."""
+
+    system: str
+    fleet_env: FleetEnvironment
+    summary: FleetSummary
+    diagnostics: dict
+    trace_names: list[str] = field(default_factory=list)
+
+    def rows(self, **extra_columns: Any) -> list[dict]:
+        """Per-session rows plus the pooled ``fleet`` row."""
+        return self.summary.rows(system=self.system, **extra_columns)
+
+    def aggregate_row(self, **extra_columns: Any) -> dict:
+        """One row: the pooled metrics plus sharing diagnostics."""
+        return {
+            "system": self.system,
+            "sessions": self.fleet_env.num_sessions,
+            **extra_columns,
+            **self.summary.aggregate.as_dict(),
+            "link_fairness": self.diagnostics["link_fairness"],
+            "shared_hit_%": 100.0 * self.diagnostics["shared_hit_rate"],
+        }
+
+
+def run_fleet(
+    app: ImageExplorationApp,
+    traces: Sequence[InteractionTrace],
+    fleet_env: FleetEnvironment,
+    predictor: str = "kalman",
+    drain_s: float = DEFAULT_DRAIN_S,
+    seed: int = 0,
+) -> FleetRunResult:
+    """Replay one trace per session against a shared-resource fleet.
+
+    All sessions explore the same application over one backend (shared
+    response cache, in-flight dedup, shared §5.4 throttle budget) and
+    one downlink split by weighted fair queueing.  ``traces[i]`` drives
+    session ``i``; the run lasts until the longest trace ends plus
+    ``drain_s``.
+    """
+    if len(traces) != fleet_env.num_sessions:
+        raise ValueError(
+            f"{len(traces)} traces for {fleet_env.num_sessions} sessions"
+        )
+    env = fleet_env.env
+    sim = Simulator()
+    shared_downlink = make_shared_downlink(sim, env, seed=seed)
+    backend = app.make_backend(sim, fetch_delay_s=env.backend_delay_s)
+
+    fleet = KhameleonFleet(
+        sim=sim,
+        backend=backend,
+        make_predictor=lambda i: app.make_predictor(predictor, trace=traces[i]),
+        utility=app.utility,
+        num_blocks=app.num_blocks,
+        downlink=shared_downlink,
+        make_uplink=lambda i: make_uplink(sim, env),
+        config=fleet_env.fleet_config(
+            SessionConfig(
+                cache_bytes=env.cache_bytes,
+                block_bytes=app.block_bytes,
+                scheduler_seed=seed,
+                initial_bandwidth_bytes_per_s=env.bandwidth_bytes_per_s,
+            )
+        ),
+    )
+    for session, trace in zip(fleet.sessions, traces):
+        _replay(sim, trace, session.client.observe, session.client.request)
+
+    fleet.start()
+    sim.run(until=max(t.duration_s for t in traces) + drain_s)
+    fleet.stop()
+
+    return FleetRunResult(
+        system=f"fleet-{predictor}",
+        fleet_env=fleet_env,
+        summary=fleet.summary(),
+        diagnostics=fleet.report(),
+        trace_names=[t.name for t in traces],
     )
 
 

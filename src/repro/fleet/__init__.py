@@ -1,0 +1,8 @@
+"""Multi-tenant fleet serving: N Khameleon sessions over shared
+backend and downlink resources, with per-session and aggregate
+reporting.  See :mod:`repro.fleet.fleet` for the sharing semantics.
+"""
+
+from .fleet import FleetConfig, KhameleonFleet
+
+__all__ = ["FleetConfig", "KhameleonFleet"]

@@ -1,0 +1,223 @@
+"""Multi-tenant fleet assembly: N sessions, one backend, one downlink.
+
+The paper evaluates one client at a time; a serving deployment runs
+many concurrent users against shared infrastructure.  A
+:class:`KhameleonFleet` constructs ``N`` fully independent
+:class:`~repro.core.session.KhameleonSession` stacks — each with its
+own predictor, scheduler, mirror, sender, client cache, and uplink —
+that contend for exactly two shared resources:
+
+* **the backend.**  All senders fetch from one
+  :class:`~repro.backends.base.Backend` instance, so its response cache
+  and in-flight dedup work *across* sessions: when user A's fetch for a
+  request is running, user B's sender piggybacks instead of issuing a
+  duplicate (``stats.piggybacked``), and B's later fetches hit A's
+  cached responses (``stats.cache_hits``).  This is the cross-query
+  structure sharing that makes prefetching pay off under exploratory
+  multi-user workloads.  With ``backend_concurrency`` set, all sessions
+  draw §5.4 throttle slots from one shared
+  :class:`~repro.backends.throttle.BackendThrottle` budget keyed to the
+  backend's *global* active-request count.
+
+* **the downlink.**  Senders transmit through per-session
+  :class:`~repro.sim.fairshare.FairSharePort` handles of one
+  :class:`~repro.sim.fairshare.SharedDownlink`, so capacity divides by
+  weight among backlogged sessions and one aggressive sender cannot
+  starve the rest.
+
+Single-session Khameleon is exactly the ``N = 1`` case: one port over
+the physical link behaves as the raw link, and the shared throttle
+degenerates to the session-private one.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Callable, Optional, Sequence, Union
+
+from repro.backends.base import Backend
+from repro.backends.throttle import BackendThrottle
+from repro.core.session import KhameleonSession, SessionConfig
+from repro.core.utility import UtilityFunction
+from repro.metrics.fleet import FleetSummary, collect_fleet, jain_fairness
+from repro.predictors.base import Predictor
+from repro.sim.engine import Simulator
+from repro.sim.fairshare import SharedDownlink
+from repro.sim.link import ControlChannel, Link
+
+__all__ = ["FleetConfig", "KhameleonFleet"]
+
+
+@dataclass
+class FleetConfig:
+    """Shape of a fleet: session count, link weights, shared budget.
+
+    Parameters
+    ----------
+    num_sessions:
+        How many concurrent sessions to build.
+    weights:
+        Per-session downlink fair-share weights (default: all 1.0).
+    backend_concurrency:
+        Size of the *shared* §5.4 throttle budget over the common
+        backend; ``None`` leaves speculation unthrottled.
+    session:
+        Template :class:`SessionConfig` applied to every session.  The
+        scheduler seed is offset per session so fleets are deterministic
+        but not lock-stepped; the initial bandwidth estimate is divided
+        by ``num_sessions`` (each sender's fair-share prior).
+    """
+
+    num_sessions: int = 1
+    weights: Optional[Sequence[float]] = None
+    backend_concurrency: Optional[int] = None
+    session: SessionConfig = field(default_factory=SessionConfig)
+
+    def __post_init__(self) -> None:
+        if self.num_sessions < 1:
+            raise ValueError("fleet needs at least one session")
+        if self.weights is not None and len(self.weights) != self.num_sessions:
+            raise ValueError(
+                f"{len(self.weights)} weights for {self.num_sessions} sessions"
+            )
+
+    def weight_of(self, i: int) -> float:
+        return 1.0 if self.weights is None else float(self.weights[i])
+
+
+class KhameleonFleet:
+    """N concurrent sessions over one backend and one fair-shared link.
+
+    Parameters
+    ----------
+    sim:
+        Shared simulator clock.
+    backend:
+        The one backend instance every session fetches from.
+    make_predictor:
+        ``session_index -> Predictor``; each session needs its own
+        (stateful) predictor instance.
+    utility, num_blocks:
+        The shared application: all sessions explore the same request
+        universe (that is what makes backend sharing meaningful).
+    downlink:
+        The physical egress :class:`Link`, or a pre-built
+        :class:`SharedDownlink` arbiter over it.
+    make_uplink:
+        ``session_index -> ControlChannel``; client→server control
+        paths are per-user.
+    config:
+        :class:`FleetConfig`.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        backend: Backend,
+        make_predictor: Callable[[int], Predictor],
+        utility: UtilityFunction,
+        num_blocks: Sequence[int],
+        downlink: Union[Link, SharedDownlink],
+        make_uplink: Callable[[int], ControlChannel],
+        config: Optional[FleetConfig] = None,
+    ) -> None:
+        self.sim = sim
+        self.backend = backend
+        self.config = config or FleetConfig()
+        cfg = self.config
+
+        self.shared_downlink = (
+            downlink
+            if isinstance(downlink, SharedDownlink)
+            else SharedDownlink(sim, downlink)
+        )
+        self.throttle: Optional[BackendThrottle] = None
+        if cfg.backend_concurrency is not None:
+            self.throttle = BackendThrottle(
+                cfg.backend_concurrency, active=lambda: backend.active_requests
+            )
+
+        self.sessions: list[KhameleonSession] = []
+        self.ports = []
+        base = cfg.session
+        for i in range(cfg.num_sessions):
+            session_cfg = replace(
+                base,
+                scheduler_seed=base.scheduler_seed + i,
+                initial_bandwidth_bytes_per_s=(
+                    base.initial_bandwidth_bytes_per_s / cfg.num_sessions
+                ),
+                backend_concurrency=None,  # the fleet-level throttle rules
+            )
+            port = self.shared_downlink.port(cfg.weight_of(i), label=f"session{i}")
+            session = KhameleonSession(
+                sim=sim,
+                backend=backend,
+                predictor=make_predictor(i),
+                utility=utility,
+                num_blocks=num_blocks,
+                downlink=port,
+                uplink=make_uplink(i),
+                config=session_cfg,
+                throttle=self.throttle,
+            )
+            self.ports.append(port)
+            self.sessions.append(session)
+
+    def __len__(self) -> int:
+        return len(self.sessions)
+
+    # -- lifecycle -----------------------------------------------------
+
+    def start(self) -> None:
+        """Start every session (call once, before running the simulator)."""
+        for session in self.sessions:
+            session.start()
+
+    def stop(self) -> None:
+        """Stop every session's sender and periodic tasks."""
+        for session in self.sessions:
+            session.stop()
+
+    # -- reporting -----------------------------------------------------
+
+    def outcomes_by_session(self) -> list[list]:
+        return [s.cache_manager.outcomes for s in self.sessions]
+
+    def summary(self) -> FleetSummary:
+        """Per-session and pooled §6.1 metrics."""
+        return collect_fleet(self.outcomes_by_session())
+
+    def link_fairness(self) -> float:
+        """Jain's index over weight-normalized per-session throughput."""
+        return jain_fairness(
+            [p.bytes_delivered / p.weight for p in self.ports]
+        )
+
+    def shared_hit_rate(self) -> float:
+        """Fraction of materialization demands absorbed by sharing.
+
+        Counted at block-scheduling granularity: every pipeline entry
+        needs its response materialized, and each demand is either a
+        new backend fetch, a reuse of the (shared) response cache, or a
+        piggyback on a fetch already in flight — the latter two are the
+        sharing benefit.  Note same-request demands within one session
+        also reuse; the N=1 fleet's rate is the self-sharing baseline.
+        """
+        stats = self.backend.stats
+        calls = stats.fetches_started + stats.shared_hits
+        return stats.shared_hits / calls if calls else 0.0
+
+    def report(self) -> dict:
+        """Fleet-level diagnostics to accompany the metric summary."""
+        blocks_sent = sum(s.sender.blocks_sent for s in self.sessions)
+        bytes_sent = sum(s.sender.bytes_sent for s in self.sessions)
+        return {
+            "sessions": len(self.sessions),
+            "blocks_sent": blocks_sent,
+            "bytes_sent": bytes_sent,
+            "blocks_deferred": sum(s.sender.blocks_deferred for s in self.sessions),
+            "link_fairness": self.link_fairness(),
+            "shared_hit_rate": self.shared_hit_rate(),
+            "backend": self.backend.stats.snapshot(),
+        }

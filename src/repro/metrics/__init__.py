@@ -17,12 +17,16 @@ For preemptive interactions the paper reports, per condition:
 """
 
 from .collector import MetricSummary, collect, convergence_curve, overpush_rate
+from .fleet import FleetSummary, collect_fleet, jain_fairness
 from .report import format_table, format_series
 from .timeseries import WindowMetrics, bin_outcomes
 
 __all__ = [
     "MetricSummary",
     "collect",
+    "FleetSummary",
+    "collect_fleet",
+    "jain_fairness",
     "convergence_curve",
     "overpush_rate",
     "format_table",

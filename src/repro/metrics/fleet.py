@@ -1,0 +1,77 @@
+"""Per-session and fleet-aggregate metric reports.
+
+A fleet run produces one outcome stream per session.  Every session is
+measured with the same §6.1 collector as a single-user run; the fleet
+view adds (a) the aggregate over the *pooled* outcome stream — tail
+latency across all users, not the mean of per-user tails — and (b)
+resource-sharing diagnostics: Jain's fairness index over per-session
+delivered bytes and the backend's cross-session dedup rate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from repro.core.cache_manager import RequestOutcome
+
+from .collector import MetricSummary, collect
+
+__all__ = ["FleetSummary", "collect_fleet", "jain_fairness"]
+
+
+@dataclass(frozen=True)
+class FleetSummary:
+    """§6.1 metrics for a fleet: one summary per session plus the pool.
+
+    ``per_session[i]`` is ``None`` for a session that registered no
+    requests (it contributes nothing to the aggregate either).
+    """
+
+    aggregate: MetricSummary
+    per_session: tuple[Optional[MetricSummary], ...]
+
+    @property
+    def num_sessions(self) -> int:
+        return len(self.per_session)
+
+    def rows(self, **extra_columns) -> list[dict]:
+        """Per-session rows plus a final ``fleet`` aggregate row."""
+        out = []
+        for i, summary in enumerate(self.per_session):
+            if summary is None:
+                continue
+            out.append({"session": str(i), **extra_columns, **summary.as_dict()})
+        out.append({"session": "fleet", **extra_columns, **self.aggregate.as_dict()})
+        return out
+
+
+def collect_fleet(
+    outcomes_by_session: Sequence[Sequence[RequestOutcome]],
+) -> FleetSummary:
+    """Aggregate one outcome stream per session into a :class:`FleetSummary`."""
+    pooled = [o for outcomes in outcomes_by_session for o in outcomes]
+    if not pooled:
+        raise ValueError("no outcomes in any session")
+    return FleetSummary(
+        aggregate=collect(pooled),
+        per_session=tuple(
+            collect(outcomes) if outcomes else None
+            for outcomes in outcomes_by_session
+        ),
+    )
+
+
+def jain_fairness(values: Sequence[float]) -> float:
+    """Jain's fairness index: 1.0 = perfectly even, 1/n = one hog.
+
+    Computed over per-session throughput (bytes delivered); weighted
+    fleets should divide each session's bytes by its weight first.
+    """
+    if not values:
+        raise ValueError("fairness needs at least one value")
+    total = float(sum(values))
+    if total == 0.0:
+        return 1.0  # nobody got anything: trivially even
+    squares = sum(v * v for v in values)
+    return total * total / (len(values) * squares)

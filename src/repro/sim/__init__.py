@@ -12,6 +12,7 @@ from .estimators import EWMAEstimator, SlidingMaxEstimator
 from .failures import FlakyBackend, OutageLink
 from .cellular import ATT_LTE, VERIZON_LTE, CellularProfile, CellularTraceGenerator
 from .engine import EventHandle, SimulationError, Simulator
+from .fairshare import FairSharePort, SharedDownlink
 from .link import ControlChannel, FixedRateLink, Link, TraceDrivenLink
 from .traces import MTU_BYTES, MahimahiTrace
 
@@ -23,6 +24,8 @@ __all__ = [
     "FixedRateLink",
     "TraceDrivenLink",
     "ControlChannel",
+    "SharedDownlink",
+    "FairSharePort",
     "MahimahiTrace",
     "MTU_BYTES",
     "CellularProfile",

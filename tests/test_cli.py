@@ -27,6 +27,12 @@ class TestCLI:
         assert main(["fig15"]) == 0
         assert "runtime_ms" in capsys.readouterr().out
 
+    def test_fleet_command_prints_per_session_and_aggregate(self, capsys):
+        assert main(["fleet", "--sessions", "2", "--scale", "quick"]) == 0
+        out = capsys.readouterr().out
+        assert "link fairness" in out
+        assert "fleet" in out
+
     def test_unknown_figure_rejected(self):
         with pytest.raises(SystemExit):
             main(["fig99"])

@@ -172,6 +172,54 @@ class TestRollback:
         assert nxt.request == 1
         assert nxt.index == 2  # continues after the two kept blocks
 
+    def test_rollback_unpromotes_meta_sampled_requests(self):
+        """A promotion backed only by rolled-back slots must be undone.
+
+        Under a uniform distribution every allocation comes from the
+        meta pool and promotes its request; rolling the whole batch
+        back must return them to the pool instead of leaking individual
+        probability weights until the next batch reset.
+        """
+        sched = make_scheduler(n=100, nb=4, C=8, meta=True)
+        sched.update_distribution(RequestDistribution.uniform(100), 0.01)
+        batch = sched.schedule_batch(4)
+        assert sched.materialized_fraction > 0  # promotions happened
+        sched.rollback(batch)
+        assert sched.position == 0
+        assert sched.blocks_allocated == 0
+        assert sched.materialized_fraction == 0  # fails if promotions leak
+
+    def test_rollback_keeps_promotion_backed_by_sent_blocks(self):
+        """A promoted request whose first block already reached the
+        wire (mirror-held) keeps its promotion when a later allocation
+        is rolled back: the client holds a prefix, so the concrete
+        next-block gain must survive."""
+        from repro.core import Block
+
+        mirror = RingBufferCache(8)
+        sched = make_scheduler(n=100, nb=4, C=8, meta=True, mirror=mirror)
+        sched.update_distribution(RequestDistribution.uniform(100), 0.01)
+        first = sched.next_block()  # meta-sampled: promotes its request
+        mirror.put(Block(first.request, first.index, 50_000))
+        sched.on_sent(first)
+        assert first.request in sched._promoted
+        # A follow-up allocation for the same request gets preempted.
+        follow_up = sched._allocate(first.request)
+        assert follow_up.index == 1  # continues the mirrored prefix
+        sched.rollback([follow_up])
+        assert first.request in sched._promoted  # mirror still backs it
+
+    def test_rollback_keeps_promotion_with_remaining_allocations(self):
+        """Rolling back one of several allocations keeps the promotion."""
+        sched = make_scheduler(n=100, nb=4, C=8, meta=True, seed=3)
+        sched.update_distribution(RequestDistribution.uniform(100), 0.01)
+        first = sched.next_block()
+        more = [b for b in sched.schedule_batch(6) if b.request == first.request]
+        if not more:  # seed-dependent; the invariant below still holds
+            return
+        sched.rollback(more)
+        assert sched.materialized_fraction >= 1 / 100
+
     def test_rollback_unallocated_raises(self):
         sched = make_scheduler(n=10)
         from repro.core import ScheduledBlock

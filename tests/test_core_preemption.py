@@ -1,0 +1,129 @@
+"""Sender/scheduler bookkeeping under preemption (§5.3.2).
+
+The scheduler's pending overlay (allocated-but-unsent blocks) and the
+sender's pipeline are two views of the same set; every
+``refresh() → rollback → on_sent`` interleaving must keep them equal,
+or gains are computed against phantom blocks and allocations leak.
+"""
+
+import pytest
+
+from repro.core import (
+    Block,
+    GainTable,
+    GreedyScheduler,
+    LinearUtility,
+    RequestDistribution,
+    RingBufferCache,
+)
+from test_core_sender import make_world
+
+
+def make_mirrored_scheduler(n=6, nb=4, C=12, seed=0):
+    gains = GainTable(LinearUtility(), [nb] * n)
+    mirror = RingBufferCache(C)
+    sched = GreedyScheduler(
+        gains, cache_blocks=C, mirror=mirror, hedge_when_idle=False, seed=seed
+    )
+    return sched, mirror
+
+
+def send(sched, mirror, scheduled, block_bytes=50_000):
+    """What the sender does when a scheduled block hits the wire."""
+    mirror.put(Block(scheduled.request, scheduled.index, block_bytes))
+    sched.on_sent(scheduled)
+
+
+class TestSchedulerSequences:
+    def test_send_then_rollback_tail_restores_consistent_state(self):
+        sched, mirror = make_mirrored_scheduler()
+        sched.update_distribution(RequestDistribution.point(6, 2), 0.05)
+        batch = sched.schedule_batch(4)
+        send(sched, mirror, batch[0])
+        sched.rollback(batch[1:])
+
+        assert sched._pending == {}
+        assert sched.position == 1
+        assert sched.blocks_allocated == 1
+        # The next allocation continues the mirrored prefix, not the
+        # rolled-back indices.
+        nxt = sched.next_block()
+        assert (nxt.request, nxt.index) == (2, 1)
+
+    def test_interleaved_rollback_and_on_sent(self):
+        """Preemption can confirm and roll back out of order: blocks
+        already on the wire are confirmed after the unsent tail was
+        handed back."""
+        sched, mirror = make_mirrored_scheduler()
+        sched.update_distribution(RequestDistribution.point(6, 1), 0.05)
+        batch = sched.schedule_batch(4)
+        sched.rollback(batch[2:])  # refresh hands back the unsent tail
+        send(sched, mirror, batch[0])  # wire confirmations land later
+        send(sched, mirror, batch[1])
+
+        assert sched._pending == {}
+        assert sched.blocks_allocated == 2
+        assert mirror.prefix_len(1) == 2
+
+    def test_repeated_refresh_cycles_leave_no_residue(self):
+        sched, mirror = make_mirrored_scheduler(n=8, C=16)
+        for target in (0, 3, 5, 3, 7, 0):
+            sched.update_distribution(RequestDistribution.point(8, target), 0.05)
+            batch = sched.schedule_batch(3)
+            sent, tail = batch[:1], batch[1:]
+            for b in sent:
+                send(sched, mirror, b)
+            sched.rollback(tail)  # the refresh preempts the tail
+
+        assert sched._pending == {}
+        assert sched.blocks_allocated == 6  # one survivor per cycle
+        assert sched.position == 6
+
+
+class TestSenderPipelineInvariant:
+    def test_pending_equals_pipeline_under_refresh_storm(self):
+        """At every quiescent instant, the scheduler's pending overlay
+        counts exactly the sender's unsent pipeline."""
+        sim, sched, sender, backend, received, mirror = make_world(
+            n=6, nb=4, fetch_delay=0.08, C=16
+        )
+        sender.start()
+
+        step = [0]
+
+        def preempt():
+            sched.update_distribution(
+                RequestDistribution.point(6, step[0] % 6), 0.05
+            )
+            sender.refresh()
+            step[0] += 1
+
+        samples = []
+
+        def check():
+            pending_total = sum(sched._pending.values())
+            samples.append((pending_total, len(sender._pipeline)))
+            assert pending_total == len(sender._pipeline)
+
+        sim.every(0.06, preempt)
+        sim.every(0.013, check)
+        sim.run(until=1.5)
+
+        assert len(samples) > 50
+        assert sender.blocks_sent > 5
+        # Total allocations = confirmed sends + still-pipelined blocks.
+        assert sched.blocks_allocated == sender.blocks_sent + len(sender._pipeline)
+
+    def test_stop_then_refresh_returns_pipeline_to_scheduler(self):
+        sim, sched, sender, backend, received, mirror = make_world(fetch_delay=0.2)
+        sched.update_distribution(RequestDistribution.point(4, 0), 0.05)
+        sender.start()
+        sim.run(until=0.1)  # fetch still in flight; pipeline is full
+        assert len(sender._pipeline) > 0
+        sender.stop()
+        sender.refresh()  # hands the whole pipeline back, sends nothing
+        assert len(sender._pipeline) == 0
+        assert sum(sched._pending.values()) == 0
+        assert sched.blocks_allocated == sender.blocks_sent == 0
+        sim.run(until=2.0)
+        assert sender.blocks_sent == 0  # stopped sender stays stopped

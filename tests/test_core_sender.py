@@ -131,6 +131,42 @@ class TestRefresh:
         assert received == []
 
 
+class TestStop:
+    def test_stop_mid_pipeline_freezes_sends(self):
+        """stop() must silence transmit events already on the heap.
+
+        At 1 MB/s, 50 KB blocks go out at t = 0, 0.03, 0.08 (backlog
+        pacing); stopping at t = 0.05 leaves the third transmit already
+        scheduled — it must not put a block on the wire.
+        """
+        sim, sched, sender, backend, received, _ = make_world()
+        sched.update_distribution(RequestDistribution.point(4, 0), 0.05)
+        sender.start()
+        frozen = {}
+
+        def stop_now():
+            sender.stop()
+            frozen["blocks"] = sender.blocks_sent
+            frozen["bytes"] = sender.bytes_sent
+
+        sim.schedule(0.05, stop_now)
+        sim.run(until=5.0)
+        assert frozen["blocks"] == 2  # fails without the _started guard
+        assert sender.blocks_sent == frozen["blocks"]
+        assert sender.bytes_sent == frozen["bytes"]
+        # In-flight deliveries still land (the stop() contract).
+        assert len(received) == frozen["blocks"]
+
+    def test_stop_before_run_sends_nothing(self):
+        sim, sched, sender, backend, received, _ = make_world()
+        sched.update_distribution(RequestDistribution.point(4, 0), 0.05)
+        sender.start()  # schedules the first transmit at t=0
+        sender.stop()
+        sim.run(until=1.0)
+        assert sender.blocks_sent == 0
+        assert received == []
+
+
 class TestThrottle:
     def test_backend_concurrency_respected(self):
         """With capacity 1, at most one uncached request fetches at a time."""
@@ -144,6 +180,29 @@ class TestThrottle:
         sim.run(until=0.4)
         assert max(peak) <= 1
         assert sender.blocks_deferred > 0
+
+    def test_inflight_fetch_counts_as_materialized_after_refresh(self):
+        """§5.4 admits "cached or in flight" requests without a slot.
+
+        refresh() clears the pipeline while the head request's backend
+        fetch is still running; re-admitting that request must ride the
+        in-flight fetch instead of being deferred against the exhausted
+        slot budget.
+        """
+        sim, sched, sender, backend, received, _ = make_world(
+            fetch_delay=0.5, throttle_capacity=1
+        )
+        sched.update_distribution(RequestDistribution.point(4, 0), 0.05)
+        sender.start()
+
+        def preempt():
+            assert backend.is_inflight(0)
+            sender.refresh()  # same distribution: request 0 reschedules
+
+        sim.schedule(0.1, preempt)
+        sim.run(until=2.0)
+        assert sender.blocks_deferred == 0  # fails without is_inflight()
+        assert [(b.request, b.index) for b, t in received] == [(0, 0), (0, 1), (0, 2)]
 
 
 class TestValidation:

@@ -6,12 +6,13 @@ seconds while still exercising every driver end to end.
 
 import pytest
 
-from repro.experiments.configs import DEFAULT_ENV, EnvironmentConfig
+from repro.experiments.configs import DEFAULT_ENV, EnvironmentConfig, FleetEnvironment
 from repro.experiments.runner import (
     extend_with_pause,
     run_classic,
     run_convergence,
     run_falcon,
+    run_fleet,
     run_image_system,
     run_khameleon,
 )
@@ -173,6 +174,55 @@ class TestRunFalcon:
             sc.summary.mean_latency_s
             <= pg.summary.mean_latency_s * 1.5
         )
+
+
+class TestRunFleet:
+    @pytest.fixture(scope="class")
+    def fleet_result(self, app):
+        traces = [
+            MouseTraceGenerator(app.layout, seed=50 + i).generate(duration_s=6.0)
+            for i in range(3)
+        ]
+        fleet_env = FleetEnvironment(num_sessions=3, env=DEFAULT_ENV)
+        return run_fleet(app, traces, fleet_env, predictor="kalman")
+
+    def test_every_session_is_measured(self, fleet_result):
+        assert fleet_result.summary.num_sessions == 3
+        assert all(s is not None for s in fleet_result.summary.per_session)
+        per_session_total = sum(
+            s.num_requests for s in fleet_result.summary.per_session
+        )
+        assert fleet_result.summary.aggregate.num_requests == per_session_total
+
+    def test_sharing_diagnostics_reported(self, fleet_result):
+        d = fleet_result.diagnostics
+        assert d["sessions"] == 3
+        assert d["blocks_sent"] > 0
+        assert 0.0 < d["link_fairness"] <= 1.0
+        assert 0.0 <= d["shared_hit_rate"] <= 1.0
+
+    def test_rows_include_fleet_aggregate(self, fleet_result):
+        rows = fleet_result.rows()
+        assert rows[-1]["session"] == "fleet"
+        agg = fleet_result.aggregate_row()
+        assert agg["sessions"] == 3
+        assert "link_fairness" in agg
+
+    def test_trace_count_must_match_sessions(self, app):
+        traces = [MouseTraceGenerator(app.layout, seed=1).generate(duration_s=2.0)]
+        with pytest.raises(ValueError):
+            run_fleet(app, traces, FleetEnvironment(num_sessions=2, env=DEFAULT_ENV))
+
+    def test_deterministic(self, app):
+        traces = [
+            MouseTraceGenerator(app.layout, seed=60 + i).generate(duration_s=4.0)
+            for i in range(2)
+        ]
+        fleet_env = FleetEnvironment(num_sessions=2, env=DEFAULT_ENV)
+        a = run_fleet(app, traces, fleet_env, seed=4)
+        b = run_fleet(app, traces, fleet_env, seed=4)
+        assert a.summary.aggregate.as_dict() == b.summary.aggregate.as_dict()
+        assert a.diagnostics == b.diagnostics
 
 
 class TestACCAsKhameleonPredictor:
