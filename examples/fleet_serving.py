@@ -1,42 +1,50 @@
-"""Fleet serving: many concurrent Khameleon sessions, one backend.
+"""Fleet serving: concurrent Khameleon sessions, one backend, churn.
 
-The paper evaluates a single client; a deployment serves many.  This
-example runs eight users exploring the same image gallery at once,
-sharing
+The paper evaluates a single client; a deployment serves many — and its
+users come and go.  This example runs the fleet twice over the same
+image gallery:
 
-* one backend — its response cache and in-flight fetch dedup work
-  across sessions, so one user's prefetch warms every other user's
-  future fetches, and
-* one downlink — split by weighted fair queueing, so no session can
-  starve another no matter how aggressively its sender pushes.
+1. **Static fleet** — eight users, all present for the whole run,
+   sharing one backend (response cache + in-flight fetch dedup work
+   across sessions) and one downlink (weighted fair queueing, so no
+   session can starve another).
+
+2. **Churning fleet** — twelve users arrive as a Poisson process, stay
+   for a lognormal dwell, and depart mid-run; an admission cap rejects
+   arrivals when the fleet is full.  Every session's predictor blends a
+   *fleet-wide shared transition prior* ("shared-markov"): transitions
+   observed by any user warm the crowd model, so a session that arrives
+   cold predicts from the aggregate structure instead of from nothing —
+   the SeLeP-style benefit of learning across users.
 
 Run:  python examples/fleet_serving.py
 """
 
 from repro.experiments.configs import DEFAULT_ENV, FleetEnvironment
 from repro.experiments.runner import run_fleet
+from repro.fleet import ArrivalConfig
 from repro.metrics import format_table
 from repro.workloads.image_app import ImageExplorationApp
 from repro.workloads.mouse import MouseTraceGenerator
 
 NUM_SESSIONS = 8
+NUM_ARRIVALS = 12
 
 
-def main() -> None:
-    # 1. One shared application: a 15x15 mosaic of 1.3-2 MB images.
-    app = ImageExplorationApp(rows=15, cols=15)
-    print(f"application: {app.num_requests} images, one shared backend")
-
-    # 2. Eight users, each with their own 20 s exploration trace.
-    traces = [
-        MouseTraceGenerator(app.layout, seed=100 + i).generate(duration_s=20.0)
-        for i in range(NUM_SESSIONS)
+def make_traces(app, count, duration_s):
+    return [
+        MouseTraceGenerator(app.layout, seed=100 + i).generate(duration_s=duration_s)
+        for i in range(count)
     ]
-    total = sum(t.num_requests for t in traces)
-    print(f"fleet: {NUM_SESSIONS} sessions, {total} requests total")
 
-    # 3. All of them contend for the paper's default environment:
-    #    one 5.625 MB/s downlink, one backend, 100 ms request latency.
+
+def static_fleet(app) -> None:
+    traces = make_traces(app, NUM_SESSIONS, duration_s=20.0)
+    total = sum(t.num_requests for t in traces)
+    print(f"static fleet: {NUM_SESSIONS} sessions, {total} requests total")
+
+    # All of them contend for the paper's default environment:
+    # one 5.625 MB/s downlink, one backend, 100 ms request latency.
     fleet_env = FleetEnvironment(num_sessions=NUM_SESSIONS, env=DEFAULT_ENV)
     result = run_fleet(app, traces, fleet_env, predictor="kalman")
 
@@ -51,6 +59,50 @@ def main() -> None:
           f"  (cache + piggybacked in-flight fetches)")
     print(f"aggregate cache hits   : {100 * agg.cache_hit_rate:6.1f} %")
     print(f"aggregate p95 latency  : {agg.p95_latency_s * 1e3:6.1f} ms")
+
+
+def churning_fleet(app) -> None:
+    traces = make_traces(app, NUM_ARRIVALS, duration_s=15.0)
+    print(f"churning fleet: {NUM_ARRIVALS} planned arrivals")
+
+    # Open-loop load: one arrival every ~2.5 s on average, ~10 s mean
+    # dwell (utilization = rate x dwell = 4 expected live sessions),
+    # at most 6 sessions admitted at once.
+    fleet_env = FleetEnvironment(
+        num_sessions=NUM_ARRIVALS,
+        env=DEFAULT_ENV,
+        arrival=ArrivalConfig(
+            rate_per_s=0.4, mean_dwell_s=10.0, max_concurrent=6, seed=1
+        ),
+    )
+    result = run_fleet(app, traces, fleet_env, predictor="shared-markov")
+
+    print()
+    print(format_table(result.rows(), title="per-session and fleet metrics"))
+    print()
+    print(format_table(result.cohort_rows(), title="arrival cohorts (5 s buckets)"))
+
+    d = result.diagnostics
+    churn = d["churn"]
+    print()
+    print(f"arrivals / admitted    : {churn['arrivals']} / {churn['admitted']}"
+          f"  (rejected {churn['rejected']} at the door)")
+    print(f"departed mid-run       : {churn['departed']}"
+          f"  (peak {churn['peak_concurrent']} concurrent)")
+    print(f"crowd prior            : {d['shared_prior']['transitions_observed']}"
+          f" transitions pooled over {d['shared_prior']['rows_warmed']} rows")
+    print(f"early hit rate         : {100 * d['early_hit_rate']:6.1f} %"
+          f"  (first requests of each session, crowd-warmed)")
+
+
+def main() -> None:
+    # One shared application: a 15x15 mosaic of 1.3-2 MB images.
+    app = ImageExplorationApp(rows=15, cols=15)
+    print(f"application: {app.num_requests} images, one shared backend")
+    print()
+    static_fleet(app)
+    print()
+    churning_fleet(app)
 
 
 if __name__ == "__main__":

@@ -7,7 +7,12 @@ from .database import ColumnTable, HistogramQuery, RangeFilter, SimulatedSQLData
 from .filesystem import FileSystemBackend, KeyValueBackend
 from .pool import ConnectionPoolBackend
 from .scalable import ScalableSQLDatabase
-from .throttle import BackendThrottle, throttle_schedule
+from .throttle import (
+    BackendThrottle,
+    SessionThrottleShare,
+    WeightedBackendThrottle,
+    throttle_schedule,
+)
 
 __all__ = [
     "Backend",
@@ -21,5 +26,7 @@ __all__ = [
     "SimulatedSQLDatabase",
     "ScalableSQLDatabase",
     "BackendThrottle",
+    "WeightedBackendThrottle",
+    "SessionThrottleShare",
     "throttle_schedule",
 ]

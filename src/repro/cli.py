@@ -64,7 +64,10 @@ def _build_parser() -> argparse.ArgumentParser:
         help="multi-session fleet serving over a shared backend + downlink",
     )
     fleet.add_argument(
-        "--sessions", type=int, default=8, help="concurrent sessions (default: 8)"
+        "--sessions",
+        type=int,
+        default=8,
+        help="sessions to build (static) or plan as arrivals (churn) (default: 8)",
     )
     fleet.add_argument(
         "--scale",
@@ -73,13 +76,44 @@ def _build_parser() -> argparse.ArgumentParser:
         help="application scale (default: reduced 'default' scale)",
     )
     fleet.add_argument(
-        "--predictor", default="kalman", help="per-session predictor (default: kalman)"
+        "--predictor",
+        default="kalman",
+        help="per-session predictor; 'shared-markov' adds the fleet-wide "
+        "crowd prior (default: kalman)",
     )
     fleet.add_argument(
         "--backend-concurrency",
         type=int,
         default=None,
         help="shared backend throttle budget (default: unthrottled)",
+    )
+    fleet.add_argument(
+        "--arrivals",
+        type=float,
+        default=0.0,
+        metavar="RATE",
+        help="Poisson session arrival rate per second; 0 = everyone at "
+        "t=0, the static fleet (default: 0)",
+    )
+    fleet.add_argument(
+        "--dwell",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="mean session dwell time (lognormal); default: stay to the end",
+    )
+    fleet.add_argument(
+        "--max-concurrent",
+        type=int,
+        default=None,
+        help="admission cap: arrivals beyond this many live sessions are "
+        "rejected (default: admit all)",
+    )
+    fleet.add_argument(
+        "--arrival-seed",
+        type=int,
+        default=0,
+        help="seed for the arrival/dwell draws (default: 0)",
     )
     fleet.add_argument("--out", help="also write the table to this file")
     for name, (_fn, _scaled, desc) in FIGURES.items():
@@ -94,10 +128,11 @@ def _build_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def _run_fleet_command(args) -> tuple[list[dict], str]:
-    """Run N concurrent sessions and report per-session + fleet rows."""
+def _run_fleet_command(args) -> list[tuple[list[dict], str]]:
+    """Run a (static or churning) fleet; returns (rows, title) tables."""
     from repro.experiments.configs import DEFAULT_ENV, FleetEnvironment
     from repro.experiments.runner import run_fleet
+    from repro.fleet import ArrivalConfig
     from repro.workloads.image_app import ImageExplorationApp
     from repro.workloads.mouse import MouseTraceGenerator
 
@@ -109,20 +144,38 @@ def _run_fleet_command(args) -> tuple[list[dict], str]:
         )
         for i in range(args.sessions)
     ]
+    arrival = None
+    if args.arrivals > 0 or args.dwell is not None or args.max_concurrent is not None:
+        arrival = ArrivalConfig(
+            rate_per_s=args.arrivals,
+            mean_dwell_s=args.dwell,
+            max_concurrent=args.max_concurrent,
+            seed=args.arrival_seed,
+        )
     fleet_env = FleetEnvironment(
         num_sessions=args.sessions,
         env=DEFAULT_ENV,
         backend_concurrency=args.backend_concurrency,
+        arrival=arrival,
     )
     result = run_fleet(app, traces, fleet_env, predictor=args.predictor)
-    rows = result.rows()
     d = result.diagnostics
     title = (
         f"fleet: {args.sessions} sessions | link fairness "
         f"{d['link_fairness']:.3f} | shared backend hits "
         f"{100 * d['shared_hit_rate']:.1f}%"
     )
-    return rows, title
+    churn = d.get("churn")
+    if churn is not None:
+        title += (
+            f" | admitted {churn['admitted']}/{churn['arrivals']}"
+            f" (rejected {churn['rejected']}, departed {churn['departed']})"
+            f" | early hit {100 * d['early_hit_rate']:.1f}%"
+        )
+    tables = [(result.rows(), title)]
+    if result.cohorts:
+        tables.append((result.cohort_rows(), "arrival cohorts (5 s buckets)"))
+    return tables
 
 
 def main(argv: Optional[list[str]] = None) -> int:
@@ -134,12 +187,15 @@ def main(argv: Optional[list[str]] = None) -> int:
         return 0
 
     if args.command == "fleet":
-        rows, title = _run_fleet_command(args)
+        table = "\n\n".join(
+            format_table(rows, title=title)
+            for rows, title in _run_fleet_command(args)
+        )
     else:
         driver, takes_scale, desc = FIGURES[args.command]
         rows = driver(scale=_SCALES[args.scale]) if takes_scale else driver()
         title = f"{args.command}: {desc}"
-    table = format_table(rows, title=title)
+        table = format_table(rows, title=title)
     print(table)
     if args.out:
         with open(args.out, "w") as f:

@@ -8,7 +8,7 @@ rate monitor.
 
 from __future__ import annotations
 
-from typing import Any
+from typing import Any, Optional
 
 from repro.core.blocks import Block
 from repro.core.cache_manager import CacheManager, RequestOutcome
@@ -33,18 +33,27 @@ class KhameleonClient:
         self.cache_manager = cache_manager
         self.predictor_manager = predictor_manager
         self.rate_monitor = rate_monitor
+        self.closed = False
         self.blocks_received = 0
         self.bytes_received = 0
 
     # -- application side ----------------------------------------------
 
-    def request(self, request: int) -> RequestOutcome:
-        """Issue a user request (answered via upcall, §3.2)."""
+    def request(self, request: int) -> Optional[RequestOutcome]:
+        """Issue a user request (answered via upcall, §3.2).
+
+        Returns ``None`` after :meth:`stop` — a departed user's replayed
+        trace tail must not register requests or train the predictor.
+        """
+        if self.closed:
+            return None
         self.predictor_manager.observe_request(request)
         return self.cache_manager.register(request)
 
     def observe(self, event: Any) -> None:
         """Feed an interaction event (mouse move etc.) to the predictor."""
+        if self.closed:
+            return
         self.predictor_manager.observe_event(event)
 
     # -- network side ----------------------------------------------------
@@ -57,7 +66,8 @@ class KhameleonClient:
         self.cache_manager.on_block(block)
 
     def stop(self) -> None:
-        """Cancel periodic tasks (end of experiment)."""
+        """Cancel periodic tasks (end of experiment or departure)."""
+        self.closed = True
         self.predictor_manager.stop()
         self.rate_monitor.stop()
         self.cache_manager.finalize()

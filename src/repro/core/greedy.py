@@ -303,13 +303,14 @@ class GreedyScheduler:
         """Line 16: u = P_t · g[B] over explicit + promoted requests."""
         t = min(self._t, self.C - 1)
         m = len(self._ids)
-        weights = np.empty(len(ids))
-        uniform_p = self._uniform_request_prob(t)
-        for pos, request in enumerate(ids):
-            request = int(request)
-            p = self._Pmat[t, pos] if pos < m else uniform_p
-            weights[pos] = p * self.gains.gain(request, self._effective_blocks(request))
-        return weights
+        if len(ids) == 0:
+            return np.empty(0)
+        probs = np.full(len(ids), self._uniform_request_prob(t))
+        probs[:m] = self._Pmat[t, :m]
+        have = np.fromiter(
+            (self._effective_blocks(int(r)) for r in ids), dtype=np.int64, count=len(ids)
+        )
+        return probs * self.gains.gain_vector(ids, have)
 
     def _num_uniform(self) -> int:
         return self.gains.n - len(self._ids) - len(self._promoted)

@@ -73,12 +73,23 @@ class GainTable:
             raise ValueError("every request needs at least one block")
         self.utility = utility
         self.num_blocks = counts
+        distinct = np.unique(counts)
         self._by_count: dict[int, np.ndarray] = {
-            int(nb): utility.gains(int(nb)) for nb in np.unique(counts)
+            int(nb): utility.gains(int(nb)) for nb in distinct
         }
         self.mean_first_gain = float(
             np.mean([self._by_count[int(nb)][0] for nb in counts])
         )
+        # Dense gather table for gain_vector: one row per *distinct*
+        # block count, zero-padded past each row's Nb (a complete
+        # request's next-block gain is 0), plus one all-zero column so a
+        # clipped ``have`` lands on zero for every row.  Tiny in
+        # practice: tens of distinct counts x max Nb.
+        width = int(distinct.max()) + 1
+        self._gain_matrix = np.zeros((len(distinct), width))
+        for row, nb in enumerate(distinct):
+            self._gain_matrix[row, : int(nb)] = self._by_count[int(nb)]
+        self._row_of_request = np.searchsorted(distinct, counts)
 
     @property
     def n(self) -> int:
@@ -103,11 +114,22 @@ class GainTable:
         return float(gains[have_blocks])
 
     def gain_vector(self, requests: np.ndarray, have_blocks: np.ndarray) -> np.ndarray:
-        """Vectorized :meth:`gain` over parallel arrays."""
-        out = np.empty(len(requests))
-        for pos, (request, have) in enumerate(zip(requests, have_blocks)):
-            out[pos] = self.gain(int(request), int(have))
-        return out
+        """Vectorized :meth:`gain` over parallel arrays.
+
+        A single fancy-indexed gather into the padded per-count gain
+        matrix; ``have_blocks`` entries at or beyond a request's ``Nb``
+        read the zero padding, matching the scalar path's "complete
+        request gains nothing".  ``have_blocks`` must be non-negative.
+        """
+        requests = np.asarray(requests, dtype=np.int64)
+        have = np.asarray(have_blocks, dtype=np.int64)
+        if requests.shape != have.shape:
+            raise ValueError("requests and have_blocks must be parallel arrays")
+        if len(requests) == 0:
+            return np.empty(0)
+        rows = self._row_of_request[requests]
+        cols = np.minimum(have, self._gain_matrix.shape[1] - 1)
+        return self._gain_matrix[rows, cols]
 
     def utility_of(self, request: int, have_blocks: int) -> float:
         """``U(min(have, Nb) / Nb)`` for a request."""

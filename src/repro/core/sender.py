@@ -155,7 +155,13 @@ class Sender:
         )
         if materialized:
             return True
-        return self.throttle.available_slots > 0
+        if self.throttle.available_slots <= 0:
+            return False
+        # Attribute the slot to this sender (weighted shares track it;
+        # the global throttle's charge is a no-op since it reads the
+        # backend's own active count).
+        self.throttle.charge(block.request)
+        return True
 
     def _ensure_fetch(self, request: int) -> None:
         if self.backend.is_cached(request):

@@ -174,15 +174,47 @@ class KhameleonSession:
         self.backend = backend
         self.downlink = downlink
         self.uplink = uplink
+        self._started = False
+        self._stopped = False
+
+    # -- lifecycle -----------------------------------------------------
+    #
+    # Sessions are attachable/detachable units: a fleet's lifecycle
+    # manager starts one when its user arrives and stops it when the
+    # user departs, possibly mid-simulation.  Both transitions are
+    # idempotent, and a stopped session fires no further application
+    # events — late wire deliveries are dropped, not upcalled.
+
+    @property
+    def started(self) -> bool:
+        return self._started
+
+    @property
+    def active(self) -> bool:
+        """Started and not yet stopped (attached to its resources)."""
+        return self._started and not self._stopped
 
     def _deliver(self, block) -> None:
+        if self._stopped:
+            return  # departed: blocks already on the wire land silently
         self.client.on_block(block)
 
     def start(self) -> None:
-        """Start pushing (call once, before running the simulator)."""
+        """Start pushing (before running the simulator, or at arrival)."""
+        if self._started:
+            return
+        self._started = True
         self.server.start()
 
     def stop(self) -> None:
-        """Stop pushing, cancel periodic tasks, finalize pending requests."""
+        """Stop pushing, cancel periodic tasks, finalize pending requests.
+
+        Idempotent.  After this no upcalls, predictor states, or rate
+        reports are produced, so a departed session is inert even while
+        its last blocks drain off the shared link.
+        """
+        if self._stopped:
+            return
+        self._stopped = True
         self.sender.stop()
         self.client.stop()

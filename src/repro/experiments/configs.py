@@ -22,7 +22,7 @@ from typing import TYPE_CHECKING, Optional
 
 if TYPE_CHECKING:  # experiments sits above fleet; import for typing only
     from repro.core.session import SessionConfig
-    from repro.fleet import FleetConfig
+    from repro.fleet import ArrivalConfig, FleetConfig
 
 from repro.sim.cellular import ATT_LTE, VERIZON_LTE, CellularTraceGenerator
 from repro.sim.engine import Simulator
@@ -106,7 +106,10 @@ class FleetEnvironment:
     system; fleet experiments additionally vary how many sessions
     contend for the one downlink and backend.  ``weights`` sets the
     downlink fair shares (None = equal); ``backend_concurrency`` sizes
-    the *shared* §5.4 speculation budget over the common backend.
+    the *shared* §5.4 speculation budget over the common backend
+    (``weighted_backend`` slices it by the downlink weights); and
+    ``arrival`` selects the session churn process (None = the static
+    all-at-t0 fleet).
 
     Validation of the fleet shape lives in
     :class:`repro.fleet.FleetConfig`, which :meth:`fleet_config` builds.
@@ -116,6 +119,8 @@ class FleetEnvironment:
     env: EnvironmentConfig = DEFAULT_ENV
     weights: Optional[tuple[float, ...]] = None
     backend_concurrency: Optional[int] = None
+    weighted_backend: bool = False
+    arrival: Optional["ArrivalConfig"] = None
 
     def fleet_config(self, session: "SessionConfig") -> "FleetConfig":
         """Map this condition onto the fleet layer's config.
@@ -130,6 +135,8 @@ class FleetEnvironment:
             num_sessions=self.num_sessions,
             weights=self.weights,
             backend_concurrency=self.backend_concurrency,
+            weighted_backend=self.weighted_backend,
+            arrival=self.arrival,
             session=session,
         )
 

@@ -29,7 +29,12 @@ from repro.encoding.naive import SingleBlockEncoder
 from repro.backends.filesystem import FileSystemBackend
 from repro.fleet import KhameleonFleet
 from repro.metrics.collector import MetricSummary, collect, convergence_curve, overpush_rate
-from repro.metrics.fleet import FleetSummary
+from repro.metrics.fleet import (
+    CohortSummary,
+    FleetSummary,
+    collect_cohorts,
+    early_hit_rate,
+)
 from repro.predictors.base import MouseEvent
 from repro.sim.engine import Simulator
 from repro.workloads.falcon import FalconApp, FalconTrace
@@ -90,21 +95,24 @@ def _replay(
     observe,
     request,
     on_request_position=None,
+    offset_s: float = 0.0,
 ) -> None:
     """Schedule the trace's events into the simulator.
 
     ``observe(event)`` fires for every sample; ``request(id)`` for
     request-bearing samples; ``on_request_position(i)`` (optional)
     additionally reports the request's ordinal position — the hook the
-    ACC prefetchers use to read the future.
+    ACC prefetchers use to read the future.  ``offset_s`` shifts the
+    whole trace (a churn fleet replays each user's trace from the
+    moment they arrive, not from t = 0).
     """
     position = 0
     for event in trace.events:
-        sim.schedule_at(event.time_s, observe, MouseEvent(event.x, event.y))
+        sim.schedule_at(offset_s + event.time_s, observe, MouseEvent(event.x, event.y))
         if event.request is not None:
-            sim.schedule_at(event.time_s, request, event.request)
+            sim.schedule_at(offset_s + event.time_s, request, event.request)
             if on_request_position is not None:
-                sim.schedule_at(event.time_s, on_request_position, position)
+                sim.schedule_at(offset_s + event.time_s, on_request_position, position)
             position += 1
 
 
@@ -195,14 +203,22 @@ class FleetRunResult:
     summary: FleetSummary
     diagnostics: dict
     trace_names: list[str] = field(default_factory=list)
+    cohorts: list[CohortSummary] = field(default_factory=list)
+    session_labels: Optional[list[str]] = None  # plan indices under churn
 
     def rows(self, **extra_columns: Any) -> list[dict]:
         """Per-session rows plus the pooled ``fleet`` row."""
-        return self.summary.rows(system=self.system, **extra_columns)
+        return self.summary.rows(
+            labels=self.session_labels, system=self.system, **extra_columns
+        )
+
+    def cohort_rows(self, **extra_columns: Any) -> list[dict]:
+        """One row per arrival cohort (empty for a static fleet run)."""
+        return [c.row(system=self.system, **extra_columns) for c in self.cohorts]
 
     def aggregate_row(self, **extra_columns: Any) -> dict:
         """One row: the pooled metrics plus sharing diagnostics."""
-        return {
+        row = {
             "system": self.system,
             "sessions": self.fleet_env.num_sessions,
             **extra_columns,
@@ -210,6 +226,50 @@ class FleetRunResult:
             "link_fairness": self.diagnostics["link_fairness"],
             "shared_hit_%": 100.0 * self.diagnostics["shared_hit_rate"],
         }
+        churn = self.diagnostics.get("churn")
+        if churn is not None:
+            row["admitted"] = churn["admitted"]
+            row["rejected"] = churn["rejected"]
+            row["early_hit_%"] = 100.0 * self.diagnostics["early_hit_rate"]
+        return row
+
+
+def _fleet_predictor_factory(
+    app: ImageExplorationApp, predictor: str, traces, sim: Simulator
+):
+    """Per-session predictor factory, plus any fleet-shared state.
+
+    ``shared-markov`` is the SeLeP-style deployment: one crowd-warmed
+    :class:`~repro.predictors.shared.SharedTransitionPrior` for the whole
+    fleet, blended into each session's private chain — cold arrivals
+    start from the aggregate transition structure.  Returns
+    ``(make_predictor, prior_or_None)``.
+
+    The factory is invoked at *admission* time.  The oracle reads the
+    user's future by absolute simulator time, so under churn its trace
+    is re-based to the arrival instant (``sim.now`` at admission) to
+    match the replay's timeline; ``shifted(0)`` is the identity, so the
+    static path is untouched.
+    """
+    if predictor == "shared-markov":
+        from repro.predictors.shared import (
+            SharedTransitionPrior,
+            make_shared_markov_predictor,
+        )
+
+        prior = SharedTransitionPrior(app.num_requests)
+        return (
+            lambda i: make_shared_markov_predictor(app.num_requests, prior),
+            prior,
+        )
+    if predictor == "oracle":
+        return (
+            lambda i: app.make_predictor(
+                "oracle", trace=traces[i].shifted(sim.now)
+            ),
+            None,
+        )
+    return (lambda i: app.make_predictor(predictor, trace=traces[i]), None)
 
 
 def run_fleet(
@@ -219,14 +279,23 @@ def run_fleet(
     predictor: str = "kalman",
     drain_s: float = DEFAULT_DRAIN_S,
     seed: int = 0,
+    cohort_width_s: float = 5.0,
+    early_k: int = 5,
 ) -> FleetRunResult:
     """Replay one trace per session against a shared-resource fleet.
 
     All sessions explore the same application over one backend (shared
     response cache, in-flight dedup, shared §5.4 throttle budget) and
     one downlink split by weighted fair queueing.  ``traces[i]`` drives
-    session ``i``; the run lasts until the longest trace ends plus
-    ``drain_s``.
+    session ``i``.
+
+    With a static ``fleet_env.arrival`` every session starts at t = 0
+    and the run lasts until the longest trace ends plus ``drain_s``.
+    With a churn config the fleet's
+    :class:`~repro.fleet.lifecycle.SessionManager` admits sessions as
+    they arrive; each admitted session replays its trace from its
+    arrival instant (truncated by departure — the client drops the
+    tail), and the diagnostics gain admission/cohort/cold-start views.
     """
     if len(traces) != fleet_env.num_sessions:
         raise ValueError(
@@ -236,11 +305,12 @@ def run_fleet(
     sim = Simulator()
     shared_downlink = make_shared_downlink(sim, env, seed=seed)
     backend = app.make_backend(sim, fetch_delay_s=env.backend_delay_s)
+    make_predictor, prior = _fleet_predictor_factory(app, predictor, traces, sim)
 
     fleet = KhameleonFleet(
         sim=sim,
         backend=backend,
-        make_predictor=lambda i: app.make_predictor(predictor, trace=traces[i]),
+        make_predictor=make_predictor,
         utility=app.utility,
         num_blocks=app.num_blocks,
         downlink=shared_downlink,
@@ -254,19 +324,60 @@ def run_fleet(
             )
         ),
     )
-    for session, trace in zip(fleet.sessions, traces):
-        _replay(sim, trace, session.client.observe, session.client.request)
 
-    fleet.start()
-    sim.run(until=max(t.duration_s for t in traces) + drain_s)
-    fleet.stop()
+    if fleet.manager is None:
+        for session, trace in zip(fleet.sessions, traces):
+            _replay(sim, trace, session.client.observe, session.client.request)
+        fleet.start()
+        sim.run(until=max(t.duration_s for t in traces) + drain_s)
+        fleet.stop()
+    else:
+
+        def replay_from_arrival(record) -> None:
+            _replay(
+                sim,
+                traces[record.index],
+                record.session.client.observe,
+                record.session.client.request,
+                offset_s=record.arrived_at,
+            )
+
+        fleet.manager.on_admit = replay_from_arrival
+        fleet.start()
+        horizon = fleet.manager.horizon_s(lambda i: traces[i].duration_s)
+        sim.run(until=horizon + drain_s)
+        fleet.stop()
+
+    diagnostics = fleet.report()
+    if prior is not None:
+        diagnostics["shared_prior"] = prior.snapshot()
+    outcomes_by_session = fleet.outcomes_by_session()
+    cohorts: list[CohortSummary] = []
+    if fleet.manager is not None:
+        # fleet.sessions and the manager's admitted records share
+        # admission order, so these streams and times are parallel.
+        cohorts = collect_cohorts(
+            outcomes_by_session,
+            fleet.manager.arrival_times(),
+            cohort_width_s=cohort_width_s,
+        )
+        rates = [
+            early_hit_rate(o, first_k=early_k) for o in outcomes_by_session if o
+        ]
+        diagnostics["early_hit_rate"] = sum(rates) / len(rates) if rates else 0.0
 
     return FleetRunResult(
         system=f"fleet-{predictor}",
         fleet_env=fleet_env,
         summary=fleet.summary(),
-        diagnostics=fleet.report(),
+        diagnostics=diagnostics,
         trace_names=[t.name for t in traces],
+        cohorts=cohorts,
+        session_labels=(
+            None
+            if fleet.manager is None
+            else [str(r.index) for r in fleet.manager.admitted_records]
+        ),
     )
 
 

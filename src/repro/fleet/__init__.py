@@ -1,8 +1,33 @@
-"""Multi-tenant fleet serving: N Khameleon sessions over shared
-backend and downlink resources, with per-session and aggregate
-reporting.  See :mod:`repro.fleet.fleet` for the sharing semantics.
+"""Multi-tenant fleet serving: Khameleon sessions over shared
+backend and downlink resources, under static or churning populations.
+
+:mod:`repro.fleet.fleet` assembles the shared substrate — one backend
+(cross-session fetch dedup, shared or weight-sliced §5.4 speculation
+budget) and one weighted fair-shared downlink — and builds an
+independent Khameleon stack per session.  :mod:`repro.fleet.lifecycle`
+turns that static assembly into a *serving layer*: a
+:class:`SessionManager` drives an open-loop arrival/departure process
+(Poisson arrivals, lognormal dwell times, admission control when the
+fleet is oversubscribed), with sessions acquiring their fair-share
+port, throttle share, and metrics collector at arrival and releasing
+them at departure.  The closed N-session fleet is exactly the
+degenerate :class:`ArrivalConfig`: all arrivals at t = 0, no
+departures.
+
+Cold arrivals need not start ignorant: pair the fleet with a
+:class:`repro.predictors.shared.SharedTransitionPrior` so each new
+session's predictor is warmed by the crowd's aggregate transition
+structure (see ``examples/fleet_serving.py``).
 """
 
 from .fleet import FleetConfig, KhameleonFleet
+from .lifecycle import ArrivalConfig, SessionManager, SessionPlan, SessionRecord
 
-__all__ = ["FleetConfig", "KhameleonFleet"]
+__all__ = [
+    "FleetConfig",
+    "KhameleonFleet",
+    "ArrivalConfig",
+    "SessionManager",
+    "SessionPlan",
+    "SessionRecord",
+]

@@ -1,8 +1,8 @@
-"""Multi-tenant fleet assembly: N sessions, one backend, one downlink.
+"""Multi-tenant fleet assembly: sessions over one backend, one downlink.
 
 The paper evaluates one client at a time; a serving deployment runs
 many concurrent users against shared infrastructure.  A
-:class:`KhameleonFleet` constructs ``N`` fully independent
+:class:`KhameleonFleet` builds fully independent
 :class:`~repro.core.session.KhameleonSession` stacks — each with its
 own predictor, scheduler, mirror, sender, client cache, and uplink —
 that contend for exactly two shared resources:
@@ -12,18 +12,30 @@ that contend for exactly two shared resources:
   and in-flight dedup work *across* sessions: when user A's fetch for a
   request is running, user B's sender piggybacks instead of issuing a
   duplicate (``stats.piggybacked``), and B's later fetches hit A's
-  cached responses (``stats.cache_hits``).  This is the cross-query
-  structure sharing that makes prefetching pay off under exploratory
-  multi-user workloads.  With ``backend_concurrency`` set, all sessions
-  draw §5.4 throttle slots from one shared
-  :class:`~repro.backends.throttle.BackendThrottle` budget keyed to the
-  backend's *global* active-request count.
+  cached responses (``stats.cache_hits``).  With
+  ``backend_concurrency`` set, all sessions draw §5.4 throttle slots
+  from one shared budget — a single global
+  :class:`~repro.backends.throttle.BackendThrottle`, or (with
+  ``weighted_backend``) a
+  :class:`~repro.backends.throttle.WeightedBackendThrottle` that splits
+  the budget in proportion to each session's downlink weight.
 
 * **the downlink.**  Senders transmit through per-session
   :class:`~repro.sim.fairshare.FairSharePort` handles of one
   :class:`~repro.sim.fairshare.SharedDownlink`, so capacity divides by
   weight among backlogged sessions and one aggressive sender cannot
   starve the rest.
+
+**Sessions are dynamic.**  Each session acquires its port, throttle
+share, and metrics collector when it is *admitted*
+(:meth:`_admit_session`) and releases them when it *departs*
+(:meth:`_retire_session`).  With the default static
+:class:`~repro.fleet.lifecycle.ArrivalConfig` every session is admitted
+up front and none departs — exactly the original closed fleet — while a
+churn config hands the schedule to a
+:class:`~repro.fleet.lifecycle.SessionManager` that admits arrivals
+(subject to the admission cap) and retires departures while the
+simulator runs.
 
 Single-session Khameleon is exactly the ``N = 1`` case: one port over
 the physical link behaves as the raw link, and the shared throttle
@@ -36,7 +48,7 @@ from dataclasses import dataclass, field, replace
 from typing import Callable, Optional, Sequence, Union
 
 from repro.backends.base import Backend
-from repro.backends.throttle import BackendThrottle
+from repro.backends.throttle import BackendThrottle, WeightedBackendThrottle
 from repro.core.session import KhameleonSession, SessionConfig
 from repro.core.utility import UtilityFunction
 from repro.metrics.fleet import FleetSummary, collect_fleet, jain_fairness
@@ -44,6 +56,8 @@ from repro.predictors.base import Predictor
 from repro.sim.engine import Simulator
 from repro.sim.fairshare import SharedDownlink
 from repro.sim.link import ControlChannel, Link
+
+from .lifecycle import ArrivalConfig, SessionManager
 
 __all__ = ["FleetConfig", "KhameleonFleet"]
 
@@ -55,22 +69,34 @@ class FleetConfig:
     Parameters
     ----------
     num_sessions:
-        How many concurrent sessions to build.
+        How many sessions to build (static fleet) or plan as arrivals
+        (churn fleet).
     weights:
         Per-session downlink fair-share weights (default: all 1.0).
     backend_concurrency:
         Size of the *shared* §5.4 throttle budget over the common
         backend; ``None`` leaves speculation unthrottled.
+    weighted_backend:
+        Mirror the downlink weights in the backend budget: each session
+        owns a weight-proportional slice of ``backend_concurrency``
+        instead of racing for one global pool.
+    arrival:
+        The session arrival/departure process.  ``None`` (or any
+        :class:`ArrivalConfig` whose ``is_static`` holds) is the
+        degenerate closed fleet: everyone arrives at t = 0 and stays.
     session:
         Template :class:`SessionConfig` applied to every session.  The
         scheduler seed is offset per session so fleets are deterministic
         but not lock-stepped; the initial bandwidth estimate is divided
-        by ``num_sessions`` (each sender's fair-share prior).
+        by the expected concurrent population (``num_sessions`` for a
+        static fleet, the Little's-law estimate under churn).
     """
 
     num_sessions: int = 1
     weights: Optional[Sequence[float]] = None
     backend_concurrency: Optional[int] = None
+    weighted_backend: bool = False
+    arrival: Optional[ArrivalConfig] = None
     session: SessionConfig = field(default_factory=SessionConfig)
 
     def __post_init__(self) -> None:
@@ -80,13 +106,25 @@ class FleetConfig:
             raise ValueError(
                 f"{len(self.weights)} weights for {self.num_sessions} sessions"
             )
+        if self.weighted_backend and self.backend_concurrency is None:
+            raise ValueError("weighted_backend needs a backend_concurrency budget")
 
     def weight_of(self, i: int) -> float:
         return 1.0 if self.weights is None else float(self.weights[i])
 
+    @property
+    def is_static(self) -> bool:
+        return self.arrival is None or self.arrival.is_static
+
+    def expected_concurrency(self) -> float:
+        """Sessions expected to be attached at once (bandwidth prior)."""
+        if self.arrival is None:
+            return float(self.num_sessions)
+        return self.arrival.expected_concurrency(self.num_sessions)
+
 
 class KhameleonFleet:
-    """N concurrent sessions over one backend and one fair-shared link.
+    """Khameleon sessions over one backend and one fair-shared link.
 
     Parameters
     ----------
@@ -96,7 +134,9 @@ class KhameleonFleet:
         The one backend instance every session fetches from.
     make_predictor:
         ``session_index -> Predictor``; each session needs its own
-        (stateful) predictor instance.
+        (stateful) predictor instance.  Cross-session learning — e.g., a
+        fleet-wide :class:`~repro.predictors.shared.SharedTransitionPrior`
+        — is shared by closing over one prior in this factory.
     utility, num_blocks:
         The shared application: all sessions explore the same request
         universe (that is what makes backend sharing meaningful).
@@ -108,6 +148,12 @@ class KhameleonFleet:
         paths are per-user.
     config:
         :class:`FleetConfig`.
+
+    A static config admits every session in the constructor (so callers
+    can wire traces to ``fleet.sessions`` before the run, exactly as
+    before).  A churn config instead creates a :class:`SessionManager`
+    (``fleet.manager``) that admits sessions while the simulator runs;
+    ``fleet.sessions`` then grows in admission order.
     """
 
     def __init__(
@@ -131,51 +177,108 @@ class KhameleonFleet:
             if isinstance(downlink, SharedDownlink)
             else SharedDownlink(sim, downlink)
         )
-        self.throttle: Optional[BackendThrottle] = None
+        self.throttle: Optional[Union[BackendThrottle, WeightedBackendThrottle]] = None
         if cfg.backend_concurrency is not None:
-            self.throttle = BackendThrottle(
-                cfg.backend_concurrency, active=lambda: backend.active_requests
-            )
+            if cfg.weighted_backend:
+                self.throttle = WeightedBackendThrottle(
+                    cfg.backend_concurrency,
+                    is_inflight=backend.is_inflight,
+                    active=lambda: backend.active_requests,
+                )
+            else:
+                self.throttle = BackendThrottle(
+                    cfg.backend_concurrency, active=lambda: backend.active_requests
+                )
+
+        self._make_predictor = make_predictor
+        self._utility = utility
+        self._num_blocks = num_blocks
+        self._make_uplink = make_uplink
 
         self.sessions: list[KhameleonSession] = []
         self.ports = []
-        base = cfg.session
-        for i in range(cfg.num_sessions):
-            session_cfg = replace(
-                base,
-                scheduler_seed=base.scheduler_seed + i,
-                initial_bandwidth_bytes_per_s=(
-                    base.initial_bandwidth_bytes_per_s / cfg.num_sessions
-                ),
-                backend_concurrency=None,  # the fleet-level throttle rules
-            )
-            port = self.shared_downlink.port(cfg.weight_of(i), label=f"session{i}")
-            session = KhameleonSession(
-                sim=sim,
-                backend=backend,
-                predictor=make_predictor(i),
-                utility=utility,
-                num_blocks=num_blocks,
-                downlink=port,
-                uplink=make_uplink(i),
-                config=session_cfg,
-                throttle=self.throttle,
-            )
-            self.ports.append(port)
-            self.sessions.append(session)
+        self.manager: Optional[SessionManager] = None
+        if cfg.is_static:
+            for i in range(cfg.num_sessions):
+                self._admit_session(i)
+        else:
+            self.manager = SessionManager(sim, self, cfg.arrival)
 
     def __len__(self) -> int:
         return len(self.sessions)
 
+    # -- session attach / detach ---------------------------------------
+
+    def _session_config(self, i: int) -> SessionConfig:
+        base = self.config.session
+        return replace(
+            base,
+            scheduler_seed=base.scheduler_seed + i,
+            initial_bandwidth_bytes_per_s=(
+                base.initial_bandwidth_bytes_per_s / self.config.expected_concurrency()
+            ),
+            backend_concurrency=None,  # the fleet-level throttle rules
+        )
+
+    def _admit_session(self, i: int) -> KhameleonSession:
+        """Build session ``i`` and attach its shared-resource handles.
+
+        This is the acquisition point: the fair-share port, the
+        (possibly weighted) throttle share, and the metrics collector
+        all come into existence here — at arrival, not at fleet
+        construction.
+        """
+        cfg = self.config
+        weight = cfg.weight_of(i)
+        port = self.shared_downlink.port(weight, label=f"session{i}")
+        throttle = self.throttle
+        if isinstance(throttle, WeightedBackendThrottle):
+            throttle = throttle.attach(weight, label=f"session{i}")
+        session = KhameleonSession(
+            sim=self.sim,
+            backend=self.backend,
+            predictor=self._make_predictor(i),
+            utility=self._utility,
+            num_blocks=self._num_blocks,
+            downlink=port,
+            uplink=self._make_uplink(i),
+            config=self._session_config(i),
+            throttle=throttle,
+        )
+        self.ports.append(port)
+        self.sessions.append(session)
+        return session
+
+    def _retire_session(self, session: KhameleonSession) -> int:
+        """Departure: stop the session and release its shared resources.
+
+        Returns the number of backlogged bytes dropped from its port —
+        queued-but-unsent data a departed user will never look at, which
+        must not occupy capacity surviving sessions should get.
+        """
+        session.stop()
+        if isinstance(self.throttle, WeightedBackendThrottle):
+            self.throttle.detach(session.throttle)
+        return session.downlink.close()
+
     # -- lifecycle -----------------------------------------------------
 
     def start(self) -> None:
-        """Start every session (call once, before running the simulator)."""
-        for session in self.sessions:
-            session.start()
+        """Start serving (call once, before running the simulator).
+
+        Static fleets start every pre-built session; churn fleets start
+        the lifecycle manager, which admits sessions as they arrive.
+        """
+        if self.manager is not None:
+            self.manager.start()
+        else:
+            for session in self.sessions:
+                session.start()
 
     def stop(self) -> None:
-        """Stop every session's sender and periodic tasks."""
+        """Stop every session's sender and periodic tasks (idempotent)."""
+        if self.manager is not None:
+            self.manager.stop()
         for session in self.sessions:
             session.stop()
 
@@ -189,10 +292,36 @@ class KhameleonFleet:
         return collect_fleet(self.outcomes_by_session())
 
     def link_fairness(self) -> float:
-        """Jain's index over weight-normalized per-session throughput."""
+        """Jain's index over weight-normalized per-session throughput.
+
+        Lifetime byte totals — correct for a static fleet, where every
+        session is attached for the whole run.  Under churn
+        :meth:`report` uses :meth:`churn_link_fairness` instead, which
+        normalizes by attached duration.
+        """
         return jain_fairness(
             [p.bytes_delivered / p.weight for p in self.ports]
         )
+
+    def churn_link_fairness(self) -> float:
+        """Jain's index over per-session *attached-time* delivery rate.
+
+        Under churn, lifetime byte totals conflate fairness with dwell:
+        a user who stayed 2 s inevitably received less than one who
+        stayed 10 s even from a perfectly fair arbiter.  Dividing each
+        session's weight-normalized bytes by its attached duration
+        measures what the arbiter actually controls.
+        """
+        if self.manager is None:
+            return self.link_fairness()
+        rates = []
+        for record in self.manager.admitted_records:
+            port = record.session.downlink
+            end = record.departed_at if record.departed_at is not None else self.sim.now
+            duration = end - record.arrived_at
+            if duration > 0:
+                rates.append(port.bytes_delivered / (port.weight * duration))
+        return jain_fairness(rates) if rates else 1.0
 
     def shared_hit_rate(self) -> float:
         """Fraction of materialization demands absorbed by sharing.
@@ -212,7 +341,7 @@ class KhameleonFleet:
         """Fleet-level diagnostics to accompany the metric summary."""
         blocks_sent = sum(s.sender.blocks_sent for s in self.sessions)
         bytes_sent = sum(s.sender.bytes_sent for s in self.sessions)
-        return {
+        out = {
             "sessions": len(self.sessions),
             "blocks_sent": blocks_sent,
             "bytes_sent": bytes_sent,
@@ -221,3 +350,7 @@ class KhameleonFleet:
             "shared_hit_rate": self.shared_hit_rate(),
             "backend": self.backend.stats.snapshot(),
         }
+        if self.manager is not None:
+            out["churn"] = self.manager.stats.snapshot()
+            out["link_fairness"] = self.churn_link_fairness()
+        return out

@@ -17,7 +17,15 @@ For preemptive interactions the paper reports, per condition:
 """
 
 from .collector import MetricSummary, collect, convergence_curve, overpush_rate
-from .fleet import FleetSummary, collect_fleet, jain_fairness
+from .fleet import (
+    CohortSummary,
+    FleetSummary,
+    collect_cohorts,
+    collect_fleet,
+    collect_windows,
+    early_hit_rate,
+    jain_fairness,
+)
 from .report import format_table, format_series
 from .timeseries import WindowMetrics, bin_outcomes
 
@@ -25,7 +33,11 @@ __all__ = [
     "MetricSummary",
     "collect",
     "FleetSummary",
+    "CohortSummary",
     "collect_fleet",
+    "collect_cohorts",
+    "collect_windows",
+    "early_hit_rate",
     "jain_fairness",
     "convergence_curve",
     "overpush_rate",

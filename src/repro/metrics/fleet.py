@@ -6,6 +6,20 @@ view adds (a) the aggregate over the *pooled* outcome stream — tail
 latency across all users, not the mean of per-user tails — and (b)
 resource-sharing diagnostics: Jain's fairness index over per-session
 delivered bytes and the backend's cross-session dedup rate.
+
+Under **churn** a single run-wide aggregate is misleading: sessions
+that arrive into a loaded fleet see different service than the t = 0
+pioneers, and a session's first seconds (cold predictor, empty cache)
+differ from its steady state.  Three churn-aware views make metrics
+comparable:
+
+* :func:`collect_windows` — the pooled stream re-aggregated per
+  wall-clock window, so load transients are visible;
+* :func:`collect_cohorts` — sessions grouped into arrival-time cohorts
+  (all t = 0 sessions form one cohort in the static degenerate case);
+* :func:`early_hit_rate` — the cache-hit rate over a session's first
+  ``k`` requests, the cold-start number a shared predictor prior is
+  meant to improve.
 """
 
 from __future__ import annotations
@@ -16,8 +30,17 @@ from typing import Optional, Sequence
 from repro.core.cache_manager import RequestOutcome
 
 from .collector import MetricSummary, collect
+from .timeseries import WindowMetrics, bin_outcomes
 
-__all__ = ["FleetSummary", "collect_fleet", "jain_fairness"]
+__all__ = [
+    "FleetSummary",
+    "CohortSummary",
+    "collect_fleet",
+    "collect_windows",
+    "collect_cohorts",
+    "early_hit_rate",
+    "jain_fairness",
+]
 
 
 @dataclass(frozen=True)
@@ -35,13 +58,26 @@ class FleetSummary:
     def num_sessions(self) -> int:
         return len(self.per_session)
 
-    def rows(self, **extra_columns) -> list[dict]:
-        """Per-session rows plus a final ``fleet`` aggregate row."""
+    def rows(
+        self, labels: Optional[Sequence[str]] = None, **extra_columns
+    ) -> list[dict]:
+        """Per-session rows plus a final ``fleet`` aggregate row.
+
+        ``labels`` names each session row (default: its position).
+        Churn fleets pass the *plan* indices here — with rejected
+        arrivals, position ``i`` is not user ``i``, and rows must stay
+        joinable against per-user inputs (traces, weights).
+        """
+        if labels is not None and len(labels) != len(self.per_session):
+            raise ValueError(
+                f"{len(labels)} labels for {len(self.per_session)} sessions"
+            )
         out = []
         for i, summary in enumerate(self.per_session):
             if summary is None:
                 continue
-            out.append({"session": str(i), **extra_columns, **summary.as_dict()})
+            label = str(i) if labels is None else str(labels[i])
+            out.append({"session": label, **extra_columns, **summary.as_dict()})
         out.append({"session": "fleet", **extra_columns, **self.aggregate.as_dict()})
         return out
 
@@ -60,6 +96,95 @@ def collect_fleet(
             for outcomes in outcomes_by_session
         ),
     )
+
+
+def collect_windows(
+    outcomes_by_session: Sequence[Sequence[RequestOutcome]],
+    window_s: float,
+    duration_s: float = 0.0,
+) -> list[WindowMetrics]:
+    """Fleet-pooled time-windowed metrics.
+
+    Pools every session's outcome stream and slices it with
+    :func:`repro.metrics.timeseries.bin_outcomes`, so the per-window
+    accounting matches the single-session debugging view.  Under churn
+    this is the load curve: windows where arrivals outpace departures
+    show their latency cost instead of averaging into the run total.
+    """
+    pooled = [o for outcomes in outcomes_by_session for o in outcomes]
+    return bin_outcomes(pooled, window_s, duration_s=duration_s)
+
+
+@dataclass(frozen=True)
+class CohortSummary:
+    """Pooled §6.1 metrics for sessions that arrived in one time bucket."""
+
+    cohort_start_s: float
+    num_sessions: int
+    summary: Optional[MetricSummary]  # None when the cohort registered nothing
+
+    def row(self, **extra_columns) -> dict:
+        out = {
+            "cohort_s": self.cohort_start_s,
+            "sessions": self.num_sessions,
+            **extra_columns,
+        }
+        if self.summary is not None:
+            out.update(self.summary.as_dict())
+        return out
+
+
+def collect_cohorts(
+    outcomes_by_session: Sequence[Sequence[RequestOutcome]],
+    arrival_times: Sequence[float],
+    cohort_width_s: float,
+) -> list[CohortSummary]:
+    """Group sessions into arrival-time cohorts and pool each cohort.
+
+    ``arrival_times[i]`` is session ``i``'s arrival instant; sessions
+    arriving within the same ``cohort_width_s`` bucket pool their
+    outcomes.  A static fleet (everyone at t = 0) collapses to a single
+    cohort, which is exactly the plain fleet aggregate.
+    """
+    if len(outcomes_by_session) != len(arrival_times):
+        raise ValueError(
+            f"{len(outcomes_by_session)} outcome streams for "
+            f"{len(arrival_times)} arrival times"
+        )
+    if cohort_width_s <= 0:
+        raise ValueError("cohort width must be positive")
+    grouped: dict[int, list] = {}
+    members: dict[int, int] = {}
+    for outcomes, arrived in zip(outcomes_by_session, arrival_times):
+        k = int(arrived // cohort_width_s)
+        grouped.setdefault(k, []).extend(outcomes)
+        members[k] = members.get(k, 0) + 1
+    return [
+        CohortSummary(
+            cohort_start_s=k * cohort_width_s,
+            num_sessions=members[k],
+            summary=collect(grouped[k]) if grouped[k] else None,
+        )
+        for k in sorted(grouped)
+    ]
+
+
+def early_hit_rate(outcomes: Sequence[RequestOutcome], first_k: int = 5) -> float:
+    """Cache-hit rate over a session's first ``k`` registered requests.
+
+    The cold-start number: a freshly arrived session has an empty cache
+    and an untrained predictor, so its earliest requests measure how
+    fast the system warms it up (and what a crowd-shared prior buys).
+    Preempted requests are excluded — they were answered by moving on,
+    not by the cache.
+    """
+    if first_k < 1:
+        raise ValueError("first_k must be >= 1")
+    head = sorted(outcomes, key=lambda o: o.logical_ts)[:first_k]
+    considered = [o for o in head if not o.preempted]
+    if not considered:
+        return 0.0
+    return sum(1 for o in considered if o.cache_hit) / len(considered)
 
 
 def jain_fairness(values: Sequence[float]) -> float:

@@ -13,6 +13,10 @@ pairs:
   policies (§3.4, Fig. 12, Falcon's OnHover).
 - :func:`~repro.predictors.markov.make_markov_predictor` — first-order
   request chain for click-based interfaces.
+- :func:`~repro.predictors.shared.make_shared_markov_predictor` — the
+  fleet deployment of the chain: a per-session model blended with a
+  crowd-warmed :class:`~repro.predictors.shared.SharedTransitionPrior`
+  so cold arrivals start from the fleet's aggregate structure.
 """
 
 from .base import DEFAULT_DELTAS_S, ClientPredictor, MouseEvent, Predictor, ServerPredictor
@@ -26,6 +30,7 @@ from .kalman import (
 from .layout import BoundingBox, ChartLayout, GridLayout
 from .markov import MarkovModel, make_markov_predictor
 from .oracle import make_oracle_predictor
+from .shared import SharedTransitionPrior, make_shared_markov_predictor
 from .perfect import make_acc_predictor
 from .simple import (
     HoverClientPredictor,
@@ -56,4 +61,6 @@ __all__ = [
     "HoverClientPredictor",
     "MarkovModel",
     "make_markov_predictor",
+    "SharedTransitionPrior",
+    "make_shared_markov_predictor",
 ]

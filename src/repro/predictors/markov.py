@@ -55,6 +55,10 @@ class MarkovModel:
     def last_request(self) -> Optional[int]:
         return self._last
 
+    def row_counts(self, request: int) -> dict[int, int]:
+        """Raw successor counts for ``request`` (empty if never seen)."""
+        return dict(self._counts.get(request, {}))
+
     def transition_probs(self, request: int) -> tuple[np.ndarray, np.ndarray, float]:
         """``(ids, probs, residual)`` for the row of ``request``.
 

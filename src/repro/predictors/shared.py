@@ -1,0 +1,192 @@
+"""Fleet-wide shared transition prior (SeLeP-style crowd learning).
+
+Khameleon's predictors are per-session: each user's model learns only
+from that user's interactions, so a session that just arrived predicts
+from nothing — under churn, every arrival pays the cold-start cost all
+over again.  Exploratory-workload prefetchers (SeLeP, SCOUT) win
+precisely by learning access structure *across* users: most users
+traverse the same hot paths through the data, so the crowd's aggregate
+transition structure is a strong prior for a user the system has never
+seen.
+
+:class:`SharedTransitionPrior` is that aggregate: one fleet-wide
+first-order transition count table, fed by every session's observed
+request stream.  :class:`SharedMarkovServerPredictor` is the per-session
+decoder that blends it with the session's own observations as
+pseudo-counts::
+
+    count'(q -> r) = count_private(q -> r) + strength · P_prior(r | q)
+
+followed by the same add-one smoothing as the private
+:class:`~repro.predictors.markov.MarkovModel`.  A cold session (no
+private counts) therefore starts from the crowd's distribution scaled
+to ``strength`` observations; as its own history accumulates, the
+private counts dominate and the predictor personalizes.  The prior is
+*shared state, not shared fate*: sessions never see each other's raw
+streams, only the pooled counts.
+
+Build one prior per fleet and close over it in the fleet's
+``make_predictor`` factory::
+
+    prior = SharedTransitionPrior(n)
+    fleet = KhameleonFleet(..., make_predictor=lambda i:
+        make_shared_markov_predictor(n, prior))
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.core.distribution import RequestDistribution
+
+from .base import DEFAULT_DELTAS_S, Predictor, ServerPredictor
+from .markov import MarkovClientPredictor, MarkovModel
+
+__all__ = [
+    "SharedTransitionPrior",
+    "SharedMarkovServerPredictor",
+    "make_shared_markov_predictor",
+]
+
+
+class SharedTransitionPrior:
+    """Crowd-pooled first-order transition counts over request ids."""
+
+    def __init__(self, n: int) -> None:
+        if n < 1:
+            raise ValueError("n must be >= 1")
+        self.n = n
+        self._counts: dict[int, dict[int, int]] = defaultdict(lambda: defaultdict(int))
+        self.transitions_observed = 0
+
+    def observe(self, prev: int, nxt: int) -> None:
+        """Pool one transition from any session's request stream."""
+        if not 0 <= prev < self.n or not 0 <= nxt < self.n:
+            raise ValueError(f"transition {prev}->{nxt} outside [0, {self.n})")
+        self._counts[prev][nxt] += 1
+        self.transitions_observed += 1
+
+    def row(self, request: int) -> tuple[np.ndarray, np.ndarray]:
+        """``(ids, probs)``: the crowd's successor distribution of ``request``.
+
+        Empirical (unsmoothed) probabilities over observed successors;
+        both arrays are empty when the crowd has never left ``request``.
+        """
+        row = self._counts.get(request)
+        if not row:
+            return np.empty(0, dtype=np.int64), np.empty(0)
+        ids = np.array(sorted(row), dtype=np.int64)
+        counts = np.array([row[i] for i in ids], dtype=float)
+        return ids, counts / counts.sum()
+
+    def row_mass(self, request: int) -> int:
+        """Total observed transitions out of ``request``."""
+        row = self._counts.get(request)
+        return sum(row.values()) if row else 0
+
+    def snapshot(self) -> dict:
+        return {
+            "transitions_observed": self.transitions_observed,
+            "rows_warmed": len(self._counts),
+        }
+
+
+class SharedMarkovServerPredictor(ServerPredictor):
+    """Per-session Markov decoder warmed by the fleet-wide prior.
+
+    Like :class:`~repro.predictors.markov.MarkovServerPredictor`, the
+    shipped state *is* the event: each decoded request id is observed
+    into the session's private chain — and its transition is pooled
+    into the shared prior, so this session's history warms every other
+    tenant's cold rows.
+
+    ``prior_strength`` is the pseudo-observation mass the crowd's row
+    contributes: the blend behaves as if the session had already seen
+    ``strength`` transitions drawn from the crowd's distribution.
+    """
+
+    def __init__(
+        self,
+        model: MarkovModel,
+        prior: SharedTransitionPrior,
+        prior_strength: float = 8.0,
+    ) -> None:
+        if model.n != prior.n:
+            raise ValueError(
+                f"model over {model.n} requests, prior over {prior.n}"
+            )
+        if prior_strength < 0:
+            raise ValueError("prior strength must be non-negative")
+        self.model = model
+        self.prior = prior
+        self.prior_strength = prior_strength
+        self._last_decoded: Optional[int] = None
+
+    def decode(
+        self, state: Optional[int], deltas_s: Sequence[float]
+    ) -> RequestDistribution:
+        n = self.model.n
+        if state is None:
+            return RequestDistribution.uniform(n, deltas_s)
+        request = int(state)
+        if request != self._last_decoded or self.model.last_request != request:
+            prev = self.model.last_request
+            self.model.observe(request)
+            if prev is not None:
+                self.prior.observe(prev, request)
+        self._last_decoded = request
+        ids, probs, residual = self._blended_row(request)
+        if len(ids) == 0:
+            return RequestDistribution.uniform(n, deltas_s)
+        k = len(deltas_s)
+        return RequestDistribution(
+            n=n,
+            deltas_s=np.asarray(deltas_s, dtype=float),
+            explicit_ids=ids,
+            explicit_probs=np.tile(probs, (k, 1)),
+            residual=np.full(k, residual),
+        )
+
+    def _blended_row(self, request: int) -> tuple[np.ndarray, np.ndarray, float]:
+        """Private counts + crowd pseudo-counts, add-one smoothed."""
+        private = self.model.row_counts(request)
+        combined: dict[int, float] = {q: float(c) for q, c in private.items()}
+        prior_ids, prior_probs = self.prior.row(request)
+        for q, p in zip(prior_ids, prior_probs):
+            combined[int(q)] = combined.get(int(q), 0.0) + self.prior_strength * float(p)
+        smoothing = self.model.smoothing
+        n = self.model.n
+        if not combined:
+            return np.empty(0, dtype=np.int64), np.empty(0), 1.0
+        ids = np.array(sorted(combined), dtype=np.int64)
+        mass = np.array([combined[int(i)] for i in ids])
+        total = mass.sum() + smoothing * n
+        probs = (mass + smoothing) / total
+        residual = smoothing * (n - len(ids)) / total
+        return ids, probs, float(residual)
+
+
+def make_shared_markov_predictor(
+    n: int,
+    prior: SharedTransitionPrior,
+    smoothing: float = 1.0,
+    prior_strength: float = 8.0,
+    deltas_s: Sequence[float] = DEFAULT_DELTAS_S,
+) -> Predictor:
+    """Server-resident Markov predictor blending a fleet-wide prior.
+
+    Each call builds a fresh per-session private chain; every session
+    built over the same ``prior`` both benefits from and contributes to
+    the crowd's pooled transition structure.
+    """
+    return Predictor(
+        name="shared-markov",
+        client=MarkovClientPredictor(),
+        server=SharedMarkovServerPredictor(
+            MarkovModel(n, smoothing=smoothing), prior, prior_strength=prior_strength
+        ),
+        deltas_s=tuple(deltas_s),
+    )

@@ -25,6 +25,12 @@ queues are.  A port exposes the same ``send`` / ``queue_delay`` surface
 as :class:`~repro.sim.link.Link`, so a :class:`~repro.core.sender.Sender`
 works unmodified — its pacing loop now sees *its own* backlog at *its
 fair share* of the rate, which is what bounds per-session queueing.
+
+Ports support mid-run retirement (:meth:`FairSharePort.close`) for
+session churn: a departing session's queued-but-unsent payloads are
+dropped, its weight stops counting toward the backlogged total, and the
+arbiter continues scheduling the survivors — a retired port must never
+stall the virtual clock or strand capacity.
 """
 
 from __future__ import annotations
@@ -67,8 +73,10 @@ class FairSharePort:
         self._queue: deque[_QueuedPayload] = deque()
         self._queued_bytes = 0
         self._last_tag = 0.0
+        self.closed = False
         self.bytes_accepted = 0
         self.bytes_delivered = 0
+        self.bytes_dropped = 0
         self.payloads_delivered = 0
 
     # -- Link surface --------------------------------------------------
@@ -80,6 +88,8 @@ class FairSharePort:
         ports' future sends, so the return value is the current
         ``queue_delay``-based estimate (senders ignore it).
         """
+        if self.closed:
+            raise ValueError(f"port {self.label!r} is retired")
         if nbytes < 0:
             raise ValueError("payload size must be non-negative")
         estimate = self.shared.sim.now + self.queue_delay()
@@ -106,6 +116,25 @@ class FairSharePort:
             return physical
         share = rate * self.weight / self.shared._backlogged_weight(include=self)
         return physical + self._queued_bytes / share
+
+    def close(self) -> int:
+        """Retire this port: drop its backlog and stop competing.
+
+        Called when the owning session departs.  Payloads already handed
+        to the physical serializer still deliver (they are on the wire);
+        everything still queued here is dropped so it cannot occupy
+        capacity a surviving session should get.  Returns the number of
+        bytes dropped.  Idempotent.
+        """
+        if self.closed:
+            return 0
+        self.closed = True
+        dropped = self._queued_bytes
+        self._queue.clear()
+        self._queued_bytes = 0
+        self.bytes_dropped += dropped
+        self.shared._retire(self)
+        return dropped
 
     # -- introspection -------------------------------------------------
 
@@ -140,12 +169,23 @@ class SharedDownlink:
         self._wire_wait = None  # pending dispatch event, if any
         self._observed_rate: Optional[float] = None
         self.payloads_dispatched = 0
+        self.ports_opened = 0
+        self.ports_retired = 0
+        self.bytes_dropped = 0
 
     def port(self, weight: float = 1.0, label: Optional[str] = None) -> FairSharePort:
         """Create a new session port with the given fair-share weight."""
-        port = FairSharePort(self, weight, label or f"port{len(self.ports)}")
+        port = FairSharePort(self, weight, label or f"port{self.ports_opened}")
         self.ports.append(port)
+        self.ports_opened += 1
         return port
+
+    def _retire(self, port: FairSharePort) -> None:
+        """Remove a closed port from arbitration (its backlog is gone)."""
+        if port in self.ports:
+            self.ports.remove(port)
+        self.ports_retired += 1
+        self.bytes_dropped += port.bytes_dropped
 
     def rate_hint(self) -> Optional[float]:
         """Physical serialization rate in bytes/s, best known estimate.

@@ -135,7 +135,7 @@ class ImageExplorationApp:
         trace: Optional[InteractionTrace] = None,
         deltas_s: Sequence[float] = DEFAULT_DELTAS_S,
     ) -> Predictor:
-        """Predictor by experiment name: kalman / oracle / uniform / point.
+        """Predictor by name: kalman / oracle / uniform / point / markov.
 
         ``oracle`` needs the trace it will be replayed against (it reads
         the exact future position, §6.1).
@@ -157,6 +157,13 @@ class ImageExplorationApp:
             return make_uniform_predictor(self.num_requests, deltas_s=deltas_s)
         if name == "point":
             return make_point_predictor(self.num_requests, deltas_s=deltas_s)
+        if name == "markov":
+            # Session-private first-order chain over the request stream
+            # (the fleet runner swaps in the crowd-shared variant when
+            # asked for "shared-markov").
+            from repro.predictors.markov import make_markov_predictor
+
+            return make_markov_predictor(self.num_requests, deltas_s=deltas_s)
         if name.startswith("acc-"):
             # ACC's oracle signal as a *Khameleon* predictor (Fig. 9):
             # name format acc-<accuracy>-<horizon>.

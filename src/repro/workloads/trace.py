@@ -117,6 +117,25 @@ class InteractionTrace:
             raise ValueError("truncation removed every event")
         return InteractionTrace(kept, name=f"{self.name}[:{duration_s}s]")
 
+    def shifted(self, offset_s: float) -> "InteractionTrace":
+        """The same interaction re-based ``offset_s`` later on the clock.
+
+        Churn fleets replay a user's trace from their arrival instant;
+        a *time-indexed* reader of the same trace (the Oracle predictor
+        queries ``position_at`` by absolute simulator time) must see
+        the timeline the replay actually uses, or it would read the
+        user's future from the wrong point in their session.
+        """
+        if offset_s == 0.0:
+            return self
+        if offset_s < 0:
+            raise ValueError("shift offset must be non-negative")
+        events = [
+            TraceEvent(e.time_s + offset_s, e.x, e.y, e.request)
+            for e in self.events
+        ]
+        return InteractionTrace(events, name=f"{self.name}+{offset_s:g}s")
+
     # -- serialization ----------------------------------------------------
 
     def to_json(self) -> str:

@@ -33,6 +33,22 @@ class TestCLI:
         assert "link fairness" in out
         assert "fleet" in out
 
+    def test_fleet_churn_command_reports_admissions(self, capsys):
+        assert (
+            main(
+                [
+                    "fleet", "--sessions", "3", "--scale", "quick",
+                    "--arrivals", "0.8", "--dwell", "3",
+                    "--max-concurrent", "2", "--predictor", "shared-markov",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "admitted" in out
+        assert "early hit" in out
+        assert "cohort_s" in out
+
     def test_unknown_figure_rejected(self):
         with pytest.raises(SystemExit):
             main(["fig99"])

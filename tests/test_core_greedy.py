@@ -306,3 +306,41 @@ def test_property_schedule_within_batch_never_duplicates_blocks(n, nb, C, seed):
         key = (block.request, block.index)
         assert key not in seen
         seen.add(key)
+
+
+class TestGainVector:
+    """The vectorized gather must agree with the scalar gain() path."""
+
+    def _table(self, seed=0, n=200):
+        rng = np.random.default_rng(seed)
+        num_blocks = rng.integers(1, 12, size=n)
+        return GainTable(ssim_image_utility(), num_blocks), num_blocks
+
+    def test_matches_scalar_gain_everywhere(self):
+        gains, num_blocks = self._table()
+        n = len(num_blocks)
+        rng = np.random.default_rng(1)
+        requests = rng.integers(0, n, size=500)
+        # Cover the whole interesting range: partial, complete, and
+        # beyond-complete prefixes (clipped to the zero padding).
+        have = rng.integers(0, num_blocks.max() + 3, size=500)
+        expected = np.array(
+            [gains.gain(int(r), int(h)) for r, h in zip(requests, have)]
+        )
+        np.testing.assert_array_equal(gains.gain_vector(requests, have), expected)
+
+    def test_complete_requests_gain_zero(self):
+        gains, num_blocks = self._table()
+        requests = np.arange(len(num_blocks))
+        out = gains.gain_vector(requests, num_blocks)
+        np.testing.assert_array_equal(out, np.zeros(len(requests)))
+
+    def test_empty_input(self):
+        gains, _ = self._table()
+        out = gains.gain_vector(np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int64))
+        assert out.shape == (0,)
+
+    def test_shape_mismatch_rejected(self):
+        gains, _ = self._table()
+        with pytest.raises(ValueError):
+            gains.gain_vector(np.array([0, 1]), np.array([0]))

@@ -225,6 +225,53 @@ class TestRunFleet:
         assert a.diagnostics == b.diagnostics
 
 
+class TestRunFleetChurn:
+    @pytest.fixture(scope="class")
+    def churn_result(self, app):
+        from repro.fleet import ArrivalConfig
+
+        traces = [
+            MouseTraceGenerator(app.layout, seed=50 + i).generate(duration_s=5.0)
+            for i in range(5)
+        ]
+        # Dwell-free cap of 1: the first arrival is admitted and stays,
+        # so some later user is rejected — admission order then differs
+        # from plan order for nobody, but admitted indices are sparse.
+        fleet_env = FleetEnvironment(
+            num_sessions=5,
+            env=DEFAULT_ENV,
+            arrival=ArrivalConfig(
+                rate_per_s=1.0, mean_dwell_s=2.0, dwell_sigma=0.0,
+                max_concurrent=2, seed=9,
+            ),
+        )
+        return run_fleet(app, traces, fleet_env, predictor="kalman")
+
+    def test_churn_diagnostics_and_cohorts(self, churn_result):
+        churn = churn_result.diagnostics["churn"]
+        assert churn["arrivals"] == 5
+        assert churn["admitted"] + churn["rejected"] == 5
+        assert churn_result.cohorts  # per-cohort latency is reported
+        assert "early_hit_rate" in churn_result.diagnostics
+
+    def test_session_rows_are_labeled_by_plan_index(self, churn_result):
+        """With rejections, admitted sessions are a sparse subset of the
+        planned users; rows must name the *user*, not the list slot,
+        so they stay joinable against traces/weights."""
+        churn = churn_result.diagnostics["churn"]
+        assert churn["rejected"] >= 1  # the scenario really rejects
+        labels = churn_result.session_labels
+        assert labels is not None
+        assert len(labels) == churn["admitted"]
+        assert labels == sorted(labels, key=int)
+        assert set(labels) < {str(i) for i in range(5)}
+        row_labels = [r["session"] for r in churn_result.rows()[:-1]]
+        # Rows carry the plan labels (empty sessions are skipped).
+        assert set(row_labels) <= set(labels)
+        # At least one admitted user is NOT at their list position.
+        assert labels != [str(i) for i in range(len(labels))]
+
+
 class TestACCAsKhameleonPredictor:
     def test_acc_oracle_signal_drives_the_push_scheduler(self, app, trace):
         """Fig. 9's 'Khameleon vs ACC using perfect predictors': the

@@ -122,3 +122,73 @@ class TestReport:
     def test_series_length_mismatch(self):
         with pytest.raises(ValueError):
             format_series("s", [1], [1, 2])
+
+
+class TestChurnMetrics:
+    def test_collect_cohorts_groups_by_arrival_bucket(self):
+        from repro.metrics.fleet import collect_cohorts
+
+        streams = [
+            [outcome(ts=0, registered=0.1, served=0.2, utility=0.5)],
+            [outcome(ts=0, registered=1.0, served=1.1, utility=0.7)],
+            [outcome(ts=0, registered=11.0, served=11.4, utility=0.9)],
+        ]
+        cohorts = collect_cohorts(streams, [0.0, 2.0, 10.5], cohort_width_s=5.0)
+        assert [c.cohort_start_s for c in cohorts] == [0.0, 10.0]
+        assert [c.num_sessions for c in cohorts] == [2, 1]
+        assert cohorts[0].summary.num_requests == 2
+        assert cohorts[1].summary.mean_utility == pytest.approx(0.9)
+        row = cohorts[0].row(system="x")
+        assert row["cohort_s"] == 0.0 and row["sessions"] == 2
+        assert "latency_ms" in row
+
+    def test_collect_cohorts_empty_cohort_has_no_summary(self):
+        from repro.metrics.fleet import collect_cohorts
+
+        cohorts = collect_cohorts([[]], [0.0], cohort_width_s=1.0)
+        assert cohorts[0].summary is None
+        assert "latency_ms" not in cohorts[0].row()
+
+    def test_collect_cohorts_validation(self):
+        from repro.metrics.fleet import collect_cohorts
+
+        with pytest.raises(ValueError):
+            collect_cohorts([[]], [0.0, 1.0], cohort_width_s=1.0)
+        with pytest.raises(ValueError):
+            collect_cohorts([[]], [0.0], cohort_width_s=0.0)
+
+    def test_collect_windows_pools_sessions(self):
+        from repro.metrics.fleet import collect_windows
+
+        streams = [
+            [outcome(ts=0, registered=0.2, served=0.3)],
+            [outcome(ts=0, registered=1.7, served=1.9)],
+        ]
+        windows = collect_windows(streams, window_s=1.0)
+        assert len(windows) == 2
+        assert windows[0].num_requests == 1
+        assert windows[1].num_requests == 1
+        assert windows[1].start_s == 1.0
+
+    def test_early_hit_rate_counts_first_k_registrations(self):
+        from repro.metrics.fleet import early_hit_rate
+
+        outcomes = [
+            outcome(ts=0, hit=False, served=0.1),
+            outcome(ts=1, hit=True, served=0.2),
+            outcome(ts=2, hit=True, served=0.3),
+            outcome(ts=3, hit=True, served=0.4),  # beyond first_k
+        ]
+        assert early_hit_rate(outcomes, first_k=3) == pytest.approx(2 / 3)
+
+    def test_early_hit_rate_skips_preempted(self):
+        from repro.metrics.fleet import early_hit_rate
+
+        outcomes = [
+            outcome(ts=0, preempted=True),
+            outcome(ts=1, hit=True, served=0.2),
+        ]
+        assert early_hit_rate(outcomes, first_k=2) == 1.0
+        assert early_hit_rate([outcome(ts=0, preempted=True)], first_k=2) == 0.0
+        with pytest.raises(ValueError):
+            early_hit_rate(outcomes, first_k=0)

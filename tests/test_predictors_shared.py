@@ -1,0 +1,219 @@
+"""Tests for the fleet-wide shared transition prior (SeLeP-style)."""
+
+import numpy as np
+import pytest
+
+from repro.backends import FileSystemBackend
+from repro.core import LinearUtility, SessionConfig
+from repro.core.session import KhameleonSession
+from repro.encoding import ImageAsset, ProgressiveImageEncoder
+from repro.metrics import early_hit_rate
+from repro.predictors.markov import MarkovModel, make_markov_predictor
+from repro.predictors.shared import (
+    SharedTransitionPrior,
+    SharedMarkovServerPredictor,
+    make_shared_markov_predictor,
+)
+from repro.sim import ControlChannel, FixedRateLink, Simulator
+
+DELTAS = (0.05, 0.15)
+
+
+class TestSharedTransitionPrior:
+    def test_rows_normalize_to_observed_frequencies(self):
+        prior = SharedTransitionPrior(10)
+        prior.observe(0, 1)
+        prior.observe(0, 1)
+        prior.observe(0, 2)
+        ids, probs = prior.row(0)
+        assert list(ids) == [1, 2]
+        assert probs == pytest.approx([2 / 3, 1 / 3])
+        assert prior.row_mass(0) == 3
+        assert prior.transitions_observed == 3
+
+    def test_unseen_row_is_empty(self):
+        prior = SharedTransitionPrior(4)
+        ids, probs = prior.row(2)
+        assert len(ids) == 0 and len(probs) == 0
+        assert prior.row_mass(2) == 0
+
+    def test_snapshot(self):
+        prior = SharedTransitionPrior(4)
+        prior.observe(0, 1)
+        prior.observe(1, 2)
+        assert prior.snapshot() == {"transitions_observed": 2, "rows_warmed": 2}
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SharedTransitionPrior(0)
+        prior = SharedTransitionPrior(3)
+        with pytest.raises(ValueError):
+            prior.observe(0, 3)
+        with pytest.raises(ValueError):
+            prior.observe(-1, 0)
+
+
+class TestBlendedDecoding:
+    def test_cold_session_decodes_the_crowd_distribution(self):
+        """No private history: the blend is the prior (plus smoothing)."""
+        n = 50
+        prior = SharedTransitionPrior(n)
+        for _ in range(20):
+            prior.observe(3, 4)
+        server = SharedMarkovServerPredictor(
+            MarkovModel(n), prior, prior_strength=8.0
+        )
+        dist = server.decode(3, DELTAS)
+        # The crowd's successor carries the pseudo-count mass:
+        # (strength + smoothing) / (strength + smoothing * n) ~ 7.8x
+        # the uniform 1/n floor.
+        assert dist.prob_of(4, 0.05) == pytest.approx(9 / 58)
+        assert dist.prob_of(4, 0.05) > 5 / n
+        # Everything else stays near the smoothing floor.
+        assert dist.prob_of(7, 0.05) < 2 / n
+
+    def test_private_history_overrides_the_prior(self):
+        """A session whose own behaviour contradicts the crowd
+        personalizes once its observations outweigh the pseudo-counts."""
+        n = 20
+        prior = SharedTransitionPrior(n)
+        for _ in range(50):
+            prior.observe(0, 1)  # the crowd goes 0 -> 1
+        server = SharedMarkovServerPredictor(
+            MarkovModel(n), prior, prior_strength=4.0
+        )
+        model = server.model
+        # This user keeps going 0 -> 2 instead.
+        for _ in range(40):
+            model.observe(0)
+            model.observe(2)
+        dist = server.decode(0, DELTAS)
+        assert dist.prob_of(2, 0.05) > dist.prob_of(1, 0.05)
+
+    def test_decode_observes_into_both_model_and_prior(self):
+        n = 10
+        prior = SharedTransitionPrior(n)
+        server = SharedMarkovServerPredictor(MarkovModel(n), prior)
+        server.decode(1, DELTAS)
+        server.decode(2, DELTAS)
+        assert server.model.last_request == 2
+        assert prior.row_mass(1) == 1  # the 1 -> 2 transition was pooled
+
+    def test_repeated_state_is_not_double_counted(self):
+        n = 10
+        prior = SharedTransitionPrior(n)
+        server = SharedMarkovServerPredictor(MarkovModel(n), prior)
+        server.decode(1, DELTAS)
+        server.decode(2, DELTAS)
+        server.decode(2, DELTAS)  # periodic reship of unchanged state
+        assert prior.transitions_observed == 1
+
+    def test_none_state_is_uniform(self):
+        prior = SharedTransitionPrior(5)
+        server = SharedMarkovServerPredictor(MarkovModel(5), prior)
+        dist = server.decode(None, DELTAS)
+        assert dist.prob_of(0, 0.05) == pytest.approx(1 / 5)
+
+    def test_distribution_sums_to_one(self):
+        n = 12
+        prior = SharedTransitionPrior(n)
+        for nxt in (1, 2, 3):
+            prior.observe(0, nxt)
+        server = SharedMarkovServerPredictor(MarkovModel(n), prior)
+        dist = server.decode(0, DELTAS)
+        total = sum(dist.prob_of(q, 0.05) for q in range(n))
+        assert total == pytest.approx(1.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SharedMarkovServerPredictor(MarkovModel(4), SharedTransitionPrior(5))
+        with pytest.raises(ValueError):
+            SharedMarkovServerPredictor(
+                MarkovModel(4), SharedTransitionPrior(4), prior_strength=-1.0
+            )
+
+
+# -- cold-start benefit (end to end) ----------------------------------
+
+BLOCK = 50_000
+N_REQUESTS = 200  # big universe: uniform hedging cannot cover it quickly
+HOT_PATH = list(range(30))  # the walk every user takes
+THINK_S = 0.5
+
+
+def run_cold_session(predictor, requests, think_s=THINK_S):
+    """Replay a request walk against a fresh single session; return outcomes."""
+    sim = Simulator()
+    nb = 2
+    assets = {
+        i: ImageAsset(image_id=i, size_bytes=nb * BLOCK) for i in range(N_REQUESTS)
+    }
+    encoder = ProgressiveImageEncoder(assets, block_size_bytes=BLOCK)
+    backend = FileSystemBackend(sim, encoder, fetch_delay_s=0.02)
+    session = KhameleonSession(
+        sim=sim,
+        backend=backend,
+        predictor=predictor,
+        utility=LinearUtility(),
+        num_blocks=[nb] * N_REQUESTS,
+        downlink=FixedRateLink(sim, bytes_per_second=1_000_000, propagation_delay_s=0.01),
+        uplink=ControlChannel(sim, latency_s=0.01),
+        config=SessionConfig(
+            cache_bytes=100 * BLOCK,
+            block_bytes=BLOCK,
+            initial_bandwidth_bytes_per_s=1_000_000.0,
+        ),
+    )
+    for k, request in enumerate(requests):
+        sim.schedule_at(0.3 + k * think_s, session.client.request, request)
+    session.start()
+    sim.run(until=0.3 + len(requests) * think_s + 1.0)
+    session.stop()
+    return session.cache_manager.outcomes
+
+
+def warm_prior_with_crowd(cycles=2):
+    """The crowd walks the hot path; its transitions pool into the prior."""
+    prior = SharedTransitionPrior(N_REQUESTS)
+    walk = (HOT_PATH * cycles) + [HOT_PATH[0]]
+    run_cold_session(
+        make_shared_markov_predictor(N_REQUESTS, prior), walk, think_s=0.4
+    )
+    return prior
+
+
+class TestColdStartBenefit:
+    def test_shared_prior_beats_fresh_private_predictor_early(self):
+        """The satellite acceptance test: a session arriving after the
+        crowd has walked the hot path gets a better early hit rate with
+        the crowd-warmed prior than with a fresh private chain
+        (deterministic seeds, tolerance-based margin)."""
+        prior = warm_prior_with_crowd()
+        assert prior.transitions_observed >= len(HOT_PATH)
+
+        walk = HOT_PATH[:8]
+        shared_outcomes = run_cold_session(
+            make_shared_markov_predictor(N_REQUESTS, prior), walk
+        )
+        private_outcomes = run_cold_session(
+            make_markov_predictor(N_REQUESTS), walk
+        )
+        shared_rate = early_hit_rate(shared_outcomes, first_k=8)
+        private_rate = early_hit_rate(private_outcomes, first_k=8)
+        # The crowd-warmed arrival should be sharply better; the 0.25
+        # margin absorbs scheduler-sampling noise at these seeds.
+        assert shared_rate >= private_rate + 0.25
+
+    def test_prior_strength_zero_matches_private_behaviour(self):
+        """With no pseudo-counts the blend degenerates to the private
+        chain, so the crowd cannot help (sanity check on the knob)."""
+        prior = warm_prior_with_crowd()
+        walk = HOT_PATH[:8]
+        unblended = run_cold_session(
+            make_shared_markov_predictor(N_REQUESTS, prior, prior_strength=0.0),
+            walk,
+        )
+        private = run_cold_session(make_markov_predictor(N_REQUESTS), walk)
+        assert early_hit_rate(unblended, first_k=8) == pytest.approx(
+            early_hit_rate(private, first_k=8), abs=0.15
+        )

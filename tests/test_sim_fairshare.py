@@ -132,6 +132,90 @@ class TestQueueDelay:
         assert shared.rate_hint() == pytest.approx(1_500_000, rel=0.2)
 
 
+class TestRetirement:
+    """Session departure: a port closed mid-backlog must not stall the
+    arbiter's virtual clock or strand capacity the survivors should get."""
+
+    def test_close_drops_backlog_and_reports_it(self):
+        sim, shared = make_shared(bw=1_000_000)
+        port = shared.port(label="leaver")
+        got = []
+        saturate(sim, port, 100_000, 10, got)
+        sim.run(until=0.15)  # one payload serialized, one on the wire
+        dropped = port.close()
+        assert port.closed
+        assert dropped > 0
+        assert port.backlog_bytes == 0
+        assert shared.bytes_dropped == dropped
+        assert shared.ports_retired == 1
+        sim.run()
+        # Only what was already on the physical serializer still lands.
+        assert port.bytes_delivered < 10 * 100_000
+
+    def test_close_is_idempotent(self):
+        sim, shared = make_shared()
+        port = shared.port()
+        got = []
+        saturate(sim, port, 50_000, 4, got)
+        first = port.close()
+        assert first > 0
+        assert port.close() == 0
+        assert shared.ports_retired == 1
+
+    def test_departing_backlog_does_not_starve_survivors(self):
+        """Regression: the departed port's queued megabytes must neither
+        stall the virtual clock nor steal wire time from the survivor."""
+        sim, shared = make_shared(bw=1_000_000)
+        leaver = shared.port(label="leaver")
+        stayer = shared.port(label="stayer")
+        got = []
+        # The leaver parks 5 MB (5 s of wire time); the stayer has 1 MB.
+        saturate(sim, leaver, 100_000, 50, got)
+        saturate(sim, stayer, 50_000, 20, got)
+        sim.schedule(0.2, leaver.close)
+        arrivals = []
+        original_deliver = stayer._on_delivered
+
+        def tracking(nbytes):
+            arrivals.append(sim.now)
+            original_deliver(nbytes)
+
+        stayer._on_delivered = tracking
+        sim.run(until=3.0)
+        # After the departure the stayer owns the full 1 MB/s: its last
+        # payload lands well before the shared-to-the-end ~1.9 s point,
+        # and nothing the leaver queued occupies the wire after ~0.2 s.
+        assert stayer.bytes_delivered == 1_000_000
+        assert arrivals[-1] < 1.5
+        # Survivor keeps transmitting after the departure (no stall).
+        assert any(t > 0.25 for t in arrivals)
+
+    def test_new_port_after_retirement_gets_capacity(self):
+        """The arbiter keeps scheduling arrivals that come after a churn."""
+        sim, shared = make_shared(bw=1_000_000)
+        first = shared.port(label="first")
+        got = []
+        saturate(sim, first, 100_000, 10, got)
+        sim.schedule(0.1, first.close)
+
+        late_got = []
+
+        def join():
+            late = shared.port(label="late")
+            saturate(sim, late, 50_000, 4, late_got)
+
+        sim.schedule(0.2, join)
+        sim.run()
+        assert len(late_got) == 4
+
+    def test_send_on_closed_port_is_an_error(self):
+        sim, shared = make_shared()
+        port = shared.port()
+        port.close()
+        with pytest.raises(ValueError):
+            port.send(1_000, lambda p: None)
+
+
 class TestValidation:
     def test_rejects_bad_weight_and_size(self):
         sim, shared = make_shared()

@@ -95,3 +95,27 @@ def test_property_traces_are_time_ordered_and_sampled(seed, duration):
     # Sampling gaps never exceed one sample interval (plus float slack).
     dt = 1.0 / SaccadeDwellParams().sample_rate_hz
     assert all((b - a) <= dt * 1.01 for a, b in zip(times, times[1:]))
+
+
+class TestTraceShift:
+    def test_shifted_rebases_every_event(self, layout):
+        from repro.workloads.trace import InteractionTrace, TraceEvent
+
+        trace = InteractionTrace(
+            [TraceEvent(0.0, 1.0, 2.0, request=5), TraceEvent(1.0, 3.0, 4.0)],
+            name="t",
+        )
+        moved = trace.shifted(2.5)
+        assert [e.time_s for e in moved.events] == [2.5, 3.5]
+        assert moved.events[0].request == 5
+        assert moved.position_at(3.5) == (3.0, 4.0)
+        # The original timeline's position now lives offset later.
+        assert moved.position_at(2.5) == trace.position_at(0.0)
+
+    def test_shift_zero_is_identity(self, layout):
+        from repro.workloads.trace import InteractionTrace, TraceEvent
+
+        trace = InteractionTrace([TraceEvent(0.0, 0.0, 0.0)])
+        assert trace.shifted(0.0) is trace
+        with pytest.raises(ValueError):
+            trace.shifted(-1.0)
