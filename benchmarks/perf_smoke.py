@@ -1,0 +1,180 @@
+#!/usr/bin/env python
+"""Scheduler perf smoke: greedy batch scheduling + fleet tick cost.
+
+Measures the two hot paths the vectorized scheduling core owns:
+
+* ``greedy_<n>x<C>`` — wall time of one full ``schedule_batch`` at
+  {1k, 10k} requests x {100, 500} cache blocks (the Fig. 16
+  configuration; the 10k x 500 cell is the acceptance metric), and
+* ``fleet_tick_N<N>`` — mean wall time per 150 ms fleet prediction
+  interval for a batched static fleet at N in {8, 32} sessions
+  (prediction collect + stacked recompute + the scheduling it
+  triggers).
+
+Raw milliseconds are emitted for humans; the regression gate compares
+*normalized* scores (metric / a fixed numpy probe measured on the same
+machine) so the committed baseline transfers across hardware.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/perf_smoke.py                 # measure
+    PYTHONPATH=src python benchmarks/perf_smoke.py --check         # CI gate
+    PYTHONPATH=src python benchmarks/perf_smoke.py --update-baseline
+
+``--check`` exits non-zero when any normalized score exceeds
+``--threshold`` (default 2.0) times the committed baseline
+(``benchmarks/results/BENCH_sched_baseline.json``).  Results land in
+``benchmarks/results/BENCH_sched.json``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+RESULTS_DIR = Path(__file__).parent / "results"
+RESULT_PATH = RESULTS_DIR / "BENCH_sched.json"
+BASELINE_PATH = RESULTS_DIR / "BENCH_sched_baseline.json"
+
+GREEDY_CASES = [(1_000, 100), (1_000, 500), (10_000, 100), (10_000, 500)]
+FLEET_SIZES = (8, 32)
+FLEET_SIM_SECONDS = 2.5
+REPEATS = 3
+
+
+def machine_probe_ms() -> float:
+    """Fixed numpy workload: normalizes scores across machines."""
+    rng = np.random.default_rng(0)
+    a = rng.random((512, 512))
+    best = float("inf")
+    for _ in range(5):
+        start = time.perf_counter()
+        for _ in range(4):
+            b = np.cumsum(a, axis=0)
+            c = b @ a[:, :64]
+            np.sort(c, axis=0)
+        best = min(best, time.perf_counter() - start)
+    return best * 1e3
+
+
+def bench_greedy() -> dict[str, float]:
+    from repro.core.distribution import RequestDistribution
+    from repro.core.greedy import GreedyScheduler
+    from repro.core.scheduler import GainTable
+    from repro.core.utility import LinearUtility
+    from repro.experiments.figures import _micro_distribution
+
+    out = {}
+    for n, cache in GREEDY_CASES:
+        dist = _micro_distribution(n, seed=0)
+        gains = GainTable(LinearUtility(), [50] * n)
+        best = float("inf")
+        for _ in range(REPEATS):
+            scheduler = GreedyScheduler(gains, cache_blocks=cache, seed=0)
+            start = time.perf_counter()
+            scheduler.update_distribution(dist, slot_duration_s=0.01)
+            schedule = scheduler.schedule_batch()
+            best = min(best, time.perf_counter() - start)
+            assert len(schedule) == cache
+        out[f"greedy_{n}x{cache}"] = best * 1e3
+    return out
+
+
+def bench_fleet_tick() -> dict[str, float]:
+    from repro.experiments.configs import DEFAULT_ENV, FleetEnvironment
+    from repro.experiments.runner import run_fleet
+    from repro.workloads.image_app import ImageExplorationApp
+    from repro.workloads.mouse import MouseTraceGenerator
+
+    out = {}
+    app = ImageExplorationApp(rows=12, cols=12)
+    for num in FLEET_SIZES:
+        traces = [
+            MouseTraceGenerator(app.layout, seed=100 + i).generate(
+                duration_s=FLEET_SIM_SECONDS
+            )
+            for i in range(num)
+        ]
+        env = FleetEnvironment(num_sessions=num, env=DEFAULT_ENV)
+        best = float("inf")
+        for _ in range(max(1, REPEATS - 1)):
+            start = time.perf_counter()
+            result = run_fleet(app, traces, env, predictor="kalman")
+            wall = time.perf_counter() - start
+            ticks = max(1, result.diagnostics["prediction"]["ticks"])
+            best = min(best, wall / ticks)
+        out[f"fleet_tick_N{num}"] = best * 1e3
+    return out
+
+
+def measure() -> dict:
+    probe = machine_probe_ms()
+    metrics = {**bench_greedy(), **bench_fleet_tick()}
+    return {
+        "probe_ms": probe,
+        "metrics_ms": metrics,
+        "normalized": {k: v / probe for k, v in metrics.items()},
+    }
+
+
+def check(result: dict, baseline: dict, threshold: float) -> list[str]:
+    failures = []
+    for key, base_score in baseline["normalized"].items():
+        score = result["normalized"].get(key)
+        if score is None:
+            failures.append(f"{key}: missing from this run")
+        elif score > threshold * base_score:
+            failures.append(
+                f"{key}: {score:.3f} vs baseline {base_score:.3f} "
+                f"(>{threshold:.1f}x regression)"
+            )
+    return failures
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--check", action="store_true", help="fail on regression")
+    parser.add_argument(
+        "--update-baseline", action="store_true", help="rewrite the committed baseline"
+    )
+    parser.add_argument("--threshold", type=float, default=2.0)
+    args = parser.parse_args()
+
+    result = measure()
+    RESULTS_DIR.mkdir(exist_ok=True)
+    RESULT_PATH.write_text(json.dumps(result, indent=2, sort_keys=True) + "\n")
+
+    print(f"machine probe: {result['probe_ms']:.2f} ms")
+    for key in sorted(result["metrics_ms"]):
+        print(
+            f"  {key:<18} {result['metrics_ms'][key]:8.2f} ms   "
+            f"(normalized {result['normalized'][key]:.3f})"
+        )
+    print(f"wrote {RESULT_PATH}")
+
+    if args.update_baseline:
+        BASELINE_PATH.write_text(json.dumps(result, indent=2, sort_keys=True) + "\n")
+        print(f"wrote {BASELINE_PATH}")
+
+    if args.check:
+        if not BASELINE_PATH.exists():
+            print(f"no baseline at {BASELINE_PATH}; run with --update-baseline first")
+            return 2
+        baseline = json.loads(BASELINE_PATH.read_text())
+        failures = check(result, baseline, args.threshold)
+        if failures:
+            print("PERF REGRESSION:")
+            for line in failures:
+                print(f"  {line}")
+            return 1
+        print(f"perf check OK (threshold {args.threshold:.1f}x)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

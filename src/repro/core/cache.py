@@ -37,6 +37,16 @@ class RingBufferCache:
         self._counter = 0
         # request id -> {block index -> slot} for O(1) lookups.
         self._index: dict[int, dict[int, int]] = {}
+        # Called with the affected request id when a *live* block copy
+        # is unlinked by FIFO replacement (its prefix may have shrunk),
+        # or with None when the whole cache is cleared.  The scheduler's
+        # incrementally-maintained `have` array subscribes here so it
+        # never has to re-walk the mirror per allocation.
+        self._evict_listeners: list = []
+
+    def add_evict_listener(self, listener) -> None:
+        """Register ``listener(request_or_None)`` for live-copy evictions."""
+        self._evict_listeners.append(listener)
 
     # -- mutation ----------------------------------------------------
 
@@ -50,6 +60,7 @@ class RingBufferCache:
         slot = self._counter % self.capacity_blocks
         self._counter += 1
         evicted = self._slots[slot]
+        unlinked = None
         if evicted is not None:
             by_index = self._index.get(evicted.request)
             # Only unlink if this slot is still the live copy.
@@ -57,14 +68,20 @@ class RingBufferCache:
                 del by_index[evicted.index]
                 if not by_index:
                     del self._index[evicted.request]
+                unlinked = evicted.request
         self._slots[slot] = block
         self._index.setdefault(block.request, {})[block.index] = slot
+        if unlinked is not None:
+            for listener in self._evict_listeners:
+                listener(unlinked)
         return evicted
 
     def clear(self) -> None:
         self._slots = [None] * self.capacity_blocks
         self._index.clear()
         self._counter = 0
+        for listener in self._evict_listeners:
+            listener(None)
 
     # -- queries -----------------------------------------------------
 

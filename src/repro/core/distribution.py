@@ -190,20 +190,62 @@ class RequestDistribution:
         residual = (1 - w) * self.residual[lo] + w * self.residual[hi]
         return self.explicit_ids, probs, float(residual)
 
+    def interp_weights_vec(
+        self, deltas_s: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Vectorized :meth:`_interp_weights`: ``(lo, hi, w)`` arrays.
+
+        Same clamping semantics as the scalar helper, and the same IEEE
+        arithmetic for ``w``, so downstream blends are bit-identical to
+        per-horizon :meth:`explicit_at` calls.  Shared by
+        :meth:`explicit_matrix` and the fleet's batched probability
+        recompute so both paths interpolate identically.
+        """
+        qs = np.asarray(deltas_s, dtype=float)
+        deltas = self.deltas_s
+        last = len(deltas) - 1
+        lo = np.zeros(len(qs), dtype=np.intp)
+        hi = np.zeros(len(qs), dtype=np.intp)
+        w = np.zeros(len(qs))
+        above = qs >= deltas[-1]
+        lo[above] = last
+        hi[above] = last
+        mid = ~(qs <= deltas[0]) & ~above
+        if mid.any():
+            hi_mid = np.searchsorted(deltas, qs[mid], side="right")
+            lo_mid = hi_mid - 1
+            lo[mid] = lo_mid
+            hi[mid] = hi_mid
+            w[mid] = (qs[mid] - deltas[lo_mid]) / (deltas[hi_mid] - deltas[lo_mid])
+        return lo, hi, w
+
     def explicit_matrix(self, deltas_s: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
         """Vectorized :meth:`explicit_at` over many horizons.
 
         Returns ``(probs, residual)`` with shapes ``(len(deltas_s), m)``
         and ``(len(deltas_s),)``.  Used by the scheduler to materialize
-        its probability matrix in one shot.
+        its probability matrix in one shot.  One blend over all horizons
+        instead of a Python loop calling :meth:`explicit_at` per row;
+        rows clamped outside the horizon range (``lo == hi``) are plain
+        row copies — what :meth:`explicit_at` returns there — which
+        skips the arithmetic entirely for the (typically dominant)
+        beyond-last-horizon slots.
         """
-        qs = np.asarray(deltas_s, dtype=float)
-        out = np.empty((len(qs), len(self.explicit_ids)))
-        res = np.empty(len(qs))
-        for row, d in enumerate(qs):
-            _ids, p, r = self.explicit_at(float(d))
-            out[row] = p
-            res[row] = r
+        lo, hi, w = self.interp_weights_vec(deltas_s)
+        out = np.empty((len(lo), len(self.explicit_ids)))
+        res = np.empty(len(lo))
+        clamped = lo == hi
+        if clamped.any():
+            out[clamped] = self.explicit_probs[lo[clamped]]
+            res[clamped] = self.residual[lo[clamped]]
+        interior = ~clamped
+        if interior.any():
+            li, hi_i, wi = lo[interior], hi[interior], w[interior]
+            wc = wi[:, None]
+            out[interior] = (
+                (1 - wc) * self.explicit_probs[li] + wc * self.explicit_probs[hi_i]
+            )
+            res[interior] = (1 - wi) * self.residual[li] + wi * self.residual[hi_i]
         return out, res
 
     def dense_at(self, delta_s: float) -> np.ndarray:

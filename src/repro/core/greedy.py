@@ -24,6 +24,18 @@ tracking for the rest of the batch.  Disable with
 ``meta_request=False`` to measure the difference (the paper reports
 13× on its 10k-request benchmark).
 
+**Two sampling paths.**  :meth:`next_block` is the scalar reference
+implementation straight out of Listing 1 — it re-derives the per-draw
+weight vector from the pending/mirror dictionaries every call.
+:meth:`schedule_batch` is the production fast path: per-request block
+counts and next-block gains live in incrementally-maintained numpy
+arrays (fed by allocations, ``on_sent`` confirmations, rollbacks, and
+mirror evictions), so each draw is a handful of vectorized kernels
+over the materialized requests.  Both paths consume the same RNG
+stream and produce **bit-identical** schedules at every seed — the
+scalar path exists as the specification the fast path is
+property-tested against (and for instrumentation).
+
 Deviation from Listing 1, documented in DESIGN.md §5: the pseudocode
 resets per-request block counts ``B`` to zero every batch and ignores
 what the client already caches.  We additionally consult the server's
@@ -44,7 +56,47 @@ from .cache import RingBufferCache
 from .distribution import RequestDistribution
 from .scheduler import GainTable, ScheduledBlock
 
-__all__ = ["GreedyScheduler"]
+__all__ = ["GreedyScheduler", "probability_matrices"]
+
+
+def probability_matrices(
+    dist: RequestDistribution,
+    cache_blocks: int,
+    position: int,
+    slot_duration_s: float,
+    gamma: float = 1.0,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Materialize ``(Pmat, Pres)`` for a batch's remaining slots.
+
+    Row ``k`` of ``Pmat`` holds the γ-discounted probability mass of
+    each explicit request over slots ``k..C-1``, where slot ``k`` maps
+    to wall-clock offset ``(k − position + 1) · slot_duration``;
+    ``Pres`` is the matching residual-mass column (Listing 1 lines
+    6–11).  Rows before ``position`` are zero — those slots were
+    already decided.
+
+    Module-level so the fleet's batched recompute
+    (:class:`~repro.fleet.FleetScheduleService`) can produce the same
+    matrices in one stacked pass; its output must stay bit-identical
+    to this per-scheduler path.
+    """
+    C, t = cache_blocks, position
+    remaining = C - t
+    m = len(dist.explicit_ids)
+    if remaining <= 0:
+        return np.zeros((C, m)), np.zeros(C)
+    deltas = (np.arange(t, C) - t + 1) * slot_duration_s
+    probs, residual = dist.explicit_matrix(deltas)
+    if gamma < 1.0:
+        discount = gamma ** np.arange(t, C)
+        probs = probs * discount[:, None]
+        residual = residual * discount
+    # Reverse cumulative sum: row k = mass over slots k..C-1.
+    pmat = np.zeros((C, probs.shape[1]))
+    pres = np.zeros(C)
+    pmat[t:] = np.cumsum(probs[::-1], axis=0)[::-1]
+    pres[t:] = np.cumsum(residual[::-1])[::-1]
+    return pmat, pres
 
 
 class GreedyScheduler:
@@ -111,7 +163,21 @@ class GreedyScheduler:
         self._Pmat = np.empty((0, 0))
         self._Pres = np.empty(0)
         self._explicit_set: set[int] = set()
+        self._explicit_ids_ref: Optional[np.ndarray] = None
         self._promoted: list[int] = []
+        self._promoted_set: set[int] = set()
+        # Materialized-request fast-path state: parallel arrays over
+        # explicit-then-promoted ids, updated incrementally so the
+        # batch sampler never walks the pending/mirror dicts per draw.
+        self._mat_ids = np.empty(0, dtype=np.int64)
+        self._have = np.empty(0, dtype=np.int64)
+        self._gain = np.empty(0)
+        self._wbuf = np.empty(0)
+        self._cbuf = np.empty(0)
+        self._mlen = 0
+        self._pos_of: dict[int, int] = {}
+        if mirror is not None:
+            mirror.add_evict_listener(self._on_mirror_evict)
         self._recompute_probabilities()
 
         self.schedules_generated = 0
@@ -136,8 +202,48 @@ class GreedyScheduler:
         self._slot_duration_s = slot_duration_s
         self._recompute_probabilities()
 
+    def install_distribution(
+        self,
+        dist: RequestDistribution,
+        slot_duration_s: float,
+        pmat: np.ndarray,
+        pres: np.ndarray,
+    ) -> None:
+        """:meth:`update_distribution` with externally computed matrices.
+
+        The fleet's :class:`~repro.fleet.FleetScheduleService` computes
+        every registered session's probability matrices in one stacked
+        pass and installs them here.  ``(pmat, pres)`` must equal what
+        :func:`probability_matrices` would return for this scheduler's
+        current ``(C, position, slot_duration)`` — the caller owns that
+        contract (it is equivalence-tested in the fleet suite).
+        """
+        if dist.n != self.gains.n:
+            raise ValueError(f"distribution over {dist.n} requests, expected {self.gains.n}")
+        if slot_duration_s <= 0:
+            raise ValueError("slot duration must be positive")
+        expected = (self.C, len(dist.explicit_ids))
+        if pmat.shape != expected or pres.shape != (self.C,):
+            # Reject before touching any state: a half-installed epoch
+            # (new ids, old matrices) would corrupt later draws.
+            raise ValueError(
+                f"matrices shaped {pmat.shape}/{pres.shape}, "
+                f"expected {expected}/{(self.C,)}"
+            )
+        self._dist = dist
+        self._slot_duration_s = slot_duration_s
+        self._refresh_epoch()
+        self._Pmat = pmat
+        self._Pres = pres
+
     def next_block(self) -> Optional[ScheduledBlock]:
-        """Sample the next allocation (Listing 1 lines 14–19)."""
+        """Sample the next allocation (Listing 1 lines 14–19).
+
+        Scalar reference path: weights are re-derived from the pending
+        and mirror dictionaries on every call.  :meth:`schedule_batch`
+        draws the same RNG stream over incrementally-maintained arrays
+        and is bit-identical; prefer it on hot paths.
+        """
         if self._t >= self.C:
             self._reset_batch()
         ids = self._all_ids()
@@ -167,25 +273,40 @@ class GreedyScheduler:
     def schedule_batch(self, max_blocks: Optional[int] = None) -> list[ScheduledBlock]:
         """Allocate up to ``max_blocks`` (default: the rest of the batch).
 
-        This is Listing 1's inner loop with ``bs = max_blocks``; the
-        standalone micro-benchmarks (Fig. 16) call it directly.
+        This is Listing 1's inner loop with ``bs = max_blocks``, on the
+        vectorized fast path: the weight vector's gain factor is
+        materialized once per distribution epoch and only the sampled
+        request's entry changes between draws, so each allocation costs
+        a few numpy kernels over the materialized requests instead of a
+        Python walk over the pending/mirror dicts.  The sender's
+        lookahead fill and the standalone micro-benchmarks (Fig. 16)
+        call it directly.
         """
         limit = self.C - self._t if max_blocks is None else max_blocks
         out: list[ScheduledBlock] = []
-        for _ in range(limit):
-            block = self.next_block()
+        while len(out) < limit:
+            if self._t >= self.C:
+                self._reset_batch()
+            block = self._next_block_fast()
             if block is None:
                 break
             out.append(block)
         return out
 
-    def rollback(self, blocks: Sequence[ScheduledBlock]) -> None:
+    def rollback(
+        self, blocks: Sequence[ScheduledBlock], recompute: bool = True
+    ) -> None:
         """Un-allocate scheduled-but-unsent blocks (sender preemption).
 
         §5.3.2: when a new prediction arrives, the schedule past the
         sender's position is discarded and regenerated.  The sender
         hands back the unsent tail; we rewind ``t`` and the per-request
         counts so the slots are re-decided under the new distribution.
+
+        ``recompute=False`` skips re-materializing the probability
+        matrices and fast-path arrays; it is for callers that install a
+        fresh distribution immediately afterwards (the fleet service's
+        batched tick) — no draws may happen in between.
         """
         for block in blocks:
             have = self._pending.get(block.request, 0)
@@ -201,17 +322,18 @@ class GreedyScheduler:
                 # concrete next-block gain must survive for requests the
                 # client holds a prefix of.
                 if (
-                    block.request in self._promoted
+                    block.request in self._promoted_set
                     and self._effective_blocks(block.request) == 0
                 ):
                     self._promoted.remove(block.request)
+                    self._promoted_set.discard(block.request)
             else:
                 self._pending[block.request] = have - 1
             self._t = max(0, self._t - 1)
             self.blocks_allocated -= 1
         # The rewound slots need probability rows again (they were only
         # materialized from the position at the last distribution update).
-        if blocks:
+        if blocks and recompute:
             self._recompute_probabilities()
 
     def on_sent(self, block: ScheduledBlock) -> None:
@@ -230,6 +352,7 @@ class GreedyScheduler:
             del self._pending[block.request]
         else:
             self._pending[block.request] = have - 1
+        self._refresh_entry(block.request)
 
     # -- introspection ---------------------------------------------------
 
@@ -256,38 +379,91 @@ class GreedyScheduler:
         if self.mirror is None:
             self._pending.clear()
         self._promoted.clear()
+        self._promoted_set.clear()
         self.schedules_generated += 1
         self._recompute_probabilities()
 
     def _recompute_probabilities(self) -> None:
-        """Materialize P_{i,t} for the remaining slots (lines 6–11).
+        """Start a distribution epoch: refresh ids/arrays, rebuild P."""
+        self._refresh_epoch()
+        self._Pmat, self._Pres = probability_matrices(
+            self._dist, self.C, self._t, self._slot_duration_s, self.gamma
+        )
 
-        Row ``k`` holds the γ-discounted probability mass of each
-        explicit request over slots ``k..C-1``, where slot ``k`` maps to
-        wall-clock offset ``(k − t + 1) · slot_duration``.
+    def _refresh_epoch(self) -> None:
+        """Re-derive the materialized-request state from the distribution.
+
+        The explicit-id set is cached against the distribution's own
+        ids array (rollbacks and batch resets reuse the same
+        distribution object, so the set survives those epochs), and the
+        promoted list is only re-filtered when it would actually
+        change.
         """
-        C, t = self.C, self._t
-        remaining = C - t
-        self._ids = self._dist.explicit_ids
-        self._explicit_set = set(int(i) for i in self._ids)
-        self._promoted = [q for q in self._promoted if q not in self._explicit_set]
-        if remaining <= 0:
-            self._Pmat = np.zeros((C, len(self._ids)))
-            self._Pres = np.zeros(C)
+        ids = self._dist.explicit_ids
+        if ids is not self._explicit_ids_ref:
+            self._explicit_set = set(int(i) for i in ids)
+            self._explicit_ids_ref = ids
+        self._ids = ids
+        if self._promoted:
+            kept = [q for q in self._promoted if q not in self._explicit_set]
+            if len(kept) != len(self._promoted):
+                self._promoted = kept
+                self._promoted_set = set(kept)
+        self._rebuild_materialized()
+
+    def _ensure_capacity(self, needed: int) -> None:
+        if len(self._mat_ids) >= needed:
             return
-        deltas = (np.arange(t, C) - t + 1) * self._slot_duration_s
-        probs, residual = self._dist.explicit_matrix(deltas)
-        if self.gamma < 1.0:
-            discount = self.gamma ** np.arange(t, C)
-            probs = probs * discount[:, None]
-            residual = residual * discount
-        # Reverse cumulative sum: row k = mass over slots k..C-1.
-        pmat = np.zeros((C, probs.shape[1]))
-        pres = np.zeros(C)
-        pmat[t:] = np.cumsum(probs[::-1], axis=0)[::-1]
-        pres[t:] = np.cumsum(residual[::-1])[::-1]
-        self._Pmat = pmat
-        self._Pres = pres
+        cap = max(needed + 64, 2 * len(self._mat_ids))
+        for name in ("_mat_ids", "_have"):
+            grown = np.empty(cap, dtype=np.int64)
+            old = getattr(self, name)
+            grown[: len(old)] = old
+            setattr(self, name, grown)
+        for name in ("_gain", "_wbuf", "_cbuf"):
+            grown = np.empty(cap)
+            old = getattr(self, name)
+            grown[: len(old)] = old
+            setattr(self, name, grown)
+
+    def _rebuild_materialized(self) -> None:
+        """Rebuild the fast-path arrays (once per distribution epoch)."""
+        m = len(self._ids)
+        mlen = m + len(self._promoted)
+        self._ensure_capacity(mlen)
+        ids = self._mat_ids
+        ids[:m] = self._ids
+        if self._promoted:
+            ids[m:mlen] = self._promoted
+        self._mlen = mlen
+        self._pos_of = {int(r): i for i, r in enumerate(ids[:mlen])}
+        if mlen:
+            if self.mirror is None and not self._pending:
+                self._have[:mlen] = 0
+            else:
+                self._have[:mlen] = np.fromiter(
+                    (self._effective_blocks(int(r)) for r in ids[:mlen]),
+                    dtype=np.int64,
+                    count=mlen,
+                )
+            self._gain[:mlen] = self.gains.gain_vector(ids[:mlen], self._have[:mlen])
+
+    def _refresh_entry(self, request: int) -> None:
+        """Re-derive one materialized request's block count and gain."""
+        pos = self._pos_of.get(request)
+        if pos is None:
+            return
+        effective = self._effective_blocks(request)
+        self._have[pos] = effective
+        self._gain[pos] = self.gains.gain(request, effective)
+
+    def _on_mirror_evict(self, request: Optional[int]) -> None:
+        """Mirror replaced a live block: that request's prefix may have
+        shrunk.  ``None`` means the mirror was cleared wholesale."""
+        if request is None:
+            self._rebuild_materialized()
+        else:
+            self._refresh_entry(request)
 
     def _all_ids(self) -> np.ndarray:
         if not self._promoted:
@@ -311,6 +487,45 @@ class GreedyScheduler:
             (self._effective_blocks(int(r)) for r in ids), dtype=np.int64, count=len(ids)
         )
         return probs * self.gains.gain_vector(ids, have)
+
+    def _next_block_fast(self) -> Optional[ScheduledBlock]:
+        """One draw over the incrementally-maintained arrays.
+
+        Mirrors :meth:`next_block` operation-for-operation (same array
+        lengths, same elementwise kernels, same RNG consumption) so the
+        sampled schedule is bit-identical to the scalar path.
+        """
+        t = min(self._t, self.C - 1)
+        m = len(self._ids)
+        mlen = self._mlen
+        wv = self._wbuf[:mlen]
+        if m:
+            np.multiply(self._Pmat[t, :m], self._gain[:m], out=wv[:m])
+        if mlen > m:
+            np.multiply(
+                self._gain[m:mlen], self._uniform_request_prob(t), out=wv[m:mlen]
+            )
+        meta_weight = self._meta_weight()
+        total = (wv.sum() if mlen else 0.0) + meta_weight
+        if total <= 1e-15:
+            if not self.hedge_when_idle:
+                return None
+            request = self._sample_incomplete_request()
+            if request is None:
+                return None
+            return self._allocate(request)
+        u = self._rng.random() * total
+        cv = self._cbuf[:mlen]
+        np.cumsum(wv, out=cv)
+        pos = int(np.searchsorted(cv, u, side="right"))
+        if pos < mlen:
+            request = int(self._mat_ids[pos])
+        else:
+            request = self._sample_uniform_request()
+            if request is None:
+                return None
+            self._promote(request)
+        return self._allocate(request)
 
     def _num_uniform(self) -> int:
         return self.gains.n - len(self._ids) - len(self._promoted)
@@ -341,7 +556,7 @@ class GreedyScheduler:
         """
         n = self.gains.n
         taken = self._explicit_set
-        promoted = set(self._promoted)
+        promoted = self._promoted_set
         for _ in range(64):
             candidate = int(self._rng.integers(0, n))
             if candidate not in taken and candidate not in promoted:
@@ -353,6 +568,15 @@ class GreedyScheduler:
 
     def _promote(self, request: int) -> None:
         self._promoted.append(request)
+        self._promoted_set.add(request)
+        self._ensure_capacity(self._mlen + 1)
+        i = self._mlen
+        effective = self._effective_blocks(request)
+        self._mat_ids[i] = request
+        self._have[i] = effective
+        self._gain[i] = self.gains.gain(request, effective)
+        self._pos_of[request] = i
+        self._mlen += 1
 
     def _sample_incomplete_request(self) -> Optional[int]:
         """Random request that still has unsent blocks (idle hedging)."""
@@ -369,6 +593,10 @@ class GreedyScheduler:
     def _allocate(self, request: int) -> ScheduledBlock:
         index = self._effective_blocks(request)
         self._pending[request] = self._pending.get(request, 0) + 1
+        pos = self._pos_of.get(request)
+        if pos is not None:
+            self._have[pos] = index + 1
+            self._gain[pos] = self.gains.gain(request, index + 1)
         self._t += 1
         self.blocks_allocated += 1
         return ScheduledBlock(request=request, index=index)

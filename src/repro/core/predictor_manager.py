@@ -36,6 +36,7 @@ class PredictorManager:
         send_state: Callable[[Any], None],
         interval_s: float = DEFAULT_INTERVAL_S,
         send_unchanged: bool = False,
+        autostart: bool = True,
     ) -> None:
         if interval_s <= 0:
             raise ValueError("interval must be positive")
@@ -45,7 +46,10 @@ class PredictorManager:
         self.interval_s = interval_s
         self.send_unchanged = send_unchanged
         self._last_state: Any = object()  # sentinel != any real state
-        self._task = sim.every(interval_s, self._tick)
+        # ``autostart=False`` hands the tick cadence to an external
+        # driver (the fleet's coalesced prediction tick), which calls
+        # :meth:`poll` instead of this manager owning a periodic task.
+        self._task = sim.every(interval_s, self._tick) if autostart else None
         self.states_sent = 0
         self.state_bytes_sent = 0
 
@@ -57,16 +61,28 @@ class PredictorManager:
         """Forward an issued request to the predictor."""
         self.client_predictor.observe_request(self.sim.now, request)
 
-    def _tick(self) -> None:
+    def poll(self) -> Any:
+        """The state that should ship now, or None (unchanged / not ready).
+
+        Does everything one periodic tick does — snapshot, dedup
+        against the last shipped state, accounting — except the actual
+        send, so an external driver can transport the state itself.
+        """
         state = self.client_predictor.state(self.sim.now)
         if state is None:
-            return
+            return None
         if not self.send_unchanged and state == self._last_state:
-            return
+            return None
         self._last_state = state
         self.states_sent += 1
         self.state_bytes_sent += self.client_predictor.state_size_bytes(state)
-        self.send_state(state)
+        return state
+
+    def _tick(self) -> None:
+        state = self.poll()
+        if state is not None:
+            self.send_state(state)
 
     def stop(self) -> None:
-        self._task.cancel()
+        if self._task is not None:
+            self._task.cancel()

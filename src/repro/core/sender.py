@@ -88,6 +88,10 @@ class Sender:
         self.max_backlog_s = max_backlog_s
 
         self._pipeline: deque[ScheduledBlock] = deque()
+        # Per-request pipeline occupancy, maintained on every append /
+        # popleft / clear so _admit's "already holds a slot" membership
+        # test is O(1) instead of an O(lookahead) scan.
+        self._pipeline_counts: dict[int, int] = {}
         self._next_send_time = 0.0
         self._send_scheduled = False
         self._idle_timer = None
@@ -96,6 +100,7 @@ class Sender:
         self.blocks_sent = 0
         self.bytes_sent = 0
         self.blocks_deferred = 0
+        self.blocks_skipped = 0
 
     # -- lifecycle -----------------------------------------------------
 
@@ -106,9 +111,28 @@ class Sender:
 
     def refresh(self) -> None:
         """New prediction arrived: reschedule the unsent tail (§5.3.2)."""
-        if self._pipeline:
-            self.scheduler.rollback(list(self._pipeline))
-            self._pipeline.clear()
+        blocks = self.take_pipeline()
+        if blocks:
+            self.scheduler.rollback(blocks)
+        self.resume()
+
+    def take_pipeline(self) -> list[ScheduledBlock]:
+        """Hand back the unsent pipeline without rescheduling.
+
+        The fleet's batched prediction tick preempts every affected
+        sender first, rolls the blocks back itself (deferring the
+        probability recompute), then installs the new distributions in
+        one stacked pass and calls :meth:`resume`.
+        """
+        if not self._pipeline:
+            return []
+        blocks = list(self._pipeline)
+        self._pipeline.clear()
+        self._pipeline_counts.clear()
+        return blocks
+
+    def resume(self) -> None:
+        """Restart the fill/send loop after an external preemption."""
         if self._started:
             self._pump()
 
@@ -127,31 +151,68 @@ class Sender:
     # -- pipeline ------------------------------------------------------
 
     def _fill_pipeline(self) -> None:
-        """Pull schedule entries up to the lookahead window.
+        """Pull a whole lookahead window in one scheduler call.
+
+        ``schedule_batch`` draws the window on the scheduler's
+        vectorized fast path (bit-identical to a ``next_block`` loop),
+        so the per-block Python round-trip is paid once per window, not
+        once per block.
 
         Applies the §5.4 throttle: a block needing a *new* backend fetch
-        is only admitted while backend slots remain; otherwise it is
-        rolled back for rescheduling and the fill stops (the schedule is
-        ordered — skipping ahead would reorder the stream).
+        is only admitted while backend slots remain; otherwise it — and
+        the rest of the freshly drawn window — is rolled back for
+        rescheduling and the fill stops (the schedule is ordered —
+        skipping ahead would reorder the stream).
         """
         while len(self._pipeline) < self.lookahead:
-            block = self.scheduler.next_block()
-            if block is None:
+            want = self.lookahead - len(self._pipeline)
+            if self.throttle is not None:
+                # A deferral rolls the window's tail back, and rollback
+                # cannot cross a batch reset (the reset clears the
+                # per-batch counts).  Cap each pull at the scheduler's
+                # remaining batch so a window never straddles one; the
+                # outer loop keeps filling across the boundary.
+                want = min(
+                    want, max(1, self.scheduler.C - self.scheduler.position)
+                )
+            blocks = self.scheduler.schedule_batch(want)
+            if not blocks:
                 break
-            if self.throttle is not None and not self._admit(block):
-                self.scheduler.rollback([block])
-                self.blocks_deferred += 1
+            deferred = False
+            for i, block in enumerate(blocks):
+                if self.throttle is not None and not self._admit(block):
+                    self.scheduler.rollback(blocks[i:])
+                    self.blocks_deferred += 1
+                    deferred = True
+                    break
+                self._append_pipeline(block)
+                self._ensure_fetch(block.request)
+            if deferred or len(blocks) < want:
                 break
-            self._pipeline.append(block)
-            self._ensure_fetch(block.request)
+
+    def _append_pipeline(self, block: ScheduledBlock) -> None:
+        self._pipeline.append(block)
+        counts = self._pipeline_counts
+        counts[block.request] = counts.get(block.request, 0) + 1
+
+    def _pop_pipeline_head(self) -> ScheduledBlock:
+        block = self._pipeline.popleft()
+        counts = self._pipeline_counts
+        remaining = counts[block.request] - 1
+        if remaining:
+            counts[block.request] = remaining
+        else:
+            del counts[block.request]
+        return block
 
     def _admit(self, block: ScheduledBlock) -> bool:
         # §5.4: "cached or in flight" counts as materialized — an
         # in-flight fetch already holds its backend slot, so re-admitting
         # the request (e.g. after refresh() cleared the pipeline) must
         # not be deferred or charged a second slot.
-        materialized = self.backend.is_materialized(block.request) or any(
-            entry.request == block.request for entry in self._pipeline
+        materialized = (
+            self.backend.is_materialized(block.request)
+            or self._pipeline_counts.get(block.request, 0) > 0
         )
         if materialized:
             return True
@@ -208,8 +269,17 @@ class Sender:
             self._pump()
             return
         if head.index >= response.num_blocks:
-            # Scheduler raced ahead of a shrunken response; skip the slot.
-            self._pipeline.popleft()
+            # Scheduler raced ahead of a shrunken response; skip the
+            # slot.  The allocation is deliberately NOT rolled back:
+            # releasing it would let the scheduler re-draw the same
+            # impossible (request, index) forever, while retiring the
+            # pending count drives the request's marginal gain to zero
+            # after at most its remaining block budget — the sampler
+            # then steers elsewhere on its own.  (Unreachable with the
+            # built-in backends, whose responses share the GainTable's
+            # encoder; counted for visibility.)
+            self._pop_pipeline_head()
+            self.blocks_skipped += 1
             self._pump()
             return
         # Keep the link backlogged but bounded: defer while the send
@@ -222,7 +292,7 @@ class Sender:
             self.sim.schedule(max(slack, 1e-6), self._transmit)
             return
         block = response.blocks[head.index]
-        self._pipeline.popleft()
+        self._pop_pipeline_head()
         start = self.sim.now
         self.link.send(block.size_bytes, self._on_delivered, block)
         if self.mirror is not None:

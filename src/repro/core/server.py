@@ -68,10 +68,21 @@ class KhameleonServer:
         )
         self.sender.start()
 
+    def decode_state(self, state: Any) -> RequestDistribution:
+        """Ingest one predictor state: accounting + decode.
+
+        The single definition of the server-side state-receive step,
+        shared by the per-session uplink path below and the fleet's
+        batched :class:`~repro.fleet.schedule_service.FleetScheduleService`
+        (which applies the resulting distribution itself, in a stacked
+        recompute).
+        """
+        self.states_received += 1
+        return self.predictor_server.decode(state, self.deltas_s)
+
     def on_predictor_state(self, state: Any) -> None:
         """Uplink delivery of a client predictor state."""
-        self.states_received += 1
-        dist = self.predictor_server.decode(state, self.deltas_s)
+        dist = self.decode_state(state)
         self.scheduler.update_distribution(dist, self.slot_duration_s)
         self.sender.refresh()
 

@@ -33,6 +33,7 @@ if TYPE_CHECKING:  # core is the lower layer; import upper layers for typing onl
     from repro.predictors.base import Predictor
     from repro.backends.base import Backend
     from repro.backends.throttle import BackendThrottle
+    from repro.fleet.schedule_service import FleetScheduleService
 
 from repro.core.cache import RingBufferCache
 from repro.core.cache_manager import CacheManager
@@ -90,6 +91,7 @@ class KhameleonSession:
         uplink: ControlChannel,
         config: Optional[SessionConfig] = None,
         throttle: Optional["BackendThrottle"] = None,
+        schedule_service: Optional["FleetScheduleService"] = None,
     ) -> None:
         self.sim = sim
         self.config = config or SessionConfig()
@@ -154,11 +156,17 @@ class KhameleonSession:
             num_requests=n,
         )
 
+        # With a fleet schedule service the session's prediction tick is
+        # coalesced into the fleet's single periodic event: the manager
+        # keeps the state/dedup/accounting logic (polled by the service)
+        # but owns no periodic task and never touches the uplink.
+        self._schedule_service = schedule_service
         self.predictor_manager = PredictorManager(
             sim=sim,
             client_predictor=predictor.client,
             send_state=lambda state: uplink.send(self.server.on_predictor_state, state),
             interval_s=cfg.prediction_interval_s,
+            autostart=schedule_service is None,
         )
         self.rate_monitor = ReceiveRateMonitor(
             sim=sim,
@@ -204,6 +212,8 @@ class KhameleonSession:
         if self._started:
             return
         self._started = True
+        if self._schedule_service is not None:
+            self._schedule_service.register(self)
         self.server.start()
 
     def stop(self) -> None:
@@ -216,5 +226,7 @@ class KhameleonSession:
         if self._stopped:
             return
         self._stopped = True
+        if self._schedule_service is not None:
+            self._schedule_service.unregister(self)
         self.sender.stop()
         self.client.stop()

@@ -120,6 +120,7 @@ class FleetEnvironment:
     weights: Optional[tuple[float, ...]] = None
     backend_concurrency: Optional[int] = None
     weighted_backend: bool = False
+    batched_prediction: bool = True
     arrival: Optional["ArrivalConfig"] = None
 
     def fleet_config(self, session: "SessionConfig") -> "FleetConfig":
@@ -136,6 +137,7 @@ class FleetEnvironment:
             weights=self.weights,
             backend_concurrency=self.backend_concurrency,
             weighted_backend=self.weighted_backend,
+            batched_prediction=self.batched_prediction,
             arrival=self.arrival,
             session=session,
         )

@@ -226,6 +226,14 @@ class FleetRunResult:
             "link_fairness": self.diagnostics["link_fairness"],
             "shared_hit_%": 100.0 * self.diagnostics["shared_hit_rate"],
         }
+        prediction = self.diagnostics.get("prediction")
+        if prediction is not None and prediction["ticks"]:
+            # Coalescing factor of the fleet schedule service: states
+            # recomputed per batched sim event (≈ N for a busy fleet).
+            row["pred_batch"] = (
+                prediction["sessions_recomputed"]
+                / max(1, prediction["batched_recomputes"])
+            )
         churn = self.diagnostics.get("churn")
         if churn is not None:
             row["admitted"] = churn["admitted"]

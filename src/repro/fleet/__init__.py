@@ -18,10 +18,17 @@ Cold arrivals need not start ignorant: pair the fleet with a
 :class:`repro.predictors.shared.SharedTransitionPrior` so each new
 session's predictor is warmed by the crowd's aggregate transition
 structure (see ``examples/fleet_serving.py``).
+
+:mod:`repro.fleet.schedule_service` keeps the fleet's scheduling cost
+sublinear in N: a :class:`FleetScheduleService` coalesces every
+session's 150 ms prediction tick into one sim event and recomputes all
+changed probability matrices in a single stacked numpy pass
+(bit-identical to the per-session path for static fleets).
 """
 
 from .fleet import FleetConfig, KhameleonFleet
 from .lifecycle import ArrivalConfig, SessionManager, SessionPlan, SessionRecord
+from .schedule_service import FleetScheduleService, batch_probability_matrices
 
 __all__ = [
     "FleetConfig",
@@ -30,4 +37,6 @@ __all__ = [
     "SessionManager",
     "SessionPlan",
     "SessionRecord",
+    "FleetScheduleService",
+    "batch_probability_matrices",
 ]

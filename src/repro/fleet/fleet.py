@@ -58,6 +58,7 @@ from repro.sim.fairshare import SharedDownlink
 from repro.sim.link import ControlChannel, Link
 
 from .lifecycle import ArrivalConfig, SessionManager
+from .schedule_service import FleetScheduleService
 
 __all__ = ["FleetConfig", "KhameleonFleet"]
 
@@ -80,6 +81,13 @@ class FleetConfig:
         Mirror the downlink weights in the backend budget: each session
         owns a weight-proportional slice of ``backend_concurrency``
         instead of racing for one global pool.
+    batched_prediction:
+        Coalesce the per-session 150 ms prediction ticks into one
+        :class:`~repro.fleet.schedule_service.FleetScheduleService`
+        event that recomputes every changed session's probability
+        matrices in a single stacked pass (default True — bit-identical
+        for static fleets, one sim event per tick instead of N).  Set
+        False to fall back to per-session periodic ticks.
     arrival:
         The session arrival/departure process.  ``None`` (or any
         :class:`ArrivalConfig` whose ``is_static`` holds) is the
@@ -96,6 +104,7 @@ class FleetConfig:
     weights: Optional[Sequence[float]] = None
     backend_concurrency: Optional[int] = None
     weighted_backend: bool = False
+    batched_prediction: bool = True
     arrival: Optional[ArrivalConfig] = None
     session: SessionConfig = field(default_factory=SessionConfig)
 
@@ -195,6 +204,15 @@ class KhameleonFleet:
         self._num_blocks = num_blocks
         self._make_uplink = make_uplink
 
+        # Armed before any session exists so its tick (and thus the
+        # batched apply) keeps the same event ordering relative to the
+        # sessions' own periodic tasks as the per-session managers had.
+        self.schedule_service: Optional[FleetScheduleService] = (
+            FleetScheduleService(sim, interval_s=cfg.session.prediction_interval_s)
+            if cfg.batched_prediction
+            else None
+        )
+
         self.sessions: list[KhameleonSession] = []
         self.ports = []
         self.manager: Optional[SessionManager] = None
@@ -244,6 +262,7 @@ class KhameleonFleet:
             uplink=self._make_uplink(i),
             config=self._session_config(i),
             throttle=throttle,
+            schedule_service=self.schedule_service,
         )
         self.ports.append(port)
         self.sessions.append(session)
@@ -281,6 +300,8 @@ class KhameleonFleet:
             self.manager.stop()
         for session in self.sessions:
             session.stop()
+        if self.schedule_service is not None:
+            self.schedule_service.stop()
 
     # -- reporting -----------------------------------------------------
 
@@ -350,6 +371,8 @@ class KhameleonFleet:
             "shared_hit_rate": self.shared_hit_rate(),
             "backend": self.backend.stats.snapshot(),
         }
+        if self.schedule_service is not None:
+            out["prediction"] = self.schedule_service.snapshot()
         if self.manager is not None:
             out["churn"] = self.manager.stats.snapshot()
             out["link_fairness"] = self.churn_link_fairness()

@@ -33,6 +33,13 @@ The manager records a :class:`SessionRecord` per planned session —
 including rejected ones — so churn metrics (per-cohort latency,
 admission rejections, cold-start behaviour) can be computed after the
 run.
+
+Prediction cadence under churn: with the fleet's coalesced
+:class:`~repro.fleet.schedule_service.FleetScheduleService` (the
+default), an admitted session is first polled at the next *fleet* tick
+— at most one prediction interval after arrival, the same worst-case
+delay as the per-session manager's own first tick, but aligned to the
+fleet grid rather than phased per arrival.
 """
 
 from __future__ import annotations

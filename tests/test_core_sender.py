@@ -205,6 +205,98 @@ class TestThrottle:
         assert [(b.request, b.index) for b, t in received] == [(0, 0), (0, 1), (0, 2)]
 
 
+class TestPipelineCounts:
+    """The O(1) _admit membership structure must mirror the deque exactly."""
+
+    @staticmethod
+    def counts_of(sender):
+        actual = {}
+        for entry in sender._pipeline:
+            actual[entry.request] = actual.get(entry.request, 0) + 1
+        return actual
+
+    def test_counts_track_append_and_popleft(self):
+        sim, sched, sender, backend, received, _ = make_world(n=8, hedge=True)
+        sched.update_distribution(RequestDistribution.uniform(8), 0.05)
+        sender.start()
+        for until in (0.05, 0.15, 0.3, 0.6):
+            sim.run(until=until)
+            assert sender._pipeline_counts == self.counts_of(sender)
+
+    def test_counts_cleared_on_refresh(self):
+        sim, sched, sender, backend, received, _ = make_world(fetch_delay=0.2)
+        sched.update_distribution(RequestDistribution.point(4, 0), 0.05)
+        sender.start()
+
+        def preempt():
+            sender.refresh()
+            assert sender._pipeline_counts == self.counts_of(sender)
+
+        sim.schedule(0.01, preempt)
+        sim.run(until=1.0)
+        assert sender._pipeline_counts == self.counts_of(sender)
+
+    def test_take_pipeline_hands_back_blocks_and_clears(self):
+        sim, sched, sender, backend, received, _ = make_world(fetch_delay=0.5)
+        sched.update_distribution(RequestDistribution.point(4, 1), 0.05)
+        sender.start()
+        sim.run(until=0.01)
+        assert len(sender._pipeline) > 0
+        blocks = sender.take_pipeline()
+        assert blocks
+        assert len(sender._pipeline) == 0
+        assert sender._pipeline_counts == {}
+        # Contract: the caller owns the rollback.
+        sched.rollback(blocks)
+        assert sched.position == 0
+
+    def test_throttled_fill_survives_batch_reset_boundary(self):
+        """A deferral's rollback must never straddle a batch reset.
+
+        With a tiny batch (C=3 < lookahead) the fill crosses resets
+        constantly; if a window were drawn across one, rolling its tail
+        back would hit cleared per-batch counts and raise.  The fill
+        caps each pull at the remaining batch instead.
+        """
+        sim = Simulator()
+        n, nb, block, C = 8, 3, 50_000, 3
+        assets = {i: ImageAsset(image_id=i, size_bytes=nb * block) for i in range(n)}
+        encoder = ProgressiveImageEncoder(assets, block_size_bytes=block)
+        backend = FileSystemBackend(sim, encoder, fetch_delay_s=0.3)
+        gains = GainTable(LinearUtility(), [nb] * n)
+        # No mirror: per-batch counts clear on reset, so a rollback
+        # that crossed the boundary would hit unallocated blocks.
+        sched = GreedyScheduler(gains, cache_blocks=C, hedge_when_idle=True, seed=0)
+        sender = Sender(
+            sim=sim,
+            scheduler=sched,
+            backend=backend,
+            link=FixedRateLink(sim, bytes_per_second=1_000_000),
+            estimator=HarmonicMeanEstimator(1_000_000.0),
+            deliver=lambda b: None,
+            throttle=BackendThrottle(1, active=lambda: backend.active_requests),
+            lookahead=8,
+        )
+        sched.update_distribution(RequestDistribution.uniform(n), 0.05)
+        sender.start()
+        sim.run(until=2.0)  # raises without the batch-boundary cap
+        assert sender.blocks_sent > 0
+
+    def test_admit_uses_counts_not_scan(self):
+        """An in-pipeline request must admit without consuming a slot
+        even when the backend has not materialized it yet."""
+        sim, sched, sender, backend, received, _ = make_world(
+            fetch_delay=0.5, throttle_capacity=1
+        )
+        sched.update_distribution(RequestDistribution.point(4, 2), 0.05)
+        sender.start()
+        sim.run(until=0.05)
+        # Multiple blocks of request 2 sit in the pipeline behind one
+        # in-flight fetch holding the only slot; none were deferred.
+        assert sender._pipeline_counts.get(2, 0) >= 2
+        assert sender.blocks_deferred == 0
+
+
 class TestValidation:
     def test_bad_params(self):
         sim, sched, sender, backend, received, _ = make_world()
