@@ -1,19 +1,30 @@
 #!/usr/bin/env python
 """Scheduler perf smoke: greedy batch scheduling + fleet tick cost.
 
-Measures the two hot paths the vectorized scheduling core owns:
+Measures the hot paths the vectorized scheduling core owns:
 
 * ``greedy_<n>x<C>`` — wall time of one full ``schedule_batch`` at
   {1k, 10k} requests x {100, 500} cache blocks (the Fig. 16
-  configuration; the 10k x 500 cell is the acceptance metric), and
+  configuration; the 10k x 500 cell is the acceptance metric), under
+  the active ``--sampler``;
+* ``greedy_draws_10000x500`` / ``greedy_draws_fenwick_10000x500`` —
+  draw-loop-only time (``schedule_batch`` excluding the distribution
+  install) for the active sampler and for the Fenwick sampler, so the
+  O(log m) tail-draw speedup is gated directly;
 * ``fleet_tick_N<N>`` — mean wall time per 150 ms fleet prediction
   interval for a batched static fleet at N in {8, 32} sessions
   (prediction collect + stacked recompute + the scheduling it
-  triggers).
+  triggers); and
+* ``fleet_tick_churn_N<N>`` — the same per-tick cost under session
+  churn (Poisson arrivals, lognormal dwells, admission cap), so the
+  gate also covers the dynamic-fleet path.
 
-Raw milliseconds are emitted for humans; the regression gate compares
-*normalized* scores (metric / a fixed numpy probe measured on the same
-machine) so the committed baseline transfers across hardware.
+The emitted JSON carries a ``config`` section (active sampler mode and
+the fleet's decode-batching flag) so any regression is attributable to
+the configuration that produced it.  Raw milliseconds are emitted for
+humans; the regression gate compares *normalized* scores (metric / a
+fixed numpy probe measured on the same machine) so the committed
+baseline transfers across hardware.
 
 Usage::
 
@@ -42,8 +53,15 @@ RESULT_PATH = RESULTS_DIR / "BENCH_sched.json"
 BASELINE_PATH = RESULTS_DIR / "BENCH_sched_baseline.json"
 
 GREEDY_CASES = [(1_000, 100), (1_000, 500), (10_000, 100), (10_000, 500)]
+#: The acceptance cell for the draws-only sampler comparison.
+DRAWS_CASE = (10_000, 500)
 FLEET_SIZES = (8, 32)
 FLEET_SIM_SECONDS = 2.5
+#: Churn-mode gate shape: planned arrivals, open-loop rate, mean dwell.
+CHURN_ARRIVALS = 16
+CHURN_RATE_PER_S = 6.0
+CHURN_DWELL_S = 1.0
+CHURN_MAX_CONCURRENT = 8
 REPEATS = 3
 
 
@@ -62,8 +80,7 @@ def machine_probe_ms() -> float:
     return best * 1e3
 
 
-def bench_greedy() -> dict[str, float]:
-    from repro.core.distribution import RequestDistribution
+def bench_greedy(sampler: str) -> dict[str, float]:
     from repro.core.greedy import GreedyScheduler
     from repro.core.scheduler import GainTable
     from repro.core.utility import LinearUtility
@@ -74,20 +91,68 @@ def bench_greedy() -> dict[str, float]:
         dist = _micro_distribution(n, seed=0)
         gains = GainTable(LinearUtility(), [50] * n)
         best = float("inf")
+        best_draws = float("inf")
         for _ in range(REPEATS):
-            scheduler = GreedyScheduler(gains, cache_blocks=cache, seed=0)
+            scheduler = GreedyScheduler(
+                gains, cache_blocks=cache, sampler=sampler, seed=0
+            )
             start = time.perf_counter()
             scheduler.update_distribution(dist, slot_duration_s=0.01)
+            mid = time.perf_counter()
             schedule = scheduler.schedule_batch()
-            best = min(best, time.perf_counter() - start)
+            end = time.perf_counter()
+            best = min(best, end - start)
+            best_draws = min(best_draws, end - mid)
             assert len(schedule) == cache
         out[f"greedy_{n}x{cache}"] = best * 1e3
+        if (n, cache) == DRAWS_CASE:
+            out[f"greedy_draws_{n}x{cache}"] = best_draws * 1e3
     return out
 
 
-def bench_fleet_tick() -> dict[str, float]:
-    from repro.experiments.configs import DEFAULT_ENV, FleetEnvironment
+def bench_fenwick_draws() -> dict[str, float]:
+    """Draw-loop time of the Fenwick sampler on the acceptance cell.
+
+    Measured unconditionally (whatever ``--sampler`` is active) so the
+    committed baseline always gates the O(log m) path.
+    """
+    from repro.core.greedy import GreedyScheduler
+    from repro.core.scheduler import GainTable
+    from repro.core.utility import LinearUtility
+    from repro.experiments.figures import _micro_distribution
+
+    n, cache = DRAWS_CASE
+    dist = _micro_distribution(n, seed=0)
+    gains = GainTable(LinearUtility(), [50] * n)
+    best = float("inf")
+    for _ in range(REPEATS):
+        scheduler = GreedyScheduler(
+            gains, cache_blocks=cache, sampler="fenwick", seed=0
+        )
+        scheduler.update_distribution(dist, slot_duration_s=0.01)
+        start = time.perf_counter()
+        schedule = scheduler.schedule_batch()
+        best = min(best, time.perf_counter() - start)
+        assert len(schedule) == cache
+    return {f"greedy_draws_fenwick_{n}x{cache}": best * 1e3}
+
+
+def _tick_cost(app, traces, env) -> float:
     from repro.experiments.runner import run_fleet
+
+    best = float("inf")
+    for _ in range(max(1, REPEATS - 1)):
+        start = time.perf_counter()
+        result = run_fleet(app, traces, env, predictor="kalman")
+        wall = time.perf_counter() - start
+        ticks = max(1, result.diagnostics["prediction"]["ticks"])
+        best = min(best, wall / ticks)
+    return best
+
+
+def bench_fleet_tick(batched_decode: bool) -> dict[str, float]:
+    from repro.experiments.configs import DEFAULT_ENV, FleetEnvironment
+    from repro.fleet import ArrivalConfig
     from repro.workloads.image_app import ImageExplorationApp
     from repro.workloads.mouse import MouseTraceGenerator
 
@@ -100,23 +165,49 @@ def bench_fleet_tick() -> dict[str, float]:
             )
             for i in range(num)
         ]
-        env = FleetEnvironment(num_sessions=num, env=DEFAULT_ENV)
-        best = float("inf")
-        for _ in range(max(1, REPEATS - 1)):
-            start = time.perf_counter()
-            result = run_fleet(app, traces, env, predictor="kalman")
-            wall = time.perf_counter() - start
-            ticks = max(1, result.diagnostics["prediction"]["ticks"])
-            best = min(best, wall / ticks)
-        out[f"fleet_tick_N{num}"] = best * 1e3
+        env = FleetEnvironment(
+            num_sessions=num, env=DEFAULT_ENV, batched_decode=batched_decode
+        )
+        out[f"fleet_tick_N{num}"] = _tick_cost(app, traces, env) * 1e3
+
+    # Churn gate: the same tick cost while sessions arrive and depart
+    # (ROADMAP: the perf gate previously covered only static fleets).
+    traces = [
+        MouseTraceGenerator(app.layout, seed=200 + i).generate(
+            duration_s=FLEET_SIM_SECONDS
+        )
+        for i in range(CHURN_ARRIVALS)
+    ]
+    env = FleetEnvironment(
+        num_sessions=CHURN_ARRIVALS,
+        env=DEFAULT_ENV,
+        batched_decode=batched_decode,
+        arrival=ArrivalConfig(
+            rate_per_s=CHURN_RATE_PER_S,
+            mean_dwell_s=CHURN_DWELL_S,
+            max_concurrent=CHURN_MAX_CONCURRENT,
+            seed=5,
+        ),
+    )
+    out[f"fleet_tick_churn_N{CHURN_ARRIVALS}"] = _tick_cost(app, traces, env) * 1e3
     return out
 
 
-def measure() -> dict:
+def measure(sampler: str = "vectorized", batched_decode: bool = True) -> dict:
     probe = machine_probe_ms()
-    metrics = {**bench_greedy(), **bench_fleet_tick()}
+    metrics = bench_greedy(sampler)
+    n, cache = DRAWS_CASE
+    if sampler == "fenwick":
+        # The active-sampler draws metric already is the fenwick one.
+        metrics[f"greedy_draws_fenwick_{n}x{cache}"] = metrics[
+            f"greedy_draws_{n}x{cache}"
+        ]
+    else:
+        metrics.update(bench_fenwick_draws())
+    metrics.update(bench_fleet_tick(batched_decode))
     return {
         "probe_ms": probe,
+        "config": {"sampler": sampler, "batched_decode": batched_decode},
         "metrics_ms": metrics,
         "normalized": {k: v / probe for k, v in metrics.items()},
     }
@@ -124,6 +215,12 @@ def measure() -> dict:
 
 def check(result: dict, baseline: dict, threshold: float) -> list[str]:
     failures = []
+    base_config = baseline.get("config")
+    if base_config is not None and base_config != result.get("config"):
+        failures.append(
+            f"config mismatch: run {result.get('config')} vs baseline "
+            f"{base_config} (scores are not comparable)"
+        )
     for key, base_score in baseline["normalized"].items():
         score = result["normalized"].get(key)
         if score is None:
@@ -143,13 +240,27 @@ def main() -> int:
         "--update-baseline", action="store_true", help="rewrite the committed baseline"
     )
     parser.add_argument("--threshold", type=float, default=2.0)
+    parser.add_argument(
+        "--sampler",
+        default="vectorized",
+        choices=("reference", "vectorized", "fenwick"),
+        help="greedy draw kernel for the greedy_* metrics",
+    )
+    parser.add_argument(
+        "--no-batched-decode",
+        action="store_true",
+        help="disable the fleet's stacked Kalman predict/decode",
+    )
     args = parser.parse_args()
 
-    result = measure()
+    result = measure(
+        sampler=args.sampler, batched_decode=not args.no_batched_decode
+    )
     RESULTS_DIR.mkdir(exist_ok=True)
     RESULT_PATH.write_text(json.dumps(result, indent=2, sort_keys=True) + "\n")
 
     print(f"machine probe: {result['probe_ms']:.2f} ms")
+    print(f"config: {result['config']}")
     for key in sorted(result["metrics_ms"]):
         print(
             f"  {key:<18} {result['metrics_ms'][key]:8.2f} ms   "

@@ -219,6 +219,28 @@ class RequestDistribution:
             w[mid] = (qs[mid] - deltas[lo_mid]) / (deltas[hi_mid] - deltas[lo_mid])
         return lo, hi, w
 
+    def clamp_split(self, offsets_s: np.ndarray) -> tuple[int, int]:
+        """Split increasing offsets into clamped head / interior / tail.
+
+        Returns ``(head, tail)``: offsets before index ``head`` lie at
+        or below the first horizon (their rows are copies of horizon 0),
+        offsets at or past ``tail`` lie at or beyond the last horizon
+        (copies of horizon ``k-1``), and only ``offsets_s[head:tail]``
+        pay the interpolation blend.  Uses the same boundary comparisons
+        as :meth:`interp_weights_vec`, so the split is exactly the
+        clamped set that helper produces.  With a single horizon every
+        row is a copy, so ``head == tail == 0`` — the whole range is
+        tail.  Shared by the fleet's stacked probability pass and the
+        scheduler's Fenwick sampler (which exploits the tail rows being
+        proportional to the last-horizon row).
+        """
+        offsets = np.asarray(offsets_s, dtype=float)
+        if len(self.deltas_s) == 1:
+            return 0, 0
+        head = int(np.searchsorted(offsets, self.deltas_s[0], side="right"))
+        tail = int(np.searchsorted(offsets, self.deltas_s[-1], side="left"))
+        return head, max(head, tail)
+
     def explicit_matrix(self, deltas_s: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
         """Vectorized :meth:`explicit_at` over many horizons.
 

@@ -24,17 +24,35 @@ tracking for the rest of the batch.  Disable with
 ``meta_request=False`` to measure the difference (the paper reports
 13× on its 10k-request benchmark).
 
-**Two sampling paths.**  :meth:`next_block` is the scalar reference
-implementation straight out of Listing 1 — it re-derives the per-draw
-weight vector from the pending/mirror dictionaries every call.
-:meth:`schedule_batch` is the production fast path: per-request block
-counts and next-block gains live in incrementally-maintained numpy
-arrays (fed by allocations, ``on_sent`` confirmations, rollbacks, and
-mirror evictions), so each draw is a handful of vectorized kernels
-over the materialized requests.  Both paths consume the same RNG
-stream and produce **bit-identical** schedules at every seed — the
-scalar path exists as the specification the fast path is
-property-tested against (and for instrumentation).
+**Sampler modes.**  ``sampler`` selects how :meth:`schedule_batch`
+draws:
+
+* ``"reference"`` — the scalar Listing-1 loop (:meth:`next_block`),
+  re-deriving the per-draw weight vector from the pending/mirror
+  dictionaries every call.
+* ``"vectorized"`` (default) — the production fast path: per-request
+  block counts and next-block gains live in incrementally-maintained
+  numpy arrays (fed by allocations, ``on_sent`` confirmations,
+  rollbacks, and mirror evictions), so each draw is a handful of
+  vectorized kernels over the materialized requests.  Consumes the
+  same RNG stream as the reference and produces **bit-identical**
+  schedules at every seed — the scalar path is the specification the
+  fast path is property-tested against.
+* ``"fenwick"`` — sublinear draws.  Past the last prediction horizon
+  every remaining probability row is proportional to the last-horizon
+  row, so the per-draw weights only change for the one request that
+  was just allocated; a Fenwick (binary indexed) tree over
+  ``gain x last-horizon mass`` — maintained by the same allocation /
+  ``on_sent`` / rollback / mirror-evict hooks that feed the gain
+  arrays — turns each tail draw into an O(log m) prefix search instead
+  of an O(m) cumsum.  Draws before the tail (at most
+  ``ceil(last_horizon / slot)`` per batch) fall back to the vectorized
+  kernel.  **RNG-stream tradeoff**: the tree consumes uniforms against
+  differently-rounded totals than the cumsum path, so fenwick
+  schedules are *statistically* equivalent (chi-squared-tested per-draw
+  frequencies, utility within epsilon on the Fig. 16/17 workloads) but
+  not bit-identical to the other two modes — pick it for throughput,
+  not for replaying golden schedules.
 
 Deviation from Listing 1, documented in DESIGN.md §5: the pseudocode
 resets per-request block counts ``B`` to zero every batch and ignores
@@ -56,7 +74,10 @@ from .cache import RingBufferCache
 from .distribution import RequestDistribution
 from .scheduler import GainTable, ScheduledBlock
 
-__all__ = ["GreedyScheduler", "probability_matrices"]
+__all__ = ["GreedyScheduler", "probability_matrices", "SAMPLER_MODES"]
+
+#: Valid ``GreedyScheduler(sampler=...)`` values (see module docstring).
+SAMPLER_MODES = ("reference", "vectorized", "fenwick")
 
 
 def probability_matrices(
@@ -122,6 +143,10 @@ class GreedyScheduler:
         uniformly random incomplete requests instead of idling — §3.4:
         "use the remaining bandwidth to push random images for the
         client to cache".
+    sampler:
+        Which draw kernel :meth:`schedule_batch` uses — one of
+        :data:`SAMPLER_MODES` (see the module docstring for the
+        bit-identical vs statistically-equivalent contract).
     seed:
         Sampling is stochastic (Listing 1 line 17); fixed seed for
         reproducibility.
@@ -135,12 +160,17 @@ class GreedyScheduler:
         mirror: Optional[RingBufferCache] = None,
         meta_request: bool = True,
         hedge_when_idle: bool = True,
+        sampler: str = "vectorized",
         seed: int = 0,
     ) -> None:
         if cache_blocks < 1:
             raise ValueError("cache must hold at least one block")
         if not 0 <= gamma <= 1:
             raise ValueError("gamma must lie in [0, 1]")
+        if sampler not in SAMPLER_MODES:
+            raise ValueError(f"sampler {sampler!r} not in {SAMPLER_MODES}")
+        self.sampler = sampler
+        self._fenwick = sampler == "fenwick"
         self.gains = gains
         self.C = cache_blocks
         self.gamma = gamma
@@ -176,6 +206,17 @@ class GreedyScheduler:
         self._cbuf = np.empty(0)
         self._mlen = 0
         self._pos_of: dict[int, int] = {}
+        # Fenwick-sampler state (inert unless sampler == "fenwick"):
+        # per-materialized-request last-horizon mass, the tree over
+        # gain x mass, and the absolute slot index where the constant
+        # tail of the probability matrix begins.
+        self._base_p = np.empty(0)
+        self._fen_tree: list[float] = [0.0]
+        self._fen_leaf: list[float] = []
+        self._fen_size = 0
+        self._fen_total = 0.0
+        self._uni_last = 0.0
+        self._tail_start = 0
         if mirror is not None:
             mirror.add_evict_listener(self._on_mirror_evict)
         self._recompute_probabilities()
@@ -235,6 +276,8 @@ class GreedyScheduler:
         self._refresh_epoch()
         self._Pmat = pmat
         self._Pres = pres
+        if self._fenwick:
+            self._refresh_tail()
 
     def next_block(self) -> Optional[ScheduledBlock]:
         """Sample the next allocation (Listing 1 lines 14–19).
@@ -273,21 +316,29 @@ class GreedyScheduler:
     def schedule_batch(self, max_blocks: Optional[int] = None) -> list[ScheduledBlock]:
         """Allocate up to ``max_blocks`` (default: the rest of the batch).
 
-        This is Listing 1's inner loop with ``bs = max_blocks``, on the
-        vectorized fast path: the weight vector's gain factor is
-        materialized once per distribution epoch and only the sampled
-        request's entry changes between draws, so each allocation costs
-        a few numpy kernels over the materialized requests instead of a
-        Python walk over the pending/mirror dicts.  The sender's
+        This is Listing 1's inner loop with ``bs = max_blocks``, drawn
+        through the configured ``sampler`` kernel.  On the default
+        vectorized path the weight vector's gain factor is materialized
+        once per distribution epoch and only the sampled request's
+        entry changes between draws, so each allocation costs a few
+        numpy kernels over the materialized requests instead of a
+        Python walk over the pending/mirror dicts; the fenwick path
+        drops even that to O(log m) for tail draws.  The sender's
         lookahead fill and the standalone micro-benchmarks (Fig. 16)
         call it directly.
         """
         limit = self.C - self._t if max_blocks is None else max_blocks
+        if self._fenwick:
+            draw = self._next_block_fenwick
+        elif self.sampler == "reference":
+            draw = self.next_block
+        else:
+            draw = self._next_block_fast
         out: list[ScheduledBlock] = []
         while len(out) < limit:
             if self._t >= self.C:
                 self._reset_batch()
-            block = self._next_block_fast()
+            block = draw()
             if block is None:
                 break
             out.append(block)
@@ -389,6 +440,8 @@ class GreedyScheduler:
         self._Pmat, self._Pres = probability_matrices(
             self._dist, self.C, self._t, self._slot_duration_s, self.gamma
         )
+        if self._fenwick:
+            self._refresh_tail()
 
     def _refresh_epoch(self) -> None:
         """Re-derive the materialized-request state from the distribution.
@@ -420,7 +473,7 @@ class GreedyScheduler:
             old = getattr(self, name)
             grown[: len(old)] = old
             setattr(self, name, grown)
-        for name in ("_gain", "_wbuf", "_cbuf"):
+        for name in ("_gain", "_wbuf", "_cbuf", "_base_p"):
             grown = np.empty(cap)
             old = getattr(self, name)
             grown[: len(old)] = old
@@ -447,6 +500,15 @@ class GreedyScheduler:
                     count=mlen,
                 )
             self._gain[:mlen] = self.gains.gain_vector(ids[:mlen], self._have[:mlen])
+        if self._fenwick:
+            pool = self.gains.n - m
+            self._uni_last = (
+                float(self._dist.residual[-1]) / pool if pool > 0 else 0.0
+            )
+            self._base_p[:m] = self._dist.explicit_probs[-1]
+            if mlen > m:
+                self._base_p[m:mlen] = self._uni_last
+            self._fen_build()
 
     def _refresh_entry(self, request: int) -> None:
         """Re-derive one materialized request's block count and gain."""
@@ -456,6 +518,8 @@ class GreedyScheduler:
         effective = self._effective_blocks(request)
         self._have[pos] = effective
         self._gain[pos] = self.gains.gain(request, effective)
+        if self._fenwick:
+            self._fen_set(pos, self._gain[pos] * self._base_p[pos])
 
     def _on_mirror_evict(self, request: Optional[int]) -> None:
         """Mirror replaced a live block: that request's prefix may have
@@ -527,6 +591,137 @@ class GreedyScheduler:
             self._promote(request)
         return self._allocate(request)
 
+    # -- fenwick sampler --------------------------------------------------
+    #
+    # Past ``_tail_start`` every row of ``_Pmat`` equals the
+    # last-horizon row times a slot-dependent factor that is *common to
+    # every request* (including the residual pool), so relative draw
+    # weights stop depending on ``t``: only the allocated request's
+    # gain changes per draw.  A Fenwick tree over
+    # ``gain x last-horizon mass`` then answers each draw with one
+    # O(log m) prefix descent plus one O(log m) point update.  The tree
+    # lives in a plain Python list: descents index it scalar-by-scalar,
+    # where list access is several times cheaper than numpy scalar
+    # indexing.
+
+    def _refresh_tail(self) -> None:
+        """Absolute slot index where the constant probability tail begins."""
+        t = self._t
+        if self.C - t <= 0:
+            self._tail_start = self.C
+            return
+        offsets = (np.arange(t, self.C) - t + 1) * self._slot_duration_s
+        _head, tail = self._dist.clamp_split(offsets)
+        self._tail_start = t + tail
+
+    def _fen_build(self) -> None:
+        """Rebuild the tree from the current gain/base_p arrays, O(m)."""
+        mlen = self._mlen
+        values = self._gain[:mlen] * self._base_p[:mlen]
+        prefix = np.concatenate(([0.0], np.cumsum(values)))
+        idx = np.arange(1, mlen + 1)
+        self._fen_tree = [0.0] + (prefix[idx] - prefix[idx - (idx & -idx)]).tolist()
+        self._fen_leaf = values.tolist()
+        self._fen_size = mlen
+        self._fen_total = float(prefix[mlen])
+
+    def _fen_prefix(self, i: int) -> float:
+        tree = self._fen_tree
+        s = 0.0
+        while i > 0:
+            s += tree[i]
+            i -= i & -i
+        return s
+
+    def _fen_set(self, pos: int, value: float) -> None:
+        """Point-update leaf ``pos`` (0-based) to ``value``, O(log m)."""
+        if pos >= self._fen_size:
+            return
+        value = float(value)
+        delta = value - self._fen_leaf[pos]
+        if delta == 0.0:
+            return
+        self._fen_leaf[pos] = value
+        tree, n = self._fen_tree, self._fen_size
+        i = pos + 1
+        while i <= n:
+            tree[i] += delta
+            i += i & -i
+        self._fen_total += delta
+
+    def _fen_append(self, value: float) -> None:
+        """Append a new leaf (request promotion), O(log m)."""
+        value = float(value)
+        i = self._fen_size + 1
+        low = i & -i
+        s = value
+        if low > 1:
+            # Node i covers leaves (i-low, i]; fold in the ones that
+            # already exist.
+            s += self._fen_prefix(i - 1) - self._fen_prefix(i - low)
+        self._fen_tree.append(s)
+        self._fen_leaf.append(value)
+        self._fen_size = i
+        self._fen_total += value
+
+    def _fen_sample(self, u: float) -> int:
+        """Leaf index (0-based) whose prefix interval contains ``u``.
+
+        Returns ``_fen_size`` when ``u`` lies at or beyond the tree's
+        true prefix sum — ``_fen_total`` is a separately-accumulated
+        scalar that can drift a few ULP above it, and such a draw must
+        fall through to the meta branch exactly as the cumsum kernel's
+        ``searchsorted`` overshoot does (clamping it to the last leaf
+        could allocate a block for a zero-weight, fully-cached request).
+        """
+        tree, n = self._fen_tree, self._fen_size
+        pos = 0
+        bit = 1 << (n.bit_length() - 1)
+        while bit:
+            nxt = pos + bit
+            if nxt <= n and tree[nxt] <= u:
+                u -= tree[nxt]
+                pos = nxt
+            bit >>= 1
+        return pos
+
+    def _next_block_fenwick(self) -> Optional[ScheduledBlock]:
+        """One draw via the Fenwick tree (tail) or the vectorized kernel.
+
+        Statistically equivalent to :meth:`next_block` — each draw
+        samples the same per-request weight proportions — but consumes
+        the RNG stream against differently-rounded totals, so the
+        realized schedule differs (see the module docstring).
+        """
+        if self._t < self._tail_start:
+            return self._next_block_fast()
+        total_explicit = self._fen_total
+        meta_weight = 0.0
+        if self.meta_request:
+            n_meta = self._num_uniform()
+            if n_meta > 0:
+                meta_weight = self._uni_last * n_meta * self.gains.mean_first_gain
+        total = total_explicit + meta_weight
+        if total <= 1e-15:
+            if not self.hedge_when_idle:
+                return None
+            request = self._sample_incomplete_request()
+            if request is None:
+                return None
+            return self._allocate(request)
+        u = self._rng.random() * total
+        pos = self._fen_size
+        if u < total_explicit and self._fen_size:
+            pos = self._fen_sample(u)
+        if pos < self._fen_size:
+            request = int(self._mat_ids[pos])
+        else:
+            request = self._sample_uniform_request()
+            if request is None:
+                return None
+            self._promote(request)
+        return self._allocate(request)
+
     def _num_uniform(self) -> int:
         return self.gains.n - len(self._ids) - len(self._promoted)
 
@@ -577,6 +772,9 @@ class GreedyScheduler:
         self._gain[i] = self.gains.gain(request, effective)
         self._pos_of[request] = i
         self._mlen += 1
+        if self._fenwick:
+            self._base_p[i] = self._uni_last
+            self._fen_append(self._gain[i] * self._uni_last)
 
     def _sample_incomplete_request(self) -> Optional[int]:
         """Random request that still has unsent blocks (idle hedging)."""
@@ -597,6 +795,8 @@ class GreedyScheduler:
         if pos is not None:
             self._have[pos] = index + 1
             self._gain[pos] = self.gains.gain(request, index + 1)
+            if self._fenwick:
+                self._fen_set(pos, self._gain[pos] * self._base_p[pos])
         self._t += 1
         self.blocks_allocated += 1
         return ScheduledBlock(request=request, index=index)

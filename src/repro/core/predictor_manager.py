@@ -19,6 +19,10 @@ from repro.sim.engine import Simulator
 
 __all__ = ["PredictorManager"]
 
+#: Distinguishes "no precomputed state supplied" from a predictor that
+#: legitimately returned ``None``.
+_COMPUTE = object()
+
 
 class PredictorManager:
     """Periodic state shipper wrapping a client predictor component.
@@ -61,14 +65,19 @@ class PredictorManager:
         """Forward an issued request to the predictor."""
         self.client_predictor.observe_request(self.sim.now, request)
 
-    def poll(self) -> Any:
+    def poll(self, state: Any = _COMPUTE) -> Any:
         """The state that should ship now, or None (unchanged / not ready).
 
         Does everything one periodic tick does — snapshot, dedup
         against the last shipped state, accounting — except the actual
         send, so an external driver can transport the state itself.
+        ``state`` lets that driver supply a precomputed snapshot (the
+        fleet's stacked predictor pass); it must equal what
+        ``client_predictor.state(sim.now)`` would return, so the dedup
+        and accounting semantics are unchanged.
         """
-        state = self.client_predictor.state(self.sim.now)
+        if state is _COMPUTE:
+            state = self.client_predictor.state(self.sim.now)
         if state is None:
             return None
         if not self.send_unchanged and state == self._last_state:

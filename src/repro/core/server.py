@@ -68,6 +68,16 @@ class KhameleonServer:
         )
         self.sender.start()
 
+    def record_state_received(self) -> None:
+        """Accounting for one ingested predictor state.
+
+        The single definition of the receive-side bookkeeping: used by
+        :meth:`decode_state` and by the fleet's batched decode (which
+        produces the distribution in a stacked pass but must account
+        identically per session).
+        """
+        self.states_received += 1
+
     def decode_state(self, state: Any) -> RequestDistribution:
         """Ingest one predictor state: accounting + decode.
 
@@ -77,7 +87,7 @@ class KhameleonServer:
         (which applies the resulting distribution itself, in a stacked
         recompute).
         """
-        self.states_received += 1
+        self.record_state_received()
         return self.predictor_server.decode(state, self.deltas_s)
 
     def on_predictor_state(self, state: Any) -> None:

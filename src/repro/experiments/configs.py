@@ -121,6 +121,11 @@ class FleetEnvironment:
     backend_concurrency: Optional[int] = None
     weighted_backend: bool = False
     batched_prediction: bool = True
+    #: Batch the Kalman predict/decode inside the coalesced prediction
+    #: tick (one stacked state extrapolation + one truncated-Gaussian
+    #: pass per layout instead of N per-session loops).  Byte-identical
+    #: distributions; see :class:`repro.fleet.FleetConfig`.
+    batched_decode: bool = True
     arrival: Optional["ArrivalConfig"] = None
 
     def fleet_config(self, session: "SessionConfig") -> "FleetConfig":
@@ -138,6 +143,7 @@ class FleetEnvironment:
             backend_concurrency=self.backend_concurrency,
             weighted_backend=self.weighted_backend,
             batched_prediction=self.batched_prediction,
+            batched_decode=self.batched_decode,
             arrival=self.arrival,
             session=session,
         )

@@ -88,6 +88,14 @@ class FleetConfig:
         matrices in a single stacked pass (default True — bit-identical
         for static fleets, one sim event per tick instead of N).  Set
         False to fall back to per-session periodic ticks.
+    batched_decode:
+        Within the coalesced tick, also batch the Kalman predictor
+        stack: one stacked ``(N·k, 4)`` state extrapolation at collect
+        time and one truncated-Gaussian block-mass pass per layout at
+        apply time, instead of N per-session predict/decode loops
+        (default True — byte-identical distributions; non-Kalman
+        predictors fall back per session).  Ignored when
+        ``batched_prediction`` is off.
     arrival:
         The session arrival/departure process.  ``None`` (or any
         :class:`ArrivalConfig` whose ``is_static`` holds) is the
@@ -105,6 +113,7 @@ class FleetConfig:
     backend_concurrency: Optional[int] = None
     weighted_backend: bool = False
     batched_prediction: bool = True
+    batched_decode: bool = True
     arrival: Optional[ArrivalConfig] = None
     session: SessionConfig = field(default_factory=SessionConfig)
 
@@ -208,7 +217,11 @@ class KhameleonFleet:
         # batched apply) keeps the same event ordering relative to the
         # sessions' own periodic tasks as the per-session managers had.
         self.schedule_service: Optional[FleetScheduleService] = (
-            FleetScheduleService(sim, interval_s=cfg.session.prediction_interval_s)
+            FleetScheduleService(
+                sim,
+                interval_s=cfg.session.prediction_interval_s,
+                batched_decode=cfg.batched_decode,
+            )
             if cfg.batched_prediction
             else None
         )

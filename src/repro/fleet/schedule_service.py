@@ -125,13 +125,11 @@ def _stacked_pass(
         dist, C, t, slot, gamma = specs[i]
         m, rem = ms[s], rems[s]
         offsets = np.arange(1, rem + 1) * slot
-        deltas = dist.deltas_s
         probs = dist.explicit_probs
         residual = dist.residual
         # Offsets are increasing, so the clamped slots form a head
         # (before the first horizon) and a tail (past the last).
-        head = int(np.searchsorted(offsets, deltas[0], side="right"))
-        tail = int(np.searchsorted(offsets, deltas[-1], side="left"))
+        head, tail = dist.clamp_split(offsets)
         lane = blended[s, :m, :rem]
         if m:
             lane[:, :head] = probs[0][:, None]
@@ -171,17 +169,25 @@ class FleetScheduleService:
     from creation) and cancelled by :meth:`stop`.
     """
 
-    def __init__(self, sim: Simulator, interval_s: float = 0.150) -> None:
+    def __init__(
+        self,
+        sim: Simulator,
+        interval_s: float = 0.150,
+        batched_decode: bool = True,
+    ) -> None:
         if interval_s <= 0:
             raise ValueError("interval must be positive")
         self.sim = sim
         self.interval_s = interval_s
+        self.batched_decode = batched_decode
         self._sessions: list["KhameleonSession"] = []
         self._task = sim.every(interval_s, self._tick)
         self.ticks = 0
         self.states_collected = 0
         self.batched_recomputes = 0
         self.sessions_recomputed = 0
+        self.predict_batches = 0
+        self.decode_batches = 0
 
     # -- membership ----------------------------------------------------
 
@@ -207,6 +213,9 @@ class FleetScheduleService:
             "states_collected": self.states_collected,
             "batched_recomputes": self.batched_recomputes,
             "sessions_recomputed": self.sessions_recomputed,
+            "batched_decode": self.batched_decode,
+            "predict_batches": self.predict_batches,
+            "decode_batches": self.decode_batches,
         }
 
     # -- the coalesced tick --------------------------------------------
@@ -216,14 +225,22 @@ class FleetScheduleService:
 
         Grouping by uplink latency preserves per-session delivery
         timing while keeping one apply event per latency class (a
-        homogeneous fleet has exactly one).
+        homogeneous fleet has exactly one).  With ``batched_decode``,
+        Kalman sessions' per-horizon state snapshots are produced by
+        one stacked :func:`~repro.predictors.kalman.predict_gaussians`
+        pass instead of N per-session predict loops (bit-identical
+        states; each manager still owns its dedup/accounting via
+        :meth:`~repro.core.predictor_manager.PredictorManager.poll`).
         """
         self.ticks += 1
+        live = [s for s in list(self._sessions) if s.active]
+        precomputed = self._batch_states(live) if self.batched_decode else {}
         by_latency: dict[float, list] = {}
-        for session in list(self._sessions):
-            if not session.active:
-                continue
-            state = session.predictor_manager.poll()
+        for session in live:
+            if session in precomputed:
+                state = session.predictor_manager.poll(state=precomputed[session])
+            else:
+                state = session.predictor_manager.poll()
             if state is None:
                 continue
             self.states_collected += 1
@@ -232,6 +249,26 @@ class FleetScheduleService:
             )
         for latency in sorted(by_latency):
             self.sim.schedule(latency, self._apply, by_latency[latency])
+
+    def _batch_states(self, sessions: list) -> dict:
+        """Stacked Kalman state snapshots for every batchable session."""
+        from repro.predictors.kalman import KalmanClientPredictor
+
+        # Exact type: a subclass may override state(), and the stacked
+        # pass would silently bypass it (same guard as batch_states'
+        # filter check one level down).
+        kalman = [
+            s
+            for s in sessions
+            if type(s.predictor_manager.client_predictor) is KalmanClientPredictor
+        ]
+        if not kalman:
+            return {}
+        states = KalmanClientPredictor.batch_states(
+            [s.predictor_manager.client_predictor for s in kalman], self.sim.now
+        )
+        self.predict_batches += 1
+        return dict(zip(kalman, states))
 
     def _apply(self, group: list) -> None:
         """Server side of the batch: decode, preempt, recompute, resume.
@@ -243,12 +280,17 @@ class FleetScheduleService:
         on the rollback — and only the second survives; the batch
         computes exactly that surviving one).
         """
+        decoded = self._batch_decode(group) if self.batched_decode else {}
         entries = []
         for session, state in group:
             if not session.active:
                 continue  # departed while the state was in flight
             server = session.server
-            dist = server.decode_state(state)
+            if session in decoded:
+                server.record_state_received()
+                dist = decoded[session]
+            else:
+                dist = server.decode_state(state)
             entries.append((session, dist, server.slot_duration_s))
         if not entries:
             return
@@ -267,3 +309,35 @@ class FleetScheduleService:
             session.sender.resume()
         self.batched_recomputes += 1
         self.sessions_recomputed += len(entries)
+
+    def _batch_decode(self, group: list) -> dict:
+        """Kalman state → distribution for a whole delivery group.
+
+        Sessions whose server predictor is a
+        :class:`~repro.predictors.kalman.KalmanServerPredictor` over the
+        same layout (the common case: a homogeneous fleet sharing the
+        application's layout object) decode through one stacked
+        truncated-Gaussian pass — byte-identical per session to
+        ``server.decode_state``.  Everyone else falls back to the
+        per-session decode in :meth:`_apply`.
+        """
+        from repro.predictors.kalman import KalmanServerPredictor
+
+        groups: dict[tuple, list] = {}
+        for session, state in group:
+            if not session.active:
+                continue
+            sp = session.server.predictor_server
+            # Exact type, as above: overridden decode() must win.
+            if type(sp) is KalmanServerPredictor:
+                key = (id(sp.layout), sp.truncate_sigmas, session.server.deltas_s)
+                groups.setdefault(key, []).append((session, state, sp))
+        out: dict = {}
+        for members in groups.values():
+            dists = members[0][2].decode_batch(
+                [state for _s, state, _sp in members], members[0][0].server.deltas_s
+            )
+            self.decode_batches += 1
+            for (session, _state, _sp), dist in zip(members, dists):
+                out[session] = dist
+        return out

@@ -32,9 +32,56 @@ __all__ = [
     "KalmanServerPredictor",
     "KalmanState",
     "make_kalman_predictor",
+    "predict_gaussians",
 ]
 
 Layout = Union[GridLayout, ChartLayout]
+
+
+def predict_gaussians(
+    xs: np.ndarray, Ps: np.ndarray, dts: np.ndarray, qs: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """Stacked constant-velocity extrapolation (pure).
+
+    ``xs`` is ``(N, 4)`` state vectors ``[x, y, vx, vy]``, ``Ps`` the
+    matching ``(N, 4, 4)`` covariances, ``dts`` non-negative horizons
+    and ``qs`` per-row white-acceleration intensities.  Returns
+    ``(means, covs)`` of shapes ``(N, 4)`` / ``(N, 4, 4)``.
+
+    The transition ``F(dt)`` only mixes position with velocity, so
+    ``F x`` and ``F P F^T + Q(dt)`` are written in closed form with
+    elementwise numpy ops.  Elementwise kernels compute each output
+    independently of the batch shape, so a row of an ``N``-row call is
+    **bit-identical** to the same row passed alone — the property that
+    lets the fleet's one-pass predictor tick replace per-session
+    :meth:`ConstantVelocityKalman.predict_at` calls without perturbing
+    a single schedule.
+    """
+    dts = np.asarray(dts, dtype=float)
+    dcol = dts[:, None]
+    means = np.array(xs, dtype=float, copy=True)
+    means[:, 0] += dts * xs[:, 2]
+    means[:, 1] += dts * xs[:, 3]
+    # A = F P: row 0 += dt * row 2, row 1 += dt * row 3.
+    A = np.array(Ps, dtype=float, copy=True)
+    A[:, 0, :] += dcol * Ps[:, 2, :]
+    A[:, 1, :] += dcol * Ps[:, 3, :]
+    # C = A F^T: col 0 += dt * col 2, col 1 += dt * col 3.
+    covs = A.copy()
+    covs[:, :, 0] += dcol * A[:, :, 2]
+    covs[:, :, 1] += dcol * A[:, :, 3]
+    # Discretized white-acceleration noise (zero where dt == 0, so the
+    # "skip Q at dt = 0" special case needs no branch).
+    q2 = np.asarray(qs, dtype=float) ** 2
+    d4 = dts**4 / 4.0 * q2
+    d3 = dts**3 / 2.0 * q2
+    d2 = dts**2 * q2
+    for axis in (0, 1):
+        covs[:, axis, axis] += d4
+        covs[:, axis, axis + 2] += d3
+        covs[:, axis + 2, axis] += d3
+        covs[:, axis + 2, axis + 2] += d2
+    return means, covs
 
 
 @dataclass(frozen=True)
@@ -136,14 +183,19 @@ class ConstantVelocityKalman:
         self._P = 0.5 * (self._P + self._P.T)
 
     def predict_at(self, time_s: float) -> tuple[np.ndarray, np.ndarray]:
-        """Predicted (mean, covariance) at absolute ``time_s`` (pure)."""
+        """Predicted (mean, covariance) at absolute ``time_s`` (pure).
+
+        Delegates to :func:`predict_gaussians` with a batch of one, so
+        a per-filter call and the fleet's stacked pass produce the same
+        floats bit-for-bit.
+        """
         if self._x is None:
             raise RuntimeError("filter has no observations yet")
         dt = max(0.0, time_s - self._last_t)
-        F = self._F(dt)
-        mean = F @ self._x
-        cov = F @ self._P @ F.T + (self._Q(dt) if dt > 0 else 0.0)
-        return mean, cov
+        means, covs = predict_gaussians(
+            self._x[None, :], self._P[None, :, :], np.array([dt]), np.array([self.q])
+        )
+        return means[0], covs[0]
 
 
 class KalmanClientPredictor(ClientPredictor):
@@ -184,6 +236,72 @@ class KalmanClientPredictor(ClientPredictor):
     def state_size_bytes(self, state: Any) -> int:
         return state.size_bytes if isinstance(state, KalmanState) else 1
 
+    @staticmethod
+    def batch_states(
+        clients: Sequence["KalmanClientPredictor"], time_s: float
+    ) -> list[Optional[KalmanState]]:
+        """:meth:`state` for many predictors in one stacked pass.
+
+        All clients' ``(x, P)`` pairs are stacked into ``(N*k, 4)`` /
+        ``(N*k, 4, 4)`` arrays (one row per client x horizon) and
+        extrapolated with a single :func:`predict_gaussians` call —
+        the fleet tick's replacement for N separate per-horizon
+        ``predict_at`` loops.  Results are **bit-identical** to calling
+        each client's :meth:`state` (same elementwise kernels, same
+        float conversions).  Clients with a custom (non
+        :class:`ConstantVelocityKalman`) filter fall back to their own
+        :meth:`state`; uninitialized filters yield ``None``.
+        """
+        out: list[Optional[KalmanState]] = [None] * len(clients)
+        rows: list[tuple[int, "KalmanClientPredictor"]] = []
+        for i, client in enumerate(clients):
+            f = client.filter
+            # Exact type check: a subclass may override the dynamics
+            # (filter_factory is a public extension point), and the
+            # stacked kernel would silently bypass that override.
+            if type(f) is not ConstantVelocityKalman:
+                out[i] = client.state(time_s)
+            elif f.initialized:
+                rows.append((i, client))
+        if not rows:
+            return out
+        ks = [len(c.deltas_s) for _i, c in rows]
+        xs = np.concatenate(
+            [np.broadcast_to(c.filter._x, (k, 4)) for (_i, c), k in zip(rows, ks)]
+        )
+        Ps = np.concatenate(
+            [np.broadcast_to(c.filter._P, (k, 4, 4)) for (_i, c), k in zip(rows, ks)]
+        )
+        dts = np.concatenate(
+            [
+                np.array(
+                    [max(0.0, time_s + d - c.filter._last_t) for d in c.deltas_s]
+                )
+                for _i, c in rows
+            ]
+        )
+        qs = np.concatenate(
+            [np.full(k, c.filter.q) for (_i, c), k in zip(rows, ks)]
+        )
+        means_all, covs_all = predict_gaussians(xs, Ps, dts, qs)
+        start = 0
+        for (i, client), k in zip(rows, ks):
+            means, stds, uniform = [], [], []
+            for j, delta in enumerate(client.deltas_s):
+                mean = means_all[start + j]
+                cov = covs_all[start + j]
+                means.append((float(mean[0]), float(mean[1])))
+                stds.append(
+                    (
+                        float(np.sqrt(max(cov[0, 0], 0.0))),
+                        float(np.sqrt(max(cov[1, 1], 0.0))),
+                    )
+                )
+                uniform.append(delta >= client.uniform_after_s)
+            out[i] = KalmanState(tuple(means), tuple(stds), tuple(uniform))
+            start += k
+        return out
+
 
 class KalmanServerPredictor(ServerPredictor):
     """Server half: Gaussian state → request distribution via the layout."""
@@ -208,6 +326,37 @@ class KalmanServerPredictor(ServerPredictor):
         return self.layout.gaussian_distribution(
             state.means, state.stds, deltas_s, uniform_rows=state.uniform
         )
+
+    def decode_batch(
+        self, states: Sequence[Optional[KalmanState]], deltas_s: Sequence[float]
+    ) -> list[RequestDistribution]:
+        """:meth:`decode` for many states in one truncated-Gaussian pass.
+
+        Grid layouts stack every state's block-mass integration into a
+        single :meth:`GridLayout.gaussian_distribution_batch` call —
+        byte-identical per state to :meth:`decode`, which is what lets
+        the fleet service swap per-session decodes for this without
+        changing any schedule.  ``None`` states decode to uniform, and
+        chart layouts (a handful of widgets) just loop.
+        """
+        out: list[Optional[RequestDistribution]] = [None] * len(states)
+        if isinstance(self.layout, GridLayout):
+            live = [(i, s) for i, s in enumerate(states) if s is not None]
+            if live:
+                dists = self.layout.gaussian_distribution_batch(
+                    [(s.means, s.stds, s.uniform) for _i, s in live],
+                    deltas_s,
+                    truncate_sigmas=self.truncate_sigmas,
+                )
+                for (i, _s), dist in zip(live, dists):
+                    out[i] = dist
+            for i, s in enumerate(states):
+                if s is None:
+                    out[i] = RequestDistribution.uniform(
+                        self.layout.num_requests, deltas_s
+                    )
+            return out  # type: ignore[return-value]
+        return [self.decode(s, deltas_s) for s in states]
 
 
 def make_kalman_predictor(

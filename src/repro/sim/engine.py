@@ -46,21 +46,36 @@ class EventHandle:
     fired is a harmless no-op.
     """
 
-    __slots__ = ("time", "_callback", "_args", "_cancelled")
+    __slots__ = ("time", "_callback", "_args", "_cancelled", "_sim", "_popped")
 
-    def __init__(self, time: float, callback: Callable[..., Any], args: tuple):
+    def __init__(
+        self,
+        time: float,
+        callback: Callable[..., Any],
+        args: tuple,
+        sim: Optional["Simulator"] = None,
+    ):
         self.time = time
         self._callback = callback
         self._args = args
         self._cancelled = False
+        self._sim = sim
+        self._popped = False
 
     def cancel(self) -> None:
         """Prevent this event from firing (idempotent)."""
+        if self._cancelled:
+            return
         self._cancelled = True
         # Drop references so cancelled events don't pin large objects
         # while they wait to be popped from the heap.
         self._callback = None
         self._args = ()
+        # Cancelled entries stay in the heap until popped (lazy
+        # cancellation); tell the simulator so it can compact when the
+        # dead fraction gets large.
+        if self._sim is not None and not self._popped:
+            self._sim._note_cancelled()
 
     @property
     def cancelled(self) -> bool:
@@ -79,11 +94,22 @@ class Simulator:
     senders) are built on top of :meth:`schedule`.
     """
 
+    #: Never compact below this heap size: tiny heaps cost nothing to
+    #: scan and would otherwise compact on every other cancellation.
+    COMPACT_MIN_SIZE = 64
+
     def __init__(self) -> None:
         self._now = 0.0
         self._heap: list[tuple[float, int, EventHandle]] = []
         self._seq = itertools.count()
         self._events_processed = 0
+        # Cancelled-but-unpopped entries currently in the heap.  Lazy
+        # cancellation leaves them there until they reach the top; under
+        # churny preemption (schedule + cancel in a tight loop) that
+        # garbage can outgrow the live events unboundedly, so the heap
+        # is compacted whenever the cancelled fraction exceeds half.
+        self._cancelled_pending = 0
+        self.heap_compactions = 0
 
     @property
     def now(self) -> float:
@@ -107,8 +133,41 @@ class Simulator:
             raise SimulationError(
                 f"cannot schedule at {time!r}, which is before now ({self._now!r})"
             )
-        handle = EventHandle(time, callback, args)
+        handle = EventHandle(time, callback, args, sim=self)
         heapq.heappush(self._heap, (time, next(self._seq), handle))
+        return handle
+
+    @property
+    def pending_events(self) -> int:
+        """Live (non-cancelled) events still in the heap."""
+        return len(self._heap) - self._cancelled_pending
+
+    def _note_cancelled(self) -> None:
+        self._cancelled_pending += 1
+        if (
+            len(self._heap) >= self.COMPACT_MIN_SIZE
+            and 2 * self._cancelled_pending > len(self._heap)
+        ):
+            self._compact()
+
+    def _compact(self) -> None:
+        """Drop cancelled entries and re-heapify.
+
+        Entries keep their ``(time, seq)`` keys, so the pop order of the
+        survivors — including FIFO ties — is unchanged: compaction is
+        invisible to the simulation.
+        """
+        self._heap = [entry for entry in self._heap if not entry[2].cancelled]
+        heapq.heapify(self._heap)
+        self._cancelled_pending = 0
+        self.heap_compactions += 1
+
+    def _pop(self) -> EventHandle:
+        """Pop the top entry, maintaining the cancelled-garbage count."""
+        handle = heapq.heappop(self._heap)[2]
+        handle._popped = True
+        if handle.cancelled:
+            self._cancelled_pending -= 1
         return handle
 
     def every(
@@ -139,10 +198,10 @@ class Simulator:
         ``run(until=...)`` calls behave like contiguous wall-clock spans.
         """
         while self._heap:
-            time, _seq, handle = self._heap[0]
+            time = self._heap[0][0]
             if until is not None and time > until:
                 break
-            heapq.heappop(self._heap)
+            handle = self._pop()
             if handle.cancelled:
                 continue
             self._now = time
@@ -160,7 +219,7 @@ class Simulator:
     def peek(self) -> Optional[float]:
         """Time of the next pending (non-cancelled) event, or None."""
         while self._heap and self._heap[0][2].cancelled:
-            heapq.heappop(self._heap)
+            self._pop()
         return self._heap[0][0] if self._heap else None
 
 

@@ -1,0 +1,201 @@
+"""Sampler-mode contracts: bit-identity, statistical equivalence, perf state.
+
+The ``sampler`` knob on :class:`~repro.core.greedy.GreedyScheduler`
+selects the draw kernel.  ``reference`` and ``vectorized`` keep the
+PR-3 bit-identical-schedules contract; ``fenwick`` trades the shared
+RNG stream for O(log m) tail draws and promises *statistical*
+equivalence instead.  Pinned here:
+
+1. ``reference`` and ``vectorized`` emit identical block streams (the
+   knob does not perturb the existing contract).
+2. ``fenwick`` per-draw frequencies match the reference weight vector
+   (chi-squared test over repeated draw/rollback trials).
+3. All three modes land within epsilon of each other on expected
+   utility for the Fig. 16 micro-workload at fixed seeds.
+4. The Fenwick tree stays consistent with the incremental gain arrays
+   through allocations, ``on_sent``, rollbacks, and mirror evictions.
+"""
+
+import numpy as np
+import pytest
+from scipy import stats
+
+from repro.core import (
+    GainTable,
+    GreedyScheduler,
+    LinearUtility,
+    RequestDistribution,
+    RingBufferCache,
+)
+from repro.core.greedy import SAMPLER_MODES
+from repro.core.scheduler import expected_utility
+from repro.experiments.figures import _micro_distribution
+
+
+def make_sched(mode, n=60, nb=3, C=24, seed=0, dist=None, mirror=None):
+    gains = GainTable(LinearUtility(), [nb] * n)
+    sched = GreedyScheduler(
+        gains, cache_blocks=C, mirror=mirror, sampler=mode, seed=seed
+    )
+    if dist is not None:
+        sched.update_distribution(dist, 0.01)
+    return sched
+
+
+def skewed_dist(n, seed=0, k_explicit=10, residual=0.2, deltas=(0.05,)):
+    rng = np.random.default_rng(seed)
+    ids = np.sort(rng.choice(n, size=k_explicit, replace=False)).astype(np.int64)
+    raw = rng.random((len(deltas), k_explicit)) + 0.05
+    probs = (1.0 - residual) * raw / raw.sum(axis=1, keepdims=True)
+    return RequestDistribution(
+        n=n,
+        deltas_s=np.asarray(deltas, dtype=float),
+        explicit_ids=ids,
+        explicit_probs=probs,
+        residual=np.full(len(deltas), residual),
+    )
+
+
+class TestModeKnob:
+    def test_rejects_unknown_sampler(self):
+        gains = GainTable(LinearUtility(), [3] * 4)
+        with pytest.raises(ValueError):
+            GreedyScheduler(gains, cache_blocks=4, sampler="alias")
+
+    @pytest.mark.parametrize("mode", SAMPLER_MODES)
+    def test_every_mode_fills_the_batch(self, mode):
+        dist = skewed_dist(80, seed=3, deltas=(0.05, 0.25))
+        sched = make_sched(mode, n=80, C=30, seed=5, dist=dist)
+        batch = sched.schedule_batch()
+        assert len(batch) == 30
+        assert all(0 <= b.request < 80 for b in batch)
+
+    def test_reference_and_vectorized_streams_identical(self):
+        """The knob must not perturb the PR-3 bit-identity contract."""
+        for seed in range(6):
+            dist = skewed_dist(100, seed=seed, deltas=(0.05, 0.15, 0.5))
+            streams = {}
+            for mode in ("reference", "vectorized"):
+                sched = make_sched(mode, n=100, C=40, seed=seed, dist=dist)
+                streams[mode] = [
+                    (b.request, b.index) for b in sched.schedule_batch()
+                ]
+            assert streams["reference"] == streams["vectorized"]
+
+
+class TestFenwickPerDrawFrequencies:
+    """Chi-squared: fenwick first-draw frequencies vs reference weights."""
+
+    TRIALS = 4000
+
+    def _expected_weights(self, sched):
+        """Reference per-draw weights at t=0: explicit ids + meta bucket."""
+        m = len(sched._ids)
+        weights = sched._Pmat[0, :m] * sched._gain[:m]
+        meta = sched._meta_weight()
+        return np.concatenate([weights, [meta]])
+
+    def _observed(self, mode, seed=11):
+        dist = skewed_dist(60, seed=2)
+        sched = make_sched(mode, n=60, C=24, seed=seed, dist=dist)
+        expected = self._expected_weights(sched)
+        explicit_pos = {int(r): i for i, r in enumerate(sched._ids)}
+        counts = np.zeros(len(expected))
+        for _ in range(self.TRIALS):
+            batch = sched.schedule_batch(1)
+            assert len(batch) == 1
+            pos = explicit_pos.get(batch[0].request, len(expected) - 1)
+            counts[pos] += 1
+            sched.rollback(batch)
+        return counts, expected
+
+    @pytest.mark.parametrize("mode", ["fenwick", "vectorized"])
+    def test_first_draw_matches_reference_weights(self, mode):
+        counts, weights = self._observed(mode)
+        expected = self.TRIALS * weights / weights.sum()
+        assert (expected > 5).all()  # chi-squared validity
+        result = stats.chisquare(counts, expected)
+        assert result.pvalue > 1e-3, (mode, result)
+
+    def test_fenwick_uses_the_tree_on_the_first_draw(self):
+        """Single-horizon distributions have no interpolation head, so
+        the whole batch — including draw one — is tail-sampled."""
+        dist = skewed_dist(60, seed=2)
+        sched = make_sched("fenwick", n=60, C=24, seed=0, dist=dist)
+        assert sched._tail_start == 0
+        assert sched._fen_size == len(dist.explicit_ids)
+
+
+class TestUtilityWithinEpsilon:
+    def test_fig16_workload_all_modes(self):
+        """Fixed-seed utility on the Fig. 16 micro-workload: every mode
+        within 5% of the reference mode's mean."""
+        n, C, slot = 2_000, 150, 0.01
+        dist = _micro_distribution(n, seed=0)
+        gains = GainTable(LinearUtility(), [20] * n)
+        means = {}
+        for mode in SAMPLER_MODES:
+            values = []
+            for seed in range(3):
+                sched = GreedyScheduler(
+                    gains, cache_blocks=C, sampler=mode, seed=seed
+                )
+                sched.update_distribution(dist, slot)
+                schedule = sched.schedule_batch()
+                assert len(schedule) == C
+                values.append(expected_utility(schedule, dist, gains, slot))
+            means[mode] = float(np.mean(values))
+        ref = means["reference"]
+        assert means["vectorized"] == ref  # bit-identical schedules
+        assert means["fenwick"] == pytest.approx(ref, rel=0.05)
+
+
+class TestFenwickTreeConsistency:
+    def test_tree_tracks_gain_arrays_through_full_workout(self):
+        """Allocations, sent confirmations, rollbacks, and mirror
+        evictions must leave the tree equal to gain x base_p."""
+        n, C = 120, 20
+        rng = np.random.default_rng(9)
+        gains = GainTable(LinearUtility(), rng.integers(1, 6, size=n))
+        mirror = RingBufferCache(8)  # small: forces evictions
+        sched = GreedyScheduler(
+            gains, cache_blocks=C, mirror=mirror, sampler="fenwick", seed=4
+        )
+        script = np.random.default_rng(21)
+        for _ in range(10):
+            dense = script.random((2, n)) + 1e-9
+            sched.update_distribution(
+                RequestDistribution.from_dense(
+                    dense, deltas_s=[0.05, 0.25], threshold=0.02
+                ),
+                0.01,
+            )
+            batch = sched.schedule_batch(int(script.integers(1, C + 3)))
+            if batch and script.random() < 0.5:
+                tail = min(
+                    int(script.integers(0, len(batch) + 1)), sched.position
+                )
+                if tail:
+                    sched.rollback(batch[len(batch) - tail :])
+                    batch = batch[: len(batch) - tail]
+            for block in batch:
+                mirror.mirror_put(block.request, block.index)
+                sched.on_sent(block)
+            mlen = sched._mlen
+            np.testing.assert_array_equal(
+                np.array(sched._fen_leaf),
+                sched._gain[:mlen] * sched._base_p[:mlen],
+            )
+            assert sched._fen_total == pytest.approx(
+                float(np.sum(sched._fen_leaf)), abs=1e-12
+            )
+
+    def test_promotion_appends_leaf(self):
+        dist = RequestDistribution.uniform(50, deltas_s=[0.05])
+        sched = make_sched("fenwick", n=50, C=12, dist=dist)
+        assert sched._fen_size == 0
+        batch = sched.schedule_batch()
+        assert len(batch) == 12
+        # Every meta draw promoted a request into the tree.
+        assert sched._fen_size == len(sched._promoted)
+        assert sched._fen_size > 0

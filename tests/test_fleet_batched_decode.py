@@ -1,0 +1,220 @@
+"""Fleet-batched Kalman predict/decode: byte-identity and plumbing.
+
+The coalesced prediction tick can additionally batch the *predictor*
+work: one stacked state extrapolation
+(:func:`~repro.predictors.kalman.predict_gaussians`) at collect time
+and one truncated-Gaussian block-mass pass per layout at apply time.
+The contract is byte-identity — flipping ``batched_decode`` must not
+change a single probability, matrix, schedule, or metric.
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments.configs import DEFAULT_ENV, FleetEnvironment
+from repro.experiments.runner import run_fleet
+from repro.predictors import GridLayout, MouseEvent
+from repro.predictors.kalman import (
+    KalmanClientPredictor,
+    KalmanServerPredictor,
+    predict_gaussians,
+)
+from repro.predictors.layout import BoundingBox, ChartLayout
+from repro.workloads.image_app import ImageExplorationApp
+from repro.workloads.mouse import MouseTraceGenerator
+
+DELTAS = (0.05, 0.15, 0.25, 0.5)
+
+
+def driven_clients(num, samples=25, seed=0):
+    rng = np.random.default_rng(seed)
+    clients = []
+    for i in range(num):
+        client = KalmanClientPredictor(deltas_s=DELTAS)
+        for j in range(int(rng.integers(2, samples))):
+            client.observe_event(
+                j * 0.02,
+                MouseEvent(float(rng.uniform(0, 500)), float(rng.uniform(0, 500))),
+            )
+        clients.append(client)
+    return clients
+
+
+class TestPredictGaussians:
+    def test_matches_scalar_predict_at_bitwise(self):
+        """A row of an N-row call equals the same row passed alone —
+        the property the fleet's stacked predictor pass rests on."""
+        clients = driven_clients(10, seed=3)
+        xs = np.stack([c.filter._x for c in clients])
+        Ps = np.stack([c.filter._P for c in clients])
+        dts = np.linspace(0.0, 0.6, len(clients))
+        qs = np.array([c.filter.q for c in clients])
+        means, covs = predict_gaussians(xs, Ps, dts, qs)
+        for i, c in enumerate(clients):
+            mean_1, cov_1 = predict_gaussians(
+                xs[i : i + 1], Ps[i : i + 1], dts[i : i + 1], qs[i : i + 1]
+            )
+            np.testing.assert_array_equal(means[i], mean_1[0])
+            np.testing.assert_array_equal(covs[i], cov_1[0])
+            # predict_at routes through the same kernel: identical at
+            # the dt it derives from an absolute timestamp.
+            t_abs = c.filter._last_t + dts[i]
+            dt_rt = max(0.0, t_abs - c.filter._last_t)
+            mean_rt, cov_rt = predict_gaussians(
+                xs[i : i + 1], Ps[i : i + 1], np.array([dt_rt]), qs[i : i + 1]
+            )
+            mean_s, cov_s = c.filter.predict_at(t_abs)
+            np.testing.assert_array_equal(mean_rt[0], mean_s)
+            np.testing.assert_array_equal(cov_rt[0], cov_s)
+
+    def test_zero_dt_adds_no_noise(self):
+        clients = driven_clients(1, seed=5)
+        f = clients[0].filter
+        mean, cov = f.predict_at(f._last_t)
+        np.testing.assert_array_equal(mean, f._x)
+        np.testing.assert_array_equal(cov, f._P)
+
+
+class TestBatchStates:
+    def test_bit_identical_to_per_client_state(self):
+        clients = driven_clients(8, seed=1)
+        clients.append(KalmanClientPredictor(deltas_s=DELTAS))  # uninitialized
+        now = 0.9
+        batched = KalmanClientPredictor.batch_states(clients, now)
+        for client, state in zip(clients, batched):
+            assert client.state(now) == state
+
+    def test_custom_filter_falls_back_to_scalar_state(self):
+        class FakeFilter:
+            initialized = True
+
+        client = KalmanClientPredictor(filter_factory=FakeFilter)
+        sentinel = []
+        client.state = lambda t: sentinel  # type: ignore[method-assign]
+        out = KalmanClientPredictor.batch_states([client], 0.0)
+        assert out[0] is sentinel
+
+    def test_subclassed_filter_falls_back_to_scalar_state(self):
+        """A ConstantVelocityKalman subclass may override the dynamics;
+        the stacked kernel must not silently bypass that override."""
+        from repro.predictors.kalman import ConstantVelocityKalman
+
+        class StoppingKalman(ConstantVelocityKalman):
+            def predict_at(self, time_s):  # ignores velocity entirely
+                mean, cov = super().predict_at(self._last_t)
+                return mean, cov
+
+        client = KalmanClientPredictor(filter_factory=StoppingKalman)
+        client.observe_event(0.0, MouseEvent(10.0, 10.0))
+        client.observe_event(0.02, MouseEvent(30.0, 50.0))
+        out = KalmanClientPredictor.batch_states([client], 0.5)
+        assert out[0] == client.state(0.5)
+
+
+class TestDecodeBatch:
+    def test_grid_byte_identical_to_scalar_decode(self):
+        grid = GridLayout(30, 30, 17.0, 17.0, origin_x=1.0, origin_y=-3.0)
+        server = KalmanServerPredictor(grid)
+        clients = driven_clients(7, seed=2)
+        states = [c.state(0.6) for c in clients] + [None]
+        batched = server.decode_batch(states, DELTAS)
+        for state, got in zip(states, batched):
+            want = server.decode(state, DELTAS)
+            np.testing.assert_array_equal(want.explicit_ids, got.explicit_ids)
+            np.testing.assert_array_equal(want.explicit_probs, got.explicit_probs)
+            np.testing.assert_array_equal(want.residual, got.residual)
+            np.testing.assert_array_equal(want.deltas_s, got.deltas_s)
+
+    def test_fractional_cells_byte_identical_to_bbox_masses(self):
+        """Cell edges are bbox()'s exact floats: with fractional cell
+        sizes (where origin + (c+1)*w differs from (origin + c*w) + w
+        by one ULP), the factorized decode must still reproduce each
+        BoundingBox.gaussian_mass bit-for-bit."""
+        grid = GridLayout(25, 25, 0.7, 1.3, origin_x=0.1, origin_y=-0.3)
+        dist = grid.gaussian_distribution([(8.0, 12.0)], [(1.1, 2.3)], (0.05,))
+        assert len(dist.explicit_ids) > 4
+        for col, rid in enumerate(dist.explicit_ids):
+            want = grid.bbox(int(rid)).gaussian_mass(8.0, 12.0, 1.1, 2.3)
+            assert float(dist.explicit_probs[0, col]) == want
+
+    def test_chart_layout_falls_back_per_state(self):
+        charts = ChartLayout(
+            [BoundingBox(0, 0, 100, 100), BoundingBox(120, 0, 220, 100)]
+        )
+        server = KalmanServerPredictor(charts)
+        states = [c.state(0.5) for c in driven_clients(3, seed=4)]
+        batched = server.decode_batch(states, DELTAS)
+        for state, got in zip(states, batched):
+            want = server.decode(state, DELTAS)
+            np.testing.assert_array_equal(want.explicit_probs, got.explicit_probs)
+
+
+def run_kalman_fleet(batched_decode, num=4, duration=1.2):
+    app = ImageExplorationApp(rows=8, cols=8)
+    traces = [
+        MouseTraceGenerator(app.layout, seed=40 + i).generate(duration_s=duration)
+        for i in range(num)
+    ]
+    env = FleetEnvironment(
+        num_sessions=num, env=DEFAULT_ENV, batched_decode=batched_decode
+    )
+    return run_fleet(app, traces, env, predictor="kalman", drain_s=0.5)
+
+
+class TestStaticFleetByteIdentity:
+    def test_flag_flip_changes_nothing(self):
+        """Satellite acceptance: a static Kalman fleet produces
+        byte-identical results under batched vs per-session decode."""
+        a = run_kalman_fleet(batched_decode=False)
+        b = run_kalman_fleet(batched_decode=True)
+        assert b.diagnostics["prediction"]["predict_batches"] > 0
+        assert b.diagnostics["prediction"]["decode_batches"] > 0
+        assert a.diagnostics["prediction"]["predict_batches"] == 0
+        assert a.diagnostics["prediction"]["decode_batches"] == 0
+        for key in ("blocks_sent", "bytes_sent", "blocks_deferred"):
+            assert a.diagnostics[key] == b.diagnostics[key], key
+        sa, sb = a.summary, b.summary
+        assert sa.aggregate.as_dict() == sb.aggregate.as_dict()
+        assert [
+            s.as_dict() if s is not None else None for s in sa.per_session
+        ] == [s.as_dict() if s is not None else None for s in sb.per_session]
+
+    def test_probability_matrices_byte_identical(self):
+        """Directly compare the installed scheduler matrices: collect
+        every (Pmat, Pres) install across the run in both modes."""
+        captured = {}
+        from repro.core.greedy import GreedyScheduler
+
+        original = GreedyScheduler.install_distribution
+
+        for mode in (False, True):
+            log = []
+
+            def recording(self, dist, slot, pmat, pres, _log=log):
+                _log.append((pmat.tobytes(), pres.tobytes()))
+                return original(self, dist, slot, pmat, pres)
+
+            GreedyScheduler.install_distribution = recording
+            try:
+                run_kalman_fleet(batched_decode=mode, num=3, duration=0.8)
+            finally:
+                GreedyScheduler.install_distribution = original
+            captured[mode] = log
+        assert captured[True]  # matrices were actually installed
+        assert captured[False] == captured[True]
+
+
+class TestPlumbing:
+    def test_snapshot_reports_decode_flag(self):
+        result = run_kalman_fleet(batched_decode=True, num=2, duration=0.6)
+        prediction = result.diagnostics["prediction"]
+        assert prediction["batched_decode"] is True
+        result = run_kalman_fleet(batched_decode=False, num=2, duration=0.6)
+        assert result.diagnostics["prediction"]["batched_decode"] is False
+
+    def test_fleet_environment_passes_flag_through(self):
+        env = FleetEnvironment(num_sessions=2, batched_decode=False)
+        from repro.core.session import SessionConfig
+
+        cfg = env.fleet_config(SessionConfig())
+        assert cfg.batched_decode is False

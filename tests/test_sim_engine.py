@@ -200,3 +200,56 @@ def test_property_run_until_is_a_clean_partition(delays, cutoff):
         sim.schedule(d, fired.append, d)
     sim.run(until=cutoff)
     assert sorted(fired) == sorted(d for d in delays if d <= cutoff)
+
+
+class TestHeapCompaction:
+    def test_churny_preemption_does_not_grow_heap_unboundedly(self):
+        """Schedule-then-cancel loops (sender preemption under churn)
+        leave cancelled entries in the heap; compaction must bound the
+        garbage at ~2x the live population instead of letting it grow
+        with the number of preemptions."""
+        sim = Simulator()
+        live = [sim.schedule(1e6 + i, lambda: None) for i in range(100)]
+        for round_ in range(200):
+            handles = [sim.schedule(10.0 + round_, lambda: None) for _ in range(50)]
+            for h in handles:
+                h.cancel()
+        assert sim.pending_events == 100
+        assert len(sim._heap) <= 2 * 100 + 1
+        assert sim.heap_compactions > 0
+        # Live events are untouched by compaction.
+        sim.run()
+        assert sim.now == 1e6 + 99
+        assert not any(h.cancelled for h in live)
+
+    def test_compaction_preserves_fifo_tie_order(self):
+        sim = Simulator()
+        fired = []
+        keep = [sim.schedule(5.0, fired.append, i) for i in range(40)]
+        doomed = [sim.schedule(1.0, lambda: None) for _ in range(200)]
+        for h in doomed:
+            h.cancel()
+        assert sim.heap_compactions > 0
+        sim.run()
+        assert fired == list(range(40))
+        assert keep[0].time == 5.0
+
+    def test_small_heaps_never_compact(self):
+        sim = Simulator()
+        for _ in range(10):
+            sim.schedule(1.0, lambda: None).cancel()
+        assert sim.heap_compactions == 0
+
+    def test_cancel_after_pop_does_not_corrupt_count(self):
+        sim = Simulator()
+        h = sim.schedule(1.0, lambda: None)
+        sim.run()
+        h.cancel()  # no-op: already fired
+        assert sim._cancelled_pending == 0
+
+    def test_pending_events_excludes_cancelled(self):
+        sim = Simulator()
+        a = sim.schedule(1.0, lambda: None)
+        sim.schedule(2.0, lambda: None)
+        a.cancel()
+        assert sim.pending_events == 1
