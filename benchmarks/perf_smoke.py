@@ -11,31 +11,63 @@ Measures the hot paths the vectorized scheduling core owns:
   draw-loop-only time (``schedule_batch`` excluding the distribution
   install) for the active sampler and for the Fenwick sampler, so the
   O(log m) tail-draw speedup is gated directly;
+* ``greedy_draws_head_10000x500`` /
+  ``greedy_draws_head_fenwick_10000x500`` — the same draw-loop time on
+  a short-slot workload (1 ms slots against the 4 paper horizons)
+  where *every* draw lands before the last prediction horizon, so the
+  horizon forest's head draws are gated directly against the
+  vectorized kernel;
 * ``fleet_tick_N<N>`` — mean wall time per 150 ms fleet prediction
   interval for a batched static fleet at N in {8, 32} sessions
   (prediction collect + stacked recompute + the scheduling it
-  triggers); and
+  triggers);
 * ``fleet_tick_churn_N<N>`` — the same per-tick cost under session
   churn (Poisson arrivals, lognormal dwells, admission cap), so the
-  gate also covers the dynamic-fleet path.
+  gate also covers the dynamic-fleet path; and
+* ``fleet_tick_markov_N32`` — predictor-*decode* work per tick for a
+  32-session shared-Markov fleet (crowd prior pre-warmed to realistic
+  row widths, cohorts of sessions walking a common tour): the wall
+  time spent in ``decode_state`` / the stacked ``_batch_decode`` pass,
+  which is the stage ``batched_decode`` owns.  Whole-tick time is
+  dominated by the senders' refill scheduling, so this metric
+  isolates the decode stage the same way ``greedy_draws_*`` isolates
+  the draw loop.
 
 The emitted JSON carries a ``config`` section (active sampler mode and
 the fleet's decode-batching flag) so any regression is attributable to
-the configuration that produced it.  Raw milliseconds are emitted for
-humans; the regression gate compares *normalized* scores (metric / a
-fixed numpy probe measured on the same machine) so the committed
-baseline transfers across hardware.
+the configuration that produced it; results and baselines are
+per-sampler files (``BENCH_sched[_<sampler>].json``) so CI can gate
+the vectorized and fenwick production paths side by side.  Raw
+milliseconds are emitted for humans; the regression gate compares
+*normalized* scores (metric / a fixed numpy probe measured on the same
+machine) so the committed baseline transfers across hardware.
 
 Usage::
 
     PYTHONPATH=src python benchmarks/perf_smoke.py                 # measure
     PYTHONPATH=src python benchmarks/perf_smoke.py --check         # CI gate
     PYTHONPATH=src python benchmarks/perf_smoke.py --update-baseline
+    PYTHONPATH=src python benchmarks/perf_smoke.py --sampler fenwick --greedy-only
+    PYTHONPATH=src python benchmarks/perf_smoke.py --alloc-probe
 
 ``--check`` exits non-zero when any normalized score exceeds
-``--threshold`` (default 2.0) times the committed baseline
-(``benchmarks/results/BENCH_sched_baseline.json``).  Results land in
-``benchmarks/results/BENCH_sched.json``.
+``--threshold`` (default 2.0) times the committed baseline, and prints
+the full normalized delta table so the offending metric is visible in
+CI logs.  ``--greedy-only`` skips the fleet benchmarks (used by the
+second CI pass, which re-gates only the sampler-dependent metrics
+under ``--sampler fenwick``).
+
+``--alloc-probe`` reports the allocator-block cost of holding ten full
+10x500-block schedules (``sys.getallocatedblocks`` delta around the
+draw loop).  Measured on the dev machine when ``__slots__`` landed on
+the hot data classes (``ScheduledBlock``, ``Block``,
+``ProgressiveResponse``; the sim's ``EventHandle``/``PeriodicTask``
+already had them):
+
+    before: scheduled_blocks=5000 allocated_blocks=14374 (2.87/block),
+            sys.getsizeof(ScheduledBlock) = 56 B + a 104 B __dict__
+    after:  scheduled_blocks=5000 allocated_blocks=9216  (1.84/block),
+            sys.getsizeof(ScheduledBlock) = 48 B, no __dict__
 """
 
 from __future__ import annotations
@@ -49,12 +81,15 @@ from pathlib import Path
 import numpy as np
 
 RESULTS_DIR = Path(__file__).parent / "results"
-RESULT_PATH = RESULTS_DIR / "BENCH_sched.json"
-BASELINE_PATH = RESULTS_DIR / "BENCH_sched_baseline.json"
 
 GREEDY_CASES = [(1_000, 100), (1_000, 500), (10_000, 100), (10_000, 500)]
-#: The acceptance cell for the draws-only sampler comparison.
+#: The acceptance cell for the draws-only sampler comparisons.
 DRAWS_CASE = (10_000, 500)
+#: Slot durations for the tail-dominated (Fig. 16) and head-dominated
+#: draws-only workloads.  At 1 ms slots every offset in a 500-block
+#: batch stays below the 0.5 s final horizon: all draws are head draws.
+TAIL_SLOT_S = 0.01
+HEAD_SLOT_S = 0.001
 FLEET_SIZES = (8, 32)
 FLEET_SIM_SECONDS = 2.5
 #: Churn-mode gate shape: planned arrivals, open-loop rate, mean dwell.
@@ -62,7 +97,27 @@ CHURN_ARRIVALS = 16
 CHURN_RATE_PER_S = 6.0
 CHURN_DWELL_S = 1.0
 CHURN_MAX_CONCURRENT = 8
+#: Markov-decode gate shape: fleet size, grid, tour cohorts (sessions
+#: per cohort share a trajectory — the crowd-row dedup the stacked
+#: decode exploits), request cadence, and pre-warmed crowd row width.
+MARKOV_SESSIONS = 32
+MARKOV_GRID = 16
+MARKOV_COHORTS = 8
+MARKOV_REQ_EVERY_S = 0.08
+MARKOV_PRIOR_WIDTH = 96
+MARKOV_PRIOR_COUNT = 3
+MARKOV_CACHE_BYTES = 3_200_000  # 64 blocks: keeps install cost modest
 REPEATS = 3
+
+
+def result_path(sampler: str) -> Path:
+    suffix = "" if sampler == "vectorized" else f"_{sampler}"
+    return RESULTS_DIR / f"BENCH_sched{suffix}.json"
+
+
+def baseline_path(sampler: str) -> Path:
+    suffix = "" if sampler == "vectorized" else f"_{sampler}"
+    return RESULTS_DIR / f"BENCH_sched_baseline{suffix}.json"
 
 
 def machine_probe_ms() -> float:
@@ -78,6 +133,17 @@ def machine_probe_ms() -> float:
             np.sort(c, axis=0)
         best = min(best, time.perf_counter() - start)
     return best * 1e3
+
+
+def _draws_case_setup():
+    from repro.core.scheduler import GainTable
+    from repro.core.utility import LinearUtility
+    from repro.experiments.figures import _micro_distribution
+
+    n, cache = DRAWS_CASE
+    dist = _micro_distribution(n, seed=0)
+    gains = GainTable(LinearUtility(), [50] * n)
+    return n, cache, dist, gains
 
 
 def bench_greedy(sampler: str) -> dict[str, float]:
@@ -97,7 +163,7 @@ def bench_greedy(sampler: str) -> dict[str, float]:
                 gains, cache_blocks=cache, sampler=sampler, seed=0
             )
             start = time.perf_counter()
-            scheduler.update_distribution(dist, slot_duration_s=0.01)
+            scheduler.update_distribution(dist, slot_duration_s=TAIL_SLOT_S)
             mid = time.perf_counter()
             schedule = scheduler.schedule_batch()
             end = time.perf_counter()
@@ -107,34 +173,52 @@ def bench_greedy(sampler: str) -> dict[str, float]:
         out[f"greedy_{n}x{cache}"] = best * 1e3
         if (n, cache) == DRAWS_CASE:
             out[f"greedy_draws_{n}x{cache}"] = best_draws * 1e3
+    out[f"greedy_draws_head_{DRAWS_CASE[0]}x{DRAWS_CASE[1]}"] = (
+        _draws_only(sampler, HEAD_SLOT_S) * 1e3
+    )
     return out
+
+
+def _draws_only(sampler: str, slot_s: float) -> float:
+    """Best draw-loop time on the acceptance cell at ``slot_s`` slots."""
+    from repro.core.greedy import GreedyScheduler
+
+    n, cache, dist, gains = _draws_case_setup()
+    best = float("inf")
+    for _ in range(REPEATS):
+        scheduler = GreedyScheduler(
+            gains, cache_blocks=cache, sampler=sampler, seed=0
+        )
+        scheduler.update_distribution(dist, slot_duration_s=slot_s)
+        start = time.perf_counter()
+        schedule = scheduler.schedule_batch()
+        best = min(best, time.perf_counter() - start)
+        assert len(schedule) == cache
+        if sampler == "fenwick":
+            # The horizon forest must serve every draw; a fallback to
+            # the O(m) kernel would silently invalidate the metric.
+            assert scheduler.draw_counts["vectorized"] == 0
+    return best
 
 
 def bench_fenwick_draws() -> dict[str, float]:
     """Draw-loop time of the Fenwick sampler on the acceptance cell.
 
     Measured unconditionally (whatever ``--sampler`` is active) so the
-    committed baseline always gates the O(log m) path.
+    committed baseline always gates the O(log m) path — tail-dominated
+    and head-dominated variants.
     """
-    from repro.core.greedy import GreedyScheduler
-    from repro.core.scheduler import GainTable
-    from repro.core.utility import LinearUtility
-    from repro.experiments.figures import _micro_distribution
-
     n, cache = DRAWS_CASE
-    dist = _micro_distribution(n, seed=0)
-    gains = GainTable(LinearUtility(), [50] * n)
-    best = float("inf")
-    for _ in range(REPEATS):
-        scheduler = GreedyScheduler(
-            gains, cache_blocks=cache, sampler="fenwick", seed=0
+    return {
+        f"greedy_draws_fenwick_{n}x{cache}": _draws_only(
+            "fenwick", TAIL_SLOT_S
         )
-        scheduler.update_distribution(dist, slot_duration_s=0.01)
-        start = time.perf_counter()
-        schedule = scheduler.schedule_batch()
-        best = min(best, time.perf_counter() - start)
-        assert len(schedule) == cache
-    return {f"greedy_draws_fenwick_{n}x{cache}": best * 1e3}
+        * 1e3,
+        f"greedy_draws_head_fenwick_{n}x{cache}": _draws_only(
+            "fenwick", HEAD_SLOT_S
+        )
+        * 1e3,
+    }
 
 
 def _tick_cost(app, traces, env) -> float:
@@ -190,24 +274,169 @@ def bench_fleet_tick(batched_decode: bool) -> dict[str, float]:
         ),
     )
     out[f"fleet_tick_churn_N{CHURN_ARRIVALS}"] = _tick_cost(app, traces, env) * 1e3
+    out.update(bench_fleet_markov(batched_decode))
     return out
 
 
-def measure(sampler: str = "vectorized", batched_decode: bool = True) -> dict:
+def _markov_fleet_fixtures():
+    """App, cohort tour traces, and a pre-warmed crowd prior factory."""
+    from repro.workloads.image_app import ImageExplorationApp
+    from repro.workloads.trace import InteractionTrace, TraceEvent
+
+    app = ImageExplorationApp(rows=MARKOV_GRID, cols=MARKOV_GRID)
+    rng = np.random.default_rng(3)
+    tour = rng.permutation(app.num_requests)
+    n = len(tour)
+    traces = []
+    for i in range(MARKOV_SESSIONS):
+        events = []
+        t, j = 0.0, (i % MARKOV_COHORTS) * 11
+        while t <= FLEET_SIM_SECONDS:
+            r = int(tour[j % n])
+            box = app.layout.bbox(r)
+            events.append(
+                TraceEvent(
+                    t, (box.x0 + box.x1) / 2, (box.y0 + box.y1) / 2, request=r
+                )
+            )
+            t += MARKOV_REQ_EVERY_S
+            j += 1
+        traces.append(InteractionTrace(events, name=f"tour{i}"))
+
+    def make_prior():
+        from repro.predictors.shared import SharedTransitionPrior
+
+        prng = np.random.default_rng(11)
+        prior = SharedTransitionPrior(app.num_requests)
+        for prev in range(app.num_requests):
+            succ = prng.choice(
+                app.num_requests,
+                size=min(MARKOV_PRIOR_WIDTH, app.num_requests),
+                replace=False,
+            )
+            for s in succ:
+                for _ in range(MARKOV_PRIOR_COUNT):
+                    prior.observe(prev, int(s))
+        return prior
+
+    return app, traces, make_prior
+
+
+def bench_fleet_markov(batched_decode: bool) -> dict[str, float]:
+    """Predictor-decode work per tick for the shared-Markov fleet.
+
+    Wraps ``decode_state`` and the service's stacked collect/decode
+    hooks with wall-clock accumulation: the metric is exactly the
+    stage ``batched_decode`` owns, on a workload whose cohort overlap
+    and pre-warmed crowd rows resemble a long-lived fleet.
+    """
+    from dataclasses import replace
+
+    from repro.core.server import KhameleonServer
+    from repro.experiments.configs import DEFAULT_ENV, FleetEnvironment
+    from repro.experiments.runner import run_fleet
+    from repro.fleet.schedule_service import FleetScheduleService
+
+    app, traces, make_prior = _markov_fleet_fixtures()
+    env = FleetEnvironment(
+        num_sessions=MARKOV_SESSIONS,
+        env=replace(DEFAULT_ENV, cache_bytes=MARKOV_CACHE_BYTES),
+        batched_decode=batched_decode,
+    )
+    acc = {"t": 0.0}
+    targets = [
+        (KhameleonServer, "decode_state"),
+        (FleetScheduleService, "_batch_decode"),
+        (FleetScheduleService, "_batch_states"),
+    ]
+    saved = [(c, name, getattr(c, name)) for c, name in targets]
+
+    def timed(fn):
+        def wrapper(self, *args):
+            start = time.perf_counter()
+            out = fn(self, *args)
+            acc["t"] += time.perf_counter() - start
+            return out
+
+        return wrapper
+
+    for c, name, fn in saved:
+        setattr(c, name, timed(fn))
+    try:
+        best = float("inf")
+        for _ in range(max(1, REPEATS - 1)):
+            acc["t"] = 0.0
+            result = run_fleet(
+                app,
+                traces,
+                env,
+                predictor="shared-markov",
+                shared_prior=make_prior(),
+            )
+            ticks = max(1, result.diagnostics["prediction"]["ticks"])
+            best = min(best, acc["t"] / ticks)
+    finally:
+        for c, name, fn in saved:
+            setattr(c, name, fn)
+    return {f"fleet_tick_markov_N{MARKOV_SESSIONS}": best * 1e3}
+
+
+def alloc_probe() -> dict[str, float]:
+    """Allocator-block cost of holding ten full draws-case schedules."""
+    import gc
+
+    from repro.core.greedy import GreedyScheduler
+    from repro.core.scheduler import GainTable, ScheduledBlock
+    from repro.core.utility import LinearUtility
+    from repro.experiments.figures import _micro_distribution
+
+    n, cache = 2_000, 500
+    dist = _micro_distribution(n, seed=0)
+    gains = GainTable(LinearUtility(), [50] * n)
+    sched = GreedyScheduler(gains, cache_blocks=cache, seed=0)
+    sched.update_distribution(dist, slot_duration_s=TAIL_SLOT_S)
+    sched.schedule_batch()  # warm caches
+    gc.collect()
+    before = sys.getallocatedblocks()
+    held = [sched.schedule_batch(cache) for _ in range(10)]
+    gc.collect()
+    after = sys.getallocatedblocks()
+    total = sum(len(b) for b in held)
+    return {
+        "scheduled_blocks": total,
+        "allocated_blocks": after - before,
+        "blocks_per_scheduled_block": (after - before) / total,
+        "sizeof_scheduled_block": sys.getsizeof(ScheduledBlock(1, 2)),
+    }
+
+
+def measure(
+    sampler: str = "vectorized",
+    batched_decode: bool = True,
+    greedy_only: bool = False,
+) -> dict:
     probe = machine_probe_ms()
     metrics = bench_greedy(sampler)
     n, cache = DRAWS_CASE
     if sampler == "fenwick":
-        # The active-sampler draws metric already is the fenwick one.
+        # The active-sampler draws metrics already are the fenwick ones.
         metrics[f"greedy_draws_fenwick_{n}x{cache}"] = metrics[
             f"greedy_draws_{n}x{cache}"
         ]
+        metrics[f"greedy_draws_head_fenwick_{n}x{cache}"] = metrics[
+            f"greedy_draws_head_{n}x{cache}"
+        ]
     else:
         metrics.update(bench_fenwick_draws())
-    metrics.update(bench_fleet_tick(batched_decode))
+    if not greedy_only:
+        metrics.update(bench_fleet_tick(batched_decode))
     return {
         "probe_ms": probe,
-        "config": {"sampler": sampler, "batched_decode": batched_decode},
+        "config": {
+            "sampler": sampler,
+            "batched_decode": batched_decode,
+            "greedy_only": greedy_only,
+        },
         "metrics_ms": metrics,
         "normalized": {k: v / probe for k, v in metrics.items()},
     }
@@ -233,6 +462,22 @@ def check(result: dict, baseline: dict, threshold: float) -> list[str]:
     return failures
 
 
+def delta_table(result: dict, baseline: dict) -> str:
+    """Normalized run/baseline/ratio rows for every gated metric."""
+    rows = [f"  {'metric':<34} {'run':>9} {'baseline':>9} {'ratio':>7}"]
+    for key in sorted(baseline.get("normalized", {})):
+        base_score = baseline["normalized"][key]
+        score = result["normalized"].get(key)
+        if score is None:
+            rows.append(f"  {key:<34} {'—':>9} {base_score:>9.3f} {'—':>7}")
+        else:
+            ratio = score / base_score if base_score else float("inf")
+            rows.append(
+                f"  {key:<34} {score:>9.3f} {base_score:>9.3f} {ratio:>6.2f}x"
+            )
+    return "\n".join(rows)
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--check", action="store_true", help="fail on regression")
@@ -249,39 +494,61 @@ def main() -> int:
     parser.add_argument(
         "--no-batched-decode",
         action="store_true",
-        help="disable the fleet's stacked Kalman predict/decode",
+        help="disable the fleet's stacked predictor decode",
+    )
+    parser.add_argument(
+        "--greedy-only",
+        action="store_true",
+        help="skip the fleet benchmarks (sampler-path CI pass)",
+    )
+    parser.add_argument(
+        "--alloc-probe",
+        action="store_true",
+        help="report the hot-path allocation probe and exit",
     )
     args = parser.parse_args()
 
+    if args.alloc_probe:
+        stats = alloc_probe()
+        for key, value in stats.items():
+            print(f"  {key:<28} {value}")
+        return 0
+
     result = measure(
-        sampler=args.sampler, batched_decode=not args.no_batched_decode
+        sampler=args.sampler,
+        batched_decode=not args.no_batched_decode,
+        greedy_only=args.greedy_only,
     )
     RESULTS_DIR.mkdir(exist_ok=True)
-    RESULT_PATH.write_text(json.dumps(result, indent=2, sort_keys=True) + "\n")
+    out_path = result_path(args.sampler)
+    out_path.write_text(json.dumps(result, indent=2, sort_keys=True) + "\n")
 
     print(f"machine probe: {result['probe_ms']:.2f} ms")
     print(f"config: {result['config']}")
     for key in sorted(result["metrics_ms"]):
         print(
-            f"  {key:<18} {result['metrics_ms'][key]:8.2f} ms   "
+            f"  {key:<34} {result['metrics_ms'][key]:8.2f} ms   "
             f"(normalized {result['normalized'][key]:.3f})"
         )
-    print(f"wrote {RESULT_PATH}")
+    print(f"wrote {out_path}")
 
+    base_path = baseline_path(args.sampler)
     if args.update_baseline:
-        BASELINE_PATH.write_text(json.dumps(result, indent=2, sort_keys=True) + "\n")
-        print(f"wrote {BASELINE_PATH}")
+        base_path.write_text(json.dumps(result, indent=2, sort_keys=True) + "\n")
+        print(f"wrote {base_path}")
 
     if args.check:
-        if not BASELINE_PATH.exists():
-            print(f"no baseline at {BASELINE_PATH}; run with --update-baseline first")
+        if not base_path.exists():
+            print(f"no baseline at {base_path}; run with --update-baseline first")
             return 2
-        baseline = json.loads(BASELINE_PATH.read_text())
+        baseline = json.loads(base_path.read_text())
         failures = check(result, baseline, args.threshold)
         if failures:
             print("PERF REGRESSION:")
             for line in failures:
                 print(f"  {line}")
+            print("normalized scores vs baseline:")
+            print(delta_table(result, baseline))
             return 1
         print(f"perf check OK (threshold {args.threshold:.1f}x)")
     return 0

@@ -16,7 +16,7 @@ from typing import Any, Hashable, Iterator, Optional, Sequence
 __all__ = ["Block", "ProgressiveResponse", "RequestSpace"]
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Block:
     """One block of a progressively encoded response.
 
@@ -41,7 +41,7 @@ class Block:
             raise ValueError(f"block size must be positive (got {self.size_bytes})")
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class ProgressiveResponse:
     """A full progressively encoded response: blocks 0..Nb-1 of one request."""
 

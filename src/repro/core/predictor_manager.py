@@ -29,7 +29,29 @@ class PredictorManager:
 
     ``send_state`` typically wraps the uplink control channel and the
     server's ``on_predictor_state``.
+
+    Under a fleet, the coalesced prediction tick
+    (:class:`~repro.fleet.schedule_service.FleetScheduleService`)
+    replaces the periodic task (``autostart=False``) and drives
+    :meth:`poll` itself — optionally handing in a state produced by a
+    stacked per-family pass (the Kalman extrapolation batch) — so the
+    dedup and accounting stay per-session here no matter which path
+    computed the state.  One manager exists per live session and is
+    polled every 150 ms; ``__slots__`` keeps the fleet's N-session
+    footprint flat.
     """
+
+    __slots__ = (
+        "sim",
+        "client_predictor",
+        "send_state",
+        "interval_s",
+        "send_unchanged",
+        "_last_state",
+        "_task",
+        "states_sent",
+        "state_bytes_sent",
+    )
 
     DEFAULT_INTERVAL_S = 0.150
 

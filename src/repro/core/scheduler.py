@@ -37,9 +37,14 @@ __all__ = [
 ]
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class ScheduledBlock:
-    """Decision for one schedule slot: send block ``index`` of ``request``."""
+    """Decision for one schedule slot: send block ``index`` of ``request``.
+
+    ``slots=True``: schedulers mint one per allocated slot and senders
+    queue them by the lookahead window, so the per-instance ``__dict__``
+    would be pure overhead on the hot path.
+    """
 
     request: int
     index: int

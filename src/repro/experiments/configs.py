@@ -121,10 +121,11 @@ class FleetEnvironment:
     backend_concurrency: Optional[int] = None
     weighted_backend: bool = False
     batched_prediction: bool = True
-    #: Batch the Kalman predict/decode inside the coalesced prediction
-    #: tick (one stacked state extrapolation + one truncated-Gaussian
-    #: pass per layout instead of N per-session loops).  Byte-identical
-    #: distributions; see :class:`repro.fleet.FleetConfig`.
+    #: Batch the predictor decode inside the coalesced prediction tick
+    #: (stacked Kalman extrapolation + truncated-Gaussian passes, and
+    #: one pass per Markov / shared-chain group, instead of N
+    #: per-session loops).  Byte-identical distributions; see
+    #: :class:`repro.fleet.FleetConfig`.
     batched_decode: bool = True
     arrival: Optional["ArrivalConfig"] = None
 

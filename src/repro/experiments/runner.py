@@ -243,15 +243,19 @@ class FleetRunResult:
 
 
 def _fleet_predictor_factory(
-    app: ImageExplorationApp, predictor: str, traces, sim: Simulator
+    app: ImageExplorationApp, predictor: str, traces, sim: Simulator,
+    shared_prior=None,
 ):
     """Per-session predictor factory, plus any fleet-shared state.
 
     ``shared-markov`` is the SeLeP-style deployment: one crowd-warmed
     :class:`~repro.predictors.shared.SharedTransitionPrior` for the whole
     fleet, blended into each session's private chain — cold arrivals
-    start from the aggregate transition structure.  Returns
-    ``(make_predictor, prior_or_None)``.
+    start from the aggregate transition structure.  ``shared_prior``
+    lets the caller supply a pre-populated prior (crowd structure
+    carried over from earlier runs — the persistence direction in the
+    ROADMAP — or a synthetic warm-up for benchmarks); ``None`` builds a
+    fresh one.  Returns ``(make_predictor, prior_or_None)``.
 
     The factory is invoked at *admission* time.  The oracle reads the
     user's future by absolute simulator time, so under churn its trace
@@ -265,10 +269,22 @@ def _fleet_predictor_factory(
             make_shared_markov_predictor,
         )
 
-        prior = SharedTransitionPrior(app.num_requests)
+        if shared_prior is None:
+            prior = SharedTransitionPrior(app.num_requests)
+        else:
+            prior = shared_prior
+        if prior.n != app.num_requests:
+            raise ValueError(
+                f"shared prior over {prior.n} requests, app has {app.num_requests}"
+            )
         return (
             lambda i: make_shared_markov_predictor(app.num_requests, prior),
             prior,
+        )
+    if shared_prior is not None:
+        raise ValueError(
+            f"shared_prior only applies to predictor='shared-markov' "
+            f"(got {predictor!r})"
         )
     if predictor == "oracle":
         return (
@@ -289,8 +305,14 @@ def run_fleet(
     seed: int = 0,
     cohort_width_s: float = 5.0,
     early_k: int = 5,
+    shared_prior=None,
 ) -> FleetRunResult:
     """Replay one trace per session against a shared-resource fleet.
+
+    ``shared_prior`` (``shared-markov`` only) seeds the fleet-wide
+    crowd prior with an existing
+    :class:`~repro.predictors.shared.SharedTransitionPrior` instead of
+    a cold one.
 
     All sessions explore the same application over one backend (shared
     response cache, in-flight dedup, shared §5.4 throttle budget) and
@@ -313,7 +335,9 @@ def run_fleet(
     sim = Simulator()
     shared_downlink = make_shared_downlink(sim, env, seed=seed)
     backend = app.make_backend(sim, fetch_delay_s=env.backend_delay_s)
-    make_predictor, prior = _fleet_predictor_factory(app, predictor, traces, sim)
+    make_predictor, prior = _fleet_predictor_factory(
+        app, predictor, traces, sim, shared_prior=shared_prior
+    )
 
     fleet = KhameleonFleet(
         sim=sim,

@@ -89,13 +89,16 @@ class FleetConfig:
         for static fleets, one sim event per tick instead of N).  Set
         False to fall back to per-session periodic ticks.
     batched_decode:
-        Within the coalesced tick, also batch the Kalman predictor
-        stack: one stacked ``(N·k, 4)`` state extrapolation at collect
-        time and one truncated-Gaussian block-mass pass per layout at
-        apply time, instead of N per-session predict/decode loops
-        (default True — byte-identical distributions; non-Kalman
-        predictors fall back per session).  Ignored when
-        ``batched_prediction`` is off.
+        Within the coalesced tick, also batch the predictor stack —
+        every stock family: one stacked ``(N·k, 4)`` Kalman state
+        extrapolation at collect time plus one truncated-Gaussian
+        block-mass pass per layout at apply time, and one
+        ``decode_batch`` pass per Markov / shared-chain group (chain
+        rows gathered once per version, crowd blends vectorized, cold
+        sessions sharing distributions) — instead of N per-session
+        predict/decode loops (default True — byte-identical
+        distributions; custom or subclassed predictors fall back per
+        session).  Ignored when ``batched_prediction`` is off.
     arrival:
         The session arrival/departure process.  ``None`` (or any
         :class:`ArrivalConfig` whose ``is_static`` holds) is the

@@ -14,8 +14,11 @@ scheduling cost (the ROADMAP's "scheduler-side scaling" item).
   manager (:meth:`~repro.core.predictor_manager.PredictorManager.poll`
   keeps the dedup and accounting semantics), and
 * **one apply event** per uplink latency class preempts the affected
-  senders, computes *all* changed sessions' probability matrices in a
-  single stacked blend + reverse-cumsum pass
+  senders, decodes every changed session's state in one stacked pass
+  per predictor family (Kalman truncated-Gaussian block masses, Markov
+  chain rows, shared-chain crowd blends — see :meth:`_batch_decode`),
+  computes *all* changed sessions' probability matrices in a single
+  stacked blend + reverse-cumsum pass
   (:func:`batch_probability_matrices`), installs them
   (:meth:`~repro.core.greedy.GreedyScheduler.install_distribution`),
   and resumes the senders.
@@ -181,6 +184,12 @@ class FleetScheduleService:
         self.interval_s = interval_s
         self.batched_decode = batched_decode
         self._sessions: list["KhameleonSession"] = []
+        # session -> (batchable-collect, decode family) where the decode
+        # family is "kalman" | "markov" | "shared" | None, classified
+        # once at registration (exact types only — a subclass may
+        # override state()/decode(), and the stacked passes would
+        # silently bypass that) so the per-tick loops do no type scans.
+        self._families: dict["KhameleonSession", tuple[bool, Optional[str]]] = {}
         self._task = sim.every(interval_s, self._tick)
         self.ticks = 0
         self.states_collected = 0
@@ -191,13 +200,39 @@ class FleetScheduleService:
 
     # -- membership ----------------------------------------------------
 
+    @staticmethod
+    def _classify(session: "KhameleonSession") -> tuple[bool, Optional[str]]:
+        """Which stacked collect/decode passes (if any) serve a session."""
+        from repro.predictors.kalman import (
+            KalmanClientPredictor,
+            KalmanServerPredictor,
+        )
+        from repro.predictors.markov import MarkovServerPredictor
+        from repro.predictors.shared import SharedMarkovServerPredictor
+
+        collect = (
+            type(session.predictor_manager.client_predictor)
+            is KalmanClientPredictor
+        )
+        sp = session.server.predictor_server
+        decode: Optional[str] = None
+        if type(sp) is KalmanServerPredictor:
+            decode = "kalman"
+        elif type(sp) is MarkovServerPredictor:
+            decode = "markov"
+        elif type(sp) is SharedMarkovServerPredictor:
+            decode = "shared"
+        return collect, decode
+
     def register(self, session: "KhameleonSession") -> None:
         if session not in self._sessions:
             self._sessions.append(session)
+            self._families[session] = self._classify(session)
 
     def unregister(self, session: "KhameleonSession") -> None:
         if session in self._sessions:
             self._sessions.remove(session)
+            self._families.pop(session, None)
 
     @property
     def num_registered(self) -> int:
@@ -252,18 +287,12 @@ class FleetScheduleService:
 
     def _batch_states(self, sessions: list) -> dict:
         """Stacked Kalman state snapshots for every batchable session."""
-        from repro.predictors.kalman import KalmanClientPredictor
-
-        # Exact type: a subclass may override state(), and the stacked
-        # pass would silently bypass it (same guard as batch_states'
-        # filter check one level down).
-        kalman = [
-            s
-            for s in sessions
-            if type(s.predictor_manager.client_predictor) is KalmanClientPredictor
-        ]
+        families = self._families
+        kalman = [s for s in sessions if families.get(s, (False, None))[0]]
         if not kalman:
             return {}
+        from repro.predictors.kalman import KalmanClientPredictor
+
         states = KalmanClientPredictor.batch_states(
             [s.predictor_manager.client_predictor for s in kalman], self.sim.now
         )
@@ -311,33 +340,68 @@ class FleetScheduleService:
         self.sessions_recomputed += len(entries)
 
     def _batch_decode(self, group: list) -> dict:
-        """Kalman state → distribution for a whole delivery group.
+        """Predictor state → distribution for a whole delivery group.
 
-        Sessions whose server predictor is a
-        :class:`~repro.predictors.kalman.KalmanServerPredictor` over the
-        same layout (the common case: a homogeneous fleet sharing the
-        application's layout object) decode through one stacked
-        truncated-Gaussian pass — byte-identical per session to
-        ``server.decode_state``.  Everyone else falls back to the
+        Every stock predictor family decodes in a stacked pass —
+        byte-identical per session to ``server.decode_state``:
+
+        * **Kalman** sessions over the same layout (the common case: a
+          homogeneous fleet sharing the application's layout object)
+          decode through one truncated-Gaussian block-mass pass.
+        * **Markov** sessions decode through
+          :meth:`~repro.predictors.markov.MarkovServerPredictor.
+          decode_batch` — learning side effects in group order, chain
+          rows gathered once per version.
+        * **Shared-chain** sessions (the SeLeP-style crowd prior) group
+          by their prior so
+          :meth:`~repro.predictors.shared.SharedMarkovServerPredictor.
+          decode_batch` gathers each crowd row once per tick and lets
+          cold sessions share distributions.
+
+        Sessions with custom or subclassed predictors fall back to the
         per-session decode in :meth:`_apply`.
         """
-        from repro.predictors.kalman import KalmanServerPredictor
-
-        groups: dict[tuple, list] = {}
+        families = self._families
+        kalman_groups: dict[tuple, list] = {}
+        markov: list = []
+        shared_groups: dict[int, list] = {}
         for session, state in group:
             if not session.active:
                 continue
+            family = families.get(session, (False, None))[1]
             sp = session.server.predictor_server
-            # Exact type, as above: overridden decode() must win.
-            if type(sp) is KalmanServerPredictor:
+            if family == "kalman":
                 key = (id(sp.layout), sp.truncate_sigmas, session.server.deltas_s)
-                groups.setdefault(key, []).append((session, state, sp))
+                kalman_groups.setdefault(key, []).append((session, state, sp))
+            elif family == "markov":
+                markov.append((session, (sp, state, session.server.deltas_s)))
+            elif family == "shared":
+                shared_groups.setdefault(id(sp.prior), []).append(
+                    (session, (sp, state, session.server.deltas_s))
+                )
         out: dict = {}
-        for members in groups.values():
+        for members in kalman_groups.values():
             dists = members[0][2].decode_batch(
                 [state for _s, state, _sp in members], members[0][0].server.deltas_s
             )
             self.decode_batches += 1
             for (session, _state, _sp), dist in zip(members, dists):
                 out[session] = dist
+        if markov:
+            from repro.predictors.markov import MarkovServerPredictor
+
+            dists = MarkovServerPredictor.decode_batch([e for _s, e in markov])
+            self.decode_batches += 1
+            for (session, _e), dist in zip(markov, dists):
+                out[session] = dist
+        if shared_groups:
+            from repro.predictors.shared import SharedMarkovServerPredictor
+
+            for members in shared_groups.values():
+                dists = SharedMarkovServerPredictor.decode_batch(
+                    [e for _s, e in members]
+                )
+                self.decode_batches += 1
+                for (session, _e), dist in zip(members, dists):
+                    out[session] = dist
         return out

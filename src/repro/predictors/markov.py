@@ -14,6 +14,19 @@ API, both supported here:
 
 The model itself is a first-order chain with add-one (Laplace)
 smoothing, learned online from the observed request stream.
+
+**Fleet batching.**  Chain rows are append-only, so a row's total
+count doubles as its version: :meth:`MarkovModel.transition_probs`
+caches each decoded row keyed by that version, and
+:meth:`MarkovServerPredictor.decode_batch` decodes a whole delivery
+group of ``(predictor, state)`` pairs in one pass — the learning side
+effects run in group order (freezing any row an upcoming observation
+would mutate while an earlier member still reads it), rows are
+gathered once per version, and members that resolve to the same row
+version share one :class:`RequestDistribution` object.  The emitted
+distributions are byte-identical to per-member :meth:`decode` calls;
+:class:`~repro.fleet.schedule_service.FleetScheduleService` relies on
+exactly that contract.
 """
 
 from __future__ import annotations
@@ -41,6 +54,12 @@ class MarkovModel:
         self.n = n
         self.smoothing = smoothing
         self._counts: dict[int, dict[int, int]] = defaultdict(lambda: defaultdict(int))
+        # O(1) per-row observation totals.  Counts only grow, so a
+        # row's mass uniquely versions its content — the key the row
+        # cache below (and the fleet's stacked decode) invalidates on.
+        self._row_mass: dict[int, int] = defaultdict(int)
+        self._raw_cache: dict[int, tuple[int, np.ndarray, np.ndarray]] = {}
+        self._row_cache: dict[int, tuple[int, np.ndarray, np.ndarray, float]] = {}
         self._last: Optional[int] = None
 
     def observe(self, request: int) -> None:
@@ -49,6 +68,7 @@ class MarkovModel:
             raise ValueError(f"request {request} outside [0, {self.n})")
         if self._last is not None:
             self._counts[self._last][request] += 1
+            self._row_mass[self._last] += 1
         self._last = request
 
     @property
@@ -59,20 +79,47 @@ class MarkovModel:
         """Raw successor counts for ``request`` (empty if never seen)."""
         return dict(self._counts.get(request, {}))
 
+    def row_mass(self, request: int) -> int:
+        """Total observed transitions out of ``request`` (its version)."""
+        return self._row_mass.get(request, 0)
+
+    def row_arrays(self, request: int) -> tuple[np.ndarray, np.ndarray]:
+        """``(ids, counts)``: the raw sorted successor arrays of a row.
+
+        Version-cached like :meth:`transition_probs`; the shared-prior
+        blend consumes these raw counts.  The cached arrays are shared
+        — callers must not mutate them.
+        """
+        version = self._row_mass.get(request, 0)
+        cached = self._raw_cache.get(request)
+        if cached is not None and cached[0] == version:
+            return cached[1], cached[2]
+        row = self._counts.get(request, {})
+        ids = np.array(sorted(row), dtype=np.int64)
+        counts = np.array([row[i] for i in ids], dtype=float)
+        self._raw_cache[request] = (version, ids, counts)
+        return ids, counts
+
     def transition_probs(self, request: int) -> tuple[np.ndarray, np.ndarray, float]:
         """``(ids, probs, residual)`` for the row of ``request``.
 
         Observed successors get explicit probabilities; the smoothing
-        mass for never-seen successors is returned as residual.
+        mass for never-seen successors is returned as residual.  The
+        decoded row is cached keyed by the row's version (its count
+        total), so repeated decodes of an unchanged row are O(1); the
+        cached arrays are shared — callers must not mutate them.
         """
-        row = self._counts.get(request, {})
-        ids = np.array(sorted(row), dtype=np.int64)
-        counts = np.array([row[i] for i in ids], dtype=float)
+        version = self._row_mass.get(request, 0)
+        cached = self._row_cache.get(request)
+        if cached is not None and cached[0] == version:
+            return cached[1], cached[2], cached[3]
+        ids, counts = self.row_arrays(request)
         total = counts.sum() + self.smoothing * self.n
         if total == 0:
             return np.empty(0, dtype=np.int64), np.empty(0), 1.0
         probs = (counts + self.smoothing) / total
         residual = self.smoothing * (self.n - len(ids)) / total
+        self._row_cache[request] = (version, ids, probs, float(residual))
         return ids, probs, float(residual)
 
     def top_k_distribution(self, request: int, k: int) -> list[tuple[int, float]]:
@@ -110,16 +157,18 @@ class MarkovServerPredictor(ServerPredictor):
         self.model = model
         self._last_decoded: Optional[int] = None
 
-    def decode(self, state: Optional[int], deltas_s: Sequence[float]) -> RequestDistribution:
+    def _should_learn(self, request: int) -> bool:
+        """The shipped state *is* the event — observe it exactly once."""
+        return request != self._last_decoded or self.model.last_request != request
+
+    def _row_distribution(
+        self,
+        ids: np.ndarray,
+        probs: np.ndarray,
+        residual: float,
+        deltas_s: Sequence[float],
+    ) -> RequestDistribution:
         n = self.model.n
-        if state is None:
-            return RequestDistribution.uniform(n, deltas_s)
-        request = int(state)
-        # Learning happens here: the shipped state *is* the event.
-        if request != self._last_decoded or self.model.last_request != request:
-            self.model.observe(request)
-        self._last_decoded = request
-        ids, probs, residual = self.model.transition_probs(request)
         if len(ids) == 0:
             return RequestDistribution.uniform(n, deltas_s)
         k = len(deltas_s)
@@ -130,6 +179,65 @@ class MarkovServerPredictor(ServerPredictor):
             explicit_probs=np.tile(probs, (k, 1)),
             residual=np.full(k, residual),
         )
+
+    def decode(self, state: Optional[int], deltas_s: Sequence[float]) -> RequestDistribution:
+        n = self.model.n
+        if state is None:
+            return RequestDistribution.uniform(n, deltas_s)
+        request = int(state)
+        # Learning happens here: the shipped state *is* the event.
+        if self._should_learn(request):
+            self.model.observe(request)
+        self._last_decoded = request
+        return self._row_distribution(*self.model.transition_probs(request), deltas_s)
+
+    @classmethod
+    def decode_batch(
+        cls, entries: Sequence[tuple["MarkovServerPredictor", Any, Sequence[float]]]
+    ) -> list[RequestDistribution]:
+        """Decode a delivery group of ``(predictor, state, deltas_s)``.
+
+        Byte-identical to calling each predictor's :meth:`decode` in
+        sequence: the learning side effects run in entry order, and any
+        row an upcoming observation would mutate while an earlier entry
+        still reads it live is *frozen* (decoded pre-mutation) first.
+        Rows are then gathered once per ``(model, request, version)``
+        and entries resolving to the same version — with the same
+        horizons — share one distribution object.
+        """
+        results: list[Optional[RequestDistribution]] = [None] * len(entries)
+        reads: list[tuple[int, "MarkovServerPredictor", int]] = []
+        # (id(model), request) -> read tuples not yet resolved.
+        live: dict[tuple[int, int], list[tuple[int, "MarkovServerPredictor", int]]] = {}
+        frozen: dict[int, tuple[np.ndarray, np.ndarray, float]] = {}
+        for i, (sp, state, deltas_s) in enumerate(entries):
+            if state is None:
+                results[i] = RequestDistribution.uniform(sp.model.n, deltas_s)
+                continue
+            request = int(state)
+            if sp._should_learn(request):
+                prev = sp.model.last_request
+                if prev is not None:
+                    for read in live.pop((id(sp.model), prev), ()):
+                        if read[0] not in frozen:
+                            frozen[read[0]] = read[1].model.transition_probs(read[2])
+                sp.model.observe(request)
+            sp._last_decoded = request
+            reads.append((i, sp, request))
+            live.setdefault((id(sp.model), request), []).append((i, sp, request))
+        dists: dict[tuple, RequestDistribution] = {}
+        for i, sp, request in reads:
+            row = frozen.get(i)
+            if row is None:
+                row = sp.model.transition_probs(request)
+            ids, probs, residual = row
+            key = (id(ids), id(probs), residual, tuple(entries[i][2]), sp.model.n)
+            dist = dists.get(key)
+            if dist is None:
+                dist = sp._row_distribution(ids, probs, residual, entries[i][2])
+                dists[key] = dist
+            results[i] = dist
+        return results  # type: ignore[return-value]
 
 
 def make_markov_predictor(

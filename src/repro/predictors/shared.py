@@ -31,19 +31,35 @@ Build one prior per fleet and close over it in the fleet's
     prior = SharedTransitionPrior(n)
     fleet = KhameleonFleet(..., make_predictor=lambda i:
         make_shared_markov_predictor(n, prior))
+
+**Caching and fleet batching.**  Counts are append-only, so a row's
+observation total doubles as its version.  The prior caches each
+decoded crowd row keyed by that version, and the decoder caches each
+*blended* row keyed by the ``(private, crowd)`` version pair —
+invalidated implicitly when either side observes a transition out of
+the row — so static workloads stop re-blending identical rows every
+decode.  :meth:`SharedMarkovServerPredictor.decode_batch` decodes a
+whole delivery group sharing one prior in a single pass: learning side
+effects run in group order (freezing rows an upcoming observation
+would mutate while an earlier member still reads them live), crowd
+rows are gathered once per version for the whole tick, the blend is a
+vectorized scatter-add instead of a Python dict loop, and cold members
+(no private counts) landing on the same crowd row version share one
+:class:`~repro.core.distribution.RequestDistribution` object — all
+byte-identical to per-member :meth:`decode` calls.
 """
 
 from __future__ import annotations
 
 from collections import defaultdict
-from typing import Optional, Sequence
+from typing import Any, Optional, Sequence
 
 import numpy as np
 
 from repro.core.distribution import RequestDistribution
 
-from .base import DEFAULT_DELTAS_S, Predictor, ServerPredictor
-from .markov import MarkovClientPredictor, MarkovModel
+from .base import DEFAULT_DELTAS_S, Predictor
+from .markov import MarkovClientPredictor, MarkovModel, MarkovServerPredictor
 
 __all__ = [
     "SharedTransitionPrior",
@@ -60,6 +76,10 @@ class SharedTransitionPrior:
             raise ValueError("n must be >= 1")
         self.n = n
         self._counts: dict[int, dict[int, int]] = defaultdict(lambda: defaultdict(int))
+        # O(1) per-row totals; append-only counts make the total a
+        # version the row cache below invalidates on.
+        self._row_mass: dict[int, int] = defaultdict(int)
+        self._row_cache: dict[int, tuple[int, np.ndarray, np.ndarray]] = {}
         self.transitions_observed = 0
 
     def observe(self, prev: int, nxt: int) -> None:
@@ -67,6 +87,7 @@ class SharedTransitionPrior:
         if not 0 <= prev < self.n or not 0 <= nxt < self.n:
             raise ValueError(f"transition {prev}->{nxt} outside [0, {self.n})")
         self._counts[prev][nxt] += 1
+        self._row_mass[prev] += 1
         self.transitions_observed += 1
 
     def row(self, request: int) -> tuple[np.ndarray, np.ndarray]:
@@ -74,18 +95,27 @@ class SharedTransitionPrior:
 
         Empirical (unsmoothed) probabilities over observed successors;
         both arrays are empty when the crowd has never left ``request``.
+        Decoded rows are cached keyed by the row's version (its count
+        total) — the "gathered once" half of the fleet's stacked decode
+        — and the cached arrays are shared: callers must not mutate
+        them.
         """
+        version = self._row_mass.get(request, 0)
+        cached = self._row_cache.get(request)
+        if cached is not None and cached[0] == version:
+            return cached[1], cached[2]
         row = self._counts.get(request)
         if not row:
             return np.empty(0, dtype=np.int64), np.empty(0)
         ids = np.array(sorted(row), dtype=np.int64)
         counts = np.array([row[i] for i in ids], dtype=float)
-        return ids, counts / counts.sum()
+        probs = counts / counts.sum()
+        self._row_cache[request] = (version, ids, probs)
+        return ids, probs
 
     def row_mass(self, request: int) -> int:
-        """Total observed transitions out of ``request``."""
-        row = self._counts.get(request)
-        return sum(row.values()) if row else 0
+        """Total observed transitions out of ``request`` (its version)."""
+        return self._row_mass.get(request, 0)
 
     def snapshot(self) -> dict:
         return {
@@ -94,14 +124,15 @@ class SharedTransitionPrior:
         }
 
 
-class SharedMarkovServerPredictor(ServerPredictor):
+class SharedMarkovServerPredictor(MarkovServerPredictor):
     """Per-session Markov decoder warmed by the fleet-wide prior.
 
-    Like :class:`~repro.predictors.markov.MarkovServerPredictor`, the
-    shipped state *is* the event: each decoded request id is observed
-    into the session's private chain — and its transition is pooled
-    into the shared prior, so this session's history warms every other
-    tenant's cold rows.
+    Like the base :class:`~repro.predictors.markov.
+    MarkovServerPredictor` (whose learning guard and row→distribution
+    plumbing it inherits), the shipped state *is* the event: each
+    decoded request id is observed into the session's private chain —
+    and its transition is pooled into the shared prior, so this
+    session's history warms every other tenant's cold rows.
 
     ``prior_strength`` is the pseudo-observation mass the crowd's row
     contributes: the blend behaves as if the session had already seen
@@ -120,10 +151,24 @@ class SharedMarkovServerPredictor(ServerPredictor):
             )
         if prior_strength < 0:
             raise ValueError("prior strength must be non-negative")
-        self.model = model
+        super().__init__(model)
         self.prior = prior
         self.prior_strength = prior_strength
-        self._last_decoded: Optional[int] = None
+        # Blended-row cache: request -> (private version, crowd version,
+        # ids, probs, residual).  A hit means neither chain has observed
+        # a transition out of the row since it was blended, so the
+        # stored arrays are exactly what a re-blend would produce.
+        self._blend_cache: dict[
+            int, tuple[int, int, np.ndarray, np.ndarray, float]
+        ] = {}
+        self.blend_cache_hits = 0
+        self.blend_cache_misses = 0
+
+    def _learn(self, request: int) -> None:
+        prev = self.model.last_request
+        self.model.observe(request)
+        if prev is not None:
+            self.prior.observe(prev, request)
 
     def decode(
         self, state: Optional[int], deltas_s: Sequence[float]
@@ -132,41 +177,134 @@ class SharedMarkovServerPredictor(ServerPredictor):
         if state is None:
             return RequestDistribution.uniform(n, deltas_s)
         request = int(state)
-        if request != self._last_decoded or self.model.last_request != request:
-            prev = self.model.last_request
-            self.model.observe(request)
-            if prev is not None:
-                self.prior.observe(prev, request)
+        if self._should_learn(request):
+            self._learn(request)
         self._last_decoded = request
         ids, probs, residual = self._blended_row(request)
-        if len(ids) == 0:
-            return RequestDistribution.uniform(n, deltas_s)
-        k = len(deltas_s)
-        return RequestDistribution(
-            n=n,
-            deltas_s=np.asarray(deltas_s, dtype=float),
-            explicit_ids=ids,
-            explicit_probs=np.tile(probs, (k, 1)),
-            residual=np.full(k, residual),
-        )
+        return self._row_distribution(ids, probs, residual, deltas_s)
 
     def _blended_row(self, request: int) -> tuple[np.ndarray, np.ndarray, float]:
-        """Private counts + crowd pseudo-counts, add-one smoothed."""
-        private = self.model.row_counts(request)
-        combined: dict[int, float] = {q: float(c) for q, c in private.items()}
+        """Private counts + crowd pseudo-counts, add-one smoothed.
+
+        Cached keyed by the ``(private, crowd)`` row-version pair; on a
+        miss, the blend is a vectorized scatter-add over the union of
+        the two id sets (identical IEEE arithmetic to the historical
+        per-entry dict loop: each union element is ``private +
+        strength · crowd`` with zero-filled absences, summed in sorted
+        id order).
+        """
+        priv_version = self.model.row_mass(request)
+        prior_version = self.prior.row_mass(request)
+        cached = self._blend_cache.get(request)
+        if (
+            cached is not None
+            and cached[0] == priv_version
+            and cached[1] == prior_version
+        ):
+            self.blend_cache_hits += 1
+            return cached[2], cached[3], cached[4]
+        self.blend_cache_misses += 1
         prior_ids, prior_probs = self.prior.row(request)
-        for q, p in zip(prior_ids, prior_probs):
-            combined[int(q)] = combined.get(int(q), 0.0) + self.prior_strength * float(p)
+        priv_ids, priv_counts = self.model.row_arrays(request)
+        if len(priv_ids) == 0 and len(prior_ids) == 0:
+            return np.empty(0, dtype=np.int64), np.empty(0), 1.0
+        if len(priv_ids) == 0:
+            ids = prior_ids
+            mass = self.prior_strength * prior_probs
+        elif len(prior_ids) == 0:
+            ids = priv_ids
+            mass = priv_counts.copy()
+        else:
+            ids = np.union1d(priv_ids, prior_ids)
+            mass = np.zeros(len(ids))
+            mass[np.searchsorted(ids, priv_ids)] = priv_counts
+            mass[np.searchsorted(ids, prior_ids)] += (
+                self.prior_strength * prior_probs
+            )
         smoothing = self.model.smoothing
         n = self.model.n
-        if not combined:
-            return np.empty(0, dtype=np.int64), np.empty(0), 1.0
-        ids = np.array(sorted(combined), dtype=np.int64)
-        mass = np.array([combined[int(i)] for i in ids])
         total = mass.sum() + smoothing * n
         probs = (mass + smoothing) / total
-        residual = smoothing * (n - len(ids)) / total
-        return ids, probs, float(residual)
+        residual = float(smoothing * (n - len(ids)) / total)
+        self._blend_cache[request] = (
+            priv_version, prior_version, ids, probs, residual
+        )
+        return ids, probs, residual
+
+    @classmethod
+    def decode_batch(
+        cls,
+        entries: Sequence[tuple["SharedMarkovServerPredictor", Any, Sequence[float]]],
+    ) -> list[RequestDistribution]:
+        """Decode a delivery group sharing one prior, in one pass.
+
+        Byte-identical to calling each member's :meth:`decode` in
+        sequence.  Learning side effects run in entry order; before an
+        observation mutates a crowd (or private) row an earlier member
+        still reads live, that member's blend is *frozen* at the
+        pre-mutation versions.  Crowd rows are gathered once per
+        version via the prior's row cache, and cold members (no
+        private counts for their row) that land on the same crowd row
+        version — with the same strength, smoothing, universe, and
+        horizons — share one distribution object.
+        """
+        results: list[Optional[RequestDistribution]] = [None] * len(entries)
+        reads: list[tuple[int, "SharedMarkovServerPredictor", int]] = []
+        live: dict[tuple[int, int], list] = {}
+        frozen: dict[int, tuple[np.ndarray, np.ndarray, float]] = {}
+        # Tick-local cold-blend pool: (prior id, request, crowd version,
+        # strength, smoothing, n) -> blended row, shared across members.
+        cold: dict[tuple, tuple[np.ndarray, np.ndarray, float]] = {}
+
+        def blended(sp: "SharedMarkovServerPredictor", request: int):
+            if sp.model.row_mass(request) == 0:
+                key = (
+                    id(sp.prior),
+                    request,
+                    sp.prior.row_mass(request),
+                    sp.prior_strength,
+                    sp.model.smoothing,
+                    sp.model.n,
+                )
+                got = cold.get(key)
+                if got is None:
+                    got = sp._blended_row(request)
+                    cold[key] = got
+                return got
+            return sp._blended_row(request)
+
+        for i, (sp, state, deltas_s) in enumerate(entries):
+            if state is None:
+                results[i] = RequestDistribution.uniform(sp.model.n, deltas_s)
+                continue
+            request = int(state)
+            if sp._should_learn(request):
+                prev = sp.model.last_request
+                if prev is not None:
+                    for read in live.pop((id(sp.prior), prev), []) + live.pop(
+                        (id(sp.model), prev), []
+                    ):
+                        if read[0] not in frozen:
+                            frozen[read[0]] = blended(read[1], read[2])
+                sp._learn(request)
+            sp._last_decoded = request
+            reads.append((i, sp, request))
+            live.setdefault((id(sp.prior), request), []).append((i, sp, request))
+            live.setdefault((id(sp.model), request), []).append((i, sp, request))
+        dists: dict[tuple, RequestDistribution] = {}
+        for i, sp, request in reads:
+            row = frozen.get(i)
+            if row is None:
+                row = blended(sp, request)
+            ids, probs, residual = row
+            deltas_s = entries[i][2]
+            key = (id(ids), id(probs), residual, tuple(deltas_s), sp.model.n)
+            dist = dists.get(key)
+            if dist is None:
+                dist = sp._row_distribution(ids, probs, residual, deltas_s)
+                dists[key] = dist
+            results[i] = dist
+        return results  # type: ignore[return-value]
 
 
 def make_shared_markov_predictor(

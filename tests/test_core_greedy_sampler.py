@@ -3,17 +3,22 @@
 The ``sampler`` knob on :class:`~repro.core.greedy.GreedyScheduler`
 selects the draw kernel.  ``reference`` and ``vectorized`` keep the
 PR-3 bit-identical-schedules contract; ``fenwick`` trades the shared
-RNG stream for O(log m) tail draws and promises *statistical*
-equivalence instead.  Pinned here:
+RNG stream for O(k log m) draws through the horizon forest and
+promises *statistical* equivalence instead.  Pinned here:
 
 1. ``reference`` and ``vectorized`` emit identical block streams (the
    knob does not perturb the existing contract).
 2. ``fenwick`` per-draw frequencies match the reference weight vector
-   (chi-squared test over repeated draw/rollback trials).
+   (chi-squared test over repeated draw/rollback trials) — for tail
+   draws *and* for head draws before the last prediction horizon,
+   which the horizon forest now serves without falling back to the
+   O(m) vectorized kernel (asserted via ``draw_counts``).
 3. All three modes land within epsilon of each other on expected
-   utility for the Fig. 16 micro-workload at fixed seeds.
-4. The Fenwick tree stays consistent with the incremental gain arrays
-   through allocations, ``on_sent``, rollbacks, and mirror evictions.
+   utility for the Fig. 16 micro-workload at fixed seeds, including a
+   head-dominated short-slot variant.
+4. Every live tree of the forest stays consistent with the incremental
+   gain arrays through allocations, ``on_sent``, rollbacks, and mirror
+   evictions.
 """
 
 import numpy as np
@@ -119,18 +124,98 @@ class TestFenwickPerDrawFrequencies:
 
     def test_fenwick_uses_the_tree_on_the_first_draw(self):
         """Single-horizon distributions have no interpolation head, so
-        the whole batch — including draw one — is tail-sampled."""
+        the whole batch — including draw one — is tail-sampled from a
+        one-tree forest."""
         dist = skewed_dist(60, seed=2)
         sched = make_sched("fenwick", n=60, C=24, seed=0, dist=dist)
+        sched.schedule_batch(1)
         assert sched._tail_start == 0
         assert sched._fen_size == len(dist.explicit_ids)
+        assert len(sched._fen_trees) == 1
+        assert sched.draw_counts == {"reference": 0, "vectorized": 0, "forest": 1}
+
+
+class TestForestHeadDraws:
+    """Chi-squared: head-draw frequencies vs reference weights.
+
+    With a multi-horizon distribution whose last horizon lies past the
+    batch end, *every* slot is a head slot (``clamp_split`` tail is
+    empty) — the forest must serve those draws from multiple
+    coefficient-weighted trees, never the O(m) fallback.
+    """
+
+    TRIALS = 4000
+
+    def _expected_weights(self, sched):
+        m = len(sched._ids)
+        weights = sched._Pmat[0, :m] * sched._gain[:m]
+        meta = sched._meta_weight()
+        return np.concatenate([weights, [meta]])
+
+    def _observed(self, mode, seed=13):
+        dist = skewed_dist(60, seed=2, deltas=(0.05, 0.25))
+        sched = make_sched(mode, n=60, C=24, seed=seed, dist=dist)
+        expected = self._expected_weights(sched)
+        explicit_pos = {int(r): i for i, r in enumerate(sched._ids)}
+        counts = np.zeros(len(expected))
+        for _ in range(self.TRIALS):
+            batch = sched.schedule_batch(1)
+            assert len(batch) == 1
+            pos = explicit_pos.get(batch[0].request, len(expected) - 1)
+            counts[pos] += 1
+            sched.rollback(batch)
+        return counts, expected, sched
+
+    @pytest.mark.parametrize("mode", ["fenwick", "vectorized"])
+    def test_first_head_draw_matches_reference_weights(self, mode):
+        counts, weights, _sched = self._observed(mode)
+        expected = self.TRIALS * weights / weights.sum()
+        assert (expected > 5).all()  # chi-squared validity
+        result = stats.chisquare(counts, expected)
+        assert result.pvalue > 1e-3, (mode, result)
+
+    def test_head_draws_never_fall_back(self):
+        counts, _weights, sched = self._observed("fenwick")
+        assert counts.sum() == self.TRIALS
+        assert sched.draw_counts["vectorized"] == 0
+        assert sched.draw_counts["forest"] == self.TRIALS
+        # Every slot really is a head slot: the clamped tail is empty
+        # and the first slot combines both horizons' trees.
+        assert sched._tail_start == sched.C
+        assert len(sched._fen_trees) == 2
+        assert len(sched._slot_pairs[0]) == 2
+
+    def test_fig16_workload_zero_fallback_draws(self):
+        """Acceptance: on the Fig. 16 workload (4 horizons, 10k
+        requests, 500 blocks) the fenwick sampler serves every draw —
+        the 49-slot interpolation head included — from the forest."""
+        from repro.experiments.figures import _micro_distribution
+
+        n, C = 10_000, 500
+        dist = _micro_distribution(n, seed=0)
+        gains = GainTable(LinearUtility(), [50] * n)
+        sched = GreedyScheduler(gains, cache_blocks=C, sampler="fenwick", seed=0)
+        sched.update_distribution(dist, 0.01)
+        assert len(sched.schedule_batch()) == C
+        assert sched._tail_start == 49  # the head exists...
+        assert sched.draw_counts["vectorized"] == 0  # ...yet never falls back
+        assert sched.draw_counts["forest"] == C
 
 
 class TestUtilityWithinEpsilon:
-    def test_fig16_workload_all_modes(self):
+    @pytest.mark.parametrize(
+        "slot",
+        [
+            pytest.param(0.01, id="fig16"),
+            # Short slots keep every draw before the 0.5 s horizon: the
+            # whole batch is head draws through the horizon forest.
+            pytest.param(0.003, id="head-dominated"),
+        ],
+    )
+    def test_fig16_workload_all_modes(self, slot):
         """Fixed-seed utility on the Fig. 16 micro-workload: every mode
         within 5% of the reference mode's mean."""
-        n, C, slot = 2_000, 150, 0.01
+        n, C = 2_000, 150
         dist = _micro_distribution(n, seed=0)
         gains = GainTable(LinearUtility(), [20] * n)
         means = {}
@@ -150,10 +235,39 @@ class TestUtilityWithinEpsilon:
         assert means["fenwick"] == pytest.approx(ref, rel=0.05)
 
 
-class TestFenwickTreeConsistency:
-    def test_tree_tracks_gain_arrays_through_full_workout(self):
+class TestForestConsistency:
+    @staticmethod
+    def _expected_base(sched, h):
+        """Per-horizon mass vector the forest should carry for tree h."""
+        dist = sched._dist
+        m, mlen = len(sched._ids), sched._mlen
+        pool = sched.gains.n - m
+        uni = float(dist.residual[h]) / pool if pool > 0 else 0.0
+        base = np.empty(mlen)
+        base[:m] = dist.explicit_probs[h]
+        base[m:] = uni
+        return base
+
+    def _check_live_trees(self, sched):
+        """Every live tree must equal gain x per-horizon mass."""
+        mlen = sched._mlen
+        t = min(sched.position, sched.C - 1)
+        live = sched._slot_pairs[t]
+        assert live, "no live horizons at the current slot"
+        for h, _c in live:
+            expected = sched._gain[:mlen] * self._expected_base(sched, h)
+            np.testing.assert_array_equal(
+                np.array(sched._fen_leaves[h]), expected
+            )
+            assert sched._fen_totals[h] == pytest.approx(
+                float(expected.sum()), abs=1e-12
+            )
+
+    def test_live_trees_track_gain_arrays_through_full_workout(self):
         """Allocations, sent confirmations, rollbacks, and mirror
-        evictions must leave the tree equal to gain x base_p."""
+        evictions must leave every *live* tree equal to gain x
+        per-horizon mass (expired trees may go stale — their slot
+        coefficients are zero)."""
         n, C = 120, 20
         rng = np.random.default_rng(9)
         gains = GainTable(LinearUtility(), rng.integers(1, 6, size=n))
@@ -178,24 +292,25 @@ class TestFenwickTreeConsistency:
                 if tail:
                     sched.rollback(batch[len(batch) - tail :])
                     batch = batch[: len(batch) - tail]
+            # A rollback swaps epochs (lazy rebuild pending); force the
+            # build so the on_sent/evict updates below are exercised as
+            # *incremental* maintenance against a fresh forest.
+            if sched._forest_dirty:
+                sched._forest_build()
             for block in batch:
                 mirror.mirror_put(block.request, block.index)
                 sched.on_sent(block)
-            mlen = sched._mlen
-            np.testing.assert_array_equal(
-                np.array(sched._fen_leaf),
-                sched._gain[:mlen] * sched._base_p[:mlen],
-            )
-            assert sched._fen_total == pytest.approx(
-                float(np.sum(sched._fen_leaf)), abs=1e-12
-            )
+            self._check_live_trees(sched)
 
-    def test_promotion_appends_leaf(self):
-        dist = RequestDistribution.uniform(50, deltas_s=[0.05])
+    def test_promotion_appends_leaf_to_every_tree(self):
+        dist = RequestDistribution.uniform(50, deltas_s=[0.05, 0.15])
         sched = make_sched("fenwick", n=50, C=12, dist=dist)
-        assert sched._fen_size == 0
         batch = sched.schedule_batch()
         assert len(batch) == 12
-        # Every meta draw promoted a request into the tree.
+        # Every meta draw promoted a request into the forest, and all
+        # trees stayed leaf-aligned.
         assert sched._fen_size == len(sched._promoted)
         assert sched._fen_size > 0
+        for h in range(len(dist.deltas_s)):
+            assert len(sched._fen_leaves[h]) == sched._fen_size
+            assert len(sched._fen_base[h]) == sched._fen_size

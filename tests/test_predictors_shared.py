@@ -217,3 +217,84 @@ class TestColdStartBenefit:
         assert early_hit_rate(unblended, first_k=8) == pytest.approx(
             early_hit_rate(private, first_k=8), abs=0.15
         )
+
+
+class TestRowAndBlendCaches:
+    """Version-keyed caches: crowd rows and blended rows re-decode only
+    when a transition has been observed out of the row."""
+
+    def test_prior_row_cached_until_invalidated(self):
+        prior = SharedTransitionPrior(10)
+        prior.observe(0, 1)
+        prior.observe(0, 2)
+        ids_a, probs_a = prior.row(0)
+        ids_b, probs_b = prior.row(0)
+        assert ids_a is ids_b and probs_a is probs_b  # cache hit
+        prior.observe(0, 1)  # bumps row 0's version
+        ids_c, probs_c = prior.row(0)
+        assert ids_c is not ids_a
+        assert probs_c == pytest.approx([2 / 3, 1 / 3])
+        # An observation out of a *different* row leaves the cache warm.
+        prior.observe(5, 1)
+        assert prior.row(0)[1] is probs_c
+
+    def test_row_mass_is_the_version(self):
+        prior = SharedTransitionPrior(10)
+        assert prior.row_mass(3) == 0
+        prior.observe(3, 4)
+        prior.observe(3, 4)
+        assert prior.row_mass(3) == 2
+
+    def test_blended_row_cached_and_invalidated_on_observe(self):
+        prior = SharedTransitionPrior(10)
+        for nxt in (1, 2, 1):
+            prior.observe(0, nxt)
+        sp = SharedMarkovServerPredictor(MarkovModel(10), prior)
+        first = sp._blended_row(0)
+        assert sp.blend_cache_misses == 1
+        again = sp._blended_row(0)
+        assert sp.blend_cache_hits == 1
+        assert again[0] is first[0] and again[1] is first[1]
+        # Any session pooling a transition out of row 0 invalidates it...
+        prior.observe(0, 7)
+        refreshed = sp._blended_row(0)
+        assert sp.blend_cache_misses == 2
+        assert 7 in refreshed[0]
+        # ...and a *private* observation out of the row does too.
+        sp.model.observe(0)
+        sp.model.observe(3)  # 0 -> 3 lands in the private chain
+        blended = sp._blended_row(0)
+        assert sp.blend_cache_misses == 3
+        assert 3 in blended[0]
+
+    def test_cache_hits_are_byte_identical_to_recompute(self):
+        rng = np.random.default_rng(2)
+        prior = SharedTransitionPrior(40)
+        for _ in range(200):
+            prior.observe(int(rng.integers(40)), int(rng.integers(40)))
+        sp = SharedMarkovServerPredictor(MarkovModel(40), prior)
+        cached = {r: sp._blended_row(r) for r in range(40)}
+        fresh = SharedMarkovServerPredictor(MarkovModel(40), prior)
+        for r in range(40):
+            hit = sp._blended_row(r)  # cache hit
+            miss = fresh._blended_row(r)  # fresh compute
+            assert hit[0] is cached[r][0]
+            np.testing.assert_array_equal(hit[0], miss[0])
+            np.testing.assert_array_equal(hit[1], miss[1])
+            assert hit[2] == miss[2]
+
+    def test_markov_model_row_caches(self):
+        model = MarkovModel(10)
+        for request in (0, 1, 0, 2, 0, 1):
+            model.observe(request)
+        assert model.row_mass(0) == 3  # 0->1, 0->2, 0->1
+        ids_a, counts_a = model.row_arrays(0)
+        assert ids_a is model.row_arrays(0)[0]  # cache hit
+        probs_a = model.transition_probs(0)[1]
+        assert probs_a is model.transition_probs(0)[1]
+        model.observe(0)
+        model.observe(5)  # 0 -> 5
+        ids_b, counts_b = model.row_arrays(0)
+        assert ids_b is not ids_a
+        assert list(ids_b) == [1, 2, 5]
+        assert model.transition_probs(0)[1] is not probs_a
