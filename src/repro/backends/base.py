@@ -19,7 +19,7 @@ from __future__ import annotations
 from typing import Callable, Optional
 
 from repro.core.blocks import ProgressiveResponse
-from repro.sim.engine import Simulator
+from repro.clock import Clock
 
 __all__ = ["Backend", "BackendStats"]
 
@@ -59,7 +59,7 @@ class BackendStats:
 class Backend:
     """Base backend: async fetch with a server-side response cache."""
 
-    def __init__(self, sim: Simulator) -> None:
+    def __init__(self, sim: Clock) -> None:
         self.sim = sim
         self.stats = BackendStats()
         self._cache: dict[int, ProgressiveResponse] = {}

@@ -27,7 +27,7 @@ from typing import Callable, Dict, Optional, Sequence
 
 import numpy as np
 
-from repro.sim.engine import Simulator
+from repro.clock import Clock
 
 __all__ = ["RangeFilter", "HistogramQuery", "ColumnTable", "SimulatedSQLDatabase"]
 
@@ -132,7 +132,7 @@ class SimulatedSQLDatabase:
 
     def __init__(
         self,
-        sim: Simulator,
+        sim: Clock,
         table: ColumnTable,
         base_latency_s: float,
         concurrency_limit: int = 15,

@@ -14,7 +14,7 @@ from typing import Any, Callable, Hashable, Optional
 
 from repro.core.blocks import ProgressiveResponse
 from repro.encoding.base import ProgressiveEncoder
-from repro.sim.engine import Simulator
+from repro.clock import Clock
 
 from .base import Backend
 
@@ -33,7 +33,7 @@ class FileSystemBackend(Backend):
 
     def __init__(
         self,
-        sim: Simulator,
+        sim: Clock,
         encoder: ProgressiveEncoder,
         fetch_delay_s: float = 0.0,
     ) -> None:
@@ -64,7 +64,7 @@ class KeyValueBackend(Backend):
 
     def __init__(
         self,
-        sim: Simulator,
+        sim: Clock,
         encoder: ProgressiveEncoder,
         value_of: Callable[[int], Any],
         get_latency_s: float = 0.001,

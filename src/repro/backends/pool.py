@@ -16,7 +16,7 @@ from typing import Any, Callable, Optional
 
 from repro.core.blocks import ProgressiveResponse
 from repro.encoding.base import ProgressiveEncoder
-from repro.sim.engine import Simulator
+from repro.clock import Clock
 
 from .base import Backend
 
@@ -33,7 +33,7 @@ class ConnectionPoolBackend(Backend):
 
     def __init__(
         self,
-        sim: Simulator,
+        sim: Clock,
         encoder: ProgressiveEncoder,
         value_of: Callable[[int], Any] = lambda request: None,
         pool_size: int = 4,

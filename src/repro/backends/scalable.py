@@ -14,7 +14,7 @@ from typing import Callable, Dict, Optional
 
 import numpy as np
 
-from repro.sim.engine import Simulator
+from repro.clock import Clock
 
 from .database import ColumnTable, HistogramQuery, SimulatedSQLDatabase
 
@@ -31,7 +31,7 @@ class ScalableSQLDatabase:
 
     def __init__(
         self,
-        sim: Simulator,
+        sim: Clock,
         table: ColumnTable,
         base_latency_s: float,
         jitter: float = 0.25,

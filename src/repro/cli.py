@@ -6,6 +6,7 @@ Usage::
     python -m repro fig6                 # default reduced scale
     python -m repro fig9 --scale quick
     python -m repro fig14 --out results.txt
+    python -m repro serve --port 0      # live WebSocket frontend
 
 Scales mirror the benchmark harness: ``quick`` / ``default`` /
 ``paper`` (the last takes hours — it is the authors' full
@@ -116,6 +117,79 @@ def _build_parser() -> argparse.ArgumentParser:
         help="seed for the arrival/dwell draws (default: 0)",
     )
     fleet.add_argument("--out", help="also write the table to this file")
+    serve = sub.add_parser(
+        "serve",
+        help="serve the fleet stack live over WebSockets (wall-clock time)",
+    )
+    serve.add_argument("--host", default="127.0.0.1", help="bind host")
+    serve.add_argument(
+        "--port",
+        type=int,
+        default=8787,
+        help="bind port; 0 picks an ephemeral port (printed at startup)",
+    )
+    serve.add_argument(
+        "--scale",
+        choices=sorted(_SCALES),
+        default="quick",
+        help="application grid scale (default: quick)",
+    )
+    serve.add_argument(
+        "--predictor",
+        default="kalman",
+        help="live predictor: kalman / uniform / point / markov / "
+        "shared-markov (default: kalman)",
+    )
+    serve.add_argument(
+        "--sampler",
+        default="vectorized",
+        help="greedy draw kernel: reference / vectorized / fenwick "
+        "(default: vectorized)",
+    )
+    serve.add_argument(
+        "--bandwidth",
+        type=float,
+        default=None,
+        metavar="BYTES_PER_S",
+        help="modeled egress bandwidth (default: the paper's 5.625 MB/s)",
+    )
+    serve.add_argument(
+        "--sessions",
+        type=int,
+        default=8,
+        help="expected concurrent population (bandwidth prior divisor)",
+    )
+    serve.add_argument(
+        "--max-concurrent",
+        type=int,
+        default=None,
+        help="admission cap (default: --sessions)",
+    )
+    serve.add_argument(
+        "--backend-concurrency",
+        type=int,
+        default=None,
+        help="shared backend throttle budget (default: unthrottled)",
+    )
+    serve.add_argument(
+        "--prior-in",
+        default=None,
+        metavar="NPZ",
+        help="warm-start the crowd prior from this file (shared-markov only)",
+    )
+    serve.add_argument(
+        "--prior-out",
+        default=None,
+        metavar="NPZ",
+        help="persist the crowd prior here on shutdown (shared-markov only)",
+    )
+    serve.add_argument(
+        "--run-for",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="serve for this long then exit cleanly (default: forever)",
+    )
     for name, (_fn, _scaled, desc) in FIGURES.items():
         p = sub.add_parser(name, help=desc)
         p.add_argument(
@@ -178,6 +252,86 @@ def _run_fleet_command(args) -> list[tuple[list[dict], str]]:
     return tables
 
 
+def _run_serve_command(args) -> int:
+    """Boot the wall-clock serving frontend (blocks until shutdown)."""
+    import asyncio
+
+    from repro.experiments.configs import DEFAULT_ENV, FleetEnvironment
+    from repro.fleet import ArrivalConfig
+    from repro.predictors.shared import SharedTransitionPrior
+    from repro.serve import create_app
+
+    scale = _SCALES[args.scale]
+    env = DEFAULT_ENV
+    if args.bandwidth is not None:
+        env = env.with_bandwidth(args.bandwidth)
+    arrival = (
+        ArrivalConfig(max_concurrent=args.max_concurrent)
+        if args.max_concurrent is not None
+        else None
+    )
+    fleet_env = FleetEnvironment(
+        num_sessions=args.sessions,
+        env=env,
+        backend_concurrency=args.backend_concurrency,
+        arrival=arrival,
+    )
+    if (args.prior_in or args.prior_out) and args.predictor != "shared-markov":
+        raise SystemExit("--prior-in/--prior-out need --predictor shared-markov")
+    prior = None
+    if args.prior_in:
+        prior = SharedTransitionPrior.load(args.prior_in, n=scale.rows * scale.cols)
+        print(f"prior: loaded {prior.transitions_observed} transitions "
+              f"from {args.prior_in}", flush=True)
+    app = create_app(
+        fleet_env,
+        rows=scale.rows,
+        cols=scale.cols,
+        predictor=args.predictor,
+        sampler=args.sampler,
+        host=args.host,
+        port=args.port,
+        prior=prior,
+    )
+
+    async def _serve() -> None:
+        await app.start()
+        # Machine-parseable: the smoke client greps this line for the
+        # bound port (required when --port 0 picks an ephemeral one).
+        print(f"serving on ws://{app.host}:{app.port}/ "
+              f"({app.app.num_requests} requests, predictor={args.predictor}, "
+              f"cap={app.max_concurrent})", flush=True)
+        try:
+            if args.run_for is not None:
+                await asyncio.sleep(args.run_for)
+            else:
+                await app.serve_forever()
+        except (KeyboardInterrupt, asyncio.CancelledError):
+            pass
+        finally:
+            await app.stop()
+
+    try:
+        asyncio.run(_serve())
+    except KeyboardInterrupt:
+        pass
+    s = app.stats
+    print(
+        f"served: {s.sessions_admitted} admitted, {s.sessions_rejected} "
+        f"rejected, {s.sessions_detached} detached, {s.blocks_pushed} "
+        f"blocks ({s.bytes_pushed} B) pushed",
+        flush=True,
+    )
+    if args.prior_out:
+        app.prior.save(args.prior_out)
+        print(
+            f"prior: saved {app.prior.transitions_observed} transitions "
+            f"to {args.prior_out}",
+            flush=True,
+        )
+    return 0
+
+
 def main(argv: Optional[list[str]] = None) -> int:
     args = _build_parser().parse_args(argv)
     if args.command == "list":
@@ -185,6 +339,9 @@ def main(argv: Optional[list[str]] = None) -> int:
         for name, (_fn, _scaled, desc) in FIGURES.items():
             print(f"{name:<{width}}  {desc}")
         return 0
+
+    if args.command == "serve":
+        return _run_serve_command(args)
 
     if args.command == "fleet":
         table = "\n\n".join(

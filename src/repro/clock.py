@@ -1,0 +1,286 @@
+"""The time/scheduling seam: the :class:`Clock` protocol and wall-clock driver.
+
+Every Khameleon component — sender pacing, predictor ticks, link
+serialization, fleet churn — needs exactly four things from its time
+source: the current time, one-shot timers (relative and absolute), and
+a repeating tick.  :class:`Clock` captures that surface as a structural
+protocol so the whole stack can run on either of two drivers:
+
+* :class:`repro.sim.engine.Simulator` — the discrete-event virtual
+  clock used by every experiment.  Deterministic, reproducible,
+  immune to host jitter; time advances only when events fire.
+* :class:`WallClock` (here) — an asyncio-backed driver whose ``now`` is
+  the event loop's monotonic clock and whose timers are
+  ``loop.call_at`` handles.  This is what ``python -m repro serve``
+  runs on: the same sessions, schedulers and fair-share arbiter,
+  pushing blocks to real sockets in real time.
+
+Components accept the clock as a constructor argument conventionally
+named ``sim`` (the name predates the second driver and is kept so the
+hundreds of existing call sites and tests read unchanged); annotate new
+code with :class:`Clock` and either driver plugs in.
+
+Semantics both drivers share
+----------------------------
+* Time is float **seconds**, starting at 0.0 when the clock is created.
+* ``schedule(delay, cb, *args)`` rejects negative delays with
+  :class:`ClockError`.
+* Handles expose ``cancel()`` (idempotent) and ``cancelled``.
+* ``every(interval, cb, *args, start=None)`` first fires at ``start``
+  (absolute, default ``now + interval``) and rearms itself; ``cancel()``
+  — including from inside the callback — stops the repetition.
+
+Where they necessarily differ: the simulator *is* its own scheduler, so
+``schedule_at`` strictly rejects past times; under a wall clock "now"
+moves between computing a deadline and arming the timer, so
+:meth:`WallClock.schedule_at` clamps past times to "as soon as
+possible" instead of raising.  Likewise :class:`WallClock` periodic
+tasks are drift-free (each target is the previous *target* plus the
+interval, not the fire time, and missed periods are skipped in phase)
+— which on the simulator's exact clock degenerates to the same
+behaviour as :class:`repro.sim.engine.PeriodicTask`.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import math
+from typing import Any, Callable, Optional, Protocol, runtime_checkable
+
+__all__ = [
+    "Clock",
+    "ClockError",
+    "Timer",
+    "Repeating",
+    "WallClock",
+    "WallTimer",
+    "WallPeriodicTask",
+]
+
+
+class ClockError(RuntimeError):
+    """Invalid use of a clock (negative delay, non-positive interval...)."""
+
+
+@runtime_checkable
+class Timer(Protocol):
+    """A cancellable one-shot timer returned by ``schedule``/``schedule_at``."""
+
+    #: Absolute clock time at which the timer fires.
+    time: float
+
+    def cancel(self) -> None:
+        """Prevent the callback from firing (idempotent; no-op after fire)."""
+
+    @property
+    def cancelled(self) -> bool: ...
+
+
+@runtime_checkable
+class Repeating(Protocol):
+    """A repeating task returned by ``every`` (sim: ``PeriodicTask``)."""
+
+    def cancel(self) -> None:
+        """Stop the repetition (idempotent; safe from inside the callback)."""
+
+    @property
+    def cancelled(self) -> bool: ...
+
+
+@runtime_checkable
+class Clock(Protocol):
+    """Structural time-source protocol; see the module docstring.
+
+    Satisfied by :class:`repro.sim.engine.Simulator` (virtual time) and
+    :class:`WallClock` (asyncio real time).  Driver-specific surface —
+    ``Simulator.run``/``run_for``/``peek`` — is deliberately excluded:
+    components never drive the clock, only the harness does.
+    """
+
+    @property
+    def now(self) -> float:
+        """Current time in seconds since the clock's origin."""
+        ...
+
+    def schedule(
+        self, delay: float, callback: Callable[..., Any], *args: Any
+    ) -> Timer:
+        """Fire ``callback(*args)`` ``delay`` seconds from now."""
+        ...
+
+    def schedule_at(
+        self, time: float, callback: Callable[..., Any], *args: Any
+    ) -> Timer:
+        """Fire ``callback(*args)`` at absolute clock ``time``."""
+        ...
+
+    def every(
+        self,
+        interval: float,
+        callback: Callable[..., Any],
+        *args: Any,
+        start: Optional[float] = None,
+    ) -> Repeating:
+        """Fire ``callback(*args)`` every ``interval`` seconds."""
+        ...
+
+
+# ---------------------------------------------------------------------------
+# Wall-clock driver (asyncio)
+# ---------------------------------------------------------------------------
+
+
+class WallTimer:
+    """One-shot timer over ``loop.call_at`` (the wall-clock ``EventHandle``)."""
+
+    __slots__ = ("time", "_handle", "_cancelled", "_fired")
+
+    def __init__(self, time: float) -> None:
+        self.time = time
+        self._handle: Optional[asyncio.TimerHandle] = None
+        self._cancelled = False
+        self._fired = False
+
+    def cancel(self) -> None:
+        """Prevent this timer from firing (idempotent)."""
+        if self._cancelled:
+            return
+        self._cancelled = True
+        if self._handle is not None:
+            self._handle.cancel()
+            self._handle = None
+
+    @property
+    def cancelled(self) -> bool:
+        return self._cancelled
+
+
+class WallPeriodicTask:
+    """Drift-free repeating task: each target is previous target + interval."""
+
+    __slots__ = ("_clock", "_interval", "_callback", "_args", "_timer", "_target", "_cancelled")
+
+    def __init__(
+        self,
+        clock: "WallClock",
+        interval: float,
+        callback: Callable[..., Any],
+        args: tuple,
+    ) -> None:
+        self._clock = clock
+        self._interval = interval
+        self._callback = callback
+        self._args = args
+        self._timer: Optional[WallTimer] = None
+        self._target = 0.0
+        self._cancelled = False
+
+    def _arm(self, at: float) -> None:
+        self._target = at
+        self._timer = self._clock.schedule_at(at, self._tick)
+
+    def _tick(self) -> None:
+        if self._cancelled:
+            return
+        self._callback(*self._args)
+        if self._cancelled:
+            return
+        nxt = self._target + self._interval
+        now = self._clock.now
+        if nxt <= now:
+            # The callback (or loop congestion) overran one or more full
+            # periods: skip the missed firings but keep the phase, so a
+            # 150 ms tick stays a 150 ms tick instead of bursting.
+            missed = math.floor((now - self._target) / self._interval) + 1
+            nxt = self._target + missed * self._interval
+        self._arm(nxt)
+
+    def cancel(self) -> None:
+        """Stop the periodic task (idempotent)."""
+        self._cancelled = True
+        if self._timer is not None:
+            self._timer.cancel()
+            self._timer = None
+
+    @property
+    def cancelled(self) -> bool:
+        return self._cancelled
+
+
+class WallClock:
+    """Asyncio-backed :class:`Clock`: real time, event-loop timers.
+
+    ``now`` is ``loop.time()`` rebased so the clock starts at 0.0 at
+    construction — the same origin convention as a fresh
+    :class:`~repro.sim.engine.Simulator`, which keeps absolute-time
+    logic (trace offsets, cohort windows, ``busy_until`` bookkeeping)
+    meaningful on both drivers.
+
+    Must be created while an event loop is available (pass ``loop``
+    explicitly, or construct inside a running coroutine).  Callbacks
+    are ordinary synchronous callables, exactly as on the simulator;
+    they run on the loop thread.
+    """
+
+    def __init__(self, loop: Optional[asyncio.AbstractEventLoop] = None) -> None:
+        if loop is None:
+            loop = asyncio.get_event_loop()
+        self._loop = loop
+        self._origin = loop.time()
+        self._events_processed = 0
+
+    @property
+    def now(self) -> float:
+        """Seconds of real (monotonic) time since the clock was created."""
+        return self._loop.time() - self._origin
+
+    @property
+    def events_processed(self) -> int:
+        """Timer callbacks fired so far (diagnostics, mirrors Simulator)."""
+        return self._events_processed
+
+    def schedule(
+        self, delay: float, callback: Callable[..., Any], *args: Any
+    ) -> WallTimer:
+        """Fire ``callback(*args)`` after ``delay`` seconds of real time."""
+        if delay < 0:
+            raise ClockError(f"cannot schedule into the past (delay={delay!r})")
+        return self.schedule_at(self.now + delay, callback, *args)
+
+    def schedule_at(
+        self, time: float, callback: Callable[..., Any], *args: Any
+    ) -> WallTimer:
+        """Fire ``callback(*args)`` at absolute clock ``time``.
+
+        A ``time`` already in the past fires as soon as possible rather
+        than raising: real time advances between computing a deadline
+        and arming the timer, so strictness here would turn benign
+        scheduling jitter into crashes (contrast the simulator, whose
+        virtual clock makes past times a genuine logic error).
+        """
+        timer = WallTimer(time)
+
+        def _fire() -> None:
+            timer._handle = None
+            timer._fired = True
+            if not timer._cancelled:
+                self._events_processed += 1
+                callback(*args)
+
+        timer._handle = self._loop.call_at(self._origin + time, _fire)
+        return timer
+
+    def every(
+        self,
+        interval: float,
+        callback: Callable[..., Any],
+        *args: Any,
+        start: Optional[float] = None,
+    ) -> WallPeriodicTask:
+        """Run ``callback(*args)`` every ``interval`` seconds (drift-free)."""
+        if interval <= 0:
+            raise ClockError(f"interval must be positive (got {interval!r})")
+        task = WallPeriodicTask(self, interval, callback, args)
+        first = self.now + interval if start is None else start
+        task._arm(first)
+        return task

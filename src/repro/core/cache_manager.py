@@ -23,6 +23,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Optional
 
+from repro.clock import Clock
+
 from .blocks import Block
 from .cache import RingBufferCache
 from .utility import UtilityFunction
@@ -67,18 +69,14 @@ class RequestOutcome:
         return self.served_at - self.registered_at
 
 
-class _Clock:
-    """Minimal time source protocol: anything with a ``now`` attribute."""
-
-
 class CacheManager:
     """Registers requests against the block cache and makes upcalls.
 
     Parameters
     ----------
     clock:
-        Time source with a ``now`` property (a
-        :class:`~repro.sim.engine.Simulator` in practice).
+        Time source (:class:`repro.clock.Clock`; only ``now`` is used —
+        either the simulator or a wall clock works).
     cache:
         The client's ring-buffer block cache.
     num_blocks_of:
@@ -92,7 +90,7 @@ class CacheManager:
 
     def __init__(
         self,
-        clock,
+        clock: Clock,
         cache: RingBufferCache,
         num_blocks_of: Callable[[int], int],
         utility: UtilityFunction,

@@ -14,7 +14,7 @@ from repro.core.blocks import Block
 from repro.core.cache_manager import CacheManager, RequestOutcome
 from repro.core.predictor_manager import PredictorManager
 from repro.sim.bandwidth import ReceiveRateMonitor
-from repro.sim.engine import Simulator
+from repro.clock import Clock
 
 __all__ = ["KhameleonClient"]
 
@@ -24,7 +24,7 @@ class KhameleonClient:
 
     def __init__(
         self,
-        sim: Simulator,
+        sim: Clock,
         cache_manager: CacheManager,
         predictor_manager: PredictorManager,
         rate_monitor: ReceiveRateMonitor,

@@ -231,6 +231,15 @@ class GreedyScheduler:
         self._live_pairs: tuple = ()
         self._forest_dirty = True
         self._tail_start = 0
+        # Tail fast path: once every non-final horizon has expired the
+        # active set is a single tree for the rest of the epoch, so the
+        # per-draw pair indirection is hoisted into direct references.
+        self._tail_mode = False
+        self._tail_h = -1
+        self._tail_tree: list[float] = []
+        self._tail_leaves: list[float] = []
+        self._tail_base: list[float] = []
+        self._tail_uni = 0.0
         #: Draws served per kernel ("reference" scalar loop, "vectorized"
         #: cumsum kernel, "forest" Fenwick descent) — lets tests assert
         #: the fenwick mode never falls back to an O(m) draw.
@@ -624,6 +633,7 @@ class GreedyScheduler:
     def _forest_build(self) -> None:
         """(Re)build trees, slot coefficients, and expiries — O(k(m + C))."""
         self._forest_dirty = False
+        self._tail_mode = False
         dist = self._dist
         C, t0 = self.C, self._t
         k = len(dist.deltas_s)
@@ -714,6 +724,22 @@ class GreedyScheduler:
         g = float(self._gain[pos])
         n = self._fen_size
         i0 = pos + 1
+        if self._tail_mode:
+            # Single live tree with hoisted references: PR 4's raw
+            # one-tree update, no pair iteration or forest indexing.
+            value = g * self._tail_base[pos]
+            leaves = self._tail_leaves
+            delta = value - leaves[pos]
+            if delta == 0.0:
+                return
+            leaves[pos] = value
+            tree = self._tail_tree
+            i = i0
+            while i <= n:
+                tree[i] += delta
+                i += i & -i
+            self._fen_totals[self._tail_h] += delta
+            return
         for h, _c in self._live_pairs:
             value = g * self._fen_base[h][pos]
             leaves = self._fen_leaves[h]
@@ -784,6 +810,70 @@ class GreedyScheduler:
             bit >>= 1
         return pos
 
+    def _enter_tail(self, t: int) -> None:
+        """Hoist the tail's single live tree into direct references.
+
+        ``_t`` is nondecreasing between rebuilds, so once a draw lands
+        at or past ``_tail_start`` every later draw of the epoch does
+        too: the slot's pair set is the final horizon alone (with its
+        common coefficient already dropped) and its uniform probability
+        is constant.  Caching them turns each remaining draw and point
+        update into PR 4's single-tree arithmetic — same totals, same
+        descent, identical RNG consumption — with zero per-draw
+        indirection through ``_slot_pairs``/``_live_pairs``.
+        """
+        pairs = self._slot_pairs[t]
+        if len(pairs) != 1:  # defensive: tail slots always have one pair
+            return
+        self._live_pairs = pairs
+        h = pairs[0][0]
+        self._tail_h = h
+        self._tail_tree = self._fen_trees[h]
+        self._tail_leaves = self._fen_leaves[h]
+        self._tail_base = self._fen_base[h]
+        self._tail_uni = self._slot_uni[t]
+        self._tail_mode = True
+
+    def _next_block_fenwick_tail(self) -> Optional[ScheduledBlock]:
+        """Tail-epoch draw: one tree, no coefficient pairs (PR 4 path)."""
+        self.draw_counts["forest"] += 1
+        gains = self.gains
+        total_explicit = self._fen_totals[self._tail_h]
+        meta_weight = 0.0
+        if self.meta_request:
+            n_meta = gains.n - len(self._ids) - len(self._promoted)
+            if n_meta > 0:
+                meta_weight = self._tail_uni * n_meta * gains.mean_first_gain
+        total = total_explicit + meta_weight
+        if total <= 1e-15:
+            if not self.hedge_when_idle:
+                return None
+            request = self._sample_incomplete_request()
+            if request is None:
+                return None
+            return self._allocate(request)
+        u = self._rng.random() * total
+        n = self._fen_size
+        pos = n
+        if u < total_explicit and n:
+            tree = self._tail_tree
+            pos = 0
+            bit = 1 << (n.bit_length() - 1)
+            while bit:
+                nxt = pos + bit
+                if nxt <= n and tree[nxt] <= u:
+                    u -= tree[nxt]
+                    pos = nxt
+                bit >>= 1
+        if pos < n:
+            request = int(self._mat_ids[pos])
+        else:
+            request = self._sample_uniform_request()
+            if request is None:
+                return None
+            self._promote(request)
+        return self._allocate(request)
+
     def _next_block_fenwick(self) -> Optional[ScheduledBlock]:
         """One draw via the horizon forest — head and tail alike.
 
@@ -794,8 +884,14 @@ class GreedyScheduler:
         """
         if self._forest_dirty:
             self._forest_build()
-        self.draw_counts["forest"] += 1
+        if self._tail_mode:
+            return self._next_block_fenwick_tail()
         t = min(self._t, self.C - 1)
+        if t >= self._tail_start:
+            self._enter_tail(t)
+            if self._tail_mode:
+                return self._next_block_fenwick_tail()
+        self.draw_counts["forest"] += 1
         pairs = self._slot_pairs[t]
         self._live_pairs = pairs
         totals = self._fen_totals

@@ -15,7 +15,7 @@ from typing import TYPE_CHECKING, Any, Callable, Optional
 if TYPE_CHECKING:  # typing only — avoids a core <-> predictors import cycle
     from repro.predictors.base import ClientPredictor
 
-from repro.sim.engine import Simulator
+from repro.clock import Clock
 
 __all__ = ["PredictorManager"]
 
@@ -57,7 +57,7 @@ class PredictorManager:
 
     def __init__(
         self,
-        sim: Simulator,
+        sim: Clock,
         client_predictor: ClientPredictor,
         send_state: Callable[[Any], None],
         interval_s: float = DEFAULT_INTERVAL_S,

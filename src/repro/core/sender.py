@@ -42,7 +42,7 @@ from repro.core.blocks import Block, ProgressiveResponse
 from repro.core.cache import RingBufferCache
 from repro.core.scheduler import ScheduledBlock, Scheduler
 from repro.sim.bandwidth import HarmonicMeanEstimator
-from repro.sim.engine import Simulator
+from repro.clock import Clock
 from repro.sim.link import Link
 
 __all__ = ["Sender"]
@@ -57,7 +57,7 @@ class Sender:
 
     def __init__(
         self,
-        sim: Simulator,
+        sim: Clock,
         scheduler: Scheduler,
         backend: "Backend",
         link: Link,

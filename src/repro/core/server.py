@@ -19,7 +19,7 @@ from repro.core.distribution import RequestDistribution
 from repro.core.scheduler import Scheduler
 from repro.core.sender import Sender
 from repro.sim.bandwidth import HarmonicMeanEstimator
-from repro.sim.engine import Simulator
+from repro.clock import Clock
 
 __all__ = ["KhameleonServer"]
 
@@ -29,7 +29,7 @@ class KhameleonServer:
 
     def __init__(
         self,
-        sim: Simulator,
+        sim: Clock,
         scheduler: Scheduler,
         sender: Sender,
         predictor_server: ServerPredictor,

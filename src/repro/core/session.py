@@ -4,7 +4,9 @@
 describes: an application supplies its request universe, progressive
 encoder (via the backend), utility function, and predictor; the
 session builds and wires the cache, scheduler, sender, estimator, and
-managers over a simulated network.
+managers over the links it is given.  The ``sim`` argument is any
+:class:`repro.clock.Clock`: a :class:`~repro.sim.engine.Simulator` for
+experiments, a :class:`~repro.clock.WallClock` when served live.
 
 Typical use::
 
@@ -45,7 +47,7 @@ from repro.core.sender import Sender
 from repro.core.server import KhameleonServer
 from repro.core.utility import UtilityFunction
 from repro.sim.bandwidth import HarmonicMeanEstimator, ReceiveRateMonitor
-from repro.sim.engine import Simulator
+from repro.clock import Clock
 from repro.sim.link import ControlChannel, Link
 
 __all__ = ["SessionConfig", "KhameleonSession"]
@@ -87,7 +89,7 @@ class KhameleonSession:
 
     def __init__(
         self,
-        sim: Simulator,
+        sim: Clock,
         backend: "Backend",
         predictor: Predictor,
         utility: UtilityFunction,

@@ -25,7 +25,7 @@ if TYPE_CHECKING:  # experiments sits above fleet; import for typing only
     from repro.fleet import ArrivalConfig, FleetConfig
 
 from repro.sim.cellular import ATT_LTE, VERIZON_LTE, CellularTraceGenerator
-from repro.sim.engine import Simulator
+from repro.clock import Clock
 from repro.sim.fairshare import SharedDownlink
 from repro.sim.link import ControlChannel, FixedRateLink, Link, TraceDrivenLink
 
@@ -168,7 +168,7 @@ HIGH_RESOURCE = EnvironmentConfig(
 )
 
 
-def make_downlink(sim: Simulator, env: EnvironmentConfig, seed: int = 0) -> Link:
+def make_downlink(sim: Clock, env: EnvironmentConfig, seed: int = 0) -> Link:
     """Server→client data link for a condition.
 
     Cellular conditions generate a Verizon/AT&T-like LTE delivery trace
@@ -185,13 +185,13 @@ def make_downlink(sim: Simulator, env: EnvironmentConfig, seed: int = 0) -> Link
     return TraceDrivenLink(sim, trace, propagation_delay_s=env.one_way_latency_s)
 
 
-def make_uplink(sim: Simulator, env: EnvironmentConfig) -> ControlChannel:
+def make_uplink(sim: Clock, env: EnvironmentConfig) -> ControlChannel:
     """Client→server control path (requests, predictor states, rates)."""
     return ControlChannel(sim, latency_s=env.one_way_latency_s)
 
 
 def make_shared_downlink(
-    sim: Simulator, env: EnvironmentConfig, seed: int = 0
+    sim: Clock, env: EnvironmentConfig, seed: int = 0
 ) -> SharedDownlink:
     """A weighted fair-sharing arbiter over the condition's downlink."""
     return SharedDownlink(sim, make_downlink(sim, env, seed=seed))

@@ -18,6 +18,7 @@ substrate, replays an interaction trace against it, and returns a
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field
 from typing import Any, Optional, Sequence
 
@@ -271,6 +272,9 @@ def _fleet_predictor_factory(
 
         if shared_prior is None:
             prior = SharedTransitionPrior(app.num_requests)
+        elif isinstance(shared_prior, (str, os.PathLike)):
+            # Warm-start from a prior persisted by an earlier run.
+            prior = SharedTransitionPrior.load(shared_prior, n=app.num_requests)
         else:
             prior = shared_prior
         if prior.n != app.num_requests:
@@ -311,8 +315,10 @@ def run_fleet(
 
     ``shared_prior`` (``shared-markov`` only) seeds the fleet-wide
     crowd prior with an existing
-    :class:`~repro.predictors.shared.SharedTransitionPrior` instead of
-    a cold one.
+    :class:`~repro.predictors.shared.SharedTransitionPrior` — or a
+    path to one persisted with
+    :meth:`~repro.predictors.shared.SharedTransitionPrior.save` —
+    instead of a cold one.
 
     All sessions explore the same application over one backend (shared
     response cache, in-flight dedup, shared §5.4 throttle budget) and

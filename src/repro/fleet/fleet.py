@@ -53,7 +53,7 @@ from repro.core.session import KhameleonSession, SessionConfig
 from repro.core.utility import UtilityFunction
 from repro.metrics.fleet import FleetSummary, collect_fleet, jain_fairness
 from repro.predictors.base import Predictor
-from repro.sim.engine import Simulator
+from repro.clock import Clock
 from repro.sim.fairshare import SharedDownlink
 from repro.sim.link import ControlChannel, Link
 
@@ -179,7 +179,7 @@ class KhameleonFleet:
 
     def __init__(
         self,
-        sim: Simulator,
+        sim: Clock,
         backend: Backend,
         make_predictor: Callable[[int], Predictor],
         utility: UtilityFunction,

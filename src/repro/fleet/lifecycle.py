@@ -49,7 +49,7 @@ from typing import TYPE_CHECKING, Callable, Optional
 
 import numpy as np
 
-from repro.sim.engine import Simulator
+from repro.clock import Clock
 
 if TYPE_CHECKING:  # avoid a lifecycle <-> fleet import cycle at runtime
     from repro.core.session import KhameleonSession
@@ -219,7 +219,7 @@ class SessionManager:
 
     def __init__(
         self,
-        sim: Simulator,
+        sim: Clock,
         fleet: "KhameleonFleet",
         arrival: ArrivalConfig,
         on_admit: Optional[Callable[[SessionRecord], None]] = None,

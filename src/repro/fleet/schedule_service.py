@@ -46,7 +46,7 @@ from typing import TYPE_CHECKING, Optional, Sequence
 import numpy as np
 
 from repro.core.distribution import RequestDistribution
-from repro.sim.engine import Simulator
+from repro.clock import Clock
 
 if TYPE_CHECKING:  # fleet assembles sessions; import for typing only
     from repro.core.session import KhameleonSession
@@ -174,7 +174,7 @@ class FleetScheduleService:
 
     def __init__(
         self,
-        sim: Simulator,
+        sim: Clock,
         interval_s: float = 0.150,
         batched_decode: bool = True,
     ) -> None:

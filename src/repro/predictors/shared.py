@@ -123,6 +123,72 @@ class SharedTransitionPrior:
             "rows_warmed": len(self._counts),
         }
 
+    # -- persistence --------------------------------------------------
+    #
+    # A crowd prior is only worth its name if it outlives the process
+    # that learned it: ``save``/``load`` round-trip the count table as
+    # a compressed npz (COO triplets), so ``run_fleet`` sweeps and the
+    # serve CLI (``--prior-in/--prior-out``) can warm-start from
+    # yesterday's traffic.
+
+    #: Bump on any incompatible change to the npz layout.
+    FORMAT_VERSION = 1
+
+    def save(self, path) -> None:
+        """Write the pooled counts to ``path`` (npz, versioned)."""
+        rows: list[int] = []
+        cols: list[int] = []
+        vals: list[int] = []
+        for prev in sorted(self._counts):
+            row = self._counts[prev]
+            for nxt in sorted(row):
+                rows.append(prev)
+                cols.append(nxt)
+                vals.append(row[nxt])
+        np.savez_compressed(
+            path,
+            format_version=np.int64(self.FORMAT_VERSION),
+            n=np.int64(self.n),
+            transitions_observed=np.int64(self.transitions_observed),
+            prev=np.asarray(rows, dtype=np.int64),
+            next=np.asarray(cols, dtype=np.int64),
+            count=np.asarray(vals, dtype=np.int64),
+        )
+
+    @classmethod
+    def load(cls, path, n: Optional[int] = None) -> "SharedTransitionPrior":
+        """Rebuild a prior saved by :meth:`save`.
+
+        ``n`` (optional) asserts the expected request-universe size —
+        pass the serving app's ``num_requests`` to fail fast instead of
+        feeding a mismatched prior into every session's decoder.
+        """
+        with np.load(path) as data:
+            try:
+                version = int(data["format_version"])
+                saved_n = int(data["n"])
+                observed = int(data["transitions_observed"])
+                prev = data["prev"]
+                nxt = data["next"]
+                count = data["count"]
+            except KeyError as exc:
+                raise ValueError(f"{path!s} is not a saved prior: {exc}") from exc
+        if version != cls.FORMAT_VERSION:
+            raise ValueError(
+                f"prior format v{version} unsupported (expected v{cls.FORMAT_VERSION})"
+            )
+        if n is not None and saved_n != n:
+            raise ValueError(f"prior over {saved_n} requests, expected {n}")
+        prior = cls(saved_n)
+        for p, q, c in zip(prev.tolist(), nxt.tolist(), count.tolist()):
+            if not 0 <= p < saved_n or not 0 <= q < saved_n or c < 0:
+                raise ValueError(f"corrupt prior entry {p}->{q} x{c}")
+            if c:
+                prior._counts[p][q] = c
+                prior._row_mass[p] += c
+        prior.transitions_observed = observed
+        return prior
+
 
 class SharedMarkovServerPredictor(MarkovServerPredictor):
     """Per-session Markov decoder warmed by the fleet-wide prior.

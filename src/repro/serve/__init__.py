@@ -1,0 +1,26 @@
+"""Live serving frontend: the Khameleon stack behind a real port.
+
+The simulator experiments prove the scheduling claims; this package
+*serves* them.  :func:`create_app` assembles the existing fleet stack —
+:class:`~repro.fleet.fleet.KhameleonFleet`,
+:class:`~repro.fleet.schedule_service.FleetScheduleService`, the
+weighted fair-share downlink, the §5.4 throttle, the crowd prior — on a
+:class:`~repro.clock.WallClock` and exposes it over a WebSocket
+frontend: clients stream interaction events and requests *up*, the
+server pushes scheduled blocks *down*, continuously, exactly as the
+paper's push architecture prescribes (§3).
+
+No third-party dependencies: the WebSocket layer (:mod:`repro.serve.ws`)
+is a minimal RFC 6455 implementation over asyncio streams, and the wire
+protocol (:mod:`repro.serve.protocol`) is JSON control messages plus a
+fixed binary block frame.
+
+Entry points: ``python -m repro serve`` boots a server;
+``examples/live_serving.py`` (built on :mod:`repro.serve.client`)
+replays a mouse trace against it and reports §6.1 metrics through
+:mod:`repro.metrics`.
+"""
+
+from .app import KhameleonServeApp, ServeStats, create_app
+
+__all__ = ["create_app", "KhameleonServeApp", "ServeStats"]

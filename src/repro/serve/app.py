@@ -1,0 +1,416 @@
+"""The serving app: the Khameleon fleet stack behind a WebSocket port.
+
+:func:`create_app` takes the same :class:`FleetEnvironment` the
+simulator experiments use and assembles the *identical* serving stack —
+:class:`~repro.fleet.fleet.KhameleonFleet` (shared backend + §5.4
+throttle), :class:`~repro.fleet.schedule_service.FleetScheduleService`
+(one coalesced prediction tick), a
+:class:`~repro.sim.fairshare.SharedDownlink` (weighted fair sharing of
+the configured egress bandwidth) — on a
+:class:`~repro.clock.WallClock` instead of a simulator.  Nothing in the
+fleet layer knows the difference: the clock seam is the whole story.
+
+Session lifecycle maps 1:1 onto the fleet's attach/detach points:
+
+* a WebSocket connection's ``hello`` is an *arrival* — subject to the
+  same admission cap a churn fleet's
+  :class:`~repro.fleet.lifecycle.SessionManager` enforces, and carrying
+  an optional fair-share ``weight`` for its downlink port;
+* an admitted connection gets a full
+  :class:`~repro.core.session.KhameleonSession` via
+  :meth:`KhameleonFleet._admit_session` — predictor, scheduler, mirror,
+  sender, cache manager — plus a tap on the sender's delivery callback
+  that frames every scheduled block onto the socket.  The
+  server-resident client model keeps receiving blocks too, so the §6.1
+  metric surfaces (:mod:`repro.metrics`) observe the live session
+  exactly as they observe a simulated one;
+* a disconnect (or ``bye``) is a *departure*:
+  :meth:`KhameleonFleet._retire_session` stops the session, releases
+  its throttle share, and drops its port's backlog so surviving
+  sessions immediately reclaim the capacity.
+
+The modeled egress link is the pacing authority: blocks reach the
+socket at the configured bandwidth/latency, so one serve process
+emulates the paper's netem conditions over a real network.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass, replace
+from typing import Optional
+
+from repro.clock import WallClock
+from repro.core.blocks import Block
+from repro.core.session import KhameleonSession, SessionConfig
+from repro.experiments.configs import FleetEnvironment
+from repro.fleet.fleet import FleetConfig, KhameleonFleet
+from repro.fleet.lifecycle import ArrivalConfig
+from repro.metrics.collector import collect
+from repro.predictors.base import MouseEvent
+from repro.predictors.shared import SharedTransitionPrior, make_shared_markov_predictor
+from repro.sim.fairshare import SharedDownlink
+from repro.sim.link import ControlChannel, FixedRateLink
+from repro.workloads.image_app import ImageExplorationApp
+
+from . import protocol, ws
+
+__all__ = ["create_app", "KhameleonServeApp", "ServeStats"]
+
+#: Clamp for client-requested fair-share weights: enough range to
+#: demonstrate weighted sharing, not enough to starve the fleet.
+MIN_WEIGHT, MAX_WEIGHT = 0.1, 10.0
+
+#: Predictors that need the replayed trace up front cannot serve live.
+_LIVE_PREDICTORS = ("kalman", "uniform", "point", "markov", "shared-markov")
+
+
+@dataclass
+class ServeStats:
+    """Server-lifetime counters (exposed for tests and the CLI)."""
+
+    sessions_admitted: int = 0
+    sessions_rejected: int = 0
+    sessions_detached: int = 0
+    blocks_pushed: int = 0
+    bytes_pushed: int = 0
+    frames_dropped: int = 0
+    events_received: int = 0
+    requests_received: int = 0
+
+
+@dataclass
+class _Connection:
+    """Bookkeeping for one live WebSocket session."""
+
+    index: int
+    session: KhameleonSession
+    socket: ws.WebSocket
+    outbox: asyncio.Queue
+    blocks_pushed: int = 0
+    bytes_pushed: int = 0
+    detached: bool = False
+    pump: Optional[asyncio.Task] = None
+
+
+class KhameleonServeApp:
+    """A wall-clock Khameleon fleet serving WebSocket clients.
+
+    Build with :func:`create_app`, then ``await start()`` inside a
+    running event loop (the :class:`WallClock` needs one).  ``stop()``
+    retires every live session and cancels the fleet's periodic tasks,
+    so a served process can shut down as cleanly as a simulation ends.
+    """
+
+    def __init__(
+        self,
+        fleet_env: FleetEnvironment,
+        *,
+        rows: int = 12,
+        cols: int = 12,
+        predictor: str = "kalman",
+        sampler: str = "vectorized",
+        host: str = "127.0.0.1",
+        port: int = 0,
+        prior: Optional[SharedTransitionPrior] = None,
+    ) -> None:
+        if predictor not in _LIVE_PREDICTORS:
+            raise ValueError(
+                f"predictor {predictor!r} cannot serve live sessions "
+                f"(choose from {_LIVE_PREDICTORS})"
+            )
+        self.fleet_env = fleet_env
+        self.predictor = predictor
+        self.sampler = sampler
+        self.host = host
+        self.port = port
+        self.app = ImageExplorationApp(rows, cols)
+        self.prior = prior if prior is not None else SharedTransitionPrior(
+            self.app.num_requests
+        )
+        if self.prior.n != self.app.num_requests:
+            raise ValueError(
+                f"prior over {self.prior.n} requests, app has {self.app.num_requests}"
+            )
+        arrival = fleet_env.arrival
+        self.max_concurrent: int = (
+            arrival.max_concurrent
+            if arrival is not None and arrival.max_concurrent is not None
+            else fleet_env.num_sessions
+        )
+        self.stats = ServeStats()
+        self.clock: Optional[WallClock] = None
+        self.fleet: Optional[KhameleonFleet] = None
+        self._server: Optional[asyncio.base_events.Server] = None
+        self._live: dict[int, _Connection] = {}
+        self._next_index = 0
+        # Grows with admissions; ``FleetConfig.weight_of`` reads it at
+        # admission time, so per-client hello weights take effect.
+        self._weights: list[float] = []
+        self._tasks: set[asyncio.Task] = set()
+
+    # -- lifecycle ---------------------------------------------------
+
+    async def start(self) -> None:
+        """Assemble the stack on a wall clock and bind the socket."""
+        loop = asyncio.get_running_loop()
+        env = self.fleet_env.env
+        clock = WallClock(loop)
+        self.clock = clock
+        backend = self.app.make_backend(clock, fetch_delay_s=env.backend_delay_s)
+        egress = FixedRateLink(
+            clock,
+            bytes_per_second=env.bandwidth_bytes_per_s,
+            propagation_delay_s=env.one_way_latency_s,
+        )
+        session_cfg = SessionConfig(
+            cache_bytes=env.cache_bytes,
+            block_bytes=self.app.block_bytes,
+            sampler=self.sampler,
+            initial_bandwidth_bytes_per_s=env.bandwidth_bytes_per_s,
+        )
+        # Arrivals come from real sockets, not a planned process: a
+        # non-static ArrivalConfig stops the fleet from pre-building
+        # sessions, and the frontend drives _admit/_retire itself with
+        # the same admission cap a SessionManager would apply.
+        cfg = replace(
+            self.fleet_env.fleet_config(session_cfg),
+            weights=None,
+            arrival=ArrivalConfig(max_concurrent=self.max_concurrent),
+        )
+        self.fleet = KhameleonFleet(
+            sim=clock,
+            backend=backend,
+            make_predictor=self._make_predictor,
+            utility=self.app.utility,
+            num_blocks=self.app.num_blocks,
+            downlink=SharedDownlink(clock, egress),
+            make_uplink=lambda i: ControlChannel(clock, latency_s=0.0),
+            config=cfg,
+        )
+        # Live weights: grown per admission, read by weight_of(i).
+        self.fleet.config.weights = self._weights
+        self._server = await asyncio.start_server(
+            self._on_connection, self.host, self.port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+
+    async def serve_forever(self) -> None:
+        assert self._server is not None, "call start() first"
+        await self._server.serve_forever()
+
+    async def stop(self) -> None:
+        """Close the listener, detach every live session, stop the fleet."""
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        for task in list(self._tasks):
+            task.cancel()
+        if self._tasks:
+            await asyncio.gather(*self._tasks, return_exceptions=True)
+        for conn in list(self._live.values()):
+            self._detach(conn)
+        if self.fleet is not None:
+            self.fleet.stop()
+
+    # -- fleet wiring ------------------------------------------------
+
+    def _make_predictor(self, i: int):
+        if self.predictor == "shared-markov":
+            return make_shared_markov_predictor(self.app.num_requests, self.prior)
+        return self.app.make_predictor(self.predictor)
+
+    def _admit(self, socket: ws.WebSocket, weight: float) -> _Connection:
+        assert self.fleet is not None
+        i = self._next_index
+        self._next_index += 1
+        while len(self._weights) <= i:
+            self._weights.append(1.0)
+        self._weights[i] = min(MAX_WEIGHT, max(MIN_WEIGHT, weight))
+        session = self.fleet._admit_session(i)
+        conn = _Connection(
+            index=i, session=session, socket=socket, outbox=asyncio.Queue(maxsize=1024)
+        )
+        # Tap the delivery callback: every block the modeled link
+        # delivers goes to the socket *and* to the server-resident
+        # client model (mirror, receive rate, §6.1 outcomes).
+        downstream = session.sender.deliver
+
+        def deliver(block: Block) -> None:
+            if not conn.detached:
+                self._push_block(conn, block)
+            downstream(block)
+
+        session.sender.deliver = deliver
+        session.start()
+        self._live[i] = conn
+        self.stats.sessions_admitted += 1
+        return conn
+
+    def _detach(self, conn: _Connection) -> None:
+        """Departure: idempotent retire + resource release."""
+        if conn.detached:
+            return
+        conn.detached = True
+        assert self.fleet is not None
+        self.fleet._retire_session(conn.session)
+        self._live.pop(conn.index, None)
+        self.stats.sessions_detached += 1
+        if conn.pump is not None:
+            conn.pump.cancel()
+
+    def _push_block(self, conn: _Connection, block: Block) -> None:
+        frame = protocol.encode_block(block)
+        try:
+            conn.outbox.put_nowait(frame)
+        except asyncio.QueueFull:
+            # The real socket is slower than the modeled link; shed the
+            # frame rather than buffer unboundedly.  The server-side
+            # mirror keeps its optimistic view — same as genuine loss.
+            self.stats.frames_dropped += 1
+            return
+        conn.blocks_pushed += 1
+        conn.bytes_pushed += block.size_bytes
+        self.stats.blocks_pushed += 1
+        self.stats.bytes_pushed += block.size_bytes
+
+    # -- connection handling -----------------------------------------
+
+    async def _on_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        task = asyncio.current_task()
+        if task is not None:
+            self._tasks.add(task)
+            task.add_done_callback(self._tasks.discard)
+        try:
+            socket = await ws.accept(reader, writer)
+        except (ws.WebSocketError, OSError):
+            writer.close()
+            return
+        conn: Optional[_Connection] = None
+        try:
+            hello = await self._expect_hello(socket)
+            if hello is None:
+                return
+            if len(self._live) >= self.max_concurrent:
+                self.stats.sessions_rejected += 1
+                socket.send_text(
+                    protocol.encode_message(
+                        "reject", reason="admission cap reached"
+                    )
+                )
+                await socket.drain()
+                return
+            conn = self._admit(socket, float(hello.get("weight", 1.0)))
+            layout = self.app.layout
+            socket.send_text(
+                protocol.encode_message(
+                    "welcome",
+                    protocol=protocol.PROTOCOL_VERSION,
+                    session=conn.index,
+                    num_requests=self.app.num_requests,
+                    rows=layout.rows,
+                    cols=layout.cols,
+                    cell_width=layout.cell_width,
+                    cell_height=layout.cell_height,
+                    block_bytes=self.app.block_bytes,
+                )
+            )
+            await socket.drain()
+            conn.pump = asyncio.ensure_future(self._pump(conn))
+            await self._read_loop(conn)
+        except (ConnectionResetError, BrokenPipeError, OSError):
+            pass
+        finally:
+            if conn is not None:
+                self._detach(conn)
+            await socket.close()
+
+    async def _expect_hello(self, socket: ws.WebSocket) -> Optional[dict]:
+        try:
+            item = await asyncio.wait_for(socket.recv(), timeout=10.0)
+        except asyncio.TimeoutError:
+            return None
+        if item is None or item[0] != ws.OP_TEXT:
+            return None
+        msg = protocol.decode_message(item[1].decode("utf-8", "replace"))
+        if msg is None or msg["type"] != "hello":
+            return None
+        return msg
+
+    async def _read_loop(self, conn: _Connection) -> None:
+        client = conn.session.client
+        while True:
+            item = await conn.socket.recv()
+            if item is None:
+                return
+            opcode, payload = item
+            if opcode != ws.OP_TEXT:
+                continue
+            msg = protocol.decode_message(payload.decode("utf-8", "replace"))
+            if msg is None:
+                continue
+            kind = msg["type"]
+            if kind == "event":
+                try:
+                    event = MouseEvent(float(msg["x"]), float(msg["y"]))
+                except (KeyError, TypeError, ValueError):
+                    continue
+                self.stats.events_received += 1
+                client.observe(event)
+            elif kind == "request":
+                try:
+                    request = int(msg["id"])
+                except (KeyError, TypeError, ValueError):
+                    continue
+                if not 0 <= request < self.app.num_requests:
+                    continue
+                self.stats.requests_received += 1
+                client.request(request)
+            elif kind == "bye":
+                conn.socket.send_text(self._stats_message(conn))
+                await conn.socket.drain()
+                return
+            # unknown types: ignored (forward compatibility)
+
+    def _stats_message(self, conn: _Connection) -> str:
+        """The server's §6.1 view of one session, via repro.metrics."""
+        outcomes = conn.session.cache_manager.outcomes
+        summary = collect(outcomes).as_dict() if outcomes else {}
+        return protocol.encode_message(
+            "stats",
+            session=conn.index,
+            blocks_pushed=conn.blocks_pushed,
+            bytes_pushed=conn.bytes_pushed,
+            blocks_sent=conn.session.sender.blocks_sent,
+            server_metrics=summary,
+        )
+
+    async def _pump(self, conn: _Connection) -> None:
+        """Drain the outbox onto the socket (its own task per session)."""
+        try:
+            while True:
+                frame = await conn.outbox.get()
+                conn.socket.send_binary(frame)
+                await conn.socket.drain()
+        except (
+            asyncio.CancelledError,
+            ConnectionResetError,
+            BrokenPipeError,
+            OSError,
+        ):
+            return
+
+
+def create_app(fleet_env: FleetEnvironment, **kwargs) -> KhameleonServeApp:
+    """App factory: a wall-clock serving frontend for one fleet condition.
+
+    ``fleet_env`` carries the environment (bandwidth, latency, cache),
+    the expected population (``num_sessions``), the shared backend
+    budget, and — via ``arrival.max_concurrent`` — the admission cap.
+    Keyword arguments (grid size, predictor, sampler, host/port, a
+    pre-warmed crowd prior) are forwarded to
+    :class:`KhameleonServeApp`.
+    """
+    return KhameleonServeApp(fleet_env, **kwargs)

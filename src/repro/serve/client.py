@@ -1,0 +1,243 @@
+"""Scripted asyncio client for the live serving frontend.
+
+:class:`LiveClient` speaks :mod:`repro.serve.protocol` over a real
+WebSocket: it streams interaction events and requests up, collects the
+blocks the server pushes down, and reconstructs the §6.1 accounting
+*from the client's side of the wire* — each issued request becomes a
+:class:`~repro.core.cache_manager.RequestOutcome` answered from the
+locally received block set, so :func:`repro.metrics.collector.collect`
+summarizes a live session exactly as it summarizes a simulated one.
+
+The headline number for a push architecture is
+:attr:`LiveReport.prefetched_hits`: requests whose first block was
+already on the client when the user asked — blocks that crossed the
+network *before* their request existed.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.core.cache_manager import RequestOutcome
+from repro.metrics.collector import MetricSummary, collect
+
+from . import protocol, ws
+
+__all__ = ["LiveClient", "LiveReport", "ReceivedBlock", "AdmissionRejected"]
+
+
+@dataclass(frozen=True)
+class ReceivedBlock:
+    """One pushed block as seen on the client's wire."""
+
+    t: float
+    request: int
+    index: int
+    size_bytes: int
+
+
+@dataclass
+class LiveReport:
+    """Client-side record of one live session."""
+
+    welcome: dict
+    blocks: list[ReceivedBlock] = field(default_factory=list)
+    requests: list[tuple[float, int]] = field(default_factory=list)
+    server_stats: Optional[dict] = None
+    rejected: bool = False
+
+    @property
+    def bytes_received(self) -> int:
+        return sum(b.size_bytes for b in self.blocks)
+
+    @property
+    def unrequested_blocks(self) -> int:
+        """Blocks pushed for requests this client never issued."""
+        asked = {r for _, r in self.requests}
+        return sum(1 for b in self.blocks if b.request not in asked)
+
+    def first_block_at(self, request: int) -> Optional[float]:
+        for b in self.blocks:
+            if b.request == request:
+                return b.t
+        return None
+
+    @property
+    def prefetched_hits(self) -> int:
+        """Requests whose first block arrived strictly before they were made.
+
+        This is the acceptance signal for the push architecture: the
+        block was scheduled and delivered speculatively, not in
+        response to the request.
+        """
+        count = 0
+        for issued_at, request in self.requests:
+            arrived = self.first_block_at(request)
+            if arrived is not None and arrived < issued_at:
+                count += 1
+        return count
+
+    def outcomes(self) -> list[RequestOutcome]:
+        """Client-observed request lifecycle records (§6.1 accounting).
+
+        A request whose block set already contains its id is a cache
+        hit (zero latency); otherwise it is served by the first later
+        block, or left unanswered if none arrived before the session
+        ended.  Preemption is a client-model policy, not a wire fact,
+        so no request is marked preempted here.
+        """
+        out: list[RequestOutcome] = []
+        for ts, (issued_at, request) in enumerate(self.requests):
+            outcome = RequestOutcome(
+                request=request, logical_ts=ts, registered_at=issued_at
+            )
+            arrived = self.first_block_at(request)
+            if arrived is not None:
+                if arrived < issued_at:
+                    outcome.cache_hit = True
+                    outcome.served_at = issued_at
+                else:
+                    outcome.served_at = arrived
+            out.append(outcome)
+        return out
+
+    def summary(self) -> MetricSummary:
+        """Aggregate through the standard metrics surface."""
+        return collect(self.outcomes())
+
+
+class LiveClient:
+    """One scripted session against ``python -m repro serve``.
+
+    Use as an async context manager::
+
+        async with LiveClient.connect(host, port) as client:
+            client.send_event(x, y)
+            client.send_request(request_id)
+            await asyncio.sleep(2.0)
+            report = await client.bye()
+
+    A background task drains the push stream continuously (blocks are
+    timestamped on arrival), so the caller's script only decides *when*
+    to move and *what* to request.
+    """
+
+    def __init__(self, socket: ws.WebSocket, report: LiveReport) -> None:
+        self.socket = socket
+        self.report = report
+        self._t0 = time.monotonic()
+        self._reader: Optional[asyncio.Task] = None
+        self._done = asyncio.Event()
+
+    # -- construction ------------------------------------------------
+
+    @classmethod
+    async def connect(
+        cls, host: str, port: int, weight: float = 1.0, timeout: float = 10.0
+    ) -> "LiveClient":
+        """Open, send ``hello``, await ``welcome`` (or raise on reject)."""
+        socket = await ws.connect(host, port)
+        socket.send_text(
+            protocol.encode_message(
+                "hello", protocol=protocol.PROTOCOL_VERSION, weight=weight
+            )
+        )
+        await socket.drain()
+        item = await asyncio.wait_for(socket.recv(), timeout=timeout)
+        if item is None or item[0] != ws.OP_TEXT:
+            await socket.close()
+            raise ConnectionError("server closed during handshake")
+        msg = protocol.decode_message(item[1].decode("utf-8", "replace"))
+        if msg is None:
+            await socket.close()
+            raise ConnectionError("malformed handshake reply")
+        if msg["type"] == "reject":
+            await socket.close()
+            report = LiveReport(welcome=msg, rejected=True)
+            raise AdmissionRejected(msg.get("reason", "rejected"), report)
+        if msg["type"] != "welcome":
+            await socket.close()
+            raise ConnectionError(f"unexpected handshake reply {msg['type']!r}")
+        client = cls(socket, LiveReport(welcome=msg))
+        client._reader = asyncio.ensure_future(client._read_loop())
+        return client
+
+    async def __aenter__(self) -> "LiveClient":
+        return self
+
+    async def __aexit__(self, *exc) -> None:
+        await self.close()
+
+    # -- scripting surface -------------------------------------------
+
+    @property
+    def now(self) -> float:
+        """Seconds since the session was established."""
+        return time.monotonic() - self._t0
+
+    def send_event(self, x: float, y: float) -> None:
+        self.socket.send_text(protocol.encode_message("event", x=x, y=y))
+
+    def send_request(self, request: int) -> None:
+        self.report.requests.append((self.now, request))
+        self.socket.send_text(protocol.encode_message("request", id=request))
+
+    async def drain(self) -> None:
+        await self.socket.drain()
+
+    async def bye(self, timeout: float = 5.0) -> LiveReport:
+        """End the session: request server stats, wait for the close."""
+        self.socket.send_text(protocol.encode_message("bye"))
+        await self.socket.drain()
+        try:
+            await asyncio.wait_for(self._done.wait(), timeout=timeout)
+        except asyncio.TimeoutError:
+            pass
+        await self.close()
+        return self.report
+
+    async def close(self) -> None:
+        if self._reader is not None and not self._reader.done():
+            self._reader.cancel()
+        await self.socket.close()
+
+    # -- push stream -------------------------------------------------
+
+    async def _read_loop(self) -> None:
+        try:
+            while True:
+                item = await self.socket.recv()
+                if item is None:
+                    break
+                opcode, payload = item
+                if opcode == ws.OP_BINARY:
+                    block = protocol.decode_block(payload)
+                    self.report.blocks.append(
+                        ReceivedBlock(
+                            t=self.now,
+                            request=block.request,
+                            index=block.index,
+                            size_bytes=block.size_bytes,
+                        )
+                    )
+                elif opcode == ws.OP_TEXT:
+                    msg = protocol.decode_message(
+                        payload.decode("utf-8", "replace")
+                    )
+                    if msg is not None and msg["type"] == "stats":
+                        self.report.server_stats = msg
+        except asyncio.CancelledError:
+            pass
+        finally:
+            self._done.set()
+
+
+class AdmissionRejected(ConnectionError):
+    """The server's admission cap turned this session away."""
+
+    def __init__(self, reason: str, report: LiveReport) -> None:
+        super().__init__(reason)
+        self.report = report

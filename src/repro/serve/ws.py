@@ -1,0 +1,277 @@
+"""Minimal RFC 6455 WebSocket over asyncio streams.
+
+The serving frontend needs exactly one full-duplex browser-compatible
+transport and the container deliberately has no third-party packages,
+so this module implements the subset of RFC 6455 the protocol uses:
+
+* HTTP/1.1 upgrade handshake (server accept + client connect) with the
+  ``Sec-WebSocket-Accept`` SHA-1 digest;
+* unfragmented text (0x1) / binary (0x2) data frames with 7/16/64-bit
+  payload lengths;
+* client-side masking (mandatory per §5.3: client frames are masked,
+  server frames are not);
+* close (0x8) with echo, and ping (0x9) answered with pong (0xA).
+
+Deliberately out of scope: fragmentation/continuation frames (both ends
+of this protocol send whole messages), extensions, subprotocols, and
+TLS.  Frames are capped at ``MAX_FRAME_BYTES`` so a garbled length
+field cannot trigger an unbounded read.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import base64
+import hashlib
+import os
+import struct
+from typing import Optional
+
+__all__ = [
+    "WebSocket",
+    "WebSocketError",
+    "accept",
+    "connect",
+    "OP_TEXT",
+    "OP_BINARY",
+    "OP_CLOSE",
+    "OP_PING",
+    "OP_PONG",
+]
+
+#: RFC 6455 §1.3 handshake GUID.
+GUID = "258EAFA5-E914-47DA-95CA-C5AB0DC85B11"
+
+OP_CONT = 0x0
+OP_TEXT = 0x1
+OP_BINARY = 0x2
+OP_CLOSE = 0x8
+OP_PING = 0x9
+OP_PONG = 0xA
+
+#: Upper bound on a single frame's payload (a block frame is a few
+#: hundred KB at most; anything larger is a corrupt length field).
+MAX_FRAME_BYTES = 16 * 1024 * 1024
+
+#: Upper bound on the HTTP handshake (request line + headers).
+MAX_HANDSHAKE_BYTES = 16 * 1024
+
+
+class WebSocketError(ConnectionError):
+    """Handshake or framing violation on the WebSocket."""
+
+
+def _accept_key(key: str) -> str:
+    digest = hashlib.sha1((key + GUID).encode("ascii")).digest()
+    return base64.b64encode(digest).decode("ascii")
+
+
+async def _read_http_head(reader: asyncio.StreamReader) -> tuple[str, dict[str, str]]:
+    """Read request/status line + headers up to the blank line."""
+    try:
+        raw = await reader.readuntil(b"\r\n\r\n")
+    except (asyncio.IncompleteReadError, asyncio.LimitOverrunError) as exc:
+        raise WebSocketError(f"incomplete HTTP handshake: {exc}") from exc
+    if len(raw) > MAX_HANDSHAKE_BYTES:
+        raise WebSocketError("oversized HTTP handshake")
+    lines = raw.decode("latin-1").split("\r\n")
+    start = lines[0]
+    headers: dict[str, str] = {}
+    for line in lines[1:]:
+        if not line:
+            continue
+        name, _, value = line.partition(":")
+        headers[name.strip().lower()] = value.strip()
+    return start, headers
+
+
+async def accept(
+    reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+) -> "WebSocket":
+    """Server side: perform the upgrade handshake, return the socket.
+
+    Raises :class:`WebSocketError` (after sending ``400``) if the
+    request is not a well-formed WebSocket upgrade.
+    """
+    start, headers = await _read_http_head(reader)
+    key = headers.get("sec-websocket-key")
+    if (
+        not start.startswith("GET ")
+        or "websocket" not in headers.get("upgrade", "").lower()
+        or key is None
+    ):
+        writer.write(b"HTTP/1.1 400 Bad Request\r\nConnection: close\r\n\r\n")
+        await writer.drain()
+        raise WebSocketError(f"not a WebSocket upgrade: {start!r}")
+    response = (
+        "HTTP/1.1 101 Switching Protocols\r\n"
+        "Upgrade: websocket\r\n"
+        "Connection: Upgrade\r\n"
+        f"Sec-WebSocket-Accept: {_accept_key(key)}\r\n"
+        "\r\n"
+    )
+    writer.write(response.encode("ascii"))
+    await writer.drain()
+    return WebSocket(reader, writer, mask_frames=False)
+
+
+async def connect(host: str, port: int, path: str = "/") -> "WebSocket":
+    """Client side: open a TCP connection and upgrade it."""
+    reader, writer = await asyncio.open_connection(host, port)
+    key = base64.b64encode(os.urandom(16)).decode("ascii")
+    request = (
+        f"GET {path} HTTP/1.1\r\n"
+        f"Host: {host}:{port}\r\n"
+        "Upgrade: websocket\r\n"
+        "Connection: Upgrade\r\n"
+        f"Sec-WebSocket-Key: {key}\r\n"
+        "Sec-WebSocket-Version: 13\r\n"
+        "\r\n"
+    )
+    writer.write(request.encode("ascii"))
+    await writer.drain()
+    try:
+        start, headers = await _read_http_head(reader)
+        if " 101 " not in f"{start} ":
+            raise WebSocketError(f"upgrade refused: {start!r}")
+        expected = _accept_key(key)
+        if headers.get("sec-websocket-accept") != expected:
+            raise WebSocketError("bad Sec-WebSocket-Accept digest")
+    except WebSocketError:
+        writer.close()
+        raise
+    return WebSocket(reader, writer, mask_frames=True)
+
+
+def _encode_frame(opcode: int, payload: bytes, mask: bool) -> bytes:
+    head = bytearray([0x80 | opcode])  # FIN always set: no fragmentation
+    n = len(payload)
+    mask_bit = 0x80 if mask else 0
+    if n < 126:
+        head.append(mask_bit | n)
+    elif n < 1 << 16:
+        head.append(mask_bit | 126)
+        head += struct.pack("!H", n)
+    else:
+        head.append(mask_bit | 127)
+        head += struct.pack("!Q", n)
+    if mask:
+        key = os.urandom(4)
+        head += key
+        payload = _apply_mask(payload, key)
+    return bytes(head) + payload
+
+
+def _apply_mask(payload: bytes, key: bytes) -> bytes:
+    # XOR with the 4-byte key, vectorized via int arithmetic: fast
+    # enough for control messages and the demo client's block frames.
+    repeated = key * (len(payload) // 4 + 1)
+    data = int.from_bytes(payload, "big")
+    keys = int.from_bytes(repeated[: len(payload)], "big")
+    return (data ^ keys).to_bytes(len(payload), "big")
+
+
+class WebSocket:
+    """One upgraded connection: whole-message send/recv with auto ping."""
+
+    def __init__(
+        self,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+        mask_frames: bool,
+    ) -> None:
+        self.reader = reader
+        self.writer = writer
+        self.mask_frames = mask_frames
+        self.close_sent = False
+        self.closed = False
+
+    # -- sending -----------------------------------------------------
+
+    def send_text(self, text: str) -> None:
+        self._send(OP_TEXT, text.encode("utf-8"))
+
+    def send_binary(self, payload: bytes) -> None:
+        self._send(OP_BINARY, payload)
+
+    def _send(self, opcode: int, payload: bytes) -> None:
+        if self.closed or self.close_sent:
+            return
+        self.writer.write(_encode_frame(opcode, payload, self.mask_frames))
+
+    async def drain(self) -> None:
+        await self.writer.drain()
+
+    # -- receiving ---------------------------------------------------
+
+    async def _read_frame(self) -> tuple[int, bytes]:
+        header = await self.reader.readexactly(2)
+        b0, b1 = header
+        if not b0 & 0x80:
+            raise WebSocketError("fragmented frames are not supported")
+        opcode = b0 & 0x0F
+        masked = bool(b1 & 0x80)
+        length = b1 & 0x7F
+        if length == 126:
+            (length,) = struct.unpack("!H", await self.reader.readexactly(2))
+        elif length == 127:
+            (length,) = struct.unpack("!Q", await self.reader.readexactly(8))
+        if length > MAX_FRAME_BYTES:
+            raise WebSocketError(f"frame of {length} bytes exceeds cap")
+        key = await self.reader.readexactly(4) if masked else None
+        payload = await self.reader.readexactly(length) if length else b""
+        if key is not None and payload:
+            payload = _apply_mask(payload, key)
+        return opcode, payload
+
+    async def recv(self) -> Optional[tuple[int, bytes]]:
+        """Next data message as ``(opcode, payload)``; None once closed.
+
+        Control frames are handled inline: pings are answered, pongs
+        dropped, and a close frame is echoed (once) before returning
+        None.
+        """
+        while True:
+            if self.closed:
+                return None
+            try:
+                opcode, payload = await self._read_frame()
+            except (
+                asyncio.IncompleteReadError,
+                ConnectionResetError,
+                BrokenPipeError,
+            ):
+                self.closed = True
+                return None
+            if opcode in (OP_TEXT, OP_BINARY):
+                return opcode, payload
+            if opcode == OP_PING:
+                self._send(OP_PONG, payload)
+                await self.drain()
+            elif opcode == OP_CLOSE:
+                if not self.close_sent:
+                    self._send_close_frame(payload[:2])
+                self.closed = True
+                return None
+            # OP_PONG and anything unknown: ignore.
+
+    # -- teardown ----------------------------------------------------
+
+    def _send_close_frame(self, payload: bytes = b"") -> None:
+        self.writer.write(_encode_frame(OP_CLOSE, payload, self.mask_frames))
+        self.close_sent = True
+
+    async def close(self) -> None:
+        """Initiate (or complete) the closing handshake and drop TCP."""
+        if not self.closed and not self.close_sent:
+            try:
+                self._send_close_frame(struct.pack("!H", 1000))
+                await self.drain()
+            except (ConnectionResetError, BrokenPipeError, OSError):
+                pass
+        self.closed = True
+        try:
+            self.writer.close()
+            await self.writer.wait_closed()
+        except (ConnectionResetError, BrokenPipeError, OSError):
+            pass

@@ -18,7 +18,7 @@ from __future__ import annotations
 from collections import deque
 from typing import Callable, Optional
 
-from .engine import Simulator
+from repro.clock import Clock
 
 __all__ = ["HarmonicMeanEstimator", "ReceiveRateMonitor"]
 
@@ -90,7 +90,7 @@ class ReceiveRateMonitor:
 
     def __init__(
         self,
-        sim: Simulator,
+        sim: Clock,
         interval_s: float,
         publish: Callable[[float], None],
     ) -> None:

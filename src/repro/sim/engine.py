@@ -1,11 +1,18 @@
 """Discrete-event simulation engine.
 
-All Khameleon components in this reproduction run on a single virtual
-clock instead of wall-clock asyncio.  The paper's prototype measured a
-TypeScript client and Rust server over emulated networks; in Python,
-wall-clock scheduling jitter would swamp the millisecond-scale effects
-the paper studies (see DESIGN.md §2).  A discrete-event simulator gives
-deterministic, reproducible timing at any bandwidth.
+All Khameleon *experiments* in this reproduction run on a single
+virtual clock instead of wall-clock asyncio.  The paper's prototype
+measured a TypeScript client and Rust server over emulated networks; in
+Python, wall-clock scheduling jitter would swamp the millisecond-scale
+effects the paper studies (see DESIGN.md §2).  A discrete-event
+simulator gives deterministic, reproducible timing at any bandwidth.
+
+:class:`Simulator` is one of the two drivers of the
+:class:`repro.clock.Clock` protocol — the time/scheduling seam every
+component depends on.  The other driver, :class:`repro.clock.WallClock`,
+runs the identical stack on asyncio real time behind ``python -m repro
+serve``.  Components never import this module for the clock; they take
+a ``Clock`` and the harness decides which driver to hand them.
 
 Time is measured in **seconds** as floats.  Events scheduled for the
 same instant fire in FIFO order of scheduling (a monotonically
@@ -31,11 +38,17 @@ import heapq
 import itertools
 from typing import Any, Callable, Optional
 
+from repro.clock import ClockError
+
 __all__ = ["Simulator", "EventHandle", "SimulationError"]
 
 
-class SimulationError(RuntimeError):
-    """Raised for invalid uses of the simulator (e.g., scheduling in the past)."""
+class SimulationError(ClockError):
+    """Raised for invalid uses of the simulator (e.g., scheduling in the past).
+
+    Subclasses :class:`repro.clock.ClockError` so driver-agnostic code
+    can catch scheduling misuse without knowing which clock it runs on.
+    """
 
 
 class EventHandle:

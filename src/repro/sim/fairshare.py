@@ -38,7 +38,7 @@ from __future__ import annotations
 from collections import deque
 from typing import Any, Callable, Optional
 
-from .engine import Simulator
+from repro.clock import Clock
 from .link import Link
 
 __all__ = ["SharedDownlink", "FairSharePort"]
@@ -161,7 +161,7 @@ class SharedDownlink:
         physical FIFO never reorders the fair schedule.
     """
 
-    def __init__(self, sim: Simulator, link: Link) -> None:
+    def __init__(self, sim: Clock, link: Link) -> None:
         self.sim = sim
         self.link = link
         self.ports: list[FairSharePort] = []

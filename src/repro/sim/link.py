@@ -24,7 +24,7 @@ from __future__ import annotations
 
 from typing import Any, Callable, Optional
 
-from .engine import Simulator
+from repro.clock import Clock
 from .traces import MahimahiTrace
 
 __all__ = ["Link", "FixedRateLink", "TraceDrivenLink", "ControlChannel"]
@@ -41,7 +41,7 @@ class Link:
     queueing delay (observable via :meth:`queue_delay`), not loss.
     """
 
-    def __init__(self, sim: Simulator, propagation_delay_s: float = 0.0) -> None:
+    def __init__(self, sim: Clock, propagation_delay_s: float = 0.0) -> None:
         if propagation_delay_s < 0:
             raise ValueError("propagation delay must be non-negative")
         self.sim = sim
@@ -95,7 +95,7 @@ class FixedRateLink(Link):
 
     def __init__(
         self,
-        sim: Simulator,
+        sim: Clock,
         bytes_per_second: float,
         propagation_delay_s: float = 0.0,
     ) -> None:
@@ -117,7 +117,7 @@ class TraceDrivenLink(Link):
 
     def __init__(
         self,
-        sim: Simulator,
+        sim: Clock,
         trace: MahimahiTrace,
         propagation_delay_s: float = 0.0,
     ) -> None:
@@ -141,7 +141,7 @@ class ControlChannel:
     Messages are delivered in order.
     """
 
-    def __init__(self, sim: Simulator, latency_s: float = 0.0) -> None:
+    def __init__(self, sim: Clock, latency_s: float = 0.0) -> None:
         if latency_s < 0:
             raise ValueError("latency must be non-negative")
         self.sim = sim

@@ -30,7 +30,7 @@ from repro.predictors.kalman import make_kalman_predictor
 from repro.predictors.layout import GridLayout
 from repro.predictors.oracle import make_oracle_predictor
 from repro.predictors.simple import make_point_predictor, make_uniform_predictor
-from repro.sim.engine import Simulator
+from repro.clock import Clock
 
 from .trace import InteractionTrace
 
@@ -125,7 +125,7 @@ class ImageExplorationApp:
 
     # -- factories -----------------------------------------------------
 
-    def make_backend(self, sim: Simulator, fetch_delay_s: float = 0.0) -> FileSystemBackend:
+    def make_backend(self, sim: Clock, fetch_delay_s: float = 0.0) -> FileSystemBackend:
         """Pre-encoded file-system backend (§3.3's default substrate)."""
         return FileSystemBackend(sim, self.encoder, fetch_delay_s=fetch_delay_s)
 

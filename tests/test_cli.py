@@ -56,3 +56,34 @@ class TestCLI:
     def test_unknown_scale_rejected(self):
         with pytest.raises(SystemExit):
             main(["fig6", "--scale", "galactic"])
+
+
+class TestServeCLI:
+    def test_prior_flags_require_shared_markov(self, tmp_path):
+        with pytest.raises(SystemExit, match="shared-markov"):
+            main(["serve", "--prior-out", str(tmp_path / "p.npz")])
+
+    def test_serve_run_for_boots_and_exits_cleanly(self, capsys):
+        """Full boot on an ephemeral port: bind, announce, drain, stats."""
+        assert main(["serve", "--port", "0", "--run-for", "0.2"]) == 0
+        out = capsys.readouterr().out
+        assert "serving on ws://127.0.0.1:" in out
+        assert "served: 0 admitted" in out
+
+    def test_serve_prior_out_persists_crowd_prior(self, tmp_path, capsys):
+        from repro.predictors.shared import SharedTransitionPrior
+
+        path = tmp_path / "crowd.npz"
+        assert (
+            main(
+                [
+                    "serve", "--port", "0", "--run-for", "0.2",
+                    "--predictor", "shared-markov",
+                    "--prior-out", str(path),
+                ]
+            )
+            == 0
+        )
+        assert "prior: saved 0 transitions" in capsys.readouterr().out
+        loaded = SharedTransitionPrior.load(path)
+        assert loaded.transitions_observed == 0

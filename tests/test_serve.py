@@ -1,0 +1,287 @@
+"""Tests for the live serving frontend (repro.serve).
+
+Three layers, bottom-up:
+
+* the from-scratch RFC 6455 framing (mask/unmask, length encodings,
+  control frames) round-trips over a loopback socket pair;
+* the wire protocol encodes/decodes control messages and block frames;
+* the full app — real WallClock, real TCP listener on port 0, the
+  scripted :class:`~repro.serve.client.LiveClient` — admits a session,
+  pushes scheduled blocks down the socket, answers ``bye`` with stats,
+  detaches cleanly, and enforces the admission cap with a ``reject``.
+"""
+
+import asyncio
+
+import pytest
+
+from repro.core.blocks import Block
+from repro.experiments.configs import DEFAULT_ENV, FleetEnvironment
+from repro.fleet import ArrivalConfig
+from repro.serve import create_app
+from repro.serve import protocol, ws
+from repro.serve.client import AdmissionRejected, LiveClient
+
+
+def run(coro, timeout=30.0):
+    return asyncio.run(asyncio.wait_for(coro, timeout=timeout))
+
+
+# ---------------------------------------------------------------------------
+# WebSocket framing
+# ---------------------------------------------------------------------------
+
+
+class TestWebSocketFraming:
+    @pytest.mark.parametrize("size", [0, 1, 125, 126, 65535, 65536, 200_000])
+    def test_payload_length_encodings_roundtrip(self, size):
+        """7-bit, 16-bit and 64-bit payload lengths all survive the wire."""
+        payload = bytes(i % 251 for i in range(size))
+        for mask in (False, True):
+            frame = ws._encode_frame(ws.OP_BINARY, payload, mask=mask)
+            if mask:
+                assert frame[1] & 0x80  # mask bit set
+            else:
+                assert not frame[1] & 0x80
+
+    def test_masking_is_reversible(self):
+        data = bytes(range(256)) * 3
+        key = b"\x12\x34\x56\x78"
+        assert ws._apply_mask(ws._apply_mask(data, key), key) == data
+
+    def test_accept_key_matches_rfc_example(self):
+        # The worked example from RFC 6455 §1.3.
+        assert (
+            ws._accept_key("dGhlIHNhbXBsZSBub25jZQ==")
+            == "s3pPLMBiTxaQ9kYGzzhZRbK+xOo="
+        )
+
+    def test_echo_over_loopback(self):
+        """Server accept + client connect + bidirectional text/binary."""
+
+        async def main():
+            async def on_conn(reader, writer):
+                sock = await ws.accept(reader, writer)
+                while True:
+                    item = await sock.recv()
+                    if item is None:
+                        break
+                    opcode, payload = item
+                    if opcode == ws.OP_TEXT:
+                        sock.send_text(payload.decode() + "!")
+                    else:
+                        sock.send_binary(payload[::-1])
+                    await sock.drain()
+                await sock.close()
+
+            server = await asyncio.start_server(on_conn, "127.0.0.1", 0)
+            port = server.sockets[0].getsockname()[1]
+            client = await ws.connect("127.0.0.1", port)
+            client.send_text("hello")
+            client.send_binary(b"\x01\x02\x03")
+            await client.drain()
+            first = await client.recv()
+            second = await client.recv()
+            assert first == (ws.OP_TEXT, b"hello!")
+            assert second == (ws.OP_BINARY, b"\x03\x02\x01")
+            await client.close()
+            server.close()
+            await server.wait_closed()
+
+        run(main())
+
+    def test_ping_is_answered_with_pong(self):
+        async def main():
+            pongs = []
+
+            async def on_conn(reader, writer):
+                sock = await ws.accept(reader, writer)
+                sock._send(ws.OP_PING, b"beat")
+                await sock.drain()
+                # recv() swallows pongs by design, so watch the raw
+                # frame stream: the client must answer ping with pong.
+                frame = await sock._read_frame()
+                pongs.append(frame)
+                await sock.close()
+                writer.close()
+
+            server = await asyncio.start_server(on_conn, "127.0.0.1", 0)
+            port = server.sockets[0].getsockname()[1]
+            client = await ws.connect("127.0.0.1", port)
+            assert await client.recv() is None  # server closed after pong
+            await client.close()
+            server.close()
+            await server.wait_closed()
+            assert pongs == [(ws.OP_PONG, b"beat")]
+
+        run(main())
+
+    def test_plain_http_request_is_rejected(self):
+        async def main():
+            async def on_conn(reader, writer):
+                with pytest.raises(ws.WebSocketError):
+                    await ws.accept(reader, writer)
+                writer.close()
+
+            server = await asyncio.start_server(on_conn, "127.0.0.1", 0)
+            port = server.sockets[0].getsockname()[1]
+            reader, writer = await asyncio.open_connection("127.0.0.1", port)
+            writer.write(b"GET / HTTP/1.1\r\nHost: x\r\n\r\n")
+            await writer.drain()
+            reply = await reader.read(64)
+            assert reply.startswith(b"HTTP/1.1 400")
+            writer.close()
+            server.close()
+            await server.wait_closed()
+
+        run(main())
+
+
+# ---------------------------------------------------------------------------
+# Wire protocol
+# ---------------------------------------------------------------------------
+
+
+class TestProtocol:
+    def test_message_roundtrip(self):
+        text = protocol.encode_message("hello", protocol=1, weight=2.5)
+        msg = protocol.decode_message(text)
+        assert msg == {"type": "hello", "protocol": 1, "weight": 2.5}
+
+    def test_garbage_decodes_to_none(self):
+        assert protocol.decode_message("{not json") is None
+        assert protocol.decode_message('{"no_type": 1}') is None
+
+    def test_block_frame_roundtrip(self):
+        block = Block(request=7, index=3, size_bytes=50_000)
+        frame = protocol.encode_block(block)
+        assert len(frame) == protocol.BLOCK_HEADER.size + 50_000
+        decoded = protocol.decode_block(frame)
+        assert (decoded.request, decoded.index, decoded.size_bytes) == (7, 3, 50_000)
+
+    def test_bad_magic_rejected(self):
+        frame = b"XXXX" + bytes(12)
+        with pytest.raises(ValueError):
+            protocol.decode_block(frame)
+
+
+# ---------------------------------------------------------------------------
+# Full app over a real port
+# ---------------------------------------------------------------------------
+
+
+def make_env(max_concurrent=None):
+    return FleetEnvironment(
+        num_sessions=2,
+        env=DEFAULT_ENV.with_bandwidth(2_000_000.0),
+        arrival=(
+            ArrivalConfig(max_concurrent=max_concurrent)
+            if max_concurrent is not None
+            else None
+        ),
+    )
+
+
+class TestServeApp:
+    def test_session_receives_pushed_blocks_and_detaches_cleanly(self):
+        async def main():
+            app = create_app(
+                make_env(), rows=6, cols=6, predictor="uniform", port=0
+            )
+            await app.start()
+            try:
+                client = await LiveClient.connect("127.0.0.1", app.port)
+                welcome = client.report.welcome
+                assert welcome["num_requests"] == 36
+                assert welcome["rows"] == welcome["cols"] == 6
+                # Hover the top-left cell, request it, then wander; the
+                # uniform prior pushes blocks for everything.
+                client.send_event(5.0, 5.0)
+                await client.drain()
+                await asyncio.sleep(1.2)
+                client.send_request(0)
+                await client.drain()
+                await asyncio.sleep(1.0)
+                report = await client.bye()
+
+                assert report.blocks, "server never pushed a block"
+                assert report.prefetched_hits >= 1, (
+                    "request 0 should have been answered by a block "
+                    "pushed before it was issued"
+                )
+                assert report.unrequested_blocks > 0  # speculation is real
+                assert report.server_stats is not None
+                assert report.server_stats["blocks_pushed"] == len(report.blocks)
+                summary = report.summary()
+                assert summary.num_requests == 1
+                assert summary.cache_hit_rate == 1.0
+            finally:
+                await app.stop()
+            assert app.stats.sessions_admitted == 1
+            assert app.stats.sessions_detached == 1
+            assert app.stats.blocks_pushed > 0
+            assert app.stats.frames_dropped == 0
+
+        run(main())
+
+    def test_admission_cap_rejects_excess_sessions(self):
+        async def main():
+            app = create_app(
+                make_env(max_concurrent=1), rows=6, cols=6,
+                predictor="uniform", port=0,
+            )
+            await app.start()
+            try:
+                first = await LiveClient.connect("127.0.0.1", app.port)
+                with pytest.raises(AdmissionRejected):
+                    await LiveClient.connect("127.0.0.1", app.port)
+                await first.bye()
+                # Capacity freed: a third connect now succeeds.
+                third = await LiveClient.connect("127.0.0.1", app.port)
+                await third.bye()
+            finally:
+                await app.stop()
+            assert app.stats.sessions_admitted == 2
+            assert app.stats.sessions_rejected == 1
+
+        run(main())
+
+    def test_abrupt_disconnect_detaches_without_stopping_fleet(self):
+        async def main():
+            app = create_app(
+                make_env(), rows=6, cols=6, predictor="uniform", port=0
+            )
+            await app.start()
+            try:
+                client = await LiveClient.connect("127.0.0.1", app.port)
+                client.send_event(5.0, 5.0)
+                await client.drain()
+                await asyncio.sleep(0.3)
+                await client.close()  # no bye: TCP just goes away
+                await asyncio.sleep(0.5)
+                assert app.stats.sessions_detached == 1
+                # The server survives to serve someone else.
+                again = await LiveClient.connect("127.0.0.1", app.port)
+                await again.bye()
+            finally:
+                await app.stop()
+            assert app.stats.sessions_admitted == 2
+
+        run(main())
+
+    def test_weight_is_clamped_into_fair_share_bounds(self):
+        async def main():
+            app = create_app(
+                make_env(), rows=6, cols=6, predictor="uniform", port=0
+            )
+            await app.start()
+            try:
+                client = await LiveClient.connect(
+                    "127.0.0.1", app.port, weight=1e9
+                )
+                assert app.fleet.config.weights[0] == pytest.approx(10.0)
+                await client.bye()
+            finally:
+                await app.stop()
+
+        run(main())

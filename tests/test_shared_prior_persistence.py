@@ -1,0 +1,139 @@
+"""Tests for crowd-prior persistence (SharedTransitionPrior.save/load).
+
+The fleet's shared Markov prior is the one piece of state worth keeping
+across serving processes: transitions pooled from yesterday's tenants
+warm today's cold sessions.  These tests cover the npz round trip, the
+failure modes (wrong file, wrong version, wrong universe size, corrupt
+entries), and the ``run_fleet(shared_prior=<path>)`` wiring that lets
+experiments warm-start straight from a file.
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments.configs import DEFAULT_ENV, FleetEnvironment
+from repro.experiments.runner import run_fleet
+from repro.predictors.shared import SharedTransitionPrior
+from repro.workloads.image_app import ImageExplorationApp
+from repro.workloads.mouse import MouseTraceGenerator
+
+
+def make_prior(n=9):
+    prior = SharedTransitionPrior(n)
+    for prev, nxt, times in [(0, 1, 3), (0, 2, 1), (4, 4, 2), (8, 0, 5)]:
+        for _ in range(times):
+            prior.observe(prev, nxt)
+    return prior
+
+
+class TestRoundTrip:
+    def test_save_load_preserves_every_count(self, tmp_path):
+        prior = make_prior()
+        path = tmp_path / "prior.npz"
+        prior.save(path)
+        loaded = SharedTransitionPrior.load(path)
+        assert loaded.n == prior.n
+        assert loaded.transitions_observed == prior.transitions_observed
+        for request in range(prior.n):
+            ids, counts = prior.row(request)
+            lids, lcounts = loaded.row(request)
+            assert ids.tolist() == lids.tolist()
+            assert counts.tolist() == lcounts.tolist()
+            assert loaded.row_mass(request) == prior.row_mass(request)
+
+    def test_empty_prior_round_trips(self, tmp_path):
+        path = tmp_path / "empty.npz"
+        SharedTransitionPrior(5).save(path)
+        loaded = SharedTransitionPrior.load(path, n=5)
+        assert loaded.transitions_observed == 0
+        assert loaded.row_mass(0) == 0
+
+    def test_loaded_prior_keeps_learning(self, tmp_path):
+        path = tmp_path / "prior.npz"
+        make_prior().save(path)
+        loaded = SharedTransitionPrior.load(path)
+        before = loaded.row_mass(0)
+        loaded.observe(0, 1)
+        assert loaded.row_mass(0) == before + 1
+
+
+class TestValidation:
+    def test_n_mismatch_fails_fast(self, tmp_path):
+        path = tmp_path / "prior.npz"
+        make_prior(n=9).save(path)
+        with pytest.raises(ValueError, match="9 requests, expected 16"):
+            SharedTransitionPrior.load(path, n=16)
+
+    def test_unrelated_npz_is_rejected(self, tmp_path):
+        path = tmp_path / "other.npz"
+        np.savez(path, weights=np.ones(3))
+        with pytest.raises(ValueError, match="not a saved prior"):
+            SharedTransitionPrior.load(path)
+
+    def test_future_format_version_is_rejected(self, tmp_path):
+        path = tmp_path / "prior.npz"
+        make_prior().save(path)
+        with np.load(path) as data:
+            fields = dict(data)
+        fields["format_version"] = np.int64(99)
+        np.savez_compressed(path, **fields)
+        with pytest.raises(ValueError, match="v99 unsupported"):
+            SharedTransitionPrior.load(path)
+
+    def test_out_of_range_entry_is_rejected(self, tmp_path):
+        path = tmp_path / "prior.npz"
+        make_prior(n=9).save(path)
+        with np.load(path) as data:
+            fields = dict(data)
+        fields["next"] = fields["next"].copy()
+        fields["next"][0] = 1000  # points outside the request universe
+        np.savez_compressed(path, **fields)
+        with pytest.raises(ValueError, match="corrupt prior entry"):
+            SharedTransitionPrior.load(path)
+
+
+class TestRunFleetWiring:
+    def test_run_fleet_accepts_a_prior_path(self, tmp_path):
+        app = ImageExplorationApp(rows=4, cols=4)
+        traces = [
+            MouseTraceGenerator(app.layout, seed=60 + i).generate(duration_s=3.0)
+            for i in range(2)
+        ]
+        fleet_env = FleetEnvironment(num_sessions=2, env=DEFAULT_ENV)
+
+        # Warm a prior in one run (passed by object, pooled in place),
+        # persist it, then feed the *path* to the next run.
+        prior = SharedTransitionPrior(app.num_requests)
+        first = run_fleet(
+            app, traces, fleet_env, predictor="shared-markov", shared_prior=prior
+        )
+        warmed_count = prior.transitions_observed
+        assert warmed_count > 0
+        assert first.diagnostics["shared_prior"]["transitions_observed"] == (
+            warmed_count
+        )
+        path = tmp_path / "crowd.npz"
+        prior.save(path)
+
+        second = run_fleet(
+            app, traces, fleet_env, predictor="shared-markov", shared_prior=path
+        )
+        # The loaded prior arrives warm and keeps pooling new traffic.
+        assert (
+            second.diagnostics["shared_prior"]["transitions_observed"]
+            > warmed_count
+        )
+
+    def test_prior_path_with_wrong_universe_fails_fast(self, tmp_path):
+        path = tmp_path / "crowd.npz"
+        make_prior(n=9).save(path)
+        app = ImageExplorationApp(rows=4, cols=4)  # 16 requests
+        traces = [
+            MouseTraceGenerator(app.layout, seed=3).generate(duration_s=2.0)
+        ]
+        fleet_env = FleetEnvironment(num_sessions=1, env=DEFAULT_ENV)
+        with pytest.raises(ValueError, match="expected 16"):
+            run_fleet(
+                app, traces, fleet_env,
+                predictor="shared-markov", shared_prior=path,
+            )
