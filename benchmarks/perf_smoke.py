@@ -24,6 +24,14 @@ Measures the hot paths the vectorized scheduling core owns:
 * ``fleet_tick_churn_N<N>`` — the same per-tick cost under session
   churn (Poisson arrivals, lognormal dwells, admission cap), so the
   gate also covers the dynamic-fleet path; and
+* ``fleet_tick_single_N1024`` / ``fleet_tick_sharded_N1024`` — CPU
+  critical path per tick for a 1024-session fleet, unsharded vs
+  partitioned across ``--shards`` worker processes (default 2, the CI
+  smoke; the ROADMAP scaling table uses 4).  Both wrap the DES run
+  itself with ``time.process_time`` so the comparison excludes fleet
+  construction; the sharded figure is the slowest shard's CPU per
+  tick — the wall-clock critical path when shards have their own
+  cores; and
 * ``fleet_tick_markov_N32`` — predictor-*decode* work per tick for a
   32-session shared-Markov fleet (crowd prior pre-warmed to realistic
   row widths, cohorts of sessions walking a common tour): the wall
@@ -107,6 +115,19 @@ MARKOV_REQ_EVERY_S = 0.08
 MARKOV_PRIOR_WIDTH = 96
 MARKOV_PRIOR_COUNT = 3
 MARKOV_CACHE_BYTES = 3_200_000  # 64 blocks: keeps install cost modest
+#: Sharded-fleet gate shape: a 1024-session population on a reduced
+#: grid, short traces + drain so one run is a handful of 150 ms ticks,
+#: and a sync cadence that fits a few CRDT delta rounds inside the
+#: horizon.  Two repeats with min-of (the file's convention): on a
+#: single-core CI box the time-sliced workers thrash each other's
+#: caches, and min-of filters those contention spikes — the dedicated
+#: core per worker the critical-path model assumes has no such spikes.
+SHARD_SESSIONS = 1024
+SHARD_GRID = 12
+SHARD_TRACE_S = 0.4
+SHARD_DRAIN_S = 0.4
+SHARD_SYNC_INTERVAL_S = 0.25
+SHARD_REPEATS = 2
 REPEATS = 3
 
 
@@ -381,6 +402,86 @@ def bench_fleet_markov(batched_decode: bool) -> dict[str, float]:
     return {f"fleet_tick_markov_N{MARKOV_SESSIONS}": best * 1e3}
 
 
+def bench_fleet_sharded(num_shards: int) -> dict[str, float]:
+    """CPU critical path per tick at N=1024: single process vs sharded.
+
+    Both metrics measure the *same* quantity — CPU seconds spent inside
+    the DES run (``sim.run``), excluding fleet construction — per 150 ms
+    prediction tick:
+
+    * ``fleet_tick_single_N1024`` uses ``run_fleet``'s driver seam to
+      wrap its ``sim.run`` calls with ``time.process_time``;
+    * ``fleet_tick_sharded_N1024`` takes the *slowest shard's*
+      ``cpu_run_s`` (each worker process self-times its run chunks the
+      same way) over its per-shard tick count.  On a W-core machine the
+      shards run concurrently, so the max-shard CPU *is* the wall-clock
+      critical path; measuring CPU rather than wall keeps the metric
+      honest on CI's single core, where the workers time-slice.
+
+    Per-tick session throughput is then N / metric, and the scaling
+    claim (ROADMAP) is the ratio single/sharded.
+    """
+    from repro.experiments.configs import DEFAULT_ENV, FleetEnvironment
+    from repro.experiments.runner import run_fleet, run_fleet_sharded
+    from repro.workloads.image_app import ImageExplorationApp
+    from repro.workloads.mouse import MouseTraceGenerator
+
+    app = ImageExplorationApp(rows=SHARD_GRID, cols=SHARD_GRID)
+    traces = [
+        MouseTraceGenerator(app.layout, seed=300 + i).generate(
+            duration_s=SHARD_TRACE_S
+        )
+        for i in range(SHARD_SESSIONS)
+    ]
+    env = FleetEnvironment(num_sessions=SHARD_SESSIONS, env=DEFAULT_ENV)
+
+    single_ms = float("inf")
+    for _ in range(SHARD_REPEATS):
+        acc = {"cpu": 0.0}
+
+        def drive(sim, until, fleet, prior):
+            start = time.process_time()
+            sim.run(until=until)
+            acc["cpu"] += time.process_time() - start
+
+        result = run_fleet(
+            app,
+            traces,
+            env,
+            predictor="shared-markov",
+            drain_s=SHARD_DRAIN_S,
+            run_driver=drive,
+        )
+        ticks = max(1, result.diagnostics["prediction"]["ticks"])
+        single_ms = min(single_ms, acc["cpu"] / ticks * 1e3)
+
+    sharded_ms = float("inf")
+    for _ in range(SHARD_REPEATS):
+        result = run_fleet_sharded(
+            app,
+            traces,
+            env,
+            num_shards=num_shards,
+            predictor="shared-markov",
+            sync_interval_s=SHARD_SYNC_INTERVAL_S,
+            drain_s=SHARD_DRAIN_S,
+        )
+        sharding = result.diagnostics["sharding"]
+        # pool_snapshots sums tick counters across shards; every shard
+        # runs the same global horizon, so per-shard ticks is the even
+        # split.
+        shard_ticks = max(
+            1, result.diagnostics["prediction"]["ticks"] // num_shards
+        )
+        sharded_ms = min(
+            sharded_ms, max(sharding["cpu_run_s"]) / shard_ticks * 1e3
+        )
+    return {
+        "fleet_tick_single_N1024": single_ms,
+        "fleet_tick_sharded_N1024": sharded_ms,
+    }
+
+
 def alloc_probe() -> dict[str, float]:
     """Allocator-block cost of holding ten full draws-case schedules."""
     import gc
@@ -414,6 +515,7 @@ def measure(
     sampler: str = "vectorized",
     batched_decode: bool = True,
     greedy_only: bool = False,
+    shards: int = 2,
 ) -> dict:
     probe = machine_probe_ms()
     metrics = bench_greedy(sampler)
@@ -428,15 +530,20 @@ def measure(
         ]
     else:
         metrics.update(bench_fenwick_draws())
+    config = {
+        "sampler": sampler,
+        "batched_decode": batched_decode,
+        "greedy_only": greedy_only,
+    }
     if not greedy_only:
         metrics.update(bench_fleet_tick(batched_decode))
+        metrics.update(bench_fleet_sharded(shards))
+        # Recorded (and compared by --check) so a W=4 scaling run can
+        # never be gated against the committed W=2 baseline.
+        config["shards"] = shards
     return {
         "probe_ms": probe,
-        "config": {
-            "sampler": sampler,
-            "batched_decode": batched_decode,
-            "greedy_only": greedy_only,
-        },
+        "config": config,
         "metrics_ms": metrics,
         "normalized": {k: v / probe for k, v in metrics.items()},
     }
@@ -502,6 +609,13 @@ def main() -> int:
         help="skip the fleet benchmarks (sampler-path CI pass)",
     )
     parser.add_argument(
+        "--shards",
+        type=int,
+        default=2,
+        help="worker count for fleet_tick_sharded_N1024 (default: 2, the "
+        "CI smoke; use 4 for the ROADMAP scaling table)",
+    )
+    parser.add_argument(
         "--alloc-probe",
         action="store_true",
         help="report the hot-path allocation probe and exit",
@@ -518,6 +632,7 @@ def main() -> int:
         sampler=args.sampler,
         batched_decode=not args.no_batched_decode,
         greedy_only=args.greedy_only,
+        shards=args.shards,
     )
     RESULTS_DIR.mkdir(exist_ok=True)
     out_path = result_path(args.sampler)

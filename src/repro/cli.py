@@ -116,6 +116,36 @@ def _build_parser() -> argparse.ArgumentParser:
         default=0,
         help="seed for the arrival/dwell draws (default: 0)",
     )
+    fleet.add_argument(
+        "--shards",
+        type=int,
+        default=None,
+        metavar="W",
+        help="partition the fleet across this many worker processes "
+        "(hash-routed sessions, CRDT crowd-prior sync, pooled report); "
+        "default: run in-process, unsharded",
+    )
+    fleet.add_argument(
+        "--sync-interval",
+        type=float,
+        default=0.5,
+        metavar="SECONDS",
+        help="crowd-prior delta exchange cadence between shards "
+        "(shared-markov only; default: 0.5)",
+    )
+    fleet.add_argument(
+        "--prior-in",
+        default=None,
+        metavar="NPZ",
+        help="warm-start the crowd prior from this file (shared-markov only)",
+    )
+    fleet.add_argument(
+        "--prior-out",
+        default=None,
+        metavar="NPZ",
+        help="save the (pooled) crowd prior here afterwards "
+        "(shared-markov only)",
+    )
     fleet.add_argument("--out", help="also write the table to this file")
     serve = sub.add_parser(
         "serve",
@@ -184,6 +214,14 @@ def _build_parser() -> argparse.ArgumentParser:
         help="persist the crowd prior here on shutdown (shared-markov only)",
     )
     serve.add_argument(
+        "--outbox-depth",
+        type=int,
+        default=1024,
+        metavar="FRAMES",
+        help="per-session outbox backpressure bound: frames beyond this "
+        "depth are shed and counted, not buffered (default: 1024)",
+    )
+    serve.add_argument(
         "--run-for",
         type=float,
         default=None,
@@ -205,7 +243,7 @@ def _build_parser() -> argparse.ArgumentParser:
 def _run_fleet_command(args) -> list[tuple[list[dict], str]]:
     """Run a (static or churning) fleet; returns (rows, title) tables."""
     from repro.experiments.configs import DEFAULT_ENV, FleetEnvironment
-    from repro.experiments.runner import run_fleet
+    from repro.experiments.runner import run_fleet, run_fleet_sharded
     from repro.fleet import ArrivalConfig
     from repro.workloads.image_app import ImageExplorationApp
     from repro.workloads.mouse import MouseTraceGenerator
@@ -232,7 +270,40 @@ def _run_fleet_command(args) -> list[tuple[list[dict], str]]:
         backend_concurrency=args.backend_concurrency,
         arrival=arrival,
     )
-    result = run_fleet(app, traces, fleet_env, predictor=args.predictor)
+    if (args.prior_in or args.prior_out) and args.predictor != "shared-markov":
+        raise SystemExit("--prior-in/--prior-out need --predictor shared-markov")
+    if args.shards is not None:
+        if args.shards < 1:
+            raise SystemExit("--shards must be >= 1")
+        result = run_fleet_sharded(
+            app,
+            traces,
+            fleet_env,
+            num_shards=args.shards,
+            predictor=args.predictor,
+            sync_interval_s=args.sync_interval,
+            shared_prior=args.prior_in,
+            prior_out=args.prior_out,
+        )
+    else:
+        prior = None
+        if args.prior_in or args.prior_out:
+            from repro.predictors.shared import SharedTransitionPrior
+
+            # run_fleet observes into the prior it is handed, so saving
+            # afterwards captures this run's contribution too — the
+            # same contract as the sharded runner's pooled prior.
+            prior = (
+                SharedTransitionPrior.load(args.prior_in, n=app.num_requests)
+                if args.prior_in
+                else SharedTransitionPrior(app.num_requests)
+            )
+        result = run_fleet(
+            app, traces, fleet_env,
+            predictor=args.predictor, shared_prior=prior,
+        )
+        if args.prior_out:
+            prior.save(args.prior_out)
     d = result.diagnostics
     title = (
         f"fleet: {args.sessions} sessions | link fairness "
@@ -245,6 +316,14 @@ def _run_fleet_command(args) -> list[tuple[list[dict], str]]:
             f" | admitted {churn['admitted']}/{churn['arrivals']}"
             f" (rejected {churn['rejected']}, departed {churn['departed']})"
             f" | early hit {100 * d['early_hit_rate']:.1f}%"
+        )
+    sharding = d.get("sharding")
+    if sharding is not None:
+        title += (
+            f" | shards {sharding['shards']}"
+            f" ({sharding['sync_rounds']} sync rounds, "
+            f"{sharding['transitions_merged']} transitions merged, "
+            f"max shard CPU {max(sharding['cpu_run_s']):.2f}s)"
         )
     tables = [(result.rows(), title)]
     if result.cohorts:
@@ -292,6 +371,7 @@ def _run_serve_command(args) -> int:
         host=args.host,
         port=args.port,
         prior=prior,
+        outbox_depth=args.outbox_depth,
     )
 
     async def _serve() -> None:
@@ -319,7 +399,8 @@ def _run_serve_command(args) -> int:
     print(
         f"served: {s.sessions_admitted} admitted, {s.sessions_rejected} "
         f"rejected, {s.sessions_detached} detached, {s.blocks_pushed} "
-        f"blocks ({s.bytes_pushed} B) pushed",
+        f"blocks ({s.bytes_pushed} B) pushed, {s.frames_dropped} frames "
+        f"dropped",
         flush=True,
     )
     if args.prior_out:

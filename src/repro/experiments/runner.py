@@ -18,9 +18,12 @@ substrate, replays an interaction trace against it, and returns a
 
 from __future__ import annotations
 
+import math
 import os
-from dataclasses import dataclass, field
-from typing import Any, Optional, Sequence
+import tempfile
+import time
+from dataclasses import dataclass, field, replace
+from typing import Any, Callable, Optional, Sequence
 
 from repro.baselines.acc import ACCPrefetcher, acc_threshold
 from repro.baselines.classic import ClassicConfig, ClassicSession
@@ -34,7 +37,10 @@ from repro.metrics.fleet import (
     CohortSummary,
     FleetSummary,
     collect_cohorts,
+    collect_fleet,
     early_hit_rate,
+    jain_fairness,
+    pool_snapshots,
 )
 from repro.predictors.base import MouseEvent
 from repro.sim.engine import Simulator
@@ -53,10 +59,13 @@ from .configs import (
 __all__ = [
     "RunResult",
     "FleetRunResult",
+    "ImageAppSpec",
+    "ShardFleetSpec",
     "run_khameleon",
     "run_classic",
     "run_falcon",
     "run_fleet",
+    "run_fleet_sharded",
     "run_convergence",
     "run_image_system",
     "extend_with_pause",
@@ -201,7 +210,9 @@ class FleetRunResult:
 
     system: str
     fleet_env: FleetEnvironment
-    summary: FleetSummary
+    #: ``None`` only for a routed (sharded-worker) fleet none of whose
+    #: sessions registered a request — full fleets always have one.
+    summary: Optional[FleetSummary]
     diagnostics: dict
     trace_names: list[str] = field(default_factory=list)
     cohorts: list[CohortSummary] = field(default_factory=list)
@@ -310,8 +321,22 @@ def run_fleet(
     cohort_width_s: float = 5.0,
     early_k: int = 5,
     shared_prior=None,
+    *,
+    session_route: Optional[Callable[[int], bool]] = None,
+    expected_sessions: Optional[float] = None,
+    run_driver: Optional[Callable] = None,
 ) -> FleetRunResult:
     """Replay one trace per session against a shared-resource fleet.
+
+    The keyword-only tail is the sharding seam
+    (:func:`run_fleet_sharded` drives it): ``session_route`` builds
+    only the sessions a shard owns (indices stay global, so seeds and
+    weights match the unsharded fleet), ``expected_sessions`` overrides
+    the bandwidth-prior population, and ``run_driver(sim, until, fleet,
+    prior)`` replaces the plain ``sim.run(until=...)`` so a worker can
+    chunk the run at delta-sync barriers.  All default to the
+    unsharded behaviour.  A routed fleet whose sessions registered no
+    requests yields ``summary=None`` instead of raising.
 
     ``shared_prior`` (``shared-markov`` only) seeds the fleet-wide
     crowd prior with an existing
@@ -345,6 +370,20 @@ def run_fleet(
         app, predictor, traces, sim, shared_prior=shared_prior
     )
 
+    config = fleet_env.fleet_config(
+        SessionConfig(
+            cache_bytes=env.cache_bytes,
+            block_bytes=app.block_bytes,
+            scheduler_seed=seed,
+            initial_bandwidth_bytes_per_s=env.bandwidth_bytes_per_s,
+        )
+    )
+    if session_route is not None or expected_sessions is not None:
+        config = replace(
+            config,
+            session_route=session_route,
+            expected_sessions=expected_sessions,
+        )
     fleet = KhameleonFleet(
         sim=sim,
         backend=backend,
@@ -353,21 +392,22 @@ def run_fleet(
         num_blocks=app.num_blocks,
         downlink=shared_downlink,
         make_uplink=lambda i: make_uplink(sim, env),
-        config=fleet_env.fleet_config(
-            SessionConfig(
-                cache_bytes=env.cache_bytes,
-                block_bytes=app.block_bytes,
-                scheduler_seed=seed,
-                initial_bandwidth_bytes_per_s=env.bandwidth_bytes_per_s,
-            )
-        ),
+        config=config,
     )
 
+    def drive(until: float) -> None:
+        if run_driver is None:
+            sim.run(until=until)
+        else:
+            run_driver(sim, until, fleet, prior)
+
     if fleet.manager is None:
-        for session, trace in zip(fleet.sessions, traces):
-            _replay(sim, trace, session.client.observe, session.client.request)
+        # session_indices, not enumerate: a routed (sharded) fleet owns
+        # a subset of the plan, and traces are indexed globally.
+        for i, session in zip(fleet.session_indices, fleet.sessions):
+            _replay(sim, traces[i], session.client.observe, session.client.request)
         fleet.start()
-        sim.run(until=max(t.duration_s for t in traces) + drain_s)
+        drive(max(t.duration_s for t in traces) + drain_s)
         fleet.stop()
     else:
 
@@ -383,7 +423,7 @@ def run_fleet(
         fleet.manager.on_admit = replay_from_arrival
         fleet.start()
         horizon = fleet.manager.horizon_s(lambda i: traces[i].duration_s)
-        sim.run(until=horizon + drain_s)
+        drive(horizon + drain_s)
         fleet.stop()
 
     diagnostics = fleet.report()
@@ -407,7 +447,7 @@ def run_fleet(
     return FleetRunResult(
         system=f"fleet-{predictor}",
         fleet_env=fleet_env,
-        summary=fleet.summary(),
+        summary=fleet.summary() if any(outcomes_by_session) else None,
         diagnostics=diagnostics,
         trace_names=[t.name for t in traces],
         cohorts=cohorts,
@@ -416,6 +456,397 @@ def run_fleet(
             if fleet.manager is None
             else [str(r.index) for r in fleet.manager.admitted_records]
         ),
+    )
+
+
+@dataclass(frozen=True)
+class ImageAppSpec:
+    """Spawn-safe recipe for an :class:`ImageExplorationApp`.
+
+    Shard workers run in fresh interpreters, so the application must
+    cross the process boundary as a *recipe*, not an object (the app
+    holds an image store, encoder, and utility closure).  The synthetic
+    store is a pure function of ``(num_requests, seed)``, so every
+    worker rebuilds a bit-identical app from these five numbers.
+    """
+
+    rows: int
+    cols: int
+    cell_px: float = 20.0
+    block_bytes: int = 50_000
+    seed: int = 7
+
+    @classmethod
+    def of(cls, app: ImageExplorationApp) -> "ImageAppSpec":
+        layout = app.layout
+        return cls(
+            rows=layout.rows,
+            cols=layout.cols,
+            cell_px=layout.cell_width,
+            block_bytes=app.block_bytes,
+            seed=app.seed,
+        )
+
+    def build(self) -> ImageExplorationApp:
+        return ImageExplorationApp(
+            rows=self.rows,
+            cols=self.cols,
+            cell_px=self.cell_px,
+            block_bytes=self.block_bytes,
+            seed=self.seed,
+        )
+
+
+@dataclass
+class ShardFleetSpec:
+    """Everything one shard worker needs, pickled through spawn.
+
+    ``traces`` and ``fleet_env`` are the *global* fleet description —
+    every worker gets all of it and derives its own slice (route,
+    bandwidth share, admission-cap share) from ``shard``/``num_shards``,
+    so the shard split is a pure function of the spec and the coordinator
+    never has to serialize per-shard variants.
+    """
+
+    app_spec: ImageAppSpec
+    traces: list[InteractionTrace]
+    fleet_env: FleetEnvironment
+    predictor: str
+    shard: int
+    num_shards: int
+    #: Absolute sim times of the delta-sync barriers (empty = no sync).
+    sync_points: tuple[float, ...] = ()
+    drain_s: float = DEFAULT_DRAIN_S
+    seed: int = 0
+    cohort_width_s: float = 5.0
+    early_k: int = 5
+    #: Warm-start prior file every shard loads (never an object: the
+    #: prior's count table is not picklable, and one file fans out to
+    #: W workers without W copies in the coordinator's heap).
+    shared_prior_path: Optional[str] = None
+
+
+def _shard_owned(total: int, shard: int, num_shards: int) -> list[int]:
+    from repro.fleet.sharding import shard_of
+
+    return [i for i in range(total) if shard_of(i, num_shards) == shard]
+
+
+def _sharded_fleet_worker(spec: ShardFleetSpec, channel) -> dict:
+    """Run one shard's fleet; exchange prior deltas at each barrier.
+
+    Executes in a spawned worker process (entry point of
+    :func:`run_fleet_sharded`'s :class:`~repro.fleet.sharding.ShardTask`).
+    Wraps the ordinary :func:`run_fleet` with a route that keeps only
+    owned sessions, resources scaled to the owned share — bandwidth,
+    admission cap, backend budget, and expected population all scale by
+    ``owned/total``, so each *session's* slice matches the unsharded
+    fleet's — and a run driver that pauses at every sync barrier to
+    trade :class:`~repro.predictors.shared.PriorDelta` snapshots with
+    the other shards.  Returns the raw per-shard material the
+    coordinator pools (outcome streams, fairness samples, counter
+    snapshots, the shard's final prior contribution, CPU timings).
+    """
+    from repro.fleet.sharding import shard_of
+
+    k, num_shards = spec.shard, spec.num_shards
+    total = spec.fleet_env.num_sessions
+    owned = _shard_owned(total, k, num_shards)
+    share = len(owned) / total
+
+    env = spec.fleet_env.env
+    # A shard the hash left empty still runs (it must show up at every
+    # sync barrier), just over an epsilon link nobody will use.  The
+    # max() is exact at share=1.0, preserving W=1 bit-identity.
+    fleet_env = replace(
+        spec.fleet_env,
+        env=env.with_bandwidth(env.bandwidth_bytes_per_s * max(share, 1e-9)),
+    )
+    arrival = fleet_env.arrival
+    if arrival is not None and arrival.max_concurrent is not None:
+        fleet_env = replace(
+            fleet_env,
+            arrival=replace(
+                arrival,
+                max_concurrent=max(1, math.ceil(arrival.max_concurrent * share)),
+            ),
+        )
+    if fleet_env.backend_concurrency is not None:
+        fleet_env = replace(
+            fleet_env,
+            backend_concurrency=max(
+                1, math.ceil(fleet_env.backend_concurrency * share)
+            ),
+        )
+    if spec.fleet_env.arrival is None:
+        expected_total = float(total)
+    else:
+        expected_total = spec.fleet_env.arrival.expected_concurrency(total)
+
+    state: dict = {}
+
+    def drive(sim, until, fleet, prior) -> None:
+        state["fleet"], state["prior"] = fleet, prior
+        if prior is not None:
+            prior.enable_sharding(f"shard{k}")
+        sent_vv: dict[int, int] = {}
+        cpu_run = 0.0
+        wall_start = time.perf_counter()
+
+        def run_chunk(t: float) -> None:
+            nonlocal cpu_run
+            cpu_start = time.process_time()
+            sim.run(until=t)
+            cpu_run += time.process_time() - cpu_start
+
+        for point in spec.sync_points:
+            if point >= until:
+                break
+            run_chunk(point)
+            if prior is not None:
+                delta = prior.delta_since(sent_vv)
+                sent_vv = prior.local_version_vector()
+                for peer in channel.exchange(delta):
+                    if peer:
+                        prior.merge_delta(peer)
+            else:
+                channel.exchange(None)
+        run_chunk(until)
+        state["timing"] = {
+            "cpu_run_s": cpu_run,
+            "wall_run_s": time.perf_counter() - wall_start,
+        }
+
+    result = run_fleet(
+        spec.app_spec.build(),
+        spec.traces,
+        fleet_env,
+        predictor=spec.predictor,
+        drain_s=spec.drain_s,
+        seed=spec.seed,
+        cohort_width_s=spec.cohort_width_s,
+        early_k=spec.early_k,
+        shared_prior=spec.shared_prior_path,
+        session_route=lambda i: shard_of(i, num_shards) == k,
+        expected_sessions=expected_total * share,
+        run_driver=drive,
+    )
+    fleet, prior = state["fleet"], state["prior"]
+    manager = fleet.manager
+    return {
+        "diagnostics": result.diagnostics,
+        "outcomes_by_session": fleet.outcomes_by_session(),
+        "session_indices": list(fleet.session_indices),
+        "fairness_samples": fleet.fairness_samples(),
+        "arrival_times": manager.arrival_times() if manager else None,
+        "session_labels": (
+            [str(r.index) for r in manager.admitted_records] if manager else None
+        ),
+        "prior_n": prior.n if prior is not None else None,
+        "prior_delta": prior.delta_since() if prior is not None else None,
+        "num_sessions": len(fleet.sessions),
+        "timing": state["timing"],
+    }
+
+
+def run_fleet_sharded(
+    app: "ImageExplorationApp | ImageAppSpec",
+    traces: Sequence[InteractionTrace],
+    fleet_env: FleetEnvironment,
+    num_shards: int,
+    predictor: str = "kalman",
+    sync_interval_s: float = 0.5,
+    drain_s: float = DEFAULT_DRAIN_S,
+    seed: int = 0,
+    cohort_width_s: float = 5.0,
+    early_k: int = 5,
+    shared_prior=None,
+    prior_out=None,
+    timeout_s: Optional[float] = 600.0,
+) -> FleetRunResult:
+    """:func:`run_fleet` partitioned across ``num_shards`` processes.
+
+    Sessions are hash-routed to shards
+    (:func:`~repro.fleet.sharding.shard_of` over the plan index); each
+    worker process runs a full ``Simulator`` / fleet / shared-backend
+    stack over its shard with its share of the downlink, admission cap,
+    and backend budget.  With ``predictor="shared-markov"`` and
+    ``sync_interval_s > 0`` the workers pause every ``sync_interval_s``
+    simulated seconds at a common barrier and exchange crowd-prior
+    deltas (the CRDT merge in :mod:`repro.predictors.shared`), so each
+    shard sees the others' transitions with at most one interval of
+    staleness.  Other predictors share no cross-session state and the
+    shards run free.
+
+    ``shared_prior`` warm-starts every shard from one prior (a path,
+    or a :class:`~repro.predictors.shared.SharedTransitionPrior` to
+    save into a temp file); ``prior_out`` saves the *pooled* end-of-run
+    prior (warm-start plus every shard's contribution).
+
+    The result pools every shard: one fleet-wide summary over the
+    concatenated outcome streams, Jain's index over the union of
+    fairness samples, summed counter snapshots, and a
+    ``diagnostics["sharding"]`` block (per-shard session counts, CPU
+    timings, delta-sync stats).  **W=1 reproduces the unsharded**
+    :func:`run_fleet` **bit-for-bit** apart from that extra block: the
+    route keeps everything, every scale factor is exactly 1.0, and a
+    chunked ``sim.run`` is event-exact — tests enforce this.
+    """
+    from repro.fleet.sharding import ShardTask, run_sharded
+    from repro.predictors.shared import SharedTransitionPrior
+
+    if num_shards < 1:
+        raise ValueError("need at least one shard")
+    if len(traces) != fleet_env.num_sessions:
+        raise ValueError(
+            f"{len(traces)} traces for {fleet_env.num_sessions} sessions"
+        )
+    app_spec = app if isinstance(app, ImageAppSpec) else ImageAppSpec.of(app)
+    traces = list(traces)
+
+    static = fleet_env.arrival is None or fleet_env.arrival.is_static
+    if static:
+        horizon = max(t.duration_s for t in traces)
+    else:
+        # Same arithmetic as SessionManager.horizon_s over the same
+        # (pure-function-of-seed) global plan the workers will build.
+        horizon = 0.0
+        for plan in fleet_env.arrival.plan(fleet_env.num_sessions):
+            span = traces[plan.index].duration_s
+            if plan.dwell_s is not None:
+                span = min(span, plan.dwell_s)
+            horizon = max(horizon, plan.arrival_s + span)
+    until = horizon + drain_s
+
+    sync_points: tuple[float, ...] = ()
+    if predictor == "shared-markov" and sync_interval_s > 0:
+        sync_points = tuple(
+            i * sync_interval_s
+            for i in range(1, math.ceil(until / sync_interval_s))
+            if i * sync_interval_s < until
+        )
+
+    warm_path = shared_prior
+    temp_prior = None
+    if isinstance(shared_prior, SharedTransitionPrior):
+        temp_prior = tempfile.NamedTemporaryFile(suffix=".npz", delete=False)
+        temp_prior.close()
+        shared_prior.save(temp_prior.name)
+        warm_path = temp_prior.name
+    try:
+        tasks = [
+            ShardTask(
+                entry="repro.experiments.runner:_sharded_fleet_worker",
+                spec=ShardFleetSpec(
+                    app_spec=app_spec,
+                    traces=traces,
+                    fleet_env=fleet_env,
+                    predictor=predictor,
+                    shard=k,
+                    num_shards=num_shards,
+                    sync_points=sync_points,
+                    drain_s=drain_s,
+                    seed=seed,
+                    cohort_width_s=cohort_width_s,
+                    early_k=early_k,
+                    shared_prior_path=(
+                        os.fspath(warm_path) if warm_path is not None else None
+                    ),
+                ),
+                shard=k,
+                num_shards=num_shards,
+            )
+            for k in range(num_shards)
+        ]
+        shards = run_sharded(
+            tasks, sync_rounds=len(sync_points), timeout_s=timeout_s
+        )
+        pooled_prior = None
+        transitions_merged = 0
+        if predictor == "shared-markov":
+            n = next(s["prior_n"] for s in shards if s["prior_n"] is not None)
+            pooled_prior = (
+                SharedTransitionPrior.load(warm_path, n=n)
+                if warm_path is not None
+                else SharedTransitionPrior(n)
+            )
+            for s in shards:
+                if s["prior_delta"] is not None:
+                    transitions_merged += pooled_prior.merge_delta(
+                        s["prior_delta"]
+                    )
+    finally:
+        if temp_prior is not None:
+            os.unlink(temp_prior.name)
+
+    # -- pool the shards into one fleet-wide result -------------------
+    reports = [s["diagnostics"] for s in shards]
+    outcomes_by_session = [o for s in shards for o in s["outcomes_by_session"]]
+    session_indices = [i for s in shards for i in s["session_indices"]]
+    samples = [v for s in shards for v in s["fairness_samples"]]
+    diagnostics: dict = {
+        "sessions": sum(d["sessions"] for d in reports),
+        "blocks_sent": sum(d["blocks_sent"] for d in reports),
+        "bytes_sent": sum(d["bytes_sent"] for d in reports),
+        "blocks_deferred": sum(d["blocks_deferred"] for d in reports),
+        "link_fairness": jain_fairness(samples) if samples else 1.0,
+        "backend": pool_snapshots([d["backend"] for d in reports]),
+    }
+    backend = diagnostics["backend"]
+    shared_hits = backend["cache_hits"] + backend["piggybacked"]
+    calls = backend["fetches_started"] + shared_hits
+    diagnostics["shared_hit_rate"] = shared_hits / calls if calls else 0.0
+    if all("prediction" in d for d in reports):
+        diagnostics["prediction"] = pool_snapshots(
+            [d["prediction"] for d in reports]
+        )
+    if not static:
+        diagnostics["churn"] = pool_snapshots([d["churn"] for d in reports])
+        rates = [
+            early_hit_rate(o, first_k=early_k) for o in outcomes_by_session if o
+        ]
+        diagnostics["early_hit_rate"] = sum(rates) / len(rates) if rates else 0.0
+
+    if pooled_prior is not None:
+        diagnostics["shared_prior"] = pooled_prior.snapshot()
+        if prior_out is not None:
+            pooled_prior.save(prior_out)
+
+    diagnostics["sharding"] = {
+        "shards": num_shards,
+        "sync_interval_s": sync_interval_s,
+        "sync_rounds": len(sync_points),
+        "sessions_per_shard": [s["num_sessions"] for s in shards],
+        "transitions_merged": transitions_merged,
+        "cpu_run_s": [s["timing"]["cpu_run_s"] for s in shards],
+        "wall_run_s": [s["timing"]["wall_run_s"] for s in shards],
+    }
+
+    cohorts: list[CohortSummary] = []
+    session_labels = None
+    if not static:
+        arrival_times = [t for s in shards for t in s["arrival_times"]]
+        cohorts = collect_cohorts(
+            outcomes_by_session, arrival_times, cohort_width_s=cohort_width_s
+        )
+        session_labels = [l for s in shards for l in s["session_labels"]]
+    elif num_shards > 1:
+        # Positions no longer equal plan indices once the fleet is
+        # split; label rows with the global index so they stay joinable.
+        session_labels = [str(i) for i in session_indices]
+
+    return FleetRunResult(
+        system=f"fleet-{predictor}",
+        fleet_env=fleet_env,
+        summary=(
+            collect_fleet(outcomes_by_session)
+            if any(outcomes_by_session)
+            else None
+        ),
+        diagnostics=diagnostics,
+        trace_names=[t.name for t in traces],
+        cohorts=cohorts,
+        session_labels=session_labels,
     )
 
 

@@ -29,6 +29,14 @@ changed probability matrices in a single stacked numpy pass
 from .fleet import FleetConfig, KhameleonFleet
 from .lifecycle import ArrivalConfig, SessionManager, SessionPlan, SessionRecord
 from .schedule_service import FleetScheduleService, batch_probability_matrices
+from .sharding import (
+    ShardChannel,
+    ShardError,
+    ShardTask,
+    assign_shards,
+    run_sharded,
+    shard_of,
+)
 
 __all__ = [
     "FleetConfig",
@@ -39,4 +47,10 @@ __all__ = [
     "SessionRecord",
     "FleetScheduleService",
     "batch_probability_matrices",
+    "ShardChannel",
+    "ShardError",
+    "ShardTask",
+    "assign_shards",
+    "run_sharded",
+    "shard_of",
 ]

@@ -109,6 +109,18 @@ class FleetConfig:
         but not lock-stepped; the initial bandwidth estimate is divided
         by the expected concurrent population (``num_sessions`` for a
         static fleet, the Little's-law estimate under churn).
+    session_route:
+        Shard routing filter, ``global_index -> bool``: build/admit only
+        the sessions this fleet *owns*.  Session indices stay **global**
+        — seeds, weights, and port labels are computed from the plan
+        index, so a sharded worker reproduces exactly the sessions the
+        unsharded fleet would have built for those indices.  ``None``
+        (default) owns everything.
+    expected_sessions:
+        Override for :meth:`expected_concurrency` — a sharded worker
+        expects only its share of the population, and its bandwidth
+        slice is scaled by the same share, so each session's bandwidth
+        prior matches the unsharded fleet's.
     """
 
     num_sessions: int = 1
@@ -119,6 +131,8 @@ class FleetConfig:
     batched_decode: bool = True
     arrival: Optional[ArrivalConfig] = None
     session: SessionConfig = field(default_factory=SessionConfig)
+    session_route: Optional[Callable[[int], bool]] = None
+    expected_sessions: Optional[float] = None
 
     def __post_init__(self) -> None:
         if self.num_sessions < 1:
@@ -139,9 +153,15 @@ class FleetConfig:
 
     def expected_concurrency(self) -> float:
         """Sessions expected to be attached at once (bandwidth prior)."""
+        if self.expected_sessions is not None:
+            return max(1e-9, float(self.expected_sessions))
         if self.arrival is None:
             return float(self.num_sessions)
         return self.arrival.expected_concurrency(self.num_sessions)
+
+    def owns(self, i: int) -> bool:
+        """Does this fleet (shard) build session ``i``?"""
+        return self.session_route is None or bool(self.session_route(i))
 
 
 class KhameleonFleet:
@@ -230,13 +250,20 @@ class KhameleonFleet:
         )
 
         self.sessions: list[KhameleonSession] = []
+        #: Global plan index of each admitted session, parallel to
+        #: ``sessions`` (the identity mapping unless ``session_route``
+        #: filters or churn rejects).
+        self.session_indices: list[int] = []
         self.ports = []
         self.manager: Optional[SessionManager] = None
         if cfg.is_static:
             for i in range(cfg.num_sessions):
-                self._admit_session(i)
+                if cfg.owns(i):
+                    self._admit_session(i)
         else:
-            self.manager = SessionManager(sim, self, cfg.arrival)
+            self.manager = SessionManager(
+                sim, self, cfg.arrival, route=cfg.session_route
+            )
 
     def __len__(self) -> int:
         return len(self.sessions)
@@ -282,6 +309,7 @@ class KhameleonFleet:
         )
         self.ports.append(port)
         self.sessions.append(session)
+        self.session_indices.append(i)
         return session
 
     def _retire_session(self, session: KhameleonSession) -> int:
@@ -336,9 +364,31 @@ class KhameleonFleet:
         :meth:`report` uses :meth:`churn_link_fairness` instead, which
         normalizes by attached duration.
         """
+        if not self.ports:
+            return 1.0  # a shard that owns no sessions is trivially fair
         return jain_fairness(
             [p.bytes_delivered / p.weight for p in self.ports]
         )
+
+    def fairness_samples(self) -> list[float]:
+        """The per-session values :meth:`report` feeds Jain's index.
+
+        Static fleets: lifetime weight-normalized bytes per port; churn
+        fleets: weight-normalized *attached-time* delivery rates.  A
+        sharded coordinator concatenates every shard's samples and
+        recomputes one fleet-wide index — Jain over the union, not a
+        mean of per-shard indices.
+        """
+        if self.manager is None:
+            return [p.bytes_delivered / p.weight for p in self.ports]
+        rates = []
+        for record in self.manager.admitted_records:
+            port = record.session.downlink
+            end = record.departed_at if record.departed_at is not None else self.sim.now
+            duration = end - record.arrived_at
+            if duration > 0:
+                rates.append(port.bytes_delivered / (port.weight * duration))
+        return rates
 
     def churn_link_fairness(self) -> float:
         """Jain's index over per-session *attached-time* delivery rate.
@@ -351,13 +401,7 @@ class KhameleonFleet:
         """
         if self.manager is None:
             return self.link_fairness()
-        rates = []
-        for record in self.manager.admitted_records:
-            port = record.session.downlink
-            end = record.departed_at if record.departed_at is not None else self.sim.now
-            duration = end - record.arrived_at
-            if duration > 0:
-                rates.append(port.bytes_delivered / (port.weight * duration))
+        rates = self.fairness_samples()
         return jain_fairness(rates) if rates else 1.0
 
     def shared_hit_rate(self) -> float:

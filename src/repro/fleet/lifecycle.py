@@ -215,6 +215,15 @@ class SessionManager:
         ``on_admit`` fires *after* the session is attached and started —
         the experiment runner uses it to begin replaying the user's
         trace at the (simulated) moment they showed up.
+    route:
+        Shard routing filter, ``plan_index -> bool``: only planned
+        sessions this manager owns are scheduled to arrive.  The plan
+        itself stays **global** — every shard materializes the same
+        arrival times and dwells from the same seed, then drops the
+        sessions routed elsewhere, so a session's timeline is identical
+        no matter how many shards the fleet is split into (and
+        :meth:`horizon_s` spans the whole fleet's plan, giving every
+        shard the same run horizon for lock-step delta sync).
     """
 
     def __init__(
@@ -225,6 +234,7 @@ class SessionManager:
         on_admit: Optional[Callable[[SessionRecord], None]] = None,
         on_depart: Optional[Callable[[SessionRecord], None]] = None,
         on_reject: Optional[Callable[[SessionRecord], None]] = None,
+        route: Optional[Callable[[int], bool]] = None,
     ) -> None:
         self.sim = sim
         self.fleet = fleet
@@ -232,8 +242,13 @@ class SessionManager:
         self.on_admit = on_admit
         self.on_depart = on_depart
         self.on_reject = on_reject
+        self.route = route
         self.plans = arrival.plan(fleet.config.num_sessions)
-        self.records = [SessionRecord(plan=p) for p in self.plans]
+        self.records = [
+            SessionRecord(plan=p)
+            for p in self.plans
+            if route is None or route(p.index)
+        ]
         self.admitted_records: list[SessionRecord] = []  # admission order
         self.stats = ChurnStats()
         self._active: list[SessionRecord] = []

@@ -1,0 +1,251 @@
+"""Multiprocess fleet sharding: spawn workers, lock-step delta sync.
+
+One Python process tops out near the N=32 fleet bench — the 150 ms
+scheduling tick (PAPER.md §5) cannot amortize across more sessions
+than one core can recompute in 150 ms.  The only cross-session state
+in the whole stack is the crowd prior
+(:class:`~repro.predictors.shared.SharedTransitionPrior`), and PR 7
+makes it a CRDT, so the fleet partitions cleanly: hash-assign every
+session to one of W worker processes, run a full, independent
+``Simulator`` + ``FleetScheduleService`` + shared-backend stack per
+shard, and exchange prior deltas at a configurable cadence.  Nothing
+on any worker's hot path ever takes a lock or crosses a process
+boundary.
+
+This module is the *generic* half — routing, process lifecycle, and
+the barrier protocol; it knows nothing about fleets or priors beyond
+"workers exchange picklable payloads".  The experiment-aware half
+(building shard fleets, merging :class:`PriorDelta` objects, pooling
+metrics) lives in :func:`repro.experiments.runner.run_fleet_sharded`.
+
+Protocol (bulk-synchronous, coordinator-relayed)::
+
+    worker w:  for each sync point: run sim chunk; exchange(delta)
+               then: result(report)
+    coordinator: per round, gather one payload from every worker,
+               broadcast each worker the OTHER workers' payloads;
+               finally gather one result per worker.
+
+Workers advance their discrete-event simulators to identical barrier
+times between exchanges, so every shard sees every other shard's
+transitions with bounded staleness (one sync interval).  The relay
+gives O(W) pipe pairs instead of O(W²), and the coordinator is idle
+between barriers — all CPU burns in the workers.
+
+Entry points are ``"module:function"`` strings rather than callables
+so the spawn start method (required: fork would snapshot the
+coordinator's heap, and the default differs across platforms) only
+ever pickles plain data.
+"""
+
+from __future__ import annotations
+
+import importlib
+import multiprocessing as mp
+import os
+import traceback
+import zlib
+from dataclasses import dataclass
+from multiprocessing.connection import Connection
+from typing import Any, Callable, Optional
+
+__all__ = [
+    "shard_of",
+    "assign_shards",
+    "ShardTask",
+    "ShardChannel",
+    "ShardError",
+    "run_sharded",
+]
+
+
+def shard_of(key: Any, num_shards: int) -> int:
+    """Stable hash route: which shard owns ``key``?
+
+    Uses CRC-32 of the key's string form — Python's builtin ``hash``
+    is salted per process, which would route the same session to
+    different shards in the coordinator and a worker.
+    """
+    if num_shards < 1:
+        raise ValueError("num_shards must be >= 1")
+    return zlib.crc32(str(key).encode()) % num_shards
+
+
+def assign_shards(keys, num_shards: int) -> list[list[Any]]:
+    """Partition ``keys`` by :func:`shard_of`, preserving input order."""
+    shards: list[list[Any]] = [[] for _ in range(num_shards)]
+    for key in keys:
+        shards[shard_of(key, num_shards)].append(key)
+    return shards
+
+
+@dataclass
+class ShardTask:
+    """Everything one worker process needs, as picklable data."""
+
+    #: ``"package.module:function"`` resolved inside the worker; called
+    #: as ``function(spec, channel)`` and its return value becomes this
+    #: shard's entry in :func:`run_sharded`'s result list.
+    entry: str
+    #: Arbitrary picklable payload for the entry function.
+    spec: Any
+    shard: int
+    num_shards: int
+
+
+class ShardChannel:
+    """Worker-side handle on the coordinator pipe."""
+
+    def __init__(self, conn: Connection, shard: int, num_shards: int) -> None:
+        self._conn = conn
+        self.shard = shard
+        self.num_shards = num_shards
+
+    def exchange(self, payload: Any) -> list[Any]:
+        """Barrier: offer ``payload``, receive every peer's offering.
+
+        Blocks until all workers reach the same round.  Returns the
+        other ``num_shards - 1`` payloads (empty list when W=1 — the
+        degenerate fleet syncs with nobody, which is what makes the
+        W=1 run bit-identical to the unsharded one).
+        """
+        self._conn.send(("sync", payload))
+        kind, peers = self._conn.recv()
+        if kind != "peers":  # pragma: no cover - protocol bug guard
+            raise RuntimeError(f"expected peers, got {kind!r}")
+        return peers
+
+    def result(self, value: Any) -> None:
+        """Ship the shard's final report to the coordinator."""
+        self._conn.send(("result", value))
+
+
+class ShardError(RuntimeError):
+    """A worker process failed; carries the remote traceback."""
+
+    def __init__(self, shard: int, remote_traceback: str) -> None:
+        super().__init__(
+            f"shard {shard} failed:\n{remote_traceback}"
+        )
+        self.shard = shard
+        self.remote_traceback = remote_traceback
+
+
+def _worker_entry(task: ShardTask, conn: Connection) -> None:
+    """Spawn target: resolve the entry point and run it on the channel."""
+    try:
+        module_name, _, func_name = task.entry.partition(":")
+        fn: Callable = getattr(importlib.import_module(module_name), func_name)
+        channel = ShardChannel(conn, task.shard, task.num_shards)
+        value = fn(task.spec, channel)
+        channel.result(value)
+    except Exception:
+        try:
+            conn.send(("error", traceback.format_exc()))
+        except (BrokenPipeError, OSError):  # pragma: no cover
+            pass
+    finally:
+        conn.close()
+
+
+def _ensure_importable() -> None:
+    """Make sure spawned children can ``import repro``.
+
+    Spawn re-imports the target's module by name in a fresh
+    interpreter; when the parent got ``repro`` from a ``sys.path``
+    entry (pytest rootdir magic) rather than ``PYTHONPATH``, the child
+    would not.  Prepend the package parent to ``PYTHONPATH`` so the
+    child inherits it.
+    """
+    root = os.path.dirname(os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
+    existing = os.environ.get("PYTHONPATH", "")
+    if root not in existing.split(os.pathsep):
+        os.environ["PYTHONPATH"] = (
+            root + (os.pathsep + existing if existing else "")
+        )
+
+
+def _recv(
+    conn: Connection,
+    proc: mp.process.BaseProcess,
+    shard: int,
+    timeout_s: Optional[float],
+) -> tuple[str, Any]:
+    """Receive one message, surfacing worker death instead of hanging."""
+    waited = 0.0
+    poll_s = 0.2
+    while not conn.poll(poll_s):
+        waited += poll_s
+        if not proc.is_alive():
+            # One last poll: the message may have raced process exit.
+            if conn.poll(0):
+                break
+            raise ShardError(
+                shard, f"worker exited with code {proc.exitcode} mid-protocol"
+            )
+        if timeout_s is not None and waited >= timeout_s:
+            raise ShardError(shard, f"no message within {timeout_s:.0f}s")
+    kind, payload = conn.recv()
+    if kind == "error":
+        raise ShardError(shard, payload)
+    return kind, payload
+
+
+def run_sharded(
+    tasks: list[ShardTask],
+    sync_rounds: int = 0,
+    timeout_s: Optional[float] = None,
+    on_round: Optional[Callable[[int, list[Any]], None]] = None,
+) -> list[Any]:
+    """Run one process per task with ``sync_rounds`` barrier exchanges.
+
+    Every worker must call :meth:`ShardChannel.exchange` exactly
+    ``sync_rounds`` times before returning — the coordinator gathers
+    one payload per worker per round and relays each worker the
+    others' payloads.  ``on_round(round_index, payloads)`` observes
+    each completed barrier (e.g. to fold deltas into a coordinator-side
+    aggregate).  Returns the workers' entry-function return values,
+    indexed by shard.  Any worker failure tears the whole fleet down
+    and raises :class:`ShardError` with the remote traceback.
+    """
+    if {t.shard for t in tasks} != set(range(len(tasks))):
+        raise ValueError("task shard indices must be exactly 0..W-1")
+    _ensure_importable()
+    ctx = mp.get_context("spawn")
+    procs: list[mp.process.BaseProcess] = []
+    pipes: list[Connection] = []
+    try:
+        for task in tasks:
+            parent_conn, child_conn = ctx.Pipe()
+            proc = ctx.Process(
+                target=_worker_entry, args=(task, child_conn), daemon=True
+            )
+            proc.start()
+            child_conn.close()  # child's end lives in the child now
+            procs.append(proc)
+            pipes.append(parent_conn)
+        for round_index in range(sync_rounds):
+            offers = [
+                _recv(pipes[i], procs[i], tasks[i].shard, timeout_s)[1]
+                for i in range(len(tasks))
+            ]
+            for i, conn in enumerate(pipes):
+                conn.send(("peers", offers[:i] + offers[i + 1:]))
+            if on_round is not None:
+                on_round(round_index, list(offers))
+        results: list[Any] = [None] * len(tasks)
+        for i, conn in enumerate(pipes):
+            kind, value = _recv(conn, procs[i], tasks[i].shard, timeout_s)
+            if kind != "result":
+                raise ShardError(
+                    tasks[i].shard, f"expected result, got {kind!r}"
+                )
+            results[tasks[i].shard] = value
+        return results
+    finally:
+        for conn in pipes:
+            conn.close()
+        for proc in procs:
+            if proc.is_alive():
+                proc.terminate()
+            proc.join(timeout=5.0)

@@ -40,6 +40,7 @@ __all__ = [
     "collect_cohorts",
     "early_hit_rate",
     "jain_fairness",
+    "pool_snapshots",
 ]
 
 
@@ -185,6 +186,45 @@ def early_hit_rate(outcomes: Sequence[RequestOutcome], first_k: int = 5) -> floa
     if not considered:
         return 0.0
     return sum(1 for o in considered if o.cache_hit) / len(considered)
+
+
+def pool_snapshots(snapshots: Sequence[dict]) -> dict:
+    """Fold per-shard counter snapshots into one fleet-wide snapshot.
+
+    A sharded fleet runs one backend / schedule service / churn manager
+    per worker; their ``snapshot()`` dicts pool by key:
+
+    * numeric counters sum (``bool`` is *not* numeric here — flags like
+      ``batched_decode`` must agree across shards and pass through);
+    * keys starting with ``peak_`` take the max — per-shard peaks never
+      coincide, so the largest shard's peak is the honest fleet figure;
+    * nested dicts recurse; any other equal values pass through.
+
+    With one snapshot this is the identity, which is what keeps a W=1
+    sharded report bit-identical to the unsharded one.  Mismatched key
+    sets or contradictory non-numeric values raise — silently dropping
+    a shard's counters would fake a healthy report.
+    """
+    if not snapshots:
+        raise ValueError("nothing to pool")
+    first = snapshots[0]
+    for other in snapshots[1:]:
+        if set(other) != set(first):
+            raise ValueError(
+                f"snapshot keys differ: {sorted(first)} vs {sorted(other)}"
+            )
+    out: dict = {}
+    for key in first:
+        values = [s[key] for s in snapshots]
+        if isinstance(first[key], dict):
+            out[key] = pool_snapshots(values)
+        elif isinstance(first[key], (int, float)) and not isinstance(first[key], bool):
+            out[key] = max(values) if key.startswith("peak_") else sum(values)
+        else:
+            if any(v != first[key] for v in values[1:]):
+                raise ValueError(f"shards disagree on {key!r}: {values}")
+            out[key] = first[key]
+    return out
 
 
 def jain_fairness(values: Sequence[float]) -> float:

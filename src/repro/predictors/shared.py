@@ -52,6 +52,7 @@ byte-identical to per-member :meth:`decode` calls.
 from __future__ import annotations
 
 from collections import defaultdict
+from dataclasses import dataclass, field
 from typing import Any, Optional, Sequence
 
 import numpy as np
@@ -62,10 +63,36 @@ from .base import DEFAULT_DELTAS_S, Predictor
 from .markov import MarkovClientPredictor, MarkovModel, MarkovServerPredictor
 
 __all__ = [
+    "PriorDelta",
     "SharedTransitionPrior",
     "SharedMarkovServerPredictor",
     "make_shared_markov_predictor",
 ]
+
+
+@dataclass
+class PriorDelta:
+    """Wire format for cross-shard prior sync (plain dicts: picklable).
+
+    Carries the *absolute* local counts of every row the receiver has
+    not yet seen at this mass — a state snapshot restricted to stale
+    rows, not an increment log.  Absolute snapshots are what make the
+    merge idempotent: applying the same delta twice is a no-op because
+    the receiver compares ``row_mass`` against what it already merged
+    from this origin.
+    """
+
+    #: Identity of the shard whose local counts these are.
+    origin: str
+    #: Request-universe size (guards against merging mismatched priors).
+    n: int
+    #: ``prev -> {nxt -> absolute local count}`` for each stale row.
+    rows: dict[int, dict[int, int]] = field(default_factory=dict)
+    #: ``prev -> absolute local row mass`` (the row's version at ``origin``).
+    row_mass: dict[int, int] = field(default_factory=dict)
+
+    def __bool__(self) -> bool:
+        return bool(self.rows)
 
 
 class SharedTransitionPrior:
@@ -81,6 +108,18 @@ class SharedTransitionPrior:
         self._row_mass: dict[int, int] = defaultdict(int)
         self._row_cache: dict[int, tuple[int, np.ndarray, np.ndarray]] = {}
         self.transitions_observed = 0
+        # -- sharding state (see the CRDT section below) --------------
+        # Local contributions, tracked separately once ``enable_sharding``
+        # names this replica; ``None`` means unsharded (no tracking cost).
+        self._origin: Optional[str] = None
+        self._local: dict[int, dict[int, int]] = {}
+        self._local_row_mass: dict[int, int] = {}
+        # Last absolute snapshot merged per remote origin:
+        # origin -> row -> {nxt: count} and origin -> row -> mass.
+        # Kept even when unsharded so a fresh pooling prior (the
+        # coordinator's aggregate) can merge shard deltas directly.
+        self._merged_rows: dict[str, dict[int, dict[int, int]]] = {}
+        self._merged_row_mass: dict[str, dict[int, int]] = {}
 
     def observe(self, prev: int, nxt: int) -> None:
         """Pool one transition from any session's request stream."""
@@ -89,6 +128,12 @@ class SharedTransitionPrior:
         self._counts[prev][nxt] += 1
         self._row_mass[prev] += 1
         self.transitions_observed += 1
+        if self._origin is not None:
+            row = self._local.get(prev)
+            if row is None:
+                row = self._local[prev] = {}
+            row[nxt] = row.get(nxt, 0) + 1
+            self._local_row_mass[prev] = self._local_row_mass.get(prev, 0) + 1
 
     def row(self, request: int) -> tuple[np.ndarray, np.ndarray]:
         """``(ids, probs)``: the crowd's successor distribution of ``request``.
@@ -122,6 +167,126 @@ class SharedTransitionPrior:
             "transitions_observed": self.transitions_observed,
             "rows_warmed": len(self._counts),
         }
+
+    # -- cross-shard delta sync (CRDT) --------------------------------
+    #
+    # A sharded fleet runs one prior replica per worker process.  Each
+    # replica tracks the counts *it* observed (its local contribution)
+    # separately from the pooled table, and shards exchange those local
+    # contributions as :class:`PriorDelta` snapshots.  The pooled table
+    # at any replica is then::
+    #
+    #     counts = local + Σ_origin merged_snapshot[origin]
+    #
+    # i.e. a map from origin to that origin's latest known local-count
+    # snapshot — a G-counter of count *tables* rather than scalars.
+    #
+    # Why this is a CRDT (state-based, join-semilattice):
+    #
+    # * Local counts are append-only, so the sequence of snapshots one
+    #   origin emits is totally ordered: for two snapshots A, B of the
+    #   same origin, either A ≤ B or B ≤ A elementwise, and the
+    #   per-row ``row_mass`` (the append-only version from PR 5)
+    #   decides which is newer without comparing every cell.
+    # * The merged state is the per-origin pointwise maximum of all
+    #   snapshots seen.  ``max`` over a total order is the semilattice
+    #   join, hence the merge is
+    #   **commutative** (max(a, b) = max(b, a)),
+    #   **associative** (max(max(a, b), c) = max(a, max(b, c))), and
+    #   **idempotent** (max(a, a) = a) — replaying or reordering
+    #   deltas cannot double-count.
+    # * ``delta_since(version_vector)`` ships the rows whose local mass
+    #   exceeds the receiver's recorded mass, as *absolute* counts.
+    #   Because a newer snapshot of a row subsumes every older one,
+    #   delta-then-merge equals full-state merge: applying any suffix
+    #   of snapshots ending in the latest yields the same pooled table
+    #   as applying the latest alone.
+    #
+    # ``merge_delta`` applies the non-negative difference between the
+    # incoming snapshot and the last one merged from that origin, so
+    # the pooled ``_counts`` / ``_row_mass`` / ``transitions_observed``
+    # stay exact sums over origins, and the append-only row versions
+    # keep invalidating the decode caches exactly as local observes do.
+
+    def enable_sharding(self, origin: str) -> None:
+        """Name this replica and start tracking its local contribution.
+
+        Counts already pooled (e.g. a warm-start snapshot loaded via
+        :meth:`load`) are *not* part of the local contribution — every
+        shard warm-starts from the same file, so re-broadcasting those
+        counts would duplicate them at every peer.
+        """
+        if self._origin is not None and self._origin != origin:
+            raise ValueError(
+                f"prior already sharded as {self._origin!r}, not {origin!r}"
+            )
+        self._origin = str(origin)
+
+    @property
+    def origin(self) -> Optional[str]:
+        return self._origin
+
+    def local_version_vector(self) -> dict[int, int]:
+        """``row -> local mass``: this replica's contribution versions."""
+        return dict(self._local_row_mass)
+
+    def delta_since(self, version_vector: Optional[dict[int, int]] = None) -> PriorDelta:
+        """Snapshot the local rows newer than ``version_vector``.
+
+        ``version_vector`` is the receiver's last known ``row -> mass``
+        for this origin (``None`` or ``{}`` means "send everything":
+        the full-state merge).  Rows at or below the receiver's mass
+        are omitted — they would be skipped on merge anyway.
+        """
+        if self._origin is None:
+            raise ValueError("enable_sharding() first: unsharded priors have no delta")
+        vv = version_vector or {}
+        rows: dict[int, dict[int, int]] = {}
+        mass: dict[int, int] = {}
+        for prev, local_mass in self._local_row_mass.items():
+            if local_mass > vv.get(prev, 0):
+                rows[prev] = dict(self._local[prev])
+                mass[prev] = local_mass
+        return PriorDelta(origin=self._origin, n=self.n, rows=rows, row_mass=mass)
+
+    def merge_delta(self, delta: PriorDelta) -> int:
+        """Join an origin's snapshot into the pooled table.
+
+        Returns the number of transitions actually applied (0 when the
+        delta is stale or our own — replays are free).  Safe to call in
+        any order, any number of times, on any replica or on a fresh
+        aggregation prior.
+        """
+        if delta.n != self.n:
+            raise ValueError(f"delta over {delta.n} requests, expected {self.n}")
+        if delta.origin == self._origin:
+            return 0  # our own contribution is already pooled
+        seen_rows = self._merged_rows.setdefault(delta.origin, {})
+        seen_mass = self._merged_row_mass.setdefault(delta.origin, {})
+        applied = 0
+        for prev, new_mass in delta.row_mass.items():
+            old_mass = seen_mass.get(prev, 0)
+            if new_mass <= old_mass:
+                continue  # stale or duplicate snapshot of this row
+            new_row = delta.rows[prev]
+            old_row = seen_rows.get(prev, {})
+            pooled = self._counts[prev]
+            for nxt, count in new_row.items():
+                diff = count - old_row.get(nxt, 0)
+                if diff < 0:
+                    raise ValueError(
+                        f"non-monotone delta from {delta.origin!r}: "
+                        f"{prev}->{nxt} shrank by {-diff}"
+                    )
+                if diff:
+                    pooled[nxt] += diff
+            grew = new_mass - old_mass
+            self._row_mass[prev] += grew
+            applied += grew
+            seen_rows[prev] = dict(new_row)
+            seen_mass[prev] = new_mass
+        self.transitions_observed += applied
+        return applied
 
     # -- persistence --------------------------------------------------
     #

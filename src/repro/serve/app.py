@@ -37,6 +37,7 @@ emulates the paper's netem conditions over a real network.
 from __future__ import annotations
 
 import asyncio
+import json
 from dataclasses import dataclass, replace
 from typing import Optional
 
@@ -89,6 +90,7 @@ class _Connection:
     outbox: asyncio.Queue
     blocks_pushed: int = 0
     bytes_pushed: int = 0
+    frames_dropped: int = 0
     detached: bool = False
     pump: Optional[asyncio.Task] = None
 
@@ -113,7 +115,10 @@ class KhameleonServeApp:
         host: str = "127.0.0.1",
         port: int = 0,
         prior: Optional[SharedTransitionPrior] = None,
+        outbox_depth: int = 1024,
     ) -> None:
+        if outbox_depth < 1:
+            raise ValueError("outbox_depth must be >= 1")
         if predictor not in _LIVE_PREDICTORS:
             raise ValueError(
                 f"predictor {predictor!r} cannot serve live sessions "
@@ -138,6 +143,11 @@ class KhameleonServeApp:
             if arrival is not None and arrival.max_concurrent is not None
             else fleet_env.num_sessions
         )
+        #: Per-session outbox backpressure bound (frames).  When the
+        #: real socket drains slower than the modeled link delivers,
+        #: frames beyond this depth are shed and counted, never
+        #: buffered unboundedly (``--outbox-depth`` on the CLI).
+        self.outbox_depth = outbox_depth
         self.stats = ServeStats()
         self.clock: Optional[WallClock] = None
         self.fleet: Optional[KhameleonFleet] = None
@@ -229,7 +239,10 @@ class KhameleonServeApp:
         self._weights[i] = min(MAX_WEIGHT, max(MIN_WEIGHT, weight))
         session = self.fleet._admit_session(i)
         conn = _Connection(
-            index=i, session=session, socket=socket, outbox=asyncio.Queue(maxsize=1024)
+            index=i,
+            session=session,
+            socket=socket,
+            outbox=asyncio.Queue(maxsize=self.outbox_depth),
         )
         # Tap the delivery callback: every block the modeled link
         # delivers goes to the socket *and* to the server-resident
@@ -267,6 +280,7 @@ class KhameleonServeApp:
             # The real socket is slower than the modeled link; shed the
             # frame rather than buffer unboundedly.  The server-side
             # mirror keeps its optimistic view — same as genuine loss.
+            conn.frames_dropped += 1
             self.stats.frames_dropped += 1
             return
         conn.blocks_pushed += 1
@@ -284,8 +298,12 @@ class KhameleonServeApp:
             self._tasks.add(task)
             task.add_done_callback(self._tasks.discard)
         try:
-            socket = await ws.accept(reader, writer)
+            socket = await ws.accept(reader, writer, http_handler=self._http_request)
         except (ws.WebSocketError, OSError):
+            writer.close()
+            return
+        if socket is None:
+            # Plain HTTP, answered by _http_request (GET /status).
             writer.close()
             return
         conn: Optional[_Connection] = None
@@ -383,9 +401,44 @@ class KhameleonServeApp:
             session=conn.index,
             blocks_pushed=conn.blocks_pushed,
             bytes_pushed=conn.bytes_pushed,
+            frames_dropped=conn.frames_dropped,
             blocks_sent=conn.session.sender.blocks_sent,
             server_metrics=summary,
         )
+
+    # -- plain HTTP sidecar --------------------------------------------
+
+    def status_snapshot(self) -> dict:
+        """Fleet-wide serving stats (the ``GET /status`` JSON body)."""
+        s = self.stats
+        return {
+            "sessions_live": len(self._live),
+            "sessions_admitted": s.sessions_admitted,
+            "sessions_rejected": s.sessions_rejected,
+            "sessions_detached": s.sessions_detached,
+            "admission_cap": self.max_concurrent,
+            "blocks_pushed": s.blocks_pushed,
+            "bytes_pushed": s.bytes_pushed,
+            "frames_dropped": s.frames_dropped,
+            "outbox_depth": self.outbox_depth,
+            "events_received": s.events_received,
+            "requests_received": s.requests_received,
+            "predictor": self.predictor,
+            # The crowd prior's "version mass": total transition count,
+            # which only grows — the same quantity the sharded fleet's
+            # CRDT deltas carry per row.
+            "prior_version_mass": self.prior.transitions_observed,
+        }
+
+    def _http_request(self, start: str, headers: dict) -> Optional[tuple[int, str, str]]:
+        """Non-upgrade requests: serve ``GET /status``, 404 the rest."""
+        parts = start.split(" ")
+        if len(parts) < 2 or parts[0] != "GET":
+            return None
+        path = parts[1].split("?", 1)[0]
+        if path == "/status":
+            return 200, "application/json", json.dumps(self.status_snapshot())
+        return 404, "application/json", json.dumps({"error": "not found"})
 
     async def _pump(self, conn: _Connection) -> None:
         """Drain the outbox onto the socket (its own task per session)."""

@@ -25,7 +25,7 @@ import base64
 import hashlib
 import os
 import struct
-from typing import Optional
+from typing import Callable, Optional
 
 __all__ = [
     "WebSocket",
@@ -85,13 +85,26 @@ async def _read_http_head(reader: asyncio.StreamReader) -> tuple[str, dict[str, 
     return start, headers
 
 
+#: Plain-HTTP fallback: maps ``(request_line, headers)`` to an optional
+#: ``(status, content_type, body)`` response for non-upgrade requests.
+HttpHandler = Callable[[str, dict], Optional[tuple[int, str, str]]]
+
+_HTTP_STATUS_TEXT = {200: "OK", 404: "Not Found", 400: "Bad Request"}
+
+
 async def accept(
-    reader: asyncio.StreamReader, writer: asyncio.StreamWriter
-) -> "WebSocket":
+    reader: asyncio.StreamReader,
+    writer: asyncio.StreamWriter,
+    http_handler: Optional[HttpHandler] = None,
+) -> Optional["WebSocket"]:
     """Server side: perform the upgrade handshake, return the socket.
 
-    Raises :class:`WebSocketError` (after sending ``400``) if the
-    request is not a well-formed WebSocket upgrade.
+    A non-upgrade request is first offered to ``http_handler`` (the
+    serving frontend mounts ``GET /status`` there): if the handler
+    returns a ``(status, content_type, body)`` triple the response is
+    written and ``None`` returned — the connection was plain HTTP, not
+    a WebSocket.  Otherwise the request gets a ``400`` and
+    :class:`WebSocketError` is raised, as for any malformed upgrade.
     """
     start, headers = await _read_http_head(reader)
     key = headers.get("sec-websocket-key")
@@ -100,6 +113,24 @@ async def accept(
         or "websocket" not in headers.get("upgrade", "").lower()
         or key is None
     ):
+        if http_handler is not None:
+            response = http_handler(start, headers)
+            if response is not None:
+                status, content_type, body = response
+                payload = body.encode("utf-8")
+                reason = _HTTP_STATUS_TEXT.get(status, "OK")
+                writer.write(
+                    (
+                        f"HTTP/1.1 {status} {reason}\r\n"
+                        f"Content-Type: {content_type}\r\n"
+                        f"Content-Length: {len(payload)}\r\n"
+                        "Connection: close\r\n"
+                        "\r\n"
+                    ).encode("ascii")
+                    + payload
+                )
+                await writer.drain()
+                return None
         writer.write(b"HTTP/1.1 400 Bad Request\r\nConnection: close\r\n\r\n")
         await writer.drain()
         raise WebSocketError(f"not a WebSocket upgrade: {start!r}")

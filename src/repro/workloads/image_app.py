@@ -106,6 +106,9 @@ class ImageExplorationApp:
         self.encoder = ProgressiveImageEncoder(self.store.assets, block_bytes)
         self.utility = utility if utility is not None else ssim_image_utility()
         self.block_bytes = block_bytes
+        #: Store seed, kept so the app can be rebuilt from a spec in a
+        #: sharded worker process (see ImageAppSpec).
+        self.seed = seed
 
     @property
     def num_requests(self) -> int:

@@ -1,0 +1,17 @@
+"""Importable worker entry points for the sharding protocol tests.
+
+Spawned shard workers resolve their entry by ``module:function``
+import in a fresh interpreter, so these must live in a real module —
+a function defined inside a test class would not be importable there.
+(The tests directory rides along on ``sys.path``, which multiprocessing
+forwards to spawn children.)
+"""
+
+
+def echo_worker(spec, channel):
+    """One exchange: return the peers' payloads."""
+    return channel.exchange(spec)
+
+
+def failing_worker(spec, channel):
+    raise RuntimeError("deliberate test failure")

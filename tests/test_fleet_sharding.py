@@ -1,0 +1,201 @@
+"""Tests for the multiprocess sharded fleet (repro.fleet.sharding).
+
+The load-bearing contract is **W=1 bit-identity**: a single-shard
+``run_fleet_sharded`` must reproduce the unsharded :func:`run_fleet`
+exactly — same summary floats, same diagnostics counters, same cohort
+tables — because every sharding transform (hash route, bandwidth
+share, expected-population override, chunked ``sim.run`` at sync
+barriers) degenerates to the identity at W=1.  That is what licenses
+trusting the W>1 fleet: the machinery provably adds nothing of its
+own.
+
+The rest covers the generic machinery (stable hash routing, the
+barrier protocol, worker-failure propagation) and the W=2 pooled
+report (session conservation, pooled counters, prior aggregation).
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.experiments.configs import DEFAULT_ENV, FleetEnvironment
+from repro.experiments.runner import run_fleet, run_fleet_sharded
+from repro.fleet import ArrivalConfig, ShardError, ShardTask, assign_shards, run_sharded, shard_of
+from repro.metrics.fleet import pool_snapshots
+from repro.workloads.image_app import ImageExplorationApp
+from repro.workloads.mouse import MouseTraceGenerator
+
+
+def small_fleet(num_sessions=4, trace_duration_s=3.0, arrival=None):
+    app = ImageExplorationApp(rows=8, cols=8)
+    traces = [
+        MouseTraceGenerator(app.layout, seed=100 + i).generate(
+            duration_s=trace_duration_s
+        )
+        for i in range(num_sessions)
+    ]
+    fleet_env = FleetEnvironment(
+        num_sessions=num_sessions, env=DEFAULT_ENV, arrival=arrival
+    )
+    return app, traces, fleet_env
+
+
+def strip_sharding(result):
+    diagnostics = dict(result.diagnostics)
+    diagnostics.pop("sharding")
+    return dataclasses.replace(result, diagnostics=diagnostics)
+
+
+class TestHashRouting:
+    def test_stable_across_calls(self):
+        assert [shard_of(i, 4) for i in range(16)] == [
+            shard_of(i, 4) for i in range(16)
+        ]
+
+    def test_partition_is_total_and_disjoint(self):
+        shards = assign_shards(range(100), 4)
+        assert sorted(i for shard in shards for i in shard) == list(range(100))
+
+    def test_single_shard_owns_everything(self):
+        assert assign_shards(range(10), 1) == [list(range(10))]
+
+    def test_rejects_zero_shards(self):
+        with pytest.raises(ValueError):
+            shard_of(1, 0)
+
+
+class TestBarrierProtocol:
+    def test_exchange_relays_peer_payloads(self):
+        tasks = [
+            ShardTask(
+                entry="_shard_helpers:echo_worker",
+                spec=f"hello-{k}",
+                shard=k,
+                num_shards=3,
+            )
+            for k in range(3)
+        ]
+        results = run_sharded(tasks, sync_rounds=1, timeout_s=60.0)
+        for k, got in enumerate(results):
+            expected = sorted(f"hello-{j}" for j in range(3) if j != k)
+            assert sorted(got) == expected
+
+    def test_worker_exception_raises_shard_error(self):
+        tasks = [
+            ShardTask(
+                entry="_shard_helpers:failing_worker",
+                spec=None,
+                shard=0,
+                num_shards=1,
+            )
+        ]
+        with pytest.raises(ShardError, match="deliberate"):
+            run_sharded(tasks, timeout_s=60.0)
+
+    def test_shard_indices_must_cover_range(self):
+        task = ShardTask(entry="x:y", spec=None, shard=1, num_shards=2)
+        with pytest.raises(ValueError, match="0..W-1"):
+            run_sharded([task])
+
+
+class TestSingleShardBitIdentity:
+    def test_static_shared_markov(self):
+        app, traces, fleet_env = small_fleet()
+        baseline = run_fleet(app, traces, fleet_env, predictor="shared-markov")
+        sharded = run_fleet_sharded(
+            app, traces, fleet_env, num_shards=1, predictor="shared-markov",
+            sync_interval_s=0.5,
+        )
+        assert sharded.diagnostics["sharding"]["sync_rounds"] > 0
+        assert strip_sharding(sharded) == baseline
+
+    def test_static_kalman_no_sync(self):
+        app, traces, fleet_env = small_fleet(num_sessions=3)
+        baseline = run_fleet(app, traces, fleet_env, predictor="kalman")
+        sharded = run_fleet_sharded(
+            app, traces, fleet_env, num_shards=1, predictor="kalman"
+        )
+        assert sharded.diagnostics["sharding"]["sync_rounds"] == 0
+        assert strip_sharding(sharded) == baseline
+
+    def test_churn_shared_markov(self):
+        arrival = ArrivalConfig(
+            rate_per_s=1.5, mean_dwell_s=2.0, max_concurrent=3, seed=11
+        )
+        app, traces, fleet_env = small_fleet(num_sessions=5, arrival=arrival)
+        baseline = run_fleet(app, traces, fleet_env, predictor="shared-markov")
+        sharded = run_fleet_sharded(
+            app, traces, fleet_env, num_shards=1, predictor="shared-markov",
+            sync_interval_s=1.0,
+        )
+        assert strip_sharding(sharded) == baseline
+
+
+class TestMultiShard:
+    def test_two_shards_conserve_sessions_and_pool(self):
+        app, traces, fleet_env = small_fleet(num_sessions=6)
+        sharded = run_fleet_sharded(
+            app, traces, fleet_env, num_shards=2, predictor="shared-markov",
+            sync_interval_s=0.5,
+        )
+        d = sharded.diagnostics
+        assert d["sessions"] == 6
+        assert d["sharding"]["shards"] == 2
+        assert sum(d["sharding"]["sessions_per_shard"]) == 6
+        # Both shards observed transitions and the exchange pooled them:
+        # the aggregate prior holds every shard's contribution.
+        per_shard = assign_shards(range(6), 2)
+        assert all(len(s) > 0 for s in per_shard)
+        assert d["shared_prior"]["transitions_observed"] > 0
+        assert d["shared_prior"]["transitions_observed"] == (
+            d["sharding"]["transitions_merged"]
+        )
+        assert sharded.summary is not None
+        assert len(sharded.summary.per_session) == 6
+        # Global plan indices label the rows (positions are per-shard).
+        assert sorted(int(l) for l in sharded.session_labels) == list(range(6))
+
+    def test_warm_start_and_prior_out_round_trip(self, tmp_path):
+        from repro.predictors.shared import SharedTransitionPrior
+
+        app, traces, fleet_env = small_fleet(num_sessions=4)
+        seed_prior = SharedTransitionPrior(app.num_requests)
+        seed_prior.observe(0, 1)
+        seed_prior.observe(1, 2)
+        out = tmp_path / "pooled.npz"
+        sharded = run_fleet_sharded(
+            app, traces, fleet_env, num_shards=2, predictor="shared-markov",
+            sync_interval_s=0.5, shared_prior=seed_prior, prior_out=out,
+        )
+        pooled = SharedTransitionPrior.load(out, n=app.num_requests)
+        # Pooled = warm-start seed + every shard's own contribution.
+        assert pooled.transitions_observed == (
+            2 + sharded.diagnostics["sharding"]["transitions_merged"]
+        )
+        assert pooled.transitions_observed == (
+            sharded.diagnostics["shared_prior"]["transitions_observed"]
+        )
+
+
+class TestPoolSnapshots:
+    def test_single_snapshot_is_identity(self):
+        snap = {"a": 3, "nested": {"b": 1.5, "flag": True}, "name": "x"}
+        assert pool_snapshots([snap]) == snap
+
+    def test_sums_counters_keeps_flags_maxes_peaks(self):
+        a = {"n": 2, "peak_concurrency": 3, "flag": True, "inner": {"m": 1}}
+        b = {"n": 5, "peak_concurrency": 2, "flag": True, "inner": {"m": 4}}
+        assert pool_snapshots([a, b]) == {
+            "n": 7,
+            "peak_concurrency": 3,
+            "flag": True,
+            "inner": {"m": 5},
+        }
+
+    def test_disagreeing_flags_raise(self):
+        with pytest.raises(ValueError, match="disagree"):
+            pool_snapshots([{"flag": True}, {"flag": False}])
+
+    def test_mismatched_keys_raise(self):
+        with pytest.raises(ValueError, match="keys differ"):
+            pool_snapshots([{"a": 1}, {"b": 1}])

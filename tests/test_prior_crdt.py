@@ -1,0 +1,240 @@
+"""Property tests: the sharded crowd prior merges as a CRDT.
+
+A sharded fleet runs one ``SharedTransitionPrior`` replica per worker
+and exchanges ``PriorDelta`` snapshots.  Correctness of the whole
+sharding subsystem rests on the merge being a join-semilattice: deltas
+may arrive in any order, more than once, or batched differently at
+every replica, and the pooled table must still converge to the exact
+elementwise sum of every origin's local contribution.  These tests
+state that contract directly:
+
+* merge **commutativity** and **associativity** (any permutation, any
+  grouping of deltas yields the same pooled table);
+* merge **idempotence** (replaying a delta applies nothing);
+* **delta-then-merge ≡ full-state merge** (incremental sync via
+  ``delta_since(version_vector)`` lands on the same state as shipping
+  the full snapshot once at the end).
+"""
+
+import itertools
+
+from hypothesis import given, settings, strategies as st
+
+from repro.predictors.shared import PriorDelta, SharedTransitionPrior
+
+N = 7  # request-universe size: small enough that rows collide often
+
+# One origin's workload: a list of (prev, nxt) transitions.
+observations = st.lists(
+    st.tuples(st.integers(0, N - 1), st.integers(0, N - 1)), max_size=40
+)
+
+
+def replica(origin, obs):
+    prior = SharedTransitionPrior(N)
+    prior.enable_sharding(origin)
+    for prev, nxt in obs:
+        prior.observe(prev, nxt)
+    return prior
+
+
+def canonical(counts, mass, total):
+    """Order-free view of a pooled table (dicts remember insertion)."""
+    return (
+        tuple(
+            (prev, tuple(sorted((nxt, c) for nxt, c in row.items() if c)))
+            for prev, row in sorted(counts.items())
+            if any(row.values())
+        ),
+        tuple(sorted((prev, m) for prev, m in mass.items() if m)),
+        total,
+    )
+
+
+def table(prior):
+    """Canonical pooled state: counts, row masses, and the total."""
+    return canonical(prior._counts, prior._row_mass, prior.transitions_observed)
+
+
+def ground_truth(*workloads):
+    counts: dict[int, dict[int, int]] = {}
+    for obs in workloads:
+        for prev, nxt in obs:
+            row = counts.setdefault(prev, {})
+            row[nxt] = row.get(nxt, 0) + 1
+    mass = {prev: sum(row.values()) for prev, row in counts.items()}
+    return canonical(counts, mass, sum(mass.values()))
+
+
+class TestMergeSemilattice:
+    @given(a=observations, b=observations, c=observations)
+    @settings(max_examples=60, deadline=None)
+    def test_any_permutation_converges(self, a, b, c):
+        """Commutative + associative: order of merges never matters."""
+        deltas = [
+            replica(origin, obs).delta_since()
+            for origin, obs in [("a", a), ("b", b), ("c", c)]
+        ]
+        states = set()
+        for perm in itertools.permutations(deltas):
+            pool = SharedTransitionPrior(N)
+            for delta in perm:
+                pool.merge_delta(delta)
+            states.add(table(pool))
+        assert len(states) == 1
+        assert table(pool) == ground_truth(a, b, c)
+
+    @given(a=observations, b=observations)
+    @settings(max_examples=60, deadline=None)
+    def test_grouping_never_matters(self, a, b):
+        """Associativity via an intermediate replica: merging a shard
+        that already absorbed a peer equals merging both directly."""
+        ra, rb = replica("a", a), replica("b", b)
+        # rb absorbs a's contribution, then a pool merges rb's local
+        # delta AND a relay of a's delta (rb re-shares what it merged).
+        rb.merge_delta(ra.delta_since())
+        pool = SharedTransitionPrior(N)
+        pool.merge_delta(rb.delta_since())  # rb's own local counts only
+        pool.merge_delta(ra.delta_since())
+        direct = SharedTransitionPrior(N)
+        direct.merge_delta(ra.delta_since())
+        direct.merge_delta(rb.delta_since())
+        assert table(pool) == table(direct) == ground_truth(a, b)
+
+    @given(a=observations, b=observations)
+    @settings(max_examples=60, deadline=None)
+    def test_idempotent_replay(self, a, b):
+        delta_a = replica("a", a).delta_since()
+        delta_b = replica("b", b).delta_since()
+        pool = SharedTransitionPrior(N)
+        pool.merge_delta(delta_a)
+        pool.merge_delta(delta_b)
+        once = table(pool)
+        assert pool.merge_delta(delta_a) == 0
+        assert pool.merge_delta(delta_b) == 0
+        assert table(pool) == once
+
+    @given(obs=observations)
+    @settings(max_examples=60, deadline=None)
+    def test_own_delta_is_a_noop(self, obs):
+        rep = replica("a", obs)
+        before = table(rep)
+        assert rep.merge_delta(rep.delta_since()) == 0
+        assert table(rep) == before
+
+
+class TestDeltaEqualsFullState:
+    @given(
+        phases=st.lists(observations, min_size=1, max_size=4),
+        peer=observations,
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_incremental_sync_matches_full_merge(self, phases, peer):
+        """delta_since(vv) after each phase ≡ one full delta at the end."""
+        src = SharedTransitionPrior(N)
+        src.enable_sharding("src")
+        incremental = replica("peer", peer)
+        vv: dict[int, int] = {}
+        for obs in phases:
+            for prev, nxt in obs:
+                src.observe(prev, nxt)
+            delta = src.delta_since(vv)
+            incremental.merge_delta(delta)
+            vv = src.local_version_vector()
+        full = replica("peer", peer)
+        full.merge_delta(src.delta_since())
+        assert table(incremental) == table(full)
+        assert table(full) == ground_truth(peer, *phases)
+
+    @given(a=observations, b=observations)
+    @settings(max_examples=40, deadline=None)
+    def test_stale_delta_subsumed_by_newer(self, a, b):
+        """A newer snapshot of a row subsumes any older one: applying
+        old-then-new equals applying new alone."""
+        src = SharedTransitionPrior(N)
+        src.enable_sharding("src")
+        for prev, nxt in a:
+            src.observe(prev, nxt)
+        old = src.delta_since()
+        for prev, nxt in b:
+            src.observe(prev, nxt)
+        new = src.delta_since()
+        both = SharedTransitionPrior(N)
+        both.merge_delta(old)
+        both.merge_delta(new)
+        just_new = SharedTransitionPrior(N)
+        just_new.merge_delta(new)
+        assert table(both) == table(just_new)
+        # ... and the reverse order: new-then-old skips the stale rows.
+        reverse = SharedTransitionPrior(N)
+        reverse.merge_delta(new)
+        reverse.merge_delta(old)
+        assert table(reverse) == table(just_new)
+
+
+class TestShardingMechanics:
+    def test_delta_requires_enable_sharding(self):
+        prior = SharedTransitionPrior(N)
+        import pytest
+
+        with pytest.raises(ValueError, match="enable_sharding"):
+            prior.delta_since()
+
+    def test_origin_rename_rejected(self):
+        import pytest
+
+        prior = SharedTransitionPrior(N)
+        prior.enable_sharding("a")
+        prior.enable_sharding("a")  # same name is fine
+        with pytest.raises(ValueError, match="already sharded"):
+            prior.enable_sharding("b")
+
+    def test_universe_mismatch_rejected(self):
+        import pytest
+
+        delta = PriorDelta(origin="a", n=N + 1)
+        with pytest.raises(ValueError, match="requests"):
+            SharedTransitionPrior(N).merge_delta(delta)
+
+    def test_non_monotone_delta_rejected(self):
+        import pytest
+
+        pool = SharedTransitionPrior(N)
+        pool.merge_delta(PriorDelta("a", N, rows={0: {1: 3}}, row_mass={0: 3}))
+        shrunk = PriorDelta("a", N, rows={0: {1: 2}}, row_mass={0: 4})
+        with pytest.raises(ValueError, match="non-monotone"):
+            pool.merge_delta(shrunk)
+
+    def test_warm_start_counts_excluded_from_delta(self, tmp_path):
+        """Every shard loads the same warm-start file; re-broadcasting
+        those counts would double them at every peer."""
+        seed = SharedTransitionPrior(N)
+        seed.observe(0, 1)
+        seed.observe(0, 1)
+        path = tmp_path / "prior.npz"
+        seed.save(path)
+        shard = SharedTransitionPrior.load(path, n=N)
+        shard.enable_sharding("w0")
+        shard.observe(2, 3)
+        delta = shard.delta_since()
+        assert delta.rows == {2: {3: 1}}
+        assert delta.row_mass == {2: 1}
+
+    def test_merge_invalidates_row_cache(self):
+        shard = SharedTransitionPrior(N)
+        shard.enable_sharding("w0")
+        shard.observe(0, 1)
+        ids, probs = shard.row(0)
+        assert ids.tolist() == [1] and probs.tolist() == [1.0]
+        shard.merge_delta(PriorDelta("w1", N, rows={0: {2: 1}}, row_mass={0: 1}))
+        ids, probs = shard.row(0)
+        assert ids.tolist() == [1, 2]
+        assert probs.tolist() == [0.5, 0.5]
+
+    def test_delta_is_empty_when_nothing_new(self):
+        shard = SharedTransitionPrior(N)
+        shard.enable_sharding("w0")
+        assert not shard.delta_since()
+        shard.observe(0, 1)
+        assert shard.delta_since()
+        assert not shard.delta_since(shard.local_version_vector())

@@ -285,3 +285,109 @@ class TestServeApp:
                 await app.stop()
 
         run(main())
+
+
+async def http_get(port, path):
+    """Plain HTTP/1.1 GET against the serve port; returns (status, body)."""
+    import json
+
+    reader, writer = await asyncio.open_connection("127.0.0.1", port)
+    writer.write(f"GET {path} HTTP/1.1\r\nHost: x\r\n\r\n".encode())
+    await writer.drain()
+    raw = await reader.read(65536)
+    writer.close()
+    head, _, body = raw.partition(b"\r\n\r\n")
+    status = int(head.split(b" ")[1])
+    return status, (json.loads(body) if body else None)
+
+
+class TestStatusEndpoint:
+    def test_status_reports_live_fleet_stats(self):
+        async def main():
+            app = create_app(
+                make_env(), rows=6, cols=6, predictor="shared-markov", port=0
+            )
+            await app.start()
+            try:
+                client = await LiveClient.connect("127.0.0.1", app.port)
+                client.send_event(5.0, 5.0)
+                await client.drain()
+                await asyncio.sleep(0.8)
+                status, body = await http_get(app.port, "/status")
+                assert status == 200
+                assert body["sessions_live"] == 1
+                assert body["sessions_admitted"] == 1
+                assert body["predictor"] == "shared-markov"
+                assert body["outbox_depth"] == app.outbox_depth
+                assert body["blocks_pushed"] >= 0
+                assert body["prior_version_mass"] >= 0
+                assert body == app.status_snapshot()
+                await client.bye()
+                # The WebSocket side is untouched by the HTTP sidecar.
+                status, body = await http_get(app.port, "/status")
+                assert body["sessions_detached"] == 1
+            finally:
+                await app.stop()
+
+        run(main())
+
+    def test_unknown_path_gets_404(self):
+        async def main():
+            app = create_app(
+                make_env(), rows=6, cols=6, predictor="uniform", port=0
+            )
+            await app.start()
+            try:
+                status, body = await http_get(app.port, "/nope")
+                assert status == 404
+                assert body == {"error": "not found"}
+            finally:
+                await app.stop()
+
+        run(main())
+
+
+class TestOutboxBackpressure:
+    def test_depth_must_be_positive(self):
+        with pytest.raises(ValueError, match="outbox_depth"):
+            create_app(make_env(), rows=6, cols=6, outbox_depth=0)
+
+    def test_overflow_counts_per_connection_and_globally(self):
+        """A full outbox sheds the frame and bumps both drop counters."""
+        from repro.serve.app import _Connection
+
+        app = create_app(
+            make_env(), rows=6, cols=6, predictor="uniform", outbox_depth=1
+        )
+        conn = _Connection(
+            index=0,
+            session=None,
+            socket=None,
+            outbox=asyncio.Queue(maxsize=app.outbox_depth),
+        )
+        block = Block(request=0, index=0, size_bytes=1000, payload=b"\0" * 1000)
+        app._push_block(conn, block)  # fills the depth-1 outbox
+        app._push_block(conn, block)  # overflows: shed + counted
+        assert conn.blocks_pushed == 1
+        assert conn.frames_dropped == 1
+        assert app.stats.blocks_pushed == 1
+        assert app.stats.frames_dropped == 1
+
+    def test_stats_message_surfaces_drop_counter(self):
+        async def main():
+            app = create_app(
+                make_env(), rows=6, cols=6, predictor="uniform", port=0
+            )
+            await app.start()
+            try:
+                client = await LiveClient.connect("127.0.0.1", app.port)
+                client.send_event(5.0, 5.0)
+                await client.drain()
+                await asyncio.sleep(0.5)
+                report = await client.bye()
+                assert report.server_stats is not None
+                assert report.server_stats["frames_dropped"] == 0
+            finally:
+                await app.stop()
+
+        run(main())
