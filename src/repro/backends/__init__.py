@@ -2,10 +2,11 @@
 histogram execution + simulated PostgreSQL-like latency/concurrency),
 the ScalableSQL simulation, and the §5.4 speculation throttle."""
 
-from .base import Backend, BackendStats
+from .base import Backend, BackendFetchError, BackendStats, BackendWrapper
 from .database import ColumnTable, HistogramQuery, RangeFilter, SimulatedSQLDatabase
 from .filesystem import FileSystemBackend, KeyValueBackend
 from .pool import ConnectionPoolBackend
+from .retry import RetryingBackend, RetryPolicy
 from .scalable import ScalableSQLDatabase
 from .throttle import (
     BackendThrottle,
@@ -16,7 +17,11 @@ from .throttle import (
 
 __all__ = [
     "Backend",
+    "BackendFetchError",
     "BackendStats",
+    "BackendWrapper",
+    "RetryPolicy",
+    "RetryingBackend",
     "FileSystemBackend",
     "KeyValueBackend",
     "ConnectionPoolBackend",

@@ -16,14 +16,32 @@ is what the scheduler's throttle heuristic consumes.
 
 from __future__ import annotations
 
-from typing import Callable, Optional
+from typing import TYPE_CHECKING, Callable, Optional
 
-from repro.core.blocks import ProgressiveResponse
+if TYPE_CHECKING:
+    from repro.core.blocks import ProgressiveResponse
+
 from repro.clock import Clock
 
-__all__ = ["Backend", "BackendStats"]
+__all__ = ["Backend", "BackendFetchError", "BackendStats", "BackendWrapper"]
 
-OnComplete = Callable[[ProgressiveResponse], None]
+# Imported lazily to keep this module cycle-free: repro.core pulls in
+# repro.sim, whose failure injectors subclass BackendWrapper below.
+OnComplete = Callable[["ProgressiveResponse"], None]
+
+
+class BackendFetchError(RuntimeError):
+    """A fetch attempt failed before the backend accepted it.
+
+    Raised synchronously from ``fetch`` by fault-injecting wrappers
+    (``repro.sim.failures.ErraticBackend``); retry wrappers catch it
+    and reschedule on the clock instead of letting it propagate into
+    the sender.
+    """
+
+    def __init__(self, request: int, message: str = "") -> None:
+        super().__init__(message or f"fetch failed for request {request}")
+        self.request = request
 
 
 class BackendStats:
@@ -134,3 +152,48 @@ class Backend:
     def evict(self, request: int) -> None:
         """Drop a cached response (for bounded server memory tests)."""
         self._cache.pop(request, None)
+
+
+class BackendWrapper:
+    """Delegating base for backends that wrap another backend.
+
+    Implements the full ``Backend`` surface the sender/fleet stack
+    consumes (stats, concurrency, cache/in-flight introspection,
+    fetch/evict) as pass-throughs, so fault injectors and retry layers
+    only override the behavior they change.  Wrappers compose: a
+    retry layer can wrap a fault injector wrapping a real backend.
+    """
+
+    def __init__(self, inner: "Backend | BackendWrapper") -> None:
+        self.inner = inner
+        self.sim: Clock = inner.sim
+
+    @property
+    def stats(self) -> BackendStats:
+        return self.inner.stats
+
+    @property
+    def active_requests(self) -> int:
+        return self.inner.active_requests
+
+    @property
+    def scalable_concurrency(self) -> Optional[int]:
+        return self.inner.scalable_concurrency
+
+    def is_cached(self, request: int) -> bool:
+        return self.inner.is_cached(request)
+
+    def is_inflight(self, request: int) -> bool:
+        return self.inner.is_inflight(request)
+
+    def is_materialized(self, request: int) -> bool:
+        return self.inner.is_materialized(request)
+
+    def cached(self, request: int) -> Optional[ProgressiveResponse]:
+        return self.inner.cached(request)
+
+    def evict(self, request: int) -> None:
+        self.inner.evict(request)
+
+    def fetch(self, request: int, on_complete: OnComplete) -> None:
+        self.inner.fetch(request, on_complete)

@@ -1,0 +1,242 @@
+"""Chaos configuration: one knob panel for every fault source.
+
+``ChaosConfig`` gathers the individual fault injectors —
+:class:`~repro.sim.failures.FlakyBackend` (transparent retries),
+:class:`~repro.sim.failures.ErraticBackend` (hard errors + latency
+spikes, absorbed by a :class:`~repro.backends.retry.RetryingBackend`),
+:class:`~repro.sim.failures.OutageLink` (dead-link windows), and
+worker crash-at-round schedules consumed by the sharded fleet's
+supervision loop — into a single declarative config threaded through
+``FleetConfig``, the sharded path, and ``python -m repro fleet
+--chaos ...``.
+
+The CLI spec is a comma-separated list of faults::
+
+    worker-crash:R       crash shard 0's worker before sync round R
+    worker-crash:S@R     crash shard S's worker before sync round R
+    backend-err:P        fraction P of fetches raise BackendFetchError
+    spike:P@S            fraction P of fetches delayed by S seconds
+    outage:A-B           link outage window [A, B) seconds
+    flaky:N              every Nth fetch delayed one transparent retry
+
+e.g. ``--chaos worker-crash:1,backend-err:0.05``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Optional
+
+if TYPE_CHECKING:
+    from repro.backends.base import Backend, BackendWrapper
+    from repro.sim.link import Link
+
+from repro.backends.retry import RetryingBackend, RetryPolicy
+
+__all__ = ["ChaosConfig", "BackendFaultStack"]
+
+
+@dataclass
+class BackendFaultStack:
+    """The wrapper chain a chaos config builds around a backend.
+
+    ``top`` is what the fleet should use in place of the raw backend;
+    the intermediate references exist so reports can surface injected
+    and absorbed fault counts.
+    """
+
+    top: "Backend | BackendWrapper"
+    flaky: Optional[object] = None
+    erratic: Optional[object] = None
+    retry: Optional[RetryingBackend] = None
+
+    def snapshot(self) -> dict:
+        out: dict = {}
+        if self.flaky is not None:
+            out["flaky_failures_injected"] = self.flaky.failures_injected
+        if self.erratic is not None:
+            out["errors_injected"] = self.erratic.errors_injected
+            out["spikes_injected"] = self.erratic.spikes_injected
+        if self.retry is not None:
+            out.update(self.retry.snapshot())
+        return out
+
+
+@dataclass(frozen=True)
+class ChaosConfig:
+    """Declarative fault schedule for a fleet run.
+
+    All fields default to "no fault"; an all-default config is inert
+    (``wrap_backend`` returns the backend unchanged), which is what
+    keeps chaos-disabled runs bit-identical to the un-instrumented
+    paths.
+    """
+
+    backend_error_rate: float = 0.0
+    backend_spike_rate: float = 0.0
+    backend_spike_s: float = 1.0
+    flaky_period: int = 0  # 0 = disabled
+    flaky_retry_s: float = 0.2
+    link_outages: tuple[tuple[float, float], ...] = ()
+    worker_crashes: tuple[tuple[int, int], ...] = ()  # (shard, sync round)
+    retry: RetryPolicy = field(default_factory=RetryPolicy)
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.backend_error_rate <= 1.0:
+            raise ValueError("backend_error_rate must be in [0, 1]")
+        if not 0.0 <= self.backend_spike_rate <= 1.0:
+            raise ValueError("backend_spike_rate must be in [0, 1]")
+        if self.flaky_period < 0:
+            raise ValueError("flaky_period must be >= 0 (0 disables)")
+        for shard, round_ in self.worker_crashes:
+            if shard < 0 or round_ < 0:
+                raise ValueError(f"bad worker crash ({shard}, {round_})")
+
+    # -- introspection ------------------------------------------------
+
+    @property
+    def has_backend_faults(self) -> bool:
+        return (
+            self.backend_error_rate > 0.0
+            or self.backend_spike_rate > 0.0
+            or self.flaky_period > 0
+        )
+
+    @property
+    def has_link_faults(self) -> bool:
+        return bool(self.link_outages)
+
+    @property
+    def has_worker_faults(self) -> bool:
+        return bool(self.worker_crashes)
+
+    @property
+    def is_inert(self) -> bool:
+        return not (
+            self.has_backend_faults or self.has_link_faults or self.has_worker_faults
+        )
+
+    def crash_round(self, shard: int) -> Optional[int]:
+        """The sync round before which ``shard``'s worker should crash."""
+        for s, r in self.worker_crashes:
+            if s == shard:
+                return r
+        return None
+
+    # -- wiring -------------------------------------------------------
+
+    def wrap_backend(self, backend: "Backend") -> BackendFaultStack:
+        """Build the fault-injection + retry chain around ``backend``.
+
+        Order (inside out): flaky (transparent retries) → erratic
+        (hard errors / spikes) → retry (absorbs the hard errors).  The
+        retry layer is added whenever errors can be injected, so no
+        injected error ever propagates into the sender.
+        """
+        from repro.sim.failures import ErraticBackend, FlakyBackend
+
+        stack = BackendFaultStack(top=backend)
+        if self.flaky_period > 0:
+            stack.flaky = FlakyBackend(
+                stack.top, failure_period=self.flaky_period,
+                retry_delay_s=self.flaky_retry_s,
+            )
+            stack.top = stack.flaky
+        if self.backend_error_rate > 0.0 or self.backend_spike_rate > 0.0:
+            stack.erratic = ErraticBackend(
+                stack.top,
+                error_rate=self.backend_error_rate,
+                spike_rate=self.backend_spike_rate,
+                spike_s=self.backend_spike_s,
+                seed=self.seed,
+            )
+            stack.top = stack.erratic
+        if self.backend_error_rate > 0.0:
+            stack.retry = RetryingBackend(stack.top, self.retry)
+            stack.top = stack.retry
+        return stack
+
+    def wrap_link(self, link: "Link") -> "Link":
+        """Wrap ``link`` in an OutageLink when outage windows are set."""
+        if not self.link_outages:
+            return link
+        from repro.sim.failures import OutageLink
+
+        return OutageLink(link, self.link_outages)
+
+    # -- CLI spec -----------------------------------------------------
+
+    @classmethod
+    def parse(cls, spec: str, seed: int = 0) -> "ChaosConfig":
+        """Parse a ``--chaos`` CLI spec (see module docstring)."""
+        error_rate = 0.0
+        spike_rate = 0.0
+        spike_s = 1.0
+        flaky_period = 0
+        outages: list[tuple[float, float]] = []
+        crashes: list[tuple[int, int]] = []
+        for part in spec.split(","):
+            part = part.strip()
+            if not part:
+                continue
+            if ":" not in part:
+                raise ValueError(f"bad chaos fault {part!r} (expected name:value)")
+            name, _, value = part.partition(":")
+            name = name.strip().lower()
+            value = value.strip()
+            try:
+                if name == "worker-crash":
+                    if "@" in value:
+                        shard_s, _, round_s = value.partition("@")
+                        crashes.append((int(shard_s), int(round_s)))
+                    else:
+                        crashes.append((0, int(value)))
+                elif name == "backend-err":
+                    error_rate = float(value)
+                elif name == "spike":
+                    if "@" in value:
+                        rate_s, _, dur_s = value.partition("@")
+                        spike_rate = float(rate_s)
+                        spike_s = float(dur_s)
+                    else:
+                        spike_rate = float(value)
+                elif name == "outage":
+                    start_s, _, end_s = value.partition("-")
+                    outages.append((float(start_s), float(end_s)))
+                elif name == "flaky":
+                    flaky_period = int(value)
+                else:
+                    raise ValueError(f"unknown chaos fault {name!r}")
+            except ValueError as exc:
+                if "unknown chaos fault" in str(exc) or "bad chaos fault" in str(exc):
+                    raise
+                raise ValueError(f"bad chaos fault value {part!r}") from exc
+        return cls(
+            backend_error_rate=error_rate,
+            backend_spike_rate=spike_rate,
+            backend_spike_s=spike_s,
+            flaky_period=flaky_period,
+            link_outages=tuple(outages),
+            worker_crashes=tuple(crashes),
+            seed=seed,
+        )
+
+    def describe(self) -> str:
+        """Short human-readable summary for report titles."""
+        parts = []
+        if self.worker_crashes:
+            parts.append(
+                "crash " + "+".join(f"s{s}@r{r}" for s, r in self.worker_crashes)
+            )
+        if self.backend_error_rate > 0.0:
+            parts.append(f"err {self.backend_error_rate:g}")
+        if self.backend_spike_rate > 0.0:
+            parts.append(f"spike {self.backend_spike_rate:g}@{self.backend_spike_s:g}s")
+        if self.flaky_period > 0:
+            parts.append(f"flaky 1/{self.flaky_period}")
+        if self.link_outages:
+            parts.append(
+                "outage " + "+".join(f"{a:g}-{b:g}s" for a, b in self.link_outages)
+            )
+        return ", ".join(parts) if parts else "none"

@@ -117,6 +117,37 @@ def _build_parser() -> argparse.ArgumentParser:
         help="seed for the arrival/dwell draws (default: 0)",
     )
     fleet.add_argument(
+        "--patience",
+        type=float,
+        default=0.0,
+        metavar="SECONDS",
+        help="how long an arrival beyond --max-concurrent waits in the "
+        "admission queue before walking away; 0 = classic reject-at-cap "
+        "(default: 0)",
+    )
+    fleet.add_argument(
+        "--queue-depth",
+        type=int,
+        default=None,
+        metavar="N",
+        help="admission queue bound; past it the lowest-weight waiter "
+        "is shed (default: unbounded)",
+    )
+    fleet.add_argument(
+        "--chaos",
+        default=None,
+        metavar="SPEC",
+        help="fault schedule, e.g. "
+        "'worker-crash:1,backend-err:0.05,spike:0.02@1.0,outage:2-3,flaky:7' "
+        "(default: well-behaved world)",
+    )
+    fleet.add_argument(
+        "--chaos-seed",
+        type=int,
+        default=0,
+        help="seed for the chaos fault draws (default: 0)",
+    )
+    fleet.add_argument(
         "--shards",
         type=int,
         default=None,
@@ -222,6 +253,22 @@ def _build_parser() -> argparse.ArgumentParser:
         "depth are shed and counted, not buffered (default: 1024)",
     )
     serve.add_argument(
+        "--ping-interval",
+        type=float,
+        default=20.0,
+        metavar="SECONDS",
+        help="probe idle WebSocket connections with a ping this often; "
+        "0 disables liveness probing (default: 20)",
+    )
+    serve.add_argument(
+        "--ping-misses",
+        type=int,
+        default=3,
+        metavar="N",
+        help="close a connection after this many consecutive unanswered "
+        "pings (default: 3)",
+    )
+    serve.add_argument(
         "--run-for",
         type=float,
         default=None,
@@ -258,17 +305,31 @@ def _run_fleet_command(args) -> list[tuple[list[dict], str]]:
     ]
     arrival = None
     if args.arrivals > 0 or args.dwell is not None or args.max_concurrent is not None:
+        if args.patience > 0 and args.max_concurrent is None:
+            raise SystemExit("--patience needs --max-concurrent")
         arrival = ArrivalConfig(
             rate_per_s=args.arrivals,
             mean_dwell_s=args.dwell,
             max_concurrent=args.max_concurrent,
             seed=args.arrival_seed,
+            patience_s=args.patience,
+            queue_depth=args.queue_depth,
         )
+    elif args.patience > 0 or args.queue_depth is not None:
+        raise SystemExit("--patience/--queue-depth need --max-concurrent")
+    chaos = None
+    if args.chaos:
+        from repro.chaos import ChaosConfig
+
+        chaos = ChaosConfig.parse(args.chaos, seed=args.chaos_seed)
+        if chaos.has_worker_faults and args.shards is None:
+            raise SystemExit("--chaos worker-crash needs --shards")
     fleet_env = FleetEnvironment(
         num_sessions=args.sessions,
         env=DEFAULT_ENV,
         backend_concurrency=args.backend_concurrency,
         arrival=arrival,
+        chaos=chaos,
     )
     if (args.prior_in or args.prior_out) and args.predictor != "shared-markov":
         raise SystemExit("--prior-in/--prior-out need --predictor shared-markov")
@@ -317,6 +378,13 @@ def _run_fleet_command(args) -> list[tuple[list[dict], str]]:
             f" (rejected {churn['rejected']}, departed {churn['departed']})"
             f" | early hit {100 * d['early_hit_rate']:.1f}%"
         )
+        if churn["queued"]:
+            title += (
+                f" | queued {churn['queued']} "
+                f"(admitted {churn['admitted_from_queue']}, "
+                f"shed {churn['shed_patience']} patience"
+                f" + {churn['shed_capacity']} capacity)"
+            )
     sharding = d.get("sharding")
     if sharding is not None:
         title += (
@@ -324,6 +392,20 @@ def _run_fleet_command(args) -> list[tuple[list[dict], str]]:
             f" ({sharding['sync_rounds']} sync rounds, "
             f"{sharding['transitions_merged']} transitions merged, "
             f"max shard CPU {max(sharding['cpu_run_s']):.2f}s)"
+        )
+        if chaos is not None or sharding["restarts"]:
+            title += (
+                f" | shards_recovered={sharding['shards_recovered']}"
+                f" shards_lost={sharding['shards_lost']}"
+                f" sessions_lost={sharding['sessions_lost']}"
+            )
+    chaos_d = d.get("chaos")
+    if chaos_d is not None:
+        title += (
+            f" | chaos: {chaos_d['errors_injected']} errors, "
+            f"{chaos_d['spikes_injected']} spikes, "
+            f"{chaos_d['retries_scheduled']} retries, "
+            f"{chaos_d['fetches_abandoned']} abandoned"
         )
     tables = [(result.rows(), title)]
     if result.cohorts:
@@ -372,6 +454,8 @@ def _run_serve_command(args) -> int:
         port=args.port,
         prior=prior,
         outbox_depth=args.outbox_depth,
+        ping_interval_s=args.ping_interval,
+        ping_max_misses=args.ping_misses,
     )
 
     async def _serve() -> None:
@@ -400,7 +484,7 @@ def _run_serve_command(args) -> int:
         f"served: {s.sessions_admitted} admitted, {s.sessions_rejected} "
         f"rejected, {s.sessions_detached} detached, {s.blocks_pushed} "
         f"blocks ({s.bytes_pushed} B) pushed, {s.frames_dropped} frames "
-        f"dropped",
+        f"dropped, {s.pings_sent} pings sent, {s.idle_closed} idle-closed",
         flush=True,
     )
     if args.prior_out:

@@ -21,6 +21,7 @@ from dataclasses import dataclass, replace
 from typing import TYPE_CHECKING, Optional
 
 if TYPE_CHECKING:  # experiments sits above fleet; import for typing only
+    from repro.chaos import ChaosConfig
     from repro.core.session import SessionConfig
     from repro.fleet import ArrivalConfig, FleetConfig
 
@@ -128,6 +129,11 @@ class FleetEnvironment:
     #: :class:`repro.fleet.FleetConfig`.
     batched_decode: bool = True
     arrival: Optional["ArrivalConfig"] = None
+    #: Fault schedule for robustness runs (None = well-behaved world).
+    #: Backend faults are wrapped around the fleet's backend, link
+    #: outages around the shared downlink, and worker-crash schedules
+    #: are consumed by the sharded coordinator's supervision loop.
+    chaos: Optional["ChaosConfig"] = None
 
     def fleet_config(self, session: "SessionConfig") -> "FleetConfig":
         """Map this condition onto the fleet layer's config.
@@ -147,6 +153,7 @@ class FleetEnvironment:
             batched_decode=self.batched_decode,
             arrival=self.arrival,
             session=session,
+            chaos=self.chaos,
         )
 
     def with_sessions(self, n: int) -> "FleetEnvironment":
@@ -191,7 +198,19 @@ def make_uplink(sim: Clock, env: EnvironmentConfig) -> ControlChannel:
 
 
 def make_shared_downlink(
-    sim: Clock, env: EnvironmentConfig, seed: int = 0
+    sim: Clock,
+    env: EnvironmentConfig,
+    seed: int = 0,
+    chaos: Optional["ChaosConfig"] = None,
 ) -> SharedDownlink:
-    """A weighted fair-sharing arbiter over the condition's downlink."""
-    return SharedDownlink(sim, make_downlink(sim, env, seed=seed))
+    """A weighted fair-sharing arbiter over the condition's downlink.
+
+    With a chaos config carrying link outage windows, the underlying
+    link is wrapped in an :class:`~repro.sim.failures.OutageLink`
+    before the fair-share arbiter sees it — every session's fair share
+    collapses together, as on a real dead link.
+    """
+    link = make_downlink(sim, env, seed=seed)
+    if chaos is not None:
+        link = chaos.wrap_link(link)
+    return SharedDownlink(sim, link)

@@ -32,6 +32,7 @@ from repro.core.session import KhameleonSession, SessionConfig
 from repro.encoding.naive import SingleBlockEncoder
 from repro.backends.filesystem import FileSystemBackend
 from repro.fleet import KhameleonFleet
+from repro.fleet.sharding import SupervisionPolicy
 from repro.metrics.collector import MetricSummary, collect, convergence_curve, overpush_rate
 from repro.metrics.fleet import (
     CohortSummary,
@@ -75,6 +76,11 @@ __all__ = [
 #: blocks land and late upcalls fire (Khameleon pushes forever; classic
 #: sessions instead drain their event queue completely).
 DEFAULT_DRAIN_S = 3.0
+
+#: Default worker supervision for the sharded fleet path: two restarts
+#: per shard with exponential backoff.  Pass ``supervision=None`` to
+#: :func:`run_fleet_sharded` for the original die-together behaviour.
+_DEFAULT_SUPERVISION = SupervisionPolicy()
 
 
 @dataclass
@@ -364,7 +370,7 @@ def run_fleet(
         )
     env = fleet_env.env
     sim = Simulator()
-    shared_downlink = make_shared_downlink(sim, env, seed=seed)
+    shared_downlink = make_shared_downlink(sim, env, seed=seed, chaos=fleet_env.chaos)
     backend = app.make_backend(sim, fetch_delay_s=env.backend_delay_s)
     make_predictor, prior = _fleet_predictor_factory(
         app, predictor, traces, sim, shared_prior=shared_prior
@@ -417,7 +423,7 @@ def run_fleet(
                 traces[record.index],
                 record.session.client.observe,
                 record.session.client.request,
-                offset_s=record.arrived_at,
+                offset_s=record.admitted_at,
             )
 
         fleet.manager.on_admit = replay_from_arrival
@@ -524,6 +530,11 @@ class ShardFleetSpec:
     #: prior's count table is not picklable, and one file fans out to
     #: W workers without W copies in the coordinator's heap).
     shared_prior_path: Optional[str] = None
+    #: Which incarnation of this shard's worker this is.  The original
+    #: spawn is attempt 0; supervision bumps it on every respawn.  Chaos
+    #: worker-crash schedules only fire on attempt 0, so a replacement
+    #: worker does not re-crash into the same injected fault.
+    attempt: int = 0
 
 
 def _shard_owned(total: int, shard: int, num_shards: int) -> list[int]:
@@ -583,6 +594,15 @@ def _sharded_fleet_worker(spec: ShardFleetSpec, channel) -> dict:
     else:
         expected_total = spec.fleet_env.arrival.expected_concurrency(total)
 
+    # Injected worker-crash schedule: the original worker (attempt 0)
+    # dies hard — no cleanup, no error message, exactly like a kill -9
+    # — right before its scheduled barrier, so the coordinator sees a
+    # mid-protocol death.  Replacements never re-crash.
+    chaos = spec.fleet_env.chaos
+    crash_at: Optional[int] = None
+    if chaos is not None and spec.attempt == 0:
+        crash_at = chaos.crash_round(k)
+
     state: dict = {}
 
     def drive(sim, until, fleet, prior) -> None:
@@ -599,10 +619,14 @@ def _sharded_fleet_worker(spec: ShardFleetSpec, channel) -> dict:
             sim.run(until=t)
             cpu_run += time.process_time() - cpu_start
 
-        for point in spec.sync_points:
+        rounds_run = 0
+        for round_index, point in enumerate(spec.sync_points):
             if point >= until:
                 break
             run_chunk(point)
+            if crash_at is not None and round_index == crash_at:
+                os._exit(17)
+            rounds_run += 1
             if prior is not None:
                 delta = prior.delta_since(sent_vv)
                 sent_vv = prior.local_version_vector()
@@ -612,6 +636,10 @@ def _sharded_fleet_worker(spec: ShardFleetSpec, channel) -> dict:
             else:
                 channel.exchange(None)
         run_chunk(until)
+        if crash_at is not None and crash_at >= rounds_run:
+            # Fewer barriers than the schedule assumed: crash at the
+            # latest possible point instead (before the result ships).
+            os._exit(17)
         state["timing"] = {
             "cpu_run_s": cpu_run,
             "wall_run_s": time.perf_counter() - wall_start,
@@ -649,6 +677,10 @@ def _sharded_fleet_worker(spec: ShardFleetSpec, channel) -> dict:
     }
 
 
+#: Liveness-beacon cadence for supervised shard workers.
+SHARD_HEARTBEAT_S = 0.5
+
+
 def run_fleet_sharded(
     app: "ImageExplorationApp | ImageAppSpec",
     traces: Sequence[InteractionTrace],
@@ -663,6 +695,7 @@ def run_fleet_sharded(
     shared_prior=None,
     prior_out=None,
     timeout_s: Optional[float] = 600.0,
+    supervision: Optional["SupervisionPolicy"] = _DEFAULT_SUPERVISION,
 ) -> FleetRunResult:
     """:func:`run_fleet` partitioned across ``num_shards`` processes.
 
@@ -692,7 +725,7 @@ def run_fleet_sharded(
     route keeps everything, every scale factor is exactly 1.0, and a
     chunked ``sim.run`` is event-exact — tests enforce this.
     """
-    from repro.fleet.sharding import ShardTask, run_sharded
+    from repro.fleet.sharding import ShardRecovery, ShardTask, run_sharded
     from repro.predictors.shared import SharedTransitionPrior
 
     if num_shards < 1:
@@ -710,16 +743,28 @@ def run_fleet_sharded(
     else:
         # Same arithmetic as SessionManager.horizon_s over the same
         # (pure-function-of-seed) global plan the workers will build.
+        arrival = fleet_env.arrival
+        wait_s = 0.0
+        if arrival.max_concurrent is not None and arrival.patience_s > 0:
+            wait_s = arrival.patience_s
         horizon = 0.0
-        for plan in fleet_env.arrival.plan(fleet_env.num_sessions):
+        for plan in arrival.plan(fleet_env.num_sessions):
             span = traces[plan.index].duration_s
             if plan.dwell_s is not None:
                 span = min(span, plan.dwell_s)
-            horizon = max(horizon, plan.arrival_s + span)
+            horizon = max(horizon, plan.arrival_s + wait_s + span)
     until = horizon + drain_s
 
+    chaos = fleet_env.chaos
+    # Barriers exist for prior delta sync — and for worker-crash chaos,
+    # which needs sync rounds both as crash anchors and as the points a
+    # replacement worker can rejoin from (non-prior workers exchange
+    # ``None``: a pure liveness barrier).
+    want_barriers = (predictor == "shared-markov") or (
+        chaos is not None and chaos.has_worker_faults
+    )
     sync_points: tuple[float, ...] = ()
-    if predictor == "shared-markov" and sync_interval_s > 0:
+    if want_barriers and sync_interval_s > 0:
         sync_points = tuple(
             i * sync_interval_s
             for i in range(1, math.ceil(until / sync_interval_s))
@@ -727,57 +772,123 @@ def run_fleet_sharded(
         )
 
     warm_path = shared_prior
-    temp_prior = None
+    temp_files: list[str] = []
     if isinstance(shared_prior, SharedTransitionPrior):
         temp_prior = tempfile.NamedTemporaryFile(suffix=".npz", delete=False)
         temp_prior.close()
         shared_prior.save(temp_prior.name)
         warm_path = temp_prior.name
-    try:
-        tasks = [
-            ShardTask(
-                entry="repro.experiments.runner:_sharded_fleet_worker",
-                spec=ShardFleetSpec(
-                    app_spec=app_spec,
-                    traces=traces,
-                    fleet_env=fleet_env,
-                    predictor=predictor,
-                    shard=k,
-                    num_shards=num_shards,
-                    sync_points=sync_points,
-                    drain_s=drain_s,
-                    seed=seed,
-                    cohort_width_s=cohort_width_s,
-                    early_k=early_k,
-                    shared_prior_path=(
-                        os.fspath(warm_path) if warm_path is not None else None
-                    ),
-                ),
+        temp_files.append(temp_prior.name)
+
+    heartbeat_s = SHARD_HEARTBEAT_S if supervision is not None else None
+
+    def make_task(k: int, task_sync_points: tuple[float, ...], attempt: int) -> ShardTask:
+        return ShardTask(
+            entry="repro.experiments.runner:_sharded_fleet_worker",
+            spec=ShardFleetSpec(
+                app_spec=app_spec,
+                traces=traces,
+                fleet_env=fleet_env,
+                predictor=predictor,
                 shard=k,
                 num_shards=num_shards,
-            )
-            for k in range(num_shards)
-        ]
+                sync_points=task_sync_points,
+                drain_s=drain_s,
+                seed=seed,
+                cohort_width_s=cohort_width_s,
+                early_k=early_k,
+                shared_prior_path=(
+                    os.fspath(warm_path) if warm_path is not None else None
+                ),
+                attempt=attempt,
+            ),
+            shard=k,
+            num_shards=num_shards,
+            heartbeat_interval_s=heartbeat_s,
+        )
+
+    # Coordinator-side merged prior: every barrier's deltas fold into
+    # this aggregate, so at any moment it holds the crowd's state as of
+    # the last completed sync round — exactly the seed a replacement
+    # worker needs to rejoin without coordination (the CRDT merge is
+    # idempotent, so the worker re-contributing its pre-crash
+    # transitions is harmless).
+    coord_state: dict = {"prior": None, "merged": 0}
+
+    def on_round(round_index: int, offers: list) -> None:
+        for offer in offers:
+            if not offer:
+                continue  # empty delta, or a non-prior liveness barrier
+            if coord_state["prior"] is None:
+                coord_state["prior"] = (
+                    SharedTransitionPrior.load(warm_path, n=offer.n)
+                    if warm_path is not None
+                    else SharedTransitionPrior(offer.n)
+                )
+            coord_state["merged"] += coord_state["prior"].merge_delta(offer)
+
+    attempts = [0] * num_shards
+
+    def respawn(shard: int, next_round: int) -> ShardTask:
+        attempts[shard] += 1
+        seed_path = warm_path
+        prior = coord_state["prior"]
+        if prior is not None:
+            handle = tempfile.NamedTemporaryFile(suffix=".npz", delete=False)
+            handle.close()
+            prior.save(handle.name)
+            temp_files.append(handle.name)
+            seed_path = handle.name
+        task = make_task(shard, sync_points[next_round:], attempts[shard])
+        if seed_path is not None:
+            task.spec.shared_prior_path = os.fspath(seed_path)
+        return task
+
+    recovery = ShardRecovery()
+    try:
+        tasks = [make_task(k, sync_points, 0) for k in range(num_shards)]
         shards = run_sharded(
-            tasks, sync_rounds=len(sync_points), timeout_s=timeout_s
+            tasks,
+            sync_rounds=len(sync_points),
+            timeout_s=timeout_s,
+            on_round=on_round,
+            supervision=supervision,
+            respawn=respawn if supervision is not None else None,
+            recovery=recovery,
         )
         pooled_prior = None
-        transitions_merged = 0
+        transitions_merged = coord_state["merged"]
         if predictor == "shared-markov":
-            n = next(s["prior_n"] for s in shards if s["prior_n"] is not None)
-            pooled_prior = (
-                SharedTransitionPrior.load(warm_path, n=n)
-                if warm_path is not None
-                else SharedTransitionPrior(n)
-            )
-            for s in shards:
-                if s["prior_delta"] is not None:
-                    transitions_merged += pooled_prior.merge_delta(
-                        s["prior_delta"]
+            prior_ns = [
+                s["prior_n"]
+                for s in shards
+                if s is not None and s["prior_n"] is not None
+            ]
+            if prior_ns:
+                pooled_prior = coord_state["prior"]
+                if pooled_prior is None:
+                    pooled_prior = (
+                        SharedTransitionPrior.load(warm_path, n=prior_ns[0])
+                        if warm_path is not None
+                        else SharedTransitionPrior(prior_ns[0])
                     )
+                for s in shards:
+                    if s is not None and s["prior_delta"] is not None:
+                        transitions_merged += pooled_prior.merge_delta(
+                            s["prior_delta"]
+                        )
     finally:
-        if temp_prior is not None:
-            os.unlink(temp_prior.name)
+        for path in temp_files:
+            try:
+                os.unlink(path)
+            except OSError:
+                pass
+
+    lost_sessions = sum(
+        len(_shard_owned(len(traces), k, num_shards))
+        for k in recovery.lost_shards
+    )
+    shards = [s for s in shards if s is not None]
 
     # -- pool the shards into one fleet-wide result -------------------
     reports = [s["diagnostics"] for s in shards]
@@ -800,6 +911,8 @@ def run_fleet_sharded(
         diagnostics["prediction"] = pool_snapshots(
             [d["prediction"] for d in reports]
         )
+    if all("chaos" in d for d in reports):
+        diagnostics["chaos"] = pool_snapshots([d["chaos"] for d in reports])
     if not static:
         diagnostics["churn"] = pool_snapshots([d["churn"] for d in reports])
         rates = [
@@ -820,6 +933,13 @@ def run_fleet_sharded(
         "transitions_merged": transitions_merged,
         "cpu_run_s": [s["timing"]["cpu_run_s"] for s in shards],
         "wall_run_s": [s["timing"]["wall_run_s"] for s in shards],
+        # Supervision outcome: how many shards died and came back, how
+        # many were dropped past the restart budget, and how many
+        # planned sessions that loss cost the pooled report.
+        "shards_recovered": len(recovery.recovered_shards),
+        "shards_lost": len(recovery.lost_shards),
+        "sessions_lost": lost_sessions,
+        "restarts": len(recovery.restarts),
     }
 
     cohorts: list[CohortSummary] = []

@@ -32,7 +32,9 @@ from .schedule_service import FleetScheduleService, batch_probability_matrices
 from .sharding import (
     ShardChannel,
     ShardError,
+    ShardRecovery,
     ShardTask,
+    SupervisionPolicy,
     assign_shards,
     run_sharded,
     shard_of,
@@ -49,7 +51,9 @@ __all__ = [
     "batch_probability_matrices",
     "ShardChannel",
     "ShardError",
+    "ShardRecovery",
     "ShardTask",
+    "SupervisionPolicy",
     "assign_shards",
     "run_sharded",
     "shard_of",

@@ -45,7 +45,10 @@ degenerates to the session-private one.
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Callable, Optional, Sequence, Union
+from typing import TYPE_CHECKING, Callable, Optional, Sequence, Union
+
+if TYPE_CHECKING:
+    from repro.chaos import BackendFaultStack, ChaosConfig
 
 from repro.backends.base import Backend
 from repro.backends.throttle import BackendThrottle, WeightedBackendThrottle
@@ -121,6 +124,13 @@ class FleetConfig:
         expects only its share of the population, and its bandwidth
         slice is scaled by the same share, so each session's bandwidth
         prior matches the unsharded fleet's.
+    chaos:
+        Optional :class:`~repro.chaos.ChaosConfig`.  Backend fault
+        sources (flaky retries, hard errors behind a retry layer,
+        latency spikes) are wrapped around the backend at fleet
+        construction; an all-default / ``None`` config changes nothing.
+        Link outages and worker crashes are consumed upstream (runner
+        and sharded coordinator respectively).
     """
 
     num_sessions: int = 1
@@ -133,6 +143,7 @@ class FleetConfig:
     session: SessionConfig = field(default_factory=SessionConfig)
     session_route: Optional[Callable[[int], bool]] = None
     expected_sessions: Optional[float] = None
+    chaos: Optional["ChaosConfig"] = None
 
     def __post_init__(self) -> None:
         if self.num_sessions < 1:
@@ -209,9 +220,18 @@ class KhameleonFleet:
         config: Optional[FleetConfig] = None,
     ) -> None:
         self.sim = sim
-        self.backend = backend
         self.config = config or FleetConfig()
         cfg = self.config
+
+        # Chaos: interpose the configured backend fault sources (and
+        # the retry layer that absorbs hard errors) between every
+        # sender and the real backend.  Inert configs skip the wrap
+        # entirely, keeping the no-chaos path untouched.
+        self.chaos_stack: Optional["BackendFaultStack"] = None
+        if cfg.chaos is not None and cfg.chaos.has_backend_faults:
+            self.chaos_stack = cfg.chaos.wrap_backend(backend)
+            backend = self.chaos_stack.top
+        self.backend = backend
 
         self.shared_downlink = (
             downlink
@@ -436,4 +456,6 @@ class KhameleonFleet:
         if self.manager is not None:
             out["churn"] = self.manager.stats.snapshot()
             out["link_fairness"] = self.churn_link_fairness()
+        if self.chaos_stack is not None:
+            out["chaos"] = self.chaos_stack.snapshot()
         return out

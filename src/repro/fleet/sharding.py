@@ -12,11 +12,12 @@ shard, and exchange prior deltas at a configurable cadence.  Nothing
 on any worker's hot path ever takes a lock or crosses a process
 boundary.
 
-This module is the *generic* half — routing, process lifecycle, and
-the barrier protocol; it knows nothing about fleets or priors beyond
-"workers exchange picklable payloads".  The experiment-aware half
-(building shard fleets, merging :class:`PriorDelta` objects, pooling
-metrics) lives in :func:`repro.experiments.runner.run_fleet_sharded`.
+This module is the *generic* half — routing, process lifecycle, the
+barrier protocol, and worker supervision; it knows nothing about
+fleets or priors beyond "workers exchange picklable payloads".  The
+experiment-aware half (building shard fleets, merging
+:class:`PriorDelta` objects, pooling metrics) lives in
+:func:`repro.experiments.runner.run_fleet_sharded`.
 
 Protocol (bulk-synchronous, coordinator-relayed)::
 
@@ -32,6 +33,17 @@ transitions with bounded staleness (one sync interval).  The relay
 gives O(W) pipe pairs instead of O(W²), and the coordinator is idle
 between barriers — all CPU burns in the workers.
 
+Supervision (optional): with a :class:`SupervisionPolicy` and a
+``respawn`` factory, a worker that dies or goes quiet past the
+heartbeat timeout is quarantined and replaced — the factory builds a
+fresh :class:`ShardTask` that re-runs the shard from the last
+completed sync round (in the fleet case, seeded with the
+coordinator-side merged CRDT prior, which is exactly what makes
+re-entry coordination-free).  Restarts back off exponentially up to a
+per-shard budget; past it the shard is *dropped*, its result slot
+left ``None`` and the loss recorded in a :class:`ShardRecovery` log
+instead of tearing down the surviving fleet.
+
 Entry points are ``"module:function"`` strings rather than callables
 so the spawn start method (required: fork would snapshot the
 coordinator's heap, and the default differs across platforms) only
@@ -43,9 +55,11 @@ from __future__ import annotations
 import importlib
 import multiprocessing as mp
 import os
+import threading
+import time
 import traceback
 import zlib
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from multiprocessing.connection import Connection
 from typing import Any, Callable, Optional
 
@@ -55,6 +69,8 @@ __all__ = [
     "ShardTask",
     "ShardChannel",
     "ShardError",
+    "SupervisionPolicy",
+    "ShardRecovery",
     "run_sharded",
 ]
 
@@ -91,6 +107,11 @@ class ShardTask:
     spec: Any
     shard: int
     num_shards: int
+    #: When set, the worker emits ``("hb", None)`` liveness beacons at
+    #: this cadence from a side thread, so a supervised coordinator can
+    #: distinguish "slow but alive" from "wedged".  ``None`` (default)
+    #: keeps the wire protocol exactly as before.
+    heartbeat_interval_s: Optional[float] = None
 
 
 class ShardChannel:
@@ -100,16 +121,23 @@ class ShardChannel:
         self._conn = conn
         self.shard = shard
         self.num_shards = num_shards
+        # Serializes data sends against the heartbeat side thread.
+        self.send_lock = threading.Lock()
+
+    def _send(self, message: tuple[str, Any]) -> None:
+        with self.send_lock:
+            self._conn.send(message)
 
     def exchange(self, payload: Any) -> list[Any]:
         """Barrier: offer ``payload``, receive every peer's offering.
 
         Blocks until all workers reach the same round.  Returns the
-        other ``num_shards - 1`` payloads (empty list when W=1 — the
+        other live workers' payloads (empty list when W=1 — the
         degenerate fleet syncs with nobody, which is what makes the
-        W=1 run bit-identical to the unsharded one).
+        W=1 run bit-identical to the unsharded one; also fewer than
+        ``num_shards - 1`` entries once a supervised peer is lost).
         """
-        self._conn.send(("sync", payload))
+        self._send(("sync", payload))
         kind, peers = self._conn.recv()
         if kind != "peers":  # pragma: no cover - protocol bug guard
             raise RuntimeError(f"expected peers, got {kind!r}")
@@ -117,7 +145,7 @@ class ShardChannel:
 
     def result(self, value: Any) -> None:
         """Ship the shard's final report to the coordinator."""
-        self._conn.send(("result", value))
+        self._send(("result", value))
 
 
 class ShardError(RuntimeError):
@@ -131,20 +159,95 @@ class ShardError(RuntimeError):
         self.remote_traceback = remote_traceback
 
 
+@dataclass(frozen=True)
+class SupervisionPolicy:
+    """How the coordinator reacts to a dead or wedged worker.
+
+    Each shard gets ``max_restarts`` replacement attempts; the delay
+    before attempt *k* is ``backoff_s * backoff_factor**(k-1)``.  With
+    ``heartbeat_timeout_s`` set (and heartbeats enabled on the task),
+    a worker that sends *nothing* — data or beacon — for that long is
+    declared wedged and recycled just like a dead one.
+    """
+
+    max_restarts: int = 2
+    backoff_s: float = 0.05
+    backoff_factor: float = 2.0
+    heartbeat_timeout_s: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.max_restarts < 0:
+            raise ValueError("max_restarts must be >= 0")
+        if self.backoff_s < 0:
+            raise ValueError("backoff_s must be non-negative")
+        if self.backoff_factor < 1.0:
+            raise ValueError("backoff_factor must be >= 1")
+
+    def backoff_before(self, attempt: int) -> float:
+        """Sleep before restart number ``attempt`` (1-based)."""
+        return self.backoff_s * self.backoff_factor ** (attempt - 1)
+
+
+@dataclass
+class ShardRecovery:
+    """What supervision did during one :func:`run_sharded` call."""
+
+    #: One entry per replacement worker spawned: (shard, round, attempt#).
+    restarts: list[tuple[int, int, int]] = field(default_factory=list)
+    #: Shards dropped after exhausting their restart budget.
+    lost_shards: list[int] = field(default_factory=list)
+
+    @property
+    def recovered_shards(self) -> list[int]:
+        """Shards that died at least once but finished the run."""
+        return sorted(
+            {s for s, _, _ in self.restarts} - set(self.lost_shards)
+        )
+
+    def snapshot(self) -> dict:
+        return {
+            "shards_recovered": len(self.recovered_shards),
+            "shards_lost": len(self.lost_shards),
+            "restarts": len(self.restarts),
+        }
+
+
+def _heartbeat_loop(
+    channel: ShardChannel, conn: Connection, interval_s: float, stop: threading.Event
+) -> None:
+    """Side-thread beacon: prove liveness between barrier sends."""
+    while not stop.wait(interval_s):
+        try:
+            with channel.send_lock:
+                conn.send(("hb", None))
+        except (BrokenPipeError, OSError):  # coordinator went away
+            return
+
+
 def _worker_entry(task: ShardTask, conn: Connection) -> None:
     """Spawn target: resolve the entry point and run it on the channel."""
+    stop_heartbeat = threading.Event()
     try:
         module_name, _, func_name = task.entry.partition(":")
         fn: Callable = getattr(importlib.import_module(module_name), func_name)
         channel = ShardChannel(conn, task.shard, task.num_shards)
+        if task.heartbeat_interval_s is not None:
+            threading.Thread(
+                target=_heartbeat_loop,
+                args=(channel, conn, task.heartbeat_interval_s, stop_heartbeat),
+                daemon=True,
+            ).start()
         value = fn(task.spec, channel)
+        stop_heartbeat.set()
         channel.result(value)
     except Exception:
+        stop_heartbeat.set()
         try:
             conn.send(("error", traceback.format_exc()))
         except (BrokenPipeError, OSError):  # pragma: no cover
             pass
     finally:
+        stop_heartbeat.set()
         conn.close()
 
 
@@ -170,25 +273,176 @@ def _recv(
     proc: mp.process.BaseProcess,
     shard: int,
     timeout_s: Optional[float],
+    quiet_timeout_s: Optional[float] = None,
 ) -> tuple[str, Any]:
-    """Receive one message, surfacing worker death instead of hanging."""
+    """Receive one data message, surfacing worker death instead of hanging.
+
+    ``("hb", ...)`` beacons are consumed silently; they reset the
+    *quiet* clock but not the total one, so a wedged-but-beaconing
+    worker still trips ``timeout_s`` while a genuinely dead or wedged
+    one trips the much shorter ``quiet_timeout_s``.
+    """
     waited = 0.0
+    quiet = 0.0
     poll_s = 0.2
-    while not conn.poll(poll_s):
+    while True:
+        if conn.poll(poll_s):
+            try:
+                kind, payload = conn.recv()
+            except (EOFError, OSError) as exc:
+                # poll() also wakes on EOF: the worker died with its
+                # pipe end open (os._exit, SIGKILL) and left no message.
+                raise ShardError(
+                    shard,
+                    f"worker pipe closed mid-protocol "
+                    f"(exit code {proc.exitcode}): {exc!r}",
+                ) from exc
+            if kind == "hb":
+                quiet = 0.0
+                continue
+            if kind == "error":
+                raise ShardError(shard, payload)
+            return kind, payload
         waited += poll_s
+        quiet += poll_s
         if not proc.is_alive():
             # One last poll: the message may have raced process exit.
             if conn.poll(0):
-                break
+                continue
             raise ShardError(
                 shard, f"worker exited with code {proc.exitcode} mid-protocol"
             )
+        if quiet_timeout_s is not None and quiet >= quiet_timeout_s:
+            raise ShardError(
+                shard, f"no heartbeat within {quiet_timeout_s:.1f}s — worker wedged"
+            )
         if timeout_s is not None and waited >= timeout_s:
             raise ShardError(shard, f"no message within {timeout_s:.0f}s")
-    kind, payload = conn.recv()
-    if kind == "error":
-        raise ShardError(shard, payload)
-    return kind, payload
+
+
+def _dispose_proc(proc: mp.process.BaseProcess) -> None:
+    """Stop one worker without leaving a zombie: terminate, then kill."""
+    if proc.is_alive():
+        proc.terminate()
+    proc.join(timeout=5.0)
+    if proc.is_alive():  # pragma: no cover - needs a SIGTERM-immune child
+        proc.kill()
+        proc.join(timeout=5.0)
+
+
+class _Supervisor:
+    """Coordinator-side state for one supervised :func:`run_sharded`."""
+
+    def __init__(
+        self,
+        ctx,
+        tasks: list[ShardTask],
+        policy: Optional[SupervisionPolicy],
+        respawn: Optional[Callable[[int, int], ShardTask]],
+        recovery: ShardRecovery,
+    ) -> None:
+        self.ctx = ctx
+        self.tasks = list(tasks)
+        self.policy = policy
+        self.respawn = respawn
+        self.recovery = recovery
+        self.procs: list[Optional[mp.process.BaseProcess]] = [None] * len(tasks)
+        self.pipes: list[Optional[Connection]] = [None] * len(tasks)
+        self.alive = [True] * len(tasks)
+        self.attempts = [0] * len(tasks)
+
+    @property
+    def supervised(self) -> bool:
+        return self.policy is not None and self.respawn is not None
+
+    def spawn(self, i: int) -> None:
+        parent_conn, child_conn = self.ctx.Pipe()
+        proc = self.ctx.Process(
+            target=_worker_entry, args=(self.tasks[i], child_conn), daemon=True
+        )
+        proc.start()
+        child_conn.close()  # child's end lives in the child now
+        self.procs[i] = proc
+        self.pipes[i] = parent_conn
+
+    def dispose(self, i: int) -> None:
+        conn = self.pipes[i]
+        if conn is not None:
+            try:
+                conn.close()
+            except OSError:  # pragma: no cover
+                pass
+            self.pipes[i] = None
+        proc = self.procs[i]
+        if proc is not None:
+            _dispose_proc(proc)
+            self.procs[i] = None
+
+    def quiet_timeout_s(self, i: int) -> Optional[float]:
+        if self.policy is None or self.tasks[i].heartbeat_interval_s is None:
+            return None
+        return self.policy.heartbeat_timeout_s
+
+    def gather(self, i: int, expect: str, next_round: int, timeout_s: Optional[float]) -> Any:
+        """Receive one ``expect`` message from worker ``i``, recovering
+        from worker death when supervision allows.
+
+        Returns the payload, or ``None`` with ``alive[i]`` cleared when
+        the shard had to be dropped.  Unsupervised, the first failure
+        propagates as :class:`ShardError` exactly as before.
+        """
+        while True:
+            try:
+                kind, payload = _recv(
+                    self.pipes[i],
+                    self.procs[i],
+                    self.tasks[i].shard,
+                    timeout_s,
+                    self.quiet_timeout_s(i),
+                )
+                if kind != expect:
+                    raise ShardError(
+                        self.tasks[i].shard, f"expected {expect}, got {kind!r}"
+                    )
+                return payload
+            except ShardError:
+                if not self.supervised:
+                    raise
+                self.dispose(i)
+                shard = self.tasks[i].shard
+                self.attempts[i] += 1
+                if self.attempts[i] > self.policy.max_restarts:
+                    self.alive[i] = False
+                    self.recovery.lost_shards.append(shard)
+                    return None
+                self.recovery.restarts.append((shard, next_round, self.attempts[i]))
+                time.sleep(self.policy.backoff_before(self.attempts[i]))
+                self.tasks[i] = self.respawn(shard, next_round)
+                self.spawn(i)
+
+    def broadcast(self, i: int, message: tuple[str, Any]) -> None:
+        """Best-effort send; a dead receiver is caught at its next gather."""
+        conn = self.pipes[i]
+        if conn is None:
+            return
+        try:
+            conn.send(message)
+        except (BrokenPipeError, OSError):
+            pass
+
+    def teardown(self) -> None:
+        # Close parent pipe ends FIRST: a child blocked in exchange()
+        # sees EOF and unwinds, instead of deadlocking against a parent
+        # that is itself blocked in join().
+        for conn in self.pipes:
+            if conn is not None:
+                try:
+                    conn.close()
+                except OSError:  # pragma: no cover
+                    pass
+        for proc in self.procs:
+            if proc is not None:
+                _dispose_proc(proc)
 
 
 def run_sharded(
@@ -196,6 +450,9 @@ def run_sharded(
     sync_rounds: int = 0,
     timeout_s: Optional[float] = None,
     on_round: Optional[Callable[[int, list[Any]], None]] = None,
+    supervision: Optional[SupervisionPolicy] = None,
+    respawn: Optional[Callable[[int, int], ShardTask]] = None,
+    recovery: Optional[ShardRecovery] = None,
 ) -> list[Any]:
     """Run one process per task with ``sync_rounds`` barrier exchanges.
 
@@ -205,47 +462,67 @@ def run_sharded(
     others' payloads.  ``on_round(round_index, payloads)`` observes
     each completed barrier (e.g. to fold deltas into a coordinator-side
     aggregate).  Returns the workers' entry-function return values,
-    indexed by shard.  Any worker failure tears the whole fleet down
-    and raises :class:`ShardError` with the remote traceback.
+    indexed by shard.
+
+    Without ``supervision``, any worker failure tears the whole fleet
+    down and raises :class:`ShardError` with the remote traceback —
+    the original contract.  With ``supervision`` *and* a ``respawn``
+    factory — called as ``respawn(shard, next_round)`` and expected to
+    return a :class:`ShardTask` whose worker performs only the
+    remaining ``sync_rounds - next_round`` exchanges — dead or wedged
+    workers are replaced with exponential backoff up to the policy's
+    restart budget, and past it the shard is dropped: its result slot
+    stays ``None``, the loss lands in ``recovery``, and the survivors
+    finish.  Only when *every* shard is lost does the call still
+    raise.
     """
     if {t.shard for t in tasks} != set(range(len(tasks))):
         raise ValueError("task shard indices must be exactly 0..W-1")
+    if supervision is not None and respawn is None:
+        raise ValueError("supervision requires a respawn factory")
     _ensure_importable()
     ctx = mp.get_context("spawn")
-    procs: list[mp.process.BaseProcess] = []
-    pipes: list[Connection] = []
+    if recovery is None:
+        recovery = ShardRecovery()
+    sup = _Supervisor(ctx, tasks, supervision, respawn, recovery)
     try:
-        for task in tasks:
-            parent_conn, child_conn = ctx.Pipe()
-            proc = ctx.Process(
-                target=_worker_entry, args=(task, child_conn), daemon=True
-            )
-            proc.start()
-            child_conn.close()  # child's end lives in the child now
-            procs.append(proc)
-            pipes.append(parent_conn)
+        for i in range(len(tasks)):
+            sup.spawn(i)
         for round_index in range(sync_rounds):
-            offers = [
-                _recv(pipes[i], procs[i], tasks[i].shard, timeout_s)[1]
-                for i in range(len(tasks))
-            ]
-            for i, conn in enumerate(pipes):
-                conn.send(("peers", offers[:i] + offers[i + 1:]))
-            if on_round is not None:
-                on_round(round_index, list(offers))
-        results: list[Any] = [None] * len(tasks)
-        for i, conn in enumerate(pipes):
-            kind, value = _recv(conn, procs[i], tasks[i].shard, timeout_s)
-            if kind != "result":
+            offers: list[Optional[Any]] = [None] * len(tasks)
+            for i in range(len(tasks)):
+                if not sup.alive[i]:
+                    continue
+                offers[i] = sup.gather(i, "sync", round_index, timeout_s)
+            if not any(sup.alive):
                 raise ShardError(
-                    tasks[i].shard, f"expected result, got {kind!r}"
+                    sup.tasks[-1].shard, "all shards lost — nothing to supervise"
                 )
-            results[tasks[i].shard] = value
+            for i in range(len(tasks)):
+                if not sup.alive[i]:
+                    continue
+                peers = [
+                    offers[j]
+                    for j in range(len(tasks))
+                    if j != i and sup.alive[j]
+                ]
+                sup.broadcast(i, ("peers", peers))
+            if on_round is not None:
+                on_round(
+                    round_index,
+                    [offers[i] for i in range(len(tasks)) if sup.alive[i]],
+                )
+        results: list[Any] = [None] * len(tasks)
+        for i in range(len(tasks)):
+            if not sup.alive[i]:
+                continue
+            value = sup.gather(i, "result", sync_rounds, timeout_s)
+            if sup.alive[i]:
+                results[sup.tasks[i].shard] = value
+        if not any(sup.alive):
+            raise ShardError(
+                sup.tasks[-1].shard, "all shards lost — nothing to supervise"
+            )
         return results
     finally:
-        for conn in pipes:
-            conn.close()
-        for proc in procs:
-            if proc.is_alive():
-                proc.terminate()
-            proc.join(timeout=5.0)
+        sup.teardown()

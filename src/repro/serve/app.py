@@ -78,6 +78,8 @@ class ServeStats:
     frames_dropped: int = 0
     events_received: int = 0
     requests_received: int = 0
+    pings_sent: int = 0
+    idle_closed: int = 0
 
 
 @dataclass
@@ -93,6 +95,9 @@ class _Connection:
     frames_dropped: int = 0
     detached: bool = False
     pump: Optional[asyncio.Task] = None
+    pinger: Optional[asyncio.Task] = None
+    pings_sent: int = 0
+    last_recv_s: float = 0.0
 
 
 class KhameleonServeApp:
@@ -116,9 +121,15 @@ class KhameleonServeApp:
         port: int = 0,
         prior: Optional[SharedTransitionPrior] = None,
         outbox_depth: int = 1024,
+        ping_interval_s: float = 20.0,
+        ping_max_misses: int = 3,
     ) -> None:
         if outbox_depth < 1:
             raise ValueError("outbox_depth must be >= 1")
+        if ping_interval_s < 0:
+            raise ValueError("ping_interval_s must be >= 0 (0 disables)")
+        if ping_max_misses < 1:
+            raise ValueError("ping_max_misses must be >= 1")
         if predictor not in _LIVE_PREDICTORS:
             raise ValueError(
                 f"predictor {predictor!r} cannot serve live sessions "
@@ -148,6 +159,13 @@ class KhameleonServeApp:
         #: frames beyond this depth are shed and counted, never
         #: buffered unboundedly (``--outbox-depth`` on the CLI).
         self.outbox_depth = outbox_depth
+        #: WS-level liveness: on a quiet connection the server
+        #: originates a ping every ``ping_interval_s`` and closes the
+        #: socket after ``ping_max_misses`` consecutive unanswered
+        #: pings — a half-open TCP peer stops holding an admission slot.
+        #: 0 disables the prober (``--ping-interval`` on the CLI).
+        self.ping_interval_s = ping_interval_s
+        self.ping_max_misses = ping_max_misses
         self.stats = ServeStats()
         self.clock: Optional[WallClock] = None
         self.fleet: Optional[KhameleonFleet] = None
@@ -271,6 +289,8 @@ class KhameleonServeApp:
         self.stats.sessions_detached += 1
         if conn.pump is not None:
             conn.pump.cancel()
+        if conn.pinger is not None:
+            conn.pinger.cancel()
 
     def _push_block(self, conn: _Connection, block: Block) -> None:
         frame = protocol.encode_block(block)
@@ -337,6 +357,9 @@ class KhameleonServeApp:
             )
             await socket.drain()
             conn.pump = asyncio.ensure_future(self._pump(conn))
+            if self.ping_interval_s > 0:
+                conn.last_recv_s = self.clock.now
+                conn.pinger = asyncio.ensure_future(self._ping_loop(conn))
             await self._read_loop(conn)
         except (ConnectionResetError, BrokenPipeError, OSError):
             pass
@@ -363,6 +386,7 @@ class KhameleonServeApp:
             item = await conn.socket.recv()
             if item is None:
                 return
+            conn.last_recv_s = self.clock.now
             opcode, payload = item
             if opcode != ws.OP_TEXT:
                 continue
@@ -423,6 +447,9 @@ class KhameleonServeApp:
             "outbox_depth": self.outbox_depth,
             "events_received": s.events_received,
             "requests_received": s.requests_received,
+            "pings_sent": s.pings_sent,
+            "idle_closed": s.idle_closed,
+            "ping_interval_s": self.ping_interval_s,
             "predictor": self.predictor,
             # The crowd prior's "version mass": total transition count,
             # which only grows — the same quantity the sharded fleet's
@@ -439,6 +466,42 @@ class KhameleonServeApp:
         if path == "/status":
             return 200, "application/json", json.dumps(self.status_snapshot())
         return 404, "application/json", json.dumps({"error": "not found"})
+
+    async def _ping_loop(self, conn: _Connection) -> None:
+        """Probe a quiet connection; close it once pongs stop coming.
+
+        A connection carrying data frames is demonstrably alive, so
+        pings only go out when the socket has been idle a full
+        interval.  Each unanswered ping widens the ``pings_sent -
+        pongs_received`` gap; at ``ping_max_misses`` the peer is
+        declared half-open and the socket closed, which unwinds the
+        read loop and frees the admission slot.
+        """
+        socket = conn.socket
+        try:
+            while not conn.detached and not socket.closed:
+                await asyncio.sleep(self.ping_interval_s)
+                if conn.detached or socket.closed:
+                    return
+                assert self.clock is not None
+                if self.clock.now - conn.last_recv_s < self.ping_interval_s:
+                    continue  # data traffic is proof of life
+                missed = conn.pings_sent - socket.pongs_received
+                if missed >= self.ping_max_misses:
+                    self.stats.idle_closed += 1
+                    await socket.close()
+                    return
+                socket.send_ping()
+                conn.pings_sent += 1
+                self.stats.pings_sent += 1
+                await socket.drain()
+        except (
+            asyncio.CancelledError,
+            ConnectionResetError,
+            BrokenPipeError,
+            OSError,
+        ):
+            return
 
     async def _pump(self, conn: _Connection) -> None:
         """Drain the outbox onto the socket (its own task per session)."""

@@ -216,6 +216,9 @@ class WebSocket:
         self.mask_frames = mask_frames
         self.close_sent = False
         self.closed = False
+        #: Pongs seen by :meth:`recv`; liveness monitors compare this
+        #: against the pings they originated.
+        self.pongs_received = 0
 
     # -- sending -----------------------------------------------------
 
@@ -224,6 +227,9 @@ class WebSocket:
 
     def send_binary(self, payload: bytes) -> None:
         self._send(OP_BINARY, payload)
+
+    def send_ping(self, payload: bytes = b"") -> None:
+        self._send(OP_PING, payload)
 
     def _send(self, opcode: int, payload: bytes) -> None:
         if self.closed or self.close_sent:
@@ -259,8 +265,8 @@ class WebSocket:
         """Next data message as ``(opcode, payload)``; None once closed.
 
         Control frames are handled inline: pings are answered, pongs
-        dropped, and a close frame is echoed (once) before returning
-        None.
+        counted (``pongs_received``), and a close frame is echoed
+        (once) before returning None.
         """
         while True:
             if self.closed:
@@ -284,7 +290,9 @@ class WebSocket:
                     self._send_close_frame(payload[:2])
                 self.closed = True
                 return None
-            # OP_PONG and anything unknown: ignore.
+            elif opcode == OP_PONG:
+                self.pongs_received += 1
+            # anything unknown: ignore.
 
     # -- teardown ----------------------------------------------------
 

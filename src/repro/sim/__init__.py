@@ -9,7 +9,7 @@ bandwidth estimator of §5.4 (:mod:`.bandwidth`).
 
 from .bandwidth import HarmonicMeanEstimator, ReceiveRateMonitor
 from .estimators import EWMAEstimator, SlidingMaxEstimator
-from .failures import FlakyBackend, OutageLink
+from .failures import ErraticBackend, FlakyBackend, OutageLink
 from .cellular import ATT_LTE, VERIZON_LTE, CellularProfile, CellularTraceGenerator
 from .engine import EventHandle, SimulationError, Simulator
 from .fairshare import FairSharePort, SharedDownlink
@@ -38,4 +38,5 @@ __all__ = [
     "SlidingMaxEstimator",
     "OutageLink",
     "FlakyBackend",
+    "ErraticBackend",
 ]

@@ -13,19 +13,28 @@ deadlocking or crashing:
 * :class:`FlakyBackend` — wraps any backend; a deterministic fraction
   of fetches fail and complete only after retrying, modelling
   transient query errors with client-transparent retry.
+* :class:`ErraticBackend` — wraps any backend; a deterministic
+  fraction of fetches raise :class:`BackendFetchError` (for the retry
+  layer to absorb) or suffer a latency spike before being accepted.
+
+All injection decisions are drawn from crc32 hashes of a seed and a
+per-fetch counter — deterministic across processes and across the
+``Simulator`` / ``WallClock`` drivers, unlike Python's per-process
+salted ``hash``.
 """
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Any, Callable, Optional, Sequence
+import zlib
+from typing import TYPE_CHECKING, Optional, Sequence
 
 if TYPE_CHECKING:
     from repro.backends.base import Backend, OnComplete
 
-from repro.sim.engine import Simulator
+from repro.backends.base import BackendFetchError, BackendWrapper
 from repro.sim.link import Link
 
-__all__ = ["OutageLink", "FlakyBackend"]
+__all__ = ["OutageLink", "FlakyBackend", "ErraticBackend"]
 
 
 class OutageLink(Link):
@@ -65,7 +74,7 @@ class OutageLink(Link):
         return finish
 
 
-class FlakyBackend:
+class FlakyBackend(BackendWrapper):
     """Backend wrapper injecting deterministic fetch failures.
 
     Every ``failure_period``-th fetch "fails": its completion is
@@ -86,35 +95,11 @@ class FlakyBackend:
             raise ValueError("failure period must be >= 1")
         if retry_delay_s < 0:
             raise ValueError("retry delay must be non-negative")
-        self.inner = inner
-        self.sim: Simulator = inner.sim
+        super().__init__(inner)
         self.failure_period = failure_period
         self.retry_delay_s = retry_delay_s
         self.failures_injected = 0
         self._fetch_count = 0
-
-    # -- Backend protocol pass-through ----------------------------------
-
-    @property
-    def stats(self):
-        return self.inner.stats
-
-    @property
-    def active_requests(self) -> int:
-        return self.inner.active_requests
-
-    @property
-    def scalable_concurrency(self) -> Optional[int]:
-        return self.inner.scalable_concurrency
-
-    def is_cached(self, request: int) -> bool:
-        return self.inner.is_cached(request)
-
-    def cached(self, request: int):
-        return self.inner.cached(request)
-
-    def evict(self, request: int) -> None:
-        self.inner.evict(request)
 
     def fetch(self, request: int, on_complete: "OnComplete") -> None:
         self._fetch_count += 1
@@ -126,4 +111,61 @@ class FlakyBackend:
                 self.retry_delay_s, self.inner.fetch, request, on_complete
             )
             return
+        self.inner.fetch(request, on_complete)
+
+
+class ErraticBackend(BackendWrapper):
+    """Backend wrapper injecting hard errors and latency spikes.
+
+    Unlike :class:`FlakyBackend` (which transparently retries for the
+    caller), an injected error here *raises* :class:`BackendFetchError`
+    from ``fetch`` — the caller is expected to sit behind a
+    :class:`~repro.backends.retry.RetryingBackend` that absorbs it.
+    Cached and in-flight requests never fail: the inner backend would
+    answer them without new work, so injecting a failure there would
+    model a fault the real system cannot have.
+
+    Draws are deterministic functions of ``(seed, fetch_count)`` via
+    crc32, so a given seed yields the same fault schedule in every
+    process and under both clock drivers.
+    """
+
+    def __init__(
+        self,
+        inner: "Backend | BackendWrapper",
+        error_rate: float = 0.0,
+        spike_rate: float = 0.0,
+        spike_s: float = 1.0,
+        seed: int = 0,
+    ) -> None:
+        if not 0.0 <= error_rate <= 1.0:
+            raise ValueError("error_rate must be in [0, 1]")
+        if not 0.0 <= spike_rate <= 1.0:
+            raise ValueError("spike_rate must be in [0, 1]")
+        if spike_s < 0:
+            raise ValueError("spike_s must be non-negative")
+        super().__init__(inner)
+        self.error_rate = error_rate
+        self.spike_rate = spike_rate
+        self.spike_s = spike_s
+        self.seed = seed
+        self.errors_injected = 0
+        self.spikes_injected = 0
+        self._fetch_count = 0
+
+    def _draw(self, label: str, count: int) -> float:
+        digest = zlib.crc32(f"{self.seed}:{label}:{count}".encode()) & 0xFFFFFFFF
+        return digest / 2**32
+
+    def fetch(self, request: int, on_complete: "OnComplete") -> None:
+        self._fetch_count += 1
+        count = self._fetch_count
+        if not self.inner.is_materialized(request):
+            if self.error_rate > 0.0 and self._draw("err", count) < self.error_rate:
+                self.errors_injected += 1
+                raise BackendFetchError(request, f"injected error #{self.errors_injected}")
+            if self.spike_rate > 0.0 and self._draw("spike", count) < self.spike_rate:
+                self.spikes_injected += 1
+                self.sim.schedule(self.spike_s, self.inner.fetch, request, on_complete)
+                return
         self.inner.fetch(request, on_complete)

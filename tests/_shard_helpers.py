@@ -15,3 +15,26 @@ def echo_worker(spec, channel):
 
 def failing_worker(spec, channel):
     raise RuntimeError("deliberate test failure")
+
+
+def crashable_worker(spec, channel):
+    """Multi-round worker that can hard-crash mid-protocol.
+
+    ``spec`` is a dict: ``rounds`` barrier exchanges to run; when
+    ``crash_before_round`` matches the upcoming round the process dies
+    via ``os._exit`` — no exception message, no close frame, exactly
+    like an OOM-kill — which is the failure mode supervised
+    ``run_sharded`` must recover from.  Optional ``sleep_s`` wedges the
+    worker before its first exchange (for heartbeat-timeout tests).
+    """
+    import os
+    import time
+
+    if spec.get("sleep_s"):
+        time.sleep(spec["sleep_s"])
+    peers = []
+    for r in range(spec["rounds"]):
+        if spec.get("crash_before_round") == r:
+            os._exit(23)
+        peers.append(channel.exchange(f"{spec['tag']}:r{r}"))
+    return {"tag": spec["tag"], "rounds_done": spec["rounds"], "peers": peers}

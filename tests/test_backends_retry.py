@@ -1,0 +1,153 @@
+"""Tests for the deadline/retry/backoff fetch path (repro.backends.retry)."""
+
+import asyncio
+
+import pytest
+
+from repro.backends.base import BackendFetchError, BackendWrapper
+from repro.backends.filesystem import FileSystemBackend
+from repro.backends.retry import RetryingBackend, RetryPolicy
+from repro.clock import WallClock
+from repro.encoding.naive import SingleBlockEncoder
+from repro.sim.engine import Simulator
+
+
+class FailNTimes(BackendWrapper):
+    """Raise BackendFetchError for the first ``failures`` fetch calls."""
+
+    def __init__(self, inner, failures):
+        super().__init__(inner)
+        self.remaining = failures
+        self.attempts_seen = 0
+
+    def fetch(self, request, on_complete):
+        self.attempts_seen += 1
+        if self.remaining > 0:
+            self.remaining -= 1
+            raise BackendFetchError(request, "transient test failure")
+        self.inner.fetch(request, on_complete)
+
+
+def make_stack(clock, failures, policy):
+    encoder = SingleBlockEncoder(lambda r: 100)
+    inner = FileSystemBackend(clock, encoder, fetch_delay_s=0.0)
+    flaky = FailNTimes(inner, failures)
+    return flaky, RetryingBackend(flaky, policy)
+
+
+class TestRetryPolicy:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(ValueError):
+            RetryPolicy(base_backoff_s=-0.1)
+        with pytest.raises(ValueError):
+            RetryPolicy(backoff_factor=0.5)
+        with pytest.raises(ValueError):
+            RetryPolicy(deadline_s=0.0)
+        with pytest.raises(ValueError):
+            RetryPolicy(jitter=1.5)
+
+    def test_backoff_grows_exponentially_and_caps(self):
+        policy = RetryPolicy(
+            base_backoff_s=0.1, backoff_factor=2.0, max_backoff_s=0.3, jitter=0.0
+        )
+        assert policy.backoff_s(0, 1) == pytest.approx(0.1)
+        assert policy.backoff_s(0, 2) == pytest.approx(0.2)
+        assert policy.backoff_s(0, 3) == pytest.approx(0.3)  # capped, not 0.4
+        assert policy.backoff_s(0, 9) == pytest.approx(0.3)
+
+    def test_jitter_is_deterministic_and_bounded(self):
+        policy = RetryPolicy(base_backoff_s=1.0, max_backoff_s=1.0, jitter=0.25)
+        for request in range(5):
+            for attempt in range(1, 4):
+                first = policy.backoff_s(request, attempt)
+                again = policy.backoff_s(request, attempt)
+                assert first == again  # crc32-derived, not a live RNG
+                assert 0.75 <= first <= 1.25
+
+    def test_jitter_actually_spreads(self):
+        policy = RetryPolicy(base_backoff_s=1.0, jitter=0.25)
+        delays = {policy.backoff_s(r, 1) for r in range(20)}
+        assert len(delays) > 10
+
+
+class TestRetryingBackend:
+    def test_retries_until_success(self):
+        sim = Simulator()
+        policy = RetryPolicy(max_attempts=4, base_backoff_s=0.05, jitter=0.0)
+        flaky, backend = make_stack(sim, failures=2, policy=policy)
+        got = []
+        backend.fetch(0, got.append)
+        sim.run()
+        assert len(got) == 1
+        assert flaky.attempts_seen == 3  # two failures + the success
+        assert backend.fetches_failed == 2
+        assert backend.retries_scheduled == 2
+        assert backend.fetches_abandoned == 0
+        # Third attempt lands after both backoffs: 0.05 + 0.10.
+        assert sim.now == pytest.approx(0.15)
+
+    def test_abandons_after_attempt_budget(self):
+        sim = Simulator()
+        policy = RetryPolicy(max_attempts=2, base_backoff_s=0.01, jitter=0.0)
+        flaky, backend = make_stack(sim, failures=10, policy=policy)
+        got = []
+        backend.fetch(0, got.append)
+        sim.run()
+        assert got == []  # the callback never fires — degraded, not wedged
+        assert backend.fetches_failed == 2
+        assert backend.retries_scheduled == 1
+        assert backend.fetches_abandoned == 1
+
+    def test_abandons_past_deadline(self):
+        sim = Simulator()
+        # The first retry's backoff alone would blow the deadline.
+        policy = RetryPolicy(
+            max_attempts=10, base_backoff_s=0.5, deadline_s=0.1, jitter=0.0
+        )
+        flaky, backend = make_stack(sim, failures=10, policy=policy)
+        got = []
+        backend.fetch(0, got.append)
+        sim.run()
+        assert got == []
+        assert backend.fetches_failed == 1
+        assert backend.retries_scheduled == 0
+        assert backend.fetches_abandoned == 1
+
+    def test_clean_fetch_is_pass_through(self):
+        sim = Simulator()
+        flaky, backend = make_stack(sim, failures=0, policy=RetryPolicy())
+        got = []
+        backend.fetch(3, got.append)
+        sim.run()
+        assert len(got) == 1
+        assert backend.snapshot() == {
+            "fetches_failed": 0,
+            "retries_scheduled": 0,
+            "fetches_abandoned": 0,
+        }
+
+    def test_same_policy_runs_on_the_wall_clock(self):
+        """The retry path lives on the Clock seam: the identical policy
+        and fault schedule produce the identical counters under asyncio
+        real time as under the discrete-event simulator."""
+        policy = RetryPolicy(max_attempts=4, base_backoff_s=0.01, jitter=0.1)
+
+        sim = Simulator()
+        _, sim_backend = make_stack(sim, failures=2, policy=policy)
+        sim_got = []
+        sim_backend.fetch(0, sim_got.append)
+        sim.run()
+
+        async def main():
+            clock = WallClock(asyncio.get_running_loop())
+            _, backend = make_stack(clock, failures=2, policy=policy)
+            got = []
+            backend.fetch(0, got.append)
+            await asyncio.sleep(0.3)
+            return got, backend.snapshot()
+
+        wall_got, wall_snapshot = asyncio.run(asyncio.wait_for(main(), timeout=30.0))
+        assert len(sim_got) == len(wall_got) == 1
+        assert wall_snapshot == sim_backend.snapshot()

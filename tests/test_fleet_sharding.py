@@ -20,7 +20,16 @@ import pytest
 
 from repro.experiments.configs import DEFAULT_ENV, FleetEnvironment
 from repro.experiments.runner import run_fleet, run_fleet_sharded
-from repro.fleet import ArrivalConfig, ShardError, ShardTask, assign_shards, run_sharded, shard_of
+from repro.fleet import (
+    ArrivalConfig,
+    ShardError,
+    ShardRecovery,
+    ShardTask,
+    SupervisionPolicy,
+    assign_shards,
+    run_sharded,
+    shard_of,
+)
 from repro.metrics.fleet import pool_snapshots
 from repro.workloads.image_app import ImageExplorationApp
 from repro.workloads.mouse import MouseTraceGenerator
@@ -96,6 +105,138 @@ class TestBarrierProtocol:
         task = ShardTask(entry="x:y", spec=None, shard=1, num_shards=2)
         with pytest.raises(ValueError, match="0..W-1"):
             run_sharded([task])
+
+
+def crashable_task(shard, num_shards, rounds, crash_before_round=None, **extra):
+    return ShardTask(
+        entry="_shard_helpers:crashable_worker",
+        spec={
+            "tag": f"s{shard}",
+            "rounds": rounds,
+            "crash_before_round": crash_before_round,
+            **extra,
+        },
+        shard=shard,
+        num_shards=num_shards,
+    )
+
+
+class TestSupervision:
+    """Supervised run_sharded: restart, recover, or degrade — never hang."""
+
+    POLICY = SupervisionPolicy(max_restarts=2, backoff_s=0.01)
+
+    def test_hard_crash_without_supervision_raises(self):
+        tasks = [crashable_task(0, 1, rounds=2, crash_before_round=1)]
+        with pytest.raises(ShardError, match="mid-protocol|pipe closed"):
+            run_sharded(tasks, sync_rounds=2, timeout_s=60.0)
+
+    def test_crashed_worker_is_respawned_and_finishes(self):
+        rounds = 3
+        tasks = [
+            crashable_task(0, 2, rounds),
+            crashable_task(1, 2, rounds, crash_before_round=1),
+        ]
+        recovery = ShardRecovery()
+
+        def respawn(shard, next_round):
+            # The replacement re-runs only the remaining barriers and
+            # does not crash again — the chaos schedule fired already.
+            return crashable_task(shard, 2, rounds - next_round)
+
+        results = run_sharded(
+            tasks,
+            sync_rounds=rounds,
+            timeout_s=60.0,
+            supervision=self.POLICY,
+            respawn=respawn,
+            recovery=recovery,
+        )
+        assert recovery.recovered_shards == [1]
+        assert recovery.lost_shards == []
+        assert [s for s, _, _ in recovery.restarts] == [1]
+        assert results[0]["rounds_done"] == rounds
+        assert results[1]["rounds_done"] == rounds - 1  # resumed mid-run
+        assert recovery.snapshot() == {
+            "shards_recovered": 1,
+            "shards_lost": 0,
+            "restarts": 1,
+        }
+
+    def test_budget_exhaustion_drops_shard_but_survivors_finish(self):
+        rounds = 2
+        tasks = [
+            crashable_task(0, 2, rounds),
+            crashable_task(1, 2, rounds, crash_before_round=0),
+        ]
+        recovery = ShardRecovery()
+
+        def respawn(shard, next_round):
+            # The replacement is just as doomed: budget must run out.
+            return crashable_task(
+                shard, 2, rounds - next_round, crash_before_round=0
+            )
+
+        results = run_sharded(
+            tasks,
+            sync_rounds=rounds,
+            timeout_s=60.0,
+            supervision=SupervisionPolicy(max_restarts=1, backoff_s=0.01),
+            respawn=respawn,
+            recovery=recovery,
+        )
+        assert recovery.lost_shards == [1]
+        assert recovery.recovered_shards == []
+        assert results[1] is None  # the loss is surfaced, not raised
+        assert results[0]["rounds_done"] == rounds
+        # Once the peer was dropped, the survivor synced with nobody.
+        assert results[0]["peers"][-1] == []
+
+    def test_all_shards_lost_still_raises(self):
+        tasks = [crashable_task(0, 1, rounds=1, crash_before_round=0)]
+
+        def respawn(shard, next_round):
+            return crashable_task(shard, 1, 1 - next_round, crash_before_round=0)
+
+        with pytest.raises(ShardError, match="all shards lost"):
+            run_sharded(
+                tasks,
+                sync_rounds=1,
+                timeout_s=60.0,
+                supervision=SupervisionPolicy(max_restarts=0),
+                respawn=respawn,
+            )
+
+    def test_wedged_worker_trips_heartbeat_timeout_and_recovers(self):
+        """A worker that stops making progress — but whose process is
+        alive — is recycled via the quiet timeout, not the (much
+        longer) total timeout.  Beacons are configured slower than the
+        quiet window, so the wedge is detected."""
+        rounds = 1
+        wedged = crashable_task(0, 1, rounds, sleep_s=30.0)
+        wedged.heartbeat_interval_s = 60.0  # no beacon before the wedge trips
+        recovery = ShardRecovery()
+
+        def respawn(shard, next_round):
+            return crashable_task(shard, 1, rounds - next_round)
+
+        results = run_sharded(
+            [wedged],
+            sync_rounds=rounds,
+            timeout_s=120.0,
+            supervision=SupervisionPolicy(
+                max_restarts=1, backoff_s=0.01, heartbeat_timeout_s=1.0
+            ),
+            respawn=respawn,
+            recovery=recovery,
+        )
+        assert recovery.recovered_shards == [0]
+        assert results[0]["rounds_done"] == rounds
+
+    def test_supervision_requires_respawn_factory(self):
+        tasks = [crashable_task(0, 1, rounds=0)]
+        with pytest.raises(ValueError, match="respawn"):
+            run_sharded(tasks, supervision=self.POLICY)
 
 
 class TestSingleShardBitIdentity:

@@ -391,3 +391,79 @@ class TestOutboxBackpressure:
                 await app.stop()
 
         run(main())
+
+
+# ---------------------------------------------------------------------------
+# Ping liveness
+# ---------------------------------------------------------------------------
+
+
+class TestPingLiveness:
+    def test_unresponsive_peer_is_ping_closed(self):
+        """A client that completes the hello and then never reads again
+        sends no pongs (auto-pong happens inside recv), so the server
+        pings it ping_max_misses times and then closes the socket."""
+
+        async def main():
+            app = create_app(
+                make_env(), rows=6, cols=6, predictor="uniform", port=0,
+                ping_interval_s=0.2, ping_max_misses=2,
+            )
+            await app.start()
+            try:
+                socket = await ws.connect("127.0.0.1", app.port)
+                socket.send_text(
+                    protocol.encode_message(
+                        "hello", protocol=protocol.PROTOCOL_VERSION, weight=1.0
+                    )
+                )
+                await socket.drain()
+                msg = protocol.decode_message((await socket.recv())[1])
+                assert msg["type"] == "welcome"
+                # ...and now go silent: no recv() means no auto-pongs.
+                deadline = asyncio.get_running_loop().time() + 10.0
+                while (
+                    app.stats.idle_closed == 0
+                    and asyncio.get_running_loop().time() < deadline
+                ):
+                    await asyncio.sleep(0.1)
+                assert app.stats.idle_closed == 1
+                assert app.stats.pings_sent >= 2
+                status = app.status_snapshot()
+                assert status["idle_closed"] == 1
+                assert status["pings_sent"] >= 2
+                assert status["ping_interval_s"] == pytest.approx(0.2)
+            finally:
+                await app.stop()
+            assert app.stats.sessions_detached == 1
+
+        run(main())
+
+    def test_responsive_client_is_never_ping_closed(self):
+        """LiveClient pumps recv() continuously, so every ping is ponged
+        and the connection stays up across many ping intervals."""
+
+        async def main():
+            app = create_app(
+                make_env(), rows=6, cols=6, predictor="uniform", port=0,
+                ping_interval_s=0.1, ping_max_misses=1,
+            )
+            await app.start()
+            try:
+                client = await LiveClient.connect("127.0.0.1", app.port)
+                await asyncio.sleep(1.0)  # ~10 ping intervals of idleness
+                assert app.stats.idle_closed == 0
+                report = await client.bye()
+                assert report.server_stats is not None
+            finally:
+                await app.stop()
+            assert app.stats.idle_closed == 0
+            assert app.stats.pings_sent >= 2
+
+        run(main())
+
+    def test_ping_config_validation(self):
+        with pytest.raises(ValueError):
+            create_app(make_env(), rows=6, cols=6, ping_interval_s=-1.0)
+        with pytest.raises(ValueError):
+            create_app(make_env(), rows=6, cols=6, ping_max_misses=0)
