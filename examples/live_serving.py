@@ -40,11 +40,18 @@ from repro.workloads.mouse import MouseTraceGenerator
 
 
 async def run_session(
-    host: str, port: int, duration_s: float, seed: int, linger_s: float
+    host: str,
+    port: int,
+    duration_s: float,
+    seed: int,
+    linger_s: float,
+    auto_reconnect: bool = False,
 ) -> tuple[object, int]:
     """Replay one mouse trace; returns (LiveReport, exit status)."""
     try:
-        client = await LiveClient.connect(host, port)
+        client = await LiveClient.connect(
+            host, port, auto_reconnect=auto_reconnect
+        )
     except AdmissionRejected as exc:
         print(f"rejected by admission control: {exc}")
         return exc.report, 1
@@ -69,13 +76,23 @@ async def run_session(
             delay = event.time_s - (time.monotonic() - start)
             if delay > 0:
                 await asyncio.sleep(delay)
-            client.send_event(event.x, event.y)
-            if event.request is not None:
-                client.send_request(event.request)
-        await client.drain()
+            # Across an injected disconnect the socket may be mid-splice;
+            # sends fail soft and the replay keeps its wall-clock pace.
+            try:
+                client.send_event(event.x, event.y)
+                if event.request is not None:
+                    client.send_request(event.request)
+                await client.drain()
+            except (ConnectionError, OSError):
+                pass
         # Let in-flight pushes land before asking for the bill.
         await asyncio.sleep(linger_s)
         report = await client.bye()
+    if report.resumes:
+        print(
+            f"reconnected {report.resumes}x "
+            f"(first at t={report.resumed_at[0]:.2f}s)"
+        )
     return report, 0
 
 
@@ -84,7 +101,8 @@ def print_report(report) -> None:
             ("bytes received", report.bytes_received),
             ("requests issued", len(report.requests)),
             ("prefetched hits", report.prefetched_hits),
-            ("unrequested blocks", report.unrequested_blocks)]
+            ("unrequested blocks", report.unrequested_blocks),
+            ("reconnects", report.resumes)]
     width = max(len(k) for k, _ in rows)
     print("\n-- client wire accounting --")
     for key, value in rows:
@@ -113,6 +131,13 @@ def spawn_server(args) -> tuple[subprocess.Popen, int]:
         "--predictor", args.predictor,
         "--sampler", args.sampler,
     ]
+    if args.disconnect_at > 0:
+        # Server-side fault injection: abort this session's socket
+        # mid-trace, and park it so the token reconnect can land.
+        cmd += [
+            "--chaos", f"disconnect:0@{args.disconnect_at:g}",
+            "--resume-grace", "30",
+        ]
     proc = subprocess.Popen(
         cmd,
         stdout=subprocess.PIPE,
@@ -154,7 +179,15 @@ def main(argv=None) -> int:
     )
     parser.add_argument(
         "--check", action="store_true",
-        help="exit nonzero unless blocks arrived and >=1 was prefetched",
+        help="exit nonzero unless blocks arrived and >=1 was prefetched "
+        "(with --disconnect-at: also requires exactly one token "
+        "reconnect and >=1 post-resume prefetched hit)",
+    )
+    parser.add_argument(
+        "--disconnect-at", type=float, default=0.0, metavar="SECONDS",
+        help="with --spawn-server: inject a server-side socket abort "
+        "this long into the session and auto-reconnect through it "
+        "(0 disables; default: 0)",
     )
     parser.add_argument("--scale", default="quick",
                         help="spawned server's grid scale (default: quick)")
@@ -164,13 +197,18 @@ def main(argv=None) -> int:
                         help="spawned server's draw kernel (default: vectorized)")
     args = parser.parse_args(argv)
 
+    if args.disconnect_at > 0 and not args.spawn_server:
+        parser.error("--disconnect-at needs --spawn-server")
     proc = None
     port = args.port
     try:
         if args.spawn_server:
             proc, port = spawn_server(args)
         report, status = asyncio.run(
-            run_session(args.host, port, args.duration, args.seed, args.linger)
+            run_session(
+                args.host, port, args.duration, args.seed, args.linger,
+                auto_reconnect=args.disconnect_at > 0,
+            )
         )
     finally:
         if proc is not None:
@@ -188,6 +226,20 @@ def main(argv=None) -> int:
         if report.prefetched_hits < 1:
             print("\nCHECK FAILED: no request was answered by a prefetched block")
             return 1
+        if args.disconnect_at > 0:
+            if report.resumes != 1:
+                print(f"\nCHECK FAILED: expected exactly 1 token reconnect, "
+                      f"got {report.resumes}")
+                return 1
+            post = report.prefetched_hits_after(report.resumed_at[0])
+            if post < 1:
+                print("\nCHECK FAILED: no prefetched hit after the resume — "
+                      "the reattached session's pipeline is not pushing")
+                return 1
+            print(f"\nCHECK OK: {len(report.blocks)} blocks pushed, "
+                  f"{report.prefetched_hits} prefetched hits, "
+                  f"resumed once with {post} post-resume hits")
+            return 0
         print("\nCHECK OK: "
               f"{len(report.blocks)} blocks pushed, "
               f"{report.prefetched_hits} prefetched hits")

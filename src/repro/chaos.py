@@ -18,8 +18,16 @@ The CLI spec is a comma-separated list of faults::
     spike:P@S            fraction P of fetches delayed by S seconds
     outage:A-B           link outage window [A, B) seconds
     flaky:N              every Nth fetch delayed one transparent retry
+    disconnect:P@S       drop session P's live connection at S seconds
+    disconnect:S         shorthand: drop session 0's connection at S
+    drain:R              graceful drain after sync round R (mid-run
+                         SIGTERM: stop, checkpoint, exit clean)
 
-e.g. ``--chaos worker-crash:1,backend-err:0.05``.
+e.g. ``--chaos worker-crash:1,backend-err:0.05``.  Connection drops
+are consumed by the serve frontend (``python -m repro serve --chaos``)
+to exercise reconnect-and-resume; ``drain:R`` is consumed by the
+sharded fleet runner to exercise the ``--checkpoint-out`` /
+``--checkpoint-in`` drain/restore cycle.
 """
 
 from __future__ import annotations
@@ -79,6 +87,8 @@ class ChaosConfig:
     flaky_retry_s: float = 0.2
     link_outages: tuple[tuple[float, float], ...] = ()
     worker_crashes: tuple[tuple[int, int], ...] = ()  # (shard, sync round)
+    disconnects: tuple[tuple[int, float], ...] = ()  # (session, at seconds)
+    drain_round: Optional[int] = None  # graceful drain after this sync round
     retry: RetryPolicy = field(default_factory=RetryPolicy)
     seed: int = 0
 
@@ -92,6 +102,11 @@ class ChaosConfig:
         for shard, round_ in self.worker_crashes:
             if shard < 0 or round_ < 0:
                 raise ValueError(f"bad worker crash ({shard}, {round_})")
+        for session, at_s in self.disconnects:
+            if session < 0 or at_s < 0:
+                raise ValueError(f"bad disconnect ({session}, {at_s})")
+        if self.drain_round is not None and self.drain_round < 0:
+            raise ValueError("drain_round must be >= 0")
 
     # -- introspection ------------------------------------------------
 
@@ -112,9 +127,21 @@ class ChaosConfig:
         return bool(self.worker_crashes)
 
     @property
+    def has_connection_faults(self) -> bool:
+        return bool(self.disconnects)
+
+    @property
+    def has_drain(self) -> bool:
+        return self.drain_round is not None
+
+    @property
     def is_inert(self) -> bool:
         return not (
-            self.has_backend_faults or self.has_link_faults or self.has_worker_faults
+            self.has_backend_faults
+            or self.has_link_faults
+            or self.has_worker_faults
+            or self.has_connection_faults
+            or self.has_drain
         )
 
     def crash_round(self, shard: int) -> Optional[int]:
@@ -122,6 +149,13 @@ class ChaosConfig:
         for s, r in self.worker_crashes:
             if s == shard:
                 return r
+        return None
+
+    def disconnect_at(self, session: int) -> Optional[float]:
+        """Seconds at which ``session``'s connection should be dropped."""
+        for s, at_s in self.disconnects:
+            if s == session:
+                return at_s
         return None
 
     # -- wiring -------------------------------------------------------
@@ -176,6 +210,8 @@ class ChaosConfig:
         flaky_period = 0
         outages: list[tuple[float, float]] = []
         crashes: list[tuple[int, int]] = []
+        disconnects: list[tuple[int, float]] = []
+        drain_round: Optional[int] = None
         for part in spec.split(","):
             part = part.strip()
             if not part:
@@ -206,6 +242,14 @@ class ChaosConfig:
                     outages.append((float(start_s), float(end_s)))
                 elif name == "flaky":
                     flaky_period = int(value)
+                elif name == "disconnect":
+                    if "@" in value:
+                        session_s, _, at_s = value.partition("@")
+                        disconnects.append((int(session_s), float(at_s)))
+                    else:
+                        disconnects.append((0, float(value)))
+                elif name == "drain":
+                    drain_round = int(value)
                 else:
                     raise ValueError(f"unknown chaos fault {name!r}")
             except ValueError as exc:
@@ -219,6 +263,8 @@ class ChaosConfig:
             flaky_period=flaky_period,
             link_outages=tuple(outages),
             worker_crashes=tuple(crashes),
+            disconnects=tuple(disconnects),
+            drain_round=drain_round,
             seed=seed,
         )
 
@@ -239,4 +285,11 @@ class ChaosConfig:
             parts.append(
                 "outage " + "+".join(f"{a:g}-{b:g}s" for a, b in self.link_outages)
             )
+        if self.disconnects:
+            parts.append(
+                "disconnect "
+                + "+".join(f"c{s}@{t:g}s" for s, t in self.disconnects)
+            )
+        if self.drain_round is not None:
+            parts.append(f"drain @r{self.drain_round}")
         return ", ".join(parts) if parts else "none"

@@ -177,6 +177,29 @@ def _build_parser() -> argparse.ArgumentParser:
         help="save the (pooled) crowd prior here afterwards "
         "(shared-markov only)",
     )
+    fleet.add_argument(
+        "--checkpoint-every",
+        type=int,
+        default=0,
+        metavar="ROUNDS",
+        help="snapshot every shard's recoverable state at this sync-round "
+        "cadence so crashed workers resume instead of replaying "
+        "(sharded runs only; 0 disables; default: 0)",
+    )
+    fleet.add_argument(
+        "--checkpoint-out",
+        default=None,
+        metavar="JSON",
+        help="persist the final fleet checkpoint bundle here (implies "
+        "checkpointing; pairs with --chaos drain:R for a graceful drain)",
+    )
+    fleet.add_argument(
+        "--checkpoint-in",
+        default=None,
+        metavar="JSON",
+        help="resume every shard from this checkpoint bundle (sessions "
+        "continue from their saved progress)",
+    )
     fleet.add_argument("--out", help="also write the table to this file")
     serve = sub.add_parser(
         "serve",
@@ -275,6 +298,36 @@ def _build_parser() -> argparse.ArgumentParser:
         metavar="SECONDS",
         help="serve for this long then exit cleanly (default: forever)",
     )
+    serve.add_argument(
+        "--resume-grace",
+        type=float,
+        default=0.0,
+        metavar="SECONDS",
+        help="park abruptly disconnected sessions this long; a hello "
+        "carrying the session's resume token reattaches with pipeline, "
+        "weight, and metrics intact (0 disables; default: 0)",
+    )
+    serve.add_argument(
+        "--chaos",
+        default=None,
+        metavar="SPEC",
+        help="server-side fault injection, e.g. 'disconnect:0@1.5' aborts "
+        "session 0's socket 1.5 s after admission (default: none)",
+    )
+    serve.add_argument(
+        "--checkpoint-out",
+        default=None,
+        metavar="JSON",
+        help="on drain (SIGTERM / --run-for / Ctrl-C) persist the crowd "
+        "prior and resume-token table here",
+    )
+    serve.add_argument(
+        "--checkpoint-in",
+        default=None,
+        metavar="JSON",
+        help="warm the crowd prior from this checkpoint and honor its "
+        "resume tokens for --resume-grace seconds after boot",
+    )
     for name, (_fn, _scaled, desc) in FIGURES.items():
         p = sub.add_parser(name, help=desc)
         p.add_argument(
@@ -324,12 +377,31 @@ def _run_fleet_command(args) -> list[tuple[list[dict], str]]:
         chaos = ChaosConfig.parse(args.chaos, seed=args.chaos_seed)
         if chaos.has_worker_faults and args.shards is None:
             raise SystemExit("--chaos worker-crash needs --shards")
+        if chaos.has_drain and args.shards is None:
+            raise SystemExit("--chaos drain needs --shards")
+    checkpoint = None
+    if args.checkpoint_every or args.checkpoint_out or args.checkpoint_in:
+        from repro.fleet import CheckpointConfig
+
+        if args.shards is None:
+            raise SystemExit("--checkpoint-* flags need --shards")
+        if args.checkpoint_every < 0:
+            raise SystemExit("--checkpoint-every must be >= 0")
+        cadence = args.checkpoint_every
+        if cadence == 0 and (args.checkpoint_out or args.checkpoint_in):
+            cadence = 1  # persisting or resuming implies capturing
+        checkpoint = CheckpointConfig(
+            cadence_rounds=cadence,
+            out_path=args.checkpoint_out,
+            in_path=args.checkpoint_in,
+        )
     fleet_env = FleetEnvironment(
         num_sessions=args.sessions,
         env=DEFAULT_ENV,
         backend_concurrency=args.backend_concurrency,
         arrival=arrival,
         chaos=chaos,
+        checkpoint=checkpoint,
     )
     if (args.prior_in or args.prior_out) and args.predictor != "shared-markov":
         raise SystemExit("--prior-in/--prior-out need --predictor shared-markov")
@@ -399,6 +471,13 @@ def _run_fleet_command(args) -> list[tuple[list[dict], str]]:
                 f" shards_lost={sharding['shards_lost']}"
                 f" sessions_lost={sharding['sessions_lost']}"
             )
+        if "sessions_resumed" in sharding:
+            title += (
+                f" | sessions_resumed={sharding['sessions_resumed']}"
+                f" checkpoints={sharding['checkpoints_taken']}"
+            )
+            if sharding.get("drained_at_round") is not None:
+                title += f" drained@r{sharding['drained_at_round']}"
     chaos_d = d.get("chaos")
     if chaos_d is not None:
         title += (
@@ -444,6 +523,11 @@ def _run_serve_command(args) -> int:
         prior = SharedTransitionPrior.load(args.prior_in, n=scale.rows * scale.cols)
         print(f"prior: loaded {prior.transitions_observed} transitions "
               f"from {args.prior_in}", flush=True)
+    chaos = None
+    if args.chaos:
+        from repro.chaos import ChaosConfig
+
+        chaos = ChaosConfig.parse(args.chaos)
     app = create_app(
         fleet_env,
         rows=scale.rows,
@@ -456,23 +540,52 @@ def _run_serve_command(args) -> int:
         outbox_depth=args.outbox_depth,
         ping_interval_s=args.ping_interval,
         ping_max_misses=args.ping_misses,
+        resume_grace_s=args.resume_grace,
+        chaos=chaos,
+        checkpoint_out=args.checkpoint_out,
+        checkpoint_in=args.checkpoint_in,
     )
 
     async def _serve() -> None:
+        import signal
+
         await app.start()
         # Machine-parseable: the smoke client greps this line for the
         # bound port (required when --port 0 picks an ephemeral one).
         print(f"serving on ws://{app.host}:{app.port}/ "
               f"({app.app.num_requests} requests, predictor={args.predictor}, "
               f"cap={app.max_concurrent})", flush=True)
+        # SIGTERM = graceful drain: stop admitting, close every live
+        # socket with 1001 "going away", checkpoint, exit 0.
+        drain = asyncio.Event()
+        loop = asyncio.get_running_loop()
+        try:
+            loop.add_signal_handler(signal.SIGTERM, drain.set)
+            loop.add_signal_handler(signal.SIGINT, drain.set)
+        except (NotImplementedError, RuntimeError):  # pragma: no cover
+            pass  # non-Unix event loop: Ctrl-C still raises KeyboardInterrupt
+
+        async def _until_drained(awaitable) -> None:
+            drained = asyncio.ensure_future(drain.wait())
+            work = asyncio.ensure_future(awaitable)
+            try:
+                await asyncio.wait(
+                    {drained, work}, return_when=asyncio.FIRST_COMPLETED
+                )
+            finally:
+                drained.cancel()
+                work.cancel()
+
         try:
             if args.run_for is not None:
-                await asyncio.sleep(args.run_for)
+                await _until_drained(asyncio.sleep(args.run_for))
             else:
-                await app.serve_forever()
+                await _until_drained(app.serve_forever())
         except (KeyboardInterrupt, asyncio.CancelledError):
             pass
         finally:
+            if drain.is_set():
+                print("drain: SIGTERM received, retiring sessions", flush=True)
             await app.stop()
 
     try:
@@ -487,6 +600,14 @@ def _run_serve_command(args) -> int:
         f"dropped, {s.pings_sent} pings sent, {s.idle_closed} idle-closed",
         flush=True,
     )
+    if s.sessions_parked or s.sessions_resumed or s.resume_rejected:
+        print(
+            f"resume: {s.sessions_parked} parked, {s.sessions_resumed} "
+            f"resumed, {s.resume_rejected} rejected",
+            flush=True,
+        )
+    if args.checkpoint_out:
+        print(f"checkpoint: saved to {args.checkpoint_out}", flush=True)
     if args.prior_out:
         app.prior.save(args.prior_out)
         print(

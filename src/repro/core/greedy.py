@@ -443,6 +443,16 @@ class GreedyScheduler:
         """Fraction of requests with individually materialized probabilities."""
         return (len(self._ids) + len(self._promoted)) / self.gains.n
 
+    def rng_state(self) -> dict:
+        """The draw RNG's bit-generator state (JSON-safe plain ints).
+
+        Sampling is the only stochastic step in the scheduler, so this
+        state plus the deterministic inputs pins the whole draw stream —
+        it is what shard checkpoints digest to verify that a replayed
+        worker really is where the crashed one was.
+        """
+        return self._rng.bit_generator.state
+
     # -- internals -------------------------------------------------------
 
     def _reset_batch(self) -> None:

@@ -23,7 +23,7 @@ from typing import TYPE_CHECKING, Optional
 if TYPE_CHECKING:  # experiments sits above fleet; import for typing only
     from repro.chaos import ChaosConfig
     from repro.core.session import SessionConfig
-    from repro.fleet import ArrivalConfig, FleetConfig
+    from repro.fleet import ArrivalConfig, CheckpointConfig, FleetConfig
 
 from repro.sim.cellular import ATT_LTE, VERIZON_LTE, CellularTraceGenerator
 from repro.clock import Clock
@@ -134,6 +134,11 @@ class FleetEnvironment:
     #: outages around the shared downlink, and worker-crash schedules
     #: are consumed by the sharded coordinator's supervision loop.
     chaos: Optional["ChaosConfig"] = None
+    #: Durable-session checkpointing (sharded runs): capture cadence
+    #: plus the ``--checkpoint-out`` / ``--checkpoint-in`` drain and
+    #: restore paths.  ``None`` (or an inert config) changes nothing —
+    #: bit-identical to pre-checkpoint behavior (test-enforced).
+    checkpoint: Optional["CheckpointConfig"] = None
 
     def fleet_config(self, session: "SessionConfig") -> "FleetConfig":
         """Map this condition onto the fleet layer's config.

@@ -32,6 +32,15 @@ from repro.core.session import KhameleonSession, SessionConfig
 from repro.encoding.naive import SingleBlockEncoder
 from repro.backends.filesystem import FileSystemBackend
 from repro.fleet import KhameleonFleet
+from repro.fleet.checkpoint import (
+    CheckpointConfig,
+    CheckpointStore,
+    FleetCheckpoint,
+    ShardCheckpoint,
+    capture_shard,
+    unwrap_sync_payload,
+    wrap_sync_payload,
+)
 from repro.fleet.sharding import SupervisionPolicy
 from repro.metrics.collector import MetricSummary, collect, convergence_curve, overpush_rate
 from repro.metrics.fleet import (
@@ -535,6 +544,28 @@ class ShardFleetSpec:
     #: worker-crash schedules only fire on attempt 0, so a replacement
     #: worker does not re-crash into the same injected fault.
     attempt: int = 0
+    #: Capture a :class:`~repro.fleet.checkpoint.ShardCheckpoint` every
+    #: this many completed sync rounds and piggyback it on the barrier
+    #: exchange (0 = checkpointing off: barrier payloads stay exactly
+    #: the historical bare deltas, bit-identical to pre-checkpoint runs).
+    checkpoint_cadence: int = 0
+    #: Global index of ``sync_points[0]`` in the full barrier schedule
+    #: (respawned workers run a suffix; checkpoints carry global rounds).
+    first_round: int = 0
+    #: The shard's last coordinator-held checkpoint.  A respawned (or
+    #: re-absorbed) worker pauses its replay at ``restore.sim_time_s``,
+    #: re-captures, and compares digests — restore-in-place, verified
+    #: rather than assumed.
+    restore: Optional[ShardCheckpoint] = None
+    #: Path to a :class:`~repro.fleet.checkpoint.FleetCheckpoint` bundle
+    #: (``--checkpoint-in``): the worker counts its own checkpointed
+    #: sessions as resumed and pre-merges *other* shards' prior deltas,
+    #: so re-broadcasts of pre-drain state dedup exactly.
+    resume_from: Optional[str] = None
+    #: Stop cleanly after completing this global sync round (graceful
+    #: drain): skip the rest of the run, ship partial results plus a
+    #: final checkpoint.
+    drain_after_round: Optional[int] = None
 
 
 def _shard_owned(total: int, shard: int, num_shards: int) -> list[int]:
@@ -609,8 +640,35 @@ def _sharded_fleet_worker(spec: ShardFleetSpec, channel) -> dict:
         state["fleet"], state["prior"] = fleet, prior
         if prior is not None:
             prior.enable_sharding(f"shard{k}")
+        n_requests = spec.app_spec.rows * spec.app_spec.cols
+        cadence = spec.checkpoint_cadence
+
+        # --checkpoint-in resume: count our checkpointed sessions as
+        # resumed and pre-merge the *other* shards' stored prior
+        # contributions.  Our own contribution is deliberately not
+        # merged — the deterministic replay re-observes it — and the
+        # CRDT's per-origin mass tracking makes the peers' later live
+        # re-broadcasts of pre-drain state apply as exact diffs.
+        # Replacement workers (attempt >= 1) skip the merge: their warm
+        # seed is the coordinator aggregate, which holds these already.
+        if spec.resume_from is not None:
+            bundle = FleetCheckpoint.load(spec.resume_from, n=n_requests)
+            own = bundle.shards.get(k)
+            if own is not None:
+                state["resumed_sessions"] = len(own.sessions)
+            if prior is not None and spec.attempt == 0:
+                for shard_index, ckpt in bundle.shards.items():
+                    if shard_index == k:
+                        continue
+                    peer_delta = ckpt.prior_delta_object()
+                    if peer_delta is not None:
+                        prior.merge_delta(peer_delta)
+
         sent_vv: dict[int, int] = {}
         cpu_run = 0.0
+        ckpt_cpu = 0.0
+        taken = 0
+        last_round: Optional[int] = None
         wall_start = time.perf_counter()
 
         def run_chunk(t: float) -> None:
@@ -619,15 +677,67 @@ def _sharded_fleet_worker(spec: ShardFleetSpec, channel) -> dict:
             sim.run(until=t)
             cpu_run += time.process_time() - cpu_start
 
+        def capture(round_index: int, at_s: float) -> ShardCheckpoint:
+            nonlocal ckpt_cpu, taken, last_round
+            cpu_start = time.process_time()
+            ckpt = capture_shard(
+                fleet,
+                prior,
+                shard=k,
+                num_shards=num_shards,
+                round_index=round_index,
+                sim_time_s=at_s,
+                n=n_requests,
+            )
+            ckpt_cpu += time.process_time() - cpu_start
+            taken += 1
+            last_round = round_index
+            return ckpt
+
+        # Restore-in-place verification: a respawned worker replays
+        # deterministically to its last checkpoint's sim time,
+        # re-captures, and compares digests.  (An intermediate pause is
+        # event-exact, so this perturbs nothing downstream.)
+        if spec.restore is not None and spec.restore.sim_time_s < until:
+            run_chunk(spec.restore.sim_time_s)
+            cpu_start = time.process_time()
+            ours = capture_shard(
+                fleet,
+                prior,
+                shard=k,
+                num_shards=num_shards,
+                round_index=spec.restore.round_index,
+                sim_time_s=spec.restore.sim_time_s,
+                n=n_requests,
+            )
+            ckpt_cpu += time.process_time() - cpu_start
+            state["restore_verified"] = ours.digest() == spec.restore.digest()
+
         rounds_run = 0
-        for round_index, point in enumerate(spec.sync_points):
+        drained = False
+        for local_index, point in enumerate(spec.sync_points):
+            round_index = spec.first_round + local_index
             if point >= until:
                 break
             run_chunk(point)
             if crash_at is not None and round_index == crash_at:
                 os._exit(17)
             rounds_run += 1
-            if prior is not None:
+            if cadence > 0:
+                # Checkpointing on: the capture (when due) rides the
+                # barrier payload next to the prior delta.
+                ckpt = None
+                if (round_index + 1) % cadence == 0:
+                    ckpt = capture(round_index, point)
+                delta = None
+                if prior is not None:
+                    delta = prior.delta_since(sent_vv)
+                    sent_vv = prior.local_version_vector()
+                for peer in channel.exchange(wrap_sync_payload(delta, ckpt)):
+                    peer_delta, _peer_ckpt = unwrap_sync_payload(peer)
+                    if peer_delta and prior is not None:
+                        prior.merge_delta(peer_delta)
+            elif prior is not None:
                 delta = prior.delta_since(sent_vv)
                 sent_vv = prior.local_version_vector()
                 for peer in channel.exchange(delta):
@@ -635,11 +745,27 @@ def _sharded_fleet_worker(spec: ShardFleetSpec, channel) -> dict:
                         prior.merge_delta(peer)
             else:
                 channel.exchange(None)
-        run_chunk(until)
+            if (
+                spec.drain_after_round is not None
+                and round_index == spec.drain_after_round
+            ):
+                drained = True
+                break
+        if not drained:
+            run_chunk(until)
         if crash_at is not None and crash_at >= rounds_run:
             # Fewer barriers than the schedule assumed: crash at the
             # latest possible point instead (before the result ships).
             os._exit(17)
+        if cadence > 0:
+            # Final capture (at the drain point or end of run) keeps the
+            # coordinator's --checkpoint-out bundle as fresh as the run.
+            final_round = spec.first_round + max(rounds_run - 1, 0)
+            state["final_checkpoint"] = capture(final_round, sim.now)
+        state["drained"] = drained
+        state["checkpoints_taken"] = taken
+        state["checkpoint_cpu_s"] = ckpt_cpu
+        state["last_checkpoint_round"] = last_round
         state["timing"] = {
             "cpu_run_s": cpu_run,
             "wall_run_s": time.perf_counter() - wall_start,
@@ -674,6 +800,13 @@ def _sharded_fleet_worker(spec: ShardFleetSpec, channel) -> dict:
         "prior_delta": prior.delta_since() if prior is not None else None,
         "num_sessions": len(fleet.sessions),
         "timing": state["timing"],
+        "drained": state.get("drained", False),
+        "resumed_sessions": state.get("resumed_sessions", 0),
+        "restore_verified": state.get("restore_verified"),
+        "checkpoints_taken": state.get("checkpoints_taken", 0),
+        "checkpoint_cpu_s": state.get("checkpoint_cpu_s", 0.0),
+        "last_checkpoint_round": state.get("last_checkpoint_round"),
+        "final_checkpoint": state.get("final_checkpoint"),
     }
 
 
@@ -716,6 +849,18 @@ def run_fleet_sharded(
     save into a temp file); ``prior_out`` saves the *pooled* end-of-run
     prior (warm-start plus every shard's contribution).
 
+    With ``fleet_env.checkpoint`` set (and not inert), workers capture
+    :class:`~repro.fleet.checkpoint.ShardCheckpoint` snapshots at the
+    configured sync-round cadence and piggyback them on the barrier
+    exchange.  The coordinator keeps the latest per shard: supervision
+    respawns verify their deterministic replay against the stored
+    digests, shards lost past the restart budget are re-absorbed from
+    their last checkpoint (``sessions_resumed`` instead of
+    ``sessions_lost``), ``drain:R`` chaos stops the run cleanly after
+    round R, and the ``out_path``/``in_path`` pair drives the
+    drain-then-restore lifecycle.  An inert config is bit-identical to
+    no config at all (test-enforced).
+
     The result pools every shard: one fleet-wide summary over the
     concatenated outcome streams, Jain's index over the union of
     fairness samples, summed counter snapshots, and a
@@ -756,12 +901,21 @@ def run_fleet_sharded(
     until = horizon + drain_s
 
     chaos = fleet_env.chaos
+    # An inert checkpoint config is nulled outright so every downstream
+    # branch sees exactly the no-checkpoint code path (the bit-identity
+    # contract is then trivially exact, not merely argued).
+    checkpoint = fleet_env.checkpoint
+    if checkpoint is not None and checkpoint.is_inert:
+        checkpoint = None
     # Barriers exist for prior delta sync — and for worker-crash chaos,
     # which needs sync rounds both as crash anchors and as the points a
     # replacement worker can rejoin from (non-prior workers exchange
-    # ``None``: a pure liveness barrier).
-    want_barriers = (predictor == "shared-markov") or (
-        chaos is not None and chaos.has_worker_faults
+    # ``None``: a pure liveness barrier) — and for checkpoint capture
+    # and graceful drain, which anchor to the same rounds.
+    want_barriers = (
+        (predictor == "shared-markov")
+        or (chaos is not None and (chaos.has_worker_faults or chaos.has_drain))
+        or (checkpoint is not None and checkpoint.captures)
     )
     sync_points: tuple[float, ...] = ()
     if want_barriers and sync_interval_s > 0:
@@ -770,6 +924,36 @@ def run_fleet_sharded(
             for i in range(1, math.ceil(until / sync_interval_s))
             if i * sync_interval_s < until
         )
+
+    # Graceful drain (``drain:R`` chaos): truncate the schedule after
+    # round R — workers complete that barrier (capture + exchange), skip
+    # the rest of the run, and ship partial results; --checkpoint-out
+    # then persists the fleet's state as of the drain round.
+    drained_at_round: Optional[int] = None
+    if chaos is not None and chaos.has_drain and sync_points:
+        drained_at_round = min(chaos.drain_round, len(sync_points) - 1)
+        sync_points = sync_points[: drained_at_round + 1]
+
+    # Per-worker capture cadence: path-only configs capture every round
+    # so the written bundle is as fresh as the run.
+    worker_cadence = 0
+    if checkpoint is not None and checkpoint.captures:
+        worker_cadence = max(checkpoint.cadence_rounds, 1)
+
+    # --checkpoint-in: validate the bundle up front (fail-fast, before
+    # any worker spawns) and remember the path for the workers.
+    resume_path: Optional[str] = None
+    resume_bundle = None
+    if checkpoint is not None and checkpoint.in_path is not None:
+        resume_path = os.fspath(checkpoint.in_path)
+        resume_bundle = FleetCheckpoint.load(
+            resume_path, n=app_spec.rows * app_spec.cols
+        )
+        if resume_bundle.num_shards != num_shards:
+            raise ValueError(
+                f"checkpoint taken with {resume_bundle.num_shards} shards, "
+                f"cannot resume with {num_shards}"
+            )
 
     warm_path = shared_prior
     temp_files: list[str] = []
@@ -782,7 +966,12 @@ def run_fleet_sharded(
 
     heartbeat_s = SHARD_HEARTBEAT_S if supervision is not None else None
 
-    def make_task(k: int, task_sync_points: tuple[float, ...], attempt: int) -> ShardTask:
+    def make_task(
+        k: int,
+        task_sync_points: tuple[float, ...],
+        attempt: int,
+        first_round: int = 0,
+    ) -> ShardTask:
         return ShardTask(
             entry="repro.experiments.runner:_sharded_fleet_worker",
             spec=ShardFleetSpec(
@@ -801,6 +990,10 @@ def run_fleet_sharded(
                     os.fspath(warm_path) if warm_path is not None else None
                 ),
                 attempt=attempt,
+                checkpoint_cadence=worker_cadence,
+                first_round=first_round,
+                resume_from=resume_path,
+                drain_after_round=drained_at_round,
             ),
             shard=k,
             num_shards=num_shards,
@@ -814,37 +1007,68 @@ def run_fleet_sharded(
     # idempotent, so the worker re-contributing its pre-crash
     # transitions is harmless).
     coord_state: dict = {"prior": None, "merged": 0}
+    store = CheckpointStore() if checkpoint is not None else None
+
+    def ensure_coord_prior(n: int) -> "SharedTransitionPrior":
+        if coord_state["prior"] is None:
+            coord_state["prior"] = (
+                SharedTransitionPrior.load(warm_path, n=n)
+                if warm_path is not None
+                else SharedTransitionPrior(n)
+            )
+        return coord_state["prior"]
+
+    # Resuming: pre-seed the coordinator aggregate with every shard's
+    # stored contribution, so a worker that dies *before* its first
+    # post-resume barrier still respawns with the checkpointed crowd.
+    if resume_bundle is not None:
+        for ckpt in resume_bundle.shards.values():
+            delta = ckpt.prior_delta_object()
+            if delta is not None:
+                coord_state["merged"] += ensure_coord_prior(delta.n).merge_delta(
+                    delta
+                )
 
     def on_round(round_index: int, offers: list) -> None:
         for offer in offers:
-            if not offer:
+            delta, ckpt = unwrap_sync_payload(offer)
+            if ckpt is not None and store is not None:
+                store.put(ckpt)
+            if not delta:
                 continue  # empty delta, or a non-prior liveness barrier
-            if coord_state["prior"] is None:
-                coord_state["prior"] = (
-                    SharedTransitionPrior.load(warm_path, n=offer.n)
-                    if warm_path is not None
-                    else SharedTransitionPrior(offer.n)
-                )
-            coord_state["merged"] += coord_state["prior"].merge_delta(offer)
+            coord_state["merged"] += ensure_coord_prior(delta.n).merge_delta(
+                delta
+            )
 
     attempts = [0] * num_shards
 
+    def seed_prior_path() -> Optional[str]:
+        """Save the coordinator aggregate for a worker to warm from."""
+        prior = coord_state["prior"]
+        if prior is None:
+            return warm_path if warm_path is None else os.fspath(warm_path)
+        handle = tempfile.NamedTemporaryFile(suffix=".npz", delete=False)
+        handle.close()
+        prior.save(handle.name)
+        temp_files.append(handle.name)
+        return handle.name
+
     def respawn(shard: int, next_round: int) -> ShardTask:
         attempts[shard] += 1
-        seed_path = warm_path
-        prior = coord_state["prior"]
-        if prior is not None:
-            handle = tempfile.NamedTemporaryFile(suffix=".npz", delete=False)
-            handle.close()
-            prior.save(handle.name)
-            temp_files.append(handle.name)
-            seed_path = handle.name
-        task = make_task(shard, sync_points[next_round:], attempts[shard])
+        seed_path = seed_prior_path()
+        task = make_task(
+            shard, sync_points[next_round:], attempts[shard], first_round=next_round
+        )
         if seed_path is not None:
             task.spec.shared_prior_path = os.fspath(seed_path)
+        if store is not None:
+            latest = store.latest(shard)
+            if latest is not None:
+                task.spec.restore = latest
         return task
 
     recovery = ShardRecovery()
+    reabsorbed: list[int] = []
     try:
         tasks = [make_task(k, sync_points, 0) for k in range(num_shards)]
         shards = run_sharded(
@@ -856,6 +1080,41 @@ def run_fleet_sharded(
             respawn=respawn if supervision is not None else None,
             recovery=recovery,
         )
+
+        # Re-absorb shards lost past the restart budget: with
+        # checkpointing on, the coordinator holds each lost shard's last
+        # checkpoint and crowd state, so its slice can run to completion
+        # as a barrier-free single task (the first step toward elastic
+        # resharding).  The per-origin CRDT merge dedups its prior
+        # contribution against everything already pooled.  Drain runs
+        # skip this: the written bundle keeps the lost shard's last
+        # checkpoint for the --checkpoint-in restart instead.
+        if store is not None and drained_at_round is None:
+            for k in recovery.lost_shards:
+                seed_path = seed_prior_path()
+                salvage = make_task(
+                    k, (), attempts[k] + 1, first_round=len(sync_points)
+                )
+                if seed_path is not None:
+                    salvage.spec.shared_prior_path = os.fspath(seed_path)
+                latest = store.latest(k)
+                if latest is not None:
+                    salvage.spec.restore = latest
+                salvage_task = ShardTask(
+                    entry=salvage.entry,
+                    spec=salvage.spec,
+                    shard=0,
+                    num_shards=1,
+                    heartbeat_interval_s=heartbeat_s,
+                )
+                try:
+                    shards[k] = run_sharded(
+                        [salvage_task], sync_rounds=0, timeout_s=timeout_s
+                    )[0]
+                except Exception:
+                    continue  # still lost; the pooled report says so
+                reabsorbed.append(k)
+
         pooled_prior = None
         transitions_merged = coord_state["merged"]
         if predictor == "shared-markov":
@@ -884,10 +1143,42 @@ def run_fleet_sharded(
             except OSError:
                 pass
 
+    lost_shard_list = [k for k in recovery.lost_shards if k not in reabsorbed]
     lost_sessions = sum(
-        len(_shard_owned(len(traces), k, num_shards))
-        for k in recovery.lost_shards
+        len(_shard_owned(len(traces), k, num_shards)) for k in lost_shard_list
     )
+
+    # --checkpoint-out: fold every surviving worker's final capture in
+    # (fresher than the last barrier's) and persist the bundle.
+    drained = any(s is not None and s.get("drained") for s in shards)
+    if store is not None:
+        for s in shards:
+            if s is not None and s.get("final_checkpoint") is not None:
+                store.put(s["final_checkpoint"])
+    if checkpoint is not None and checkpoint.out_path is not None:
+        store.bundle(
+            n=app_spec.rows * app_spec.cols,
+            num_shards=num_shards,
+            sync_interval_s=sync_interval_s,
+            drained_at_round=drained_at_round if drained else None,
+        ).save(os.fspath(checkpoint.out_path))
+
+    # Resumed sessions, by provenance: restored from a --checkpoint-in
+    # bundle, restored in place by supervision's respawn, or re-absorbed
+    # from a lost shard's last checkpoint.
+    sessions_resumed = 0
+    if checkpoint is not None:
+        sessions_resumed += sum(
+            s["resumed_sessions"] for s in shards if s is not None
+        )
+        sessions_resumed += sum(
+            len(_shard_owned(len(traces), k, num_shards))
+            for k in recovery.recovered_shards
+        )
+        sessions_resumed += sum(
+            len(_shard_owned(len(traces), k, num_shards)) for k in reabsorbed
+        )
+
     shards = [s for s in shards if s is not None]
 
     # -- pool the shards into one fleet-wide result -------------------
@@ -934,13 +1225,40 @@ def run_fleet_sharded(
         "cpu_run_s": [s["timing"]["cpu_run_s"] for s in shards],
         "wall_run_s": [s["timing"]["wall_run_s"] for s in shards],
         # Supervision outcome: how many shards died and came back, how
-        # many were dropped past the restart budget, and how many
-        # planned sessions that loss cost the pooled report.
+        # many were dropped past the restart budget (after any
+        # checkpoint re-absorption), and how many planned sessions that
+        # loss cost the pooled report.
         "shards_recovered": len(recovery.recovered_shards),
-        "shards_lost": len(recovery.lost_shards),
+        "shards_lost": len(lost_shard_list),
         "sessions_lost": lost_sessions,
         "restarts": len(recovery.restarts),
+        "restarts_by_shard": [
+            sum(1 for s, _, _ in recovery.restarts if s == k)
+            for k in range(num_shards)
+        ],
     }
+    if checkpoint is not None:
+        final_round = len(sync_points) - 1
+        verdicts = [
+            s["restore_verified"]
+            for s in shards
+            if s["restore_verified"] is not None
+        ]
+        diagnostics["sharding"].update(
+            {
+                "checkpoints_taken": sum(s["checkpoints_taken"] for s in shards),
+                "checkpoint_cpu_s": [s["checkpoint_cpu_s"] for s in shards],
+                "last_checkpoint_round": store.last_rounds(num_shards),
+                "checkpoint_age_rounds": store.ages(num_shards, final_round),
+                "sessions_resumed": sessions_resumed,
+                "shards_reabsorbed": len(reabsorbed),
+                # True when every restored shard's replay reproduced its
+                # checkpoint digests; None when nothing was restored.
+                "restore_verified": (all(verdicts) if verdicts else None),
+            }
+        )
+        if drained:
+            diagnostics["sharding"]["drained_at_round"] = drained_at_round
 
     cohorts: list[CohortSummary] = []
     session_labels = None

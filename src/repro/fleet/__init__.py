@@ -26,6 +26,13 @@ changed probability matrices in a single stacked numpy pass
 (bit-identical to the per-session path for static fleets).
 """
 
+from .checkpoint import (
+    CheckpointConfig,
+    CheckpointStore,
+    FleetCheckpoint,
+    SessionCheckpoint,
+    ShardCheckpoint,
+)
 from .fleet import FleetConfig, KhameleonFleet
 from .lifecycle import ArrivalConfig, SessionManager, SessionPlan, SessionRecord
 from .schedule_service import FleetScheduleService, batch_probability_matrices
@@ -41,6 +48,11 @@ from .sharding import (
 )
 
 __all__ = [
+    "CheckpointConfig",
+    "CheckpointStore",
+    "FleetCheckpoint",
+    "SessionCheckpoint",
+    "ShardCheckpoint",
     "FleetConfig",
     "KhameleonFleet",
     "ArrivalConfig",

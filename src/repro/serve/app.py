@@ -38,9 +38,11 @@ from __future__ import annotations
 
 import asyncio
 import json
+import secrets
 from dataclasses import dataclass, replace
 from typing import Optional
 
+from repro.chaos import ChaosConfig
 from repro.clock import WallClock
 from repro.core.blocks import Block
 from repro.core.session import KhameleonSession, SessionConfig
@@ -80,6 +82,14 @@ class ServeStats:
     requests_received: int = 0
     pings_sent: int = 0
     idle_closed: int = 0
+    #: Durable-session lifecycle: abrupt disconnects parked within the
+    #: resume grace, token reconnects that reattached, and reconnect
+    #: attempts turned away (unknown or expired token).
+    sessions_parked: int = 0
+    sessions_resumed: int = 0
+    resume_rejected: int = 0
+    #: ``disconnect:P@S`` chaos faults fired (server-side socket abort).
+    disconnects_injected: int = 0
 
 
 @dataclass
@@ -98,6 +108,17 @@ class _Connection:
     pinger: Optional[asyncio.Task] = None
     pings_sent: int = 0
     last_recv_s: float = 0.0
+    #: Server-issued resume token (in the welcome); a reconnecting
+    #: client presents it to reattach to this exact session.
+    token: str = ""
+    #: Parked: the socket died but the session lives on, queueing into
+    #: the bounded outbox, until the grace timer expires or the client
+    #: reattaches.
+    parked: bool = False
+    park_timer: Optional[asyncio.Task] = None
+    chaos_timer: Optional[asyncio.Task] = None
+    said_bye: bool = False
+    resumes: int = 0
 
 
 class KhameleonServeApp:
@@ -123,6 +144,10 @@ class KhameleonServeApp:
         outbox_depth: int = 1024,
         ping_interval_s: float = 20.0,
         ping_max_misses: int = 3,
+        resume_grace_s: float = 0.0,
+        chaos: Optional[ChaosConfig] = None,
+        checkpoint_out: Optional[str] = None,
+        checkpoint_in: Optional[str] = None,
     ) -> None:
         if outbox_depth < 1:
             raise ValueError("outbox_depth must be >= 1")
@@ -130,6 +155,8 @@ class KhameleonServeApp:
             raise ValueError("ping_interval_s must be >= 0 (0 disables)")
         if ping_max_misses < 1:
             raise ValueError("ping_max_misses must be >= 1")
+        if resume_grace_s < 0:
+            raise ValueError("resume_grace_s must be >= 0 (0 disables)")
         if predictor not in _LIVE_PREDICTORS:
             raise ValueError(
                 f"predictor {predictor!r} cannot serve live sessions "
@@ -166,11 +193,31 @@ class KhameleonServeApp:
         #: 0 disables the prober (``--ping-interval`` on the CLI).
         self.ping_interval_s = ping_interval_s
         self.ping_max_misses = ping_max_misses
+        #: Reconnect-and-resume: an abrupt disconnect parks the session
+        #: (pipeline, weight, metrics intact) for this many seconds; a
+        #: ``hello`` carrying the session's resume token reattaches.
+        #: 0 disables parking (``--resume-grace`` on the CLI).
+        self.resume_grace_s = resume_grace_s
+        #: Server-side fault injection: ``disconnect:P@S`` aborts
+        #: session P's socket S seconds after admission.
+        self.chaos = chaos
+        #: Drain/restore lifecycle: ``stop()`` persists the crowd prior
+        #: and resume-token table to ``checkpoint_out``; ``start()``
+        #: warms from ``checkpoint_in`` and honors its tokens for
+        #: ``resume_grace_s`` after boot.
+        self.checkpoint_out = checkpoint_out
+        self.checkpoint_in = checkpoint_in
         self.stats = ServeStats()
         self.clock: Optional[WallClock] = None
         self.fleet: Optional[KhameleonFleet] = None
         self._server: Optional[asyncio.base_events.Server] = None
         self._live: dict[int, _Connection] = {}
+        self._parked: dict[str, _Connection] = {}
+        #: Tokens honored across a drain/restart cycle (token → weight),
+        #: loaded from ``checkpoint_in``.
+        self._restored_tokens: dict[str, float] = {}
+        self._started_at = 0.0
+        self._draining = False
         self._next_index = 0
         # Grows with admissions; ``FleetConfig.weight_of`` reads it at
         # admission time, so per-client hello weights take effect.
@@ -218,6 +265,9 @@ class KhameleonServeApp:
         )
         # Live weights: grown per admission, read by weight_of(i).
         self.fleet.config.weights = self._weights
+        if self.checkpoint_in is not None:
+            self._load_checkpoint(self.checkpoint_in)
+        self._started_at = clock.now
         self._server = await asyncio.start_server(
             self._on_connection, self.host, self.port
         )
@@ -228,16 +278,35 @@ class KhameleonServeApp:
         await self._server.serve_forever()
 
     async def stop(self) -> None:
-        """Close the listener, detach every live session, stop the fleet."""
+        """Graceful drain: stop admissions, say goodbye, checkpoint, halt.
+
+        Every connected client gets a WebSocket close 1001 ("going
+        away") with a drain reason *before* its session is detached, so
+        well-behaved reconnect logic knows not to retry.  With
+        ``checkpoint_out`` set, the crowd prior and resume-token table
+        are persisted so a restarted server (``checkpoint_in``) can
+        honor the same tokens.
+        """
+        self._draining = True
         if self._server is not None:
             self._server.close()
             await self._server.wait_closed()
+        conns = list(self._live.values()) + list(self._parked.values())
+        for conn in conns:
+            try:
+                await conn.socket.close(code=1001, reason="going away: drain")
+            except (ConnectionResetError, BrokenPipeError, OSError):
+                pass
         for task in list(self._tasks):
             task.cancel()
         if self._tasks:
             await asyncio.gather(*self._tasks, return_exceptions=True)
-        for conn in list(self._live.values()):
+        for conn in conns:
             self._detach(conn)
+        for conn in list(self._live.values()) + list(self._parked.values()):
+            self._detach(conn)
+        if self.checkpoint_out is not None:
+            self._write_checkpoint(self.checkpoint_out, conns)
         if self.fleet is not None:
             self.fleet.stop()
 
@@ -261,6 +330,7 @@ class KhameleonServeApp:
             session=session,
             socket=socket,
             outbox=asyncio.Queue(maxsize=self.outbox_depth),
+            token=secrets.token_hex(16),
         )
         # Tap the delivery callback: every block the modeled link
         # delivers goes to the socket *and* to the server-resident
@@ -286,11 +356,78 @@ class KhameleonServeApp:
         assert self.fleet is not None
         self.fleet._retire_session(conn.session)
         self._live.pop(conn.index, None)
+        if conn.parked:
+            self._parked.pop(conn.token, None)
+            conn.parked = False
         self.stats.sessions_detached += 1
         if conn.pump is not None:
             conn.pump.cancel()
         if conn.pinger is not None:
             conn.pinger.cancel()
+        if conn.park_timer is not None:
+            conn.park_timer.cancel()
+        if conn.chaos_timer is not None:
+            conn.chaos_timer.cancel()
+
+    # -- park / resume -------------------------------------------------
+
+    def _park(self, conn: _Connection) -> None:
+        """An abrupt disconnect within the grace window: keep the
+        session running — scheduler, fair-share weight, metrics — with
+        pushed frames queueing into the bounded outbox (shed past the
+        depth, as for a slow socket), until the client reattaches with
+        its token or the grace timer gives up."""
+        if conn.detached or conn.parked:
+            return
+        conn.parked = True
+        self._live.pop(conn.index, None)
+        self._parked[conn.token] = conn
+        self.stats.sessions_parked += 1
+        if conn.pump is not None:
+            conn.pump.cancel()
+            conn.pump = None
+        if conn.pinger is not None:
+            conn.pinger.cancel()
+            conn.pinger = None
+        conn.park_timer = asyncio.ensure_future(self._expire_parked(conn))
+        self._tasks.add(conn.park_timer)
+        conn.park_timer.add_done_callback(self._tasks.discard)
+
+    async def _expire_parked(self, conn: _Connection) -> None:
+        try:
+            await asyncio.sleep(self.resume_grace_s)
+        except asyncio.CancelledError:
+            return
+        if conn.parked and not conn.detached:
+            self._detach(conn)
+
+    def _resume(self, conn: _Connection, socket: ws.WebSocket) -> None:
+        """Reattach a parked session to a fresh socket, state intact."""
+        self._parked.pop(conn.token, None)
+        if conn.park_timer is not None:
+            conn.park_timer.cancel()
+            conn.park_timer = None
+        conn.parked = False
+        conn.socket = socket
+        conn.resumes += 1
+        self._live[conn.index] = conn
+        self.stats.sessions_resumed += 1
+
+    def _welcome_message(self, conn: _Connection, resumed: bool = False) -> str:
+        layout = self.app.layout
+        return protocol.encode_message(
+            "welcome",
+            protocol=protocol.PROTOCOL_VERSION,
+            session=conn.index,
+            token=conn.token,
+            resumed=resumed,
+            num_requests=self.app.num_requests,
+            rows=layout.rows,
+            cols=layout.cols,
+            cell_width=layout.cell_width,
+            cell_height=layout.cell_height,
+            block_bytes=self.app.block_bytes,
+        )
 
     def _push_block(self, conn: _Connection, block: Block) -> None:
         frame = protocol.encode_block(block)
@@ -331,31 +468,30 @@ class KhameleonServeApp:
             hello = await self._expect_hello(socket)
             if hello is None:
                 return
-            if len(self._live) >= self.max_concurrent:
-                self.stats.sessions_rejected += 1
-                socket.send_text(
-                    protocol.encode_message(
-                        "reject", reason="admission cap reached"
+            token = hello.get("resume")
+            if token is not None:
+                conn = await self._handle_resume(str(token), socket)
+                if conn is None:
+                    return
+            else:
+                reason = None
+                if self._draining:
+                    reason = "going away: drain"
+                elif len(self._live) + len(self._parked) >= self.max_concurrent:
+                    # Parked sessions still hold their slot: their
+                    # resources are live until the grace expires.
+                    reason = "admission cap reached"
+                if reason is not None:
+                    self.stats.sessions_rejected += 1
+                    socket.send_text(
+                        protocol.encode_message("reject", reason=reason)
                     )
-                )
+                    await socket.drain()
+                    return
+                conn = self._admit(socket, float(hello.get("weight", 1.0)))
+                socket.send_text(self._welcome_message(conn))
                 await socket.drain()
-                return
-            conn = self._admit(socket, float(hello.get("weight", 1.0)))
-            layout = self.app.layout
-            socket.send_text(
-                protocol.encode_message(
-                    "welcome",
-                    protocol=protocol.PROTOCOL_VERSION,
-                    session=conn.index,
-                    num_requests=self.app.num_requests,
-                    rows=layout.rows,
-                    cols=layout.cols,
-                    cell_width=layout.cell_width,
-                    cell_height=layout.cell_height,
-                    block_bytes=self.app.block_bytes,
-                )
-            )
-            await socket.drain()
+                self._arm_chaos_disconnect(conn)
             conn.pump = asyncio.ensure_future(self._pump(conn))
             if self.ping_interval_s > 0:
                 conn.last_recv_s = self.clock.now
@@ -363,10 +499,91 @@ class KhameleonServeApp:
             await self._read_loop(conn)
         except (ConnectionResetError, BrokenPipeError, OSError):
             pass
+        except asyncio.CancelledError:
+            # Cancelled by stop(): the socket already received its 1001
+            # close.  Finishing non-cancelled lets the finally detach
+            # cleanly and keeps 3.11's streams done-callback (which
+            # calls task.exception()) from logging the cancellation.
+            pass
         finally:
             if conn is not None:
-                self._detach(conn)
-            await socket.close()
+                if (
+                    self.resume_grace_s > 0
+                    and not conn.said_bye
+                    and not self._draining
+                    and not conn.detached
+                ):
+                    # Abrupt socket loss: park for the grace window
+                    # instead of retiring — the pipeline keeps running.
+                    self._park(conn)
+                else:
+                    self._detach(conn)
+            try:
+                await socket.close()
+            except asyncio.CancelledError:
+                # stop() cancelled us while we waited on the closing
+                # handshake; the transport is torn down regardless.
+                pass
+
+    async def _handle_resume(
+        self, token: str, socket: ws.WebSocket
+    ) -> Optional[_Connection]:
+        """A ``hello`` carrying a resume token: reattach or reject."""
+        parked = self._parked.get(token)
+        if parked is not None and not self._draining:
+            self._resume(parked, socket)
+            socket.send_text(self._welcome_message(parked, resumed=True))
+            await socket.drain()
+            return parked
+        if (
+            token in self._restored_tokens
+            and not self._draining
+            and self.clock is not None
+            and self.clock.now - self._started_at <= self.resume_grace_s
+            and len(self._live) + len(self._parked) < self.max_concurrent
+        ):
+            # A token honored across a drain/restart cycle: the old
+            # process checkpointed it, this one admits a fresh session
+            # under the same contract (resumed, not re-queued).
+            weight = self._restored_tokens.pop(token)
+            conn = self._admit(socket, weight)
+            self.stats.sessions_resumed += 1
+            socket.send_text(self._welcome_message(conn, resumed=True))
+            await socket.drain()
+            return conn
+        self.stats.resume_rejected += 1
+        socket.send_text(
+            protocol.encode_message(
+                "reject", reason="unknown or expired resume token"
+            )
+        )
+        await socket.drain()
+        return None
+
+    def _arm_chaos_disconnect(self, conn: _Connection) -> None:
+        """Schedule a ``disconnect:P@S`` fault for a fresh admission."""
+        if self.chaos is None:
+            return
+        at_s = self.chaos.disconnect_at(conn.index)
+        if at_s is None:
+            return
+
+        async def fire() -> None:
+            try:
+                await asyncio.sleep(at_s)
+            except asyncio.CancelledError:
+                return
+            if conn.detached or conn.parked or conn.socket.closed:
+                return
+            self.stats.disconnects_injected += 1
+            # An abrupt network drop: no closing handshake, just RST —
+            # exactly what reconnect-and-resume must absorb.
+            transport = conn.socket.writer.transport
+            transport.abort()
+
+        conn.chaos_timer = asyncio.ensure_future(fire())
+        self._tasks.add(conn.chaos_timer)
+        conn.chaos_timer.add_done_callback(self._tasks.discard)
 
     async def _expect_hello(self, socket: ws.WebSocket) -> Optional[dict]:
         try:
@@ -411,6 +628,7 @@ class KhameleonServeApp:
                 self.stats.requests_received += 1
                 client.request(request)
             elif kind == "bye":
+                conn.said_bye = True
                 conn.socket.send_text(self._stats_message(conn))
                 await conn.socket.drain()
                 return
@@ -450,6 +668,15 @@ class KhameleonServeApp:
             "pings_sent": s.pings_sent,
             "idle_closed": s.idle_closed,
             "ping_interval_s": self.ping_interval_s,
+            # Durable sessions: parked right now, lifetime park/resume
+            # counters, and the resume contract's knobs.
+            "sessions_parked_now": len(self._parked),
+            "sessions_parked": s.sessions_parked,
+            "sessions_resumed": s.sessions_resumed,
+            "resume_rejected": s.resume_rejected,
+            "resume_grace_s": self.resume_grace_s,
+            "disconnects_injected": s.disconnects_injected,
+            "draining": self._draining,
             "predictor": self.predictor,
             # The crowd prior's "version mass": total transition count,
             # which only grows — the same quantity the sharded fleet's
@@ -466,6 +693,79 @@ class KhameleonServeApp:
         if path == "/status":
             return 200, "application/json", json.dumps(self.status_snapshot())
         return 404, "application/json", json.dumps({"error": "not found"})
+
+    # -- drain/restore checkpoint --------------------------------------
+
+    #: File magic + version for the serve-side checkpoint (the fleet
+    #: runner has its own bundle format in repro.fleet.checkpoint).
+    CHECKPOINT_MAGIC = "khameleon-serve-checkpoint"
+    CHECKPOINT_VERSION = 1
+
+    def _write_checkpoint(self, path: str, conns: list[_Connection]) -> None:
+        """Persist the crowd prior (COO) and the resume-token table."""
+        payload = {
+            "format": self.CHECKPOINT_MAGIC,
+            "format_version": self.CHECKPOINT_VERSION,
+            "n": self.app.num_requests,
+            "tokens": {
+                c.token: {
+                    "index": c.index,
+                    "weight": (
+                        self._weights[c.index]
+                        if c.index < len(self._weights)
+                        else 1.0
+                    ),
+                }
+                for c in conns
+                if c.token
+            },
+            "prior": {
+                "transitions_observed": self.prior.transitions_observed,
+                "coo": [list(item) for item in self.prior.coo_items()],
+            },
+        }
+        with open(path, "w", encoding="utf-8") as fh:
+            json.dump(payload, fh, sort_keys=True)
+
+    def _load_checkpoint(self, path: str) -> None:
+        """Warm the prior and token table from a drained predecessor.
+
+        Fail-fast validation in the style of
+        :meth:`SharedTransitionPrior.load`: not-a-checkpoint, version,
+        and universe mismatches each raise a clear :class:`ValueError`
+        before any client connects.
+        """
+        try:
+            with open(path, "r", encoding="utf-8") as fh:
+                payload = json.load(fh)
+        except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+            raise ValueError(f"{path!s} is not a saved checkpoint: {exc}") from exc
+        if (
+            not isinstance(payload, dict)
+            or payload.get("format") != self.CHECKPOINT_MAGIC
+        ):
+            raise ValueError(f"{path!s} is not a saved checkpoint")
+        version = payload.get("format_version")
+        if version != self.CHECKPOINT_VERSION:
+            raise ValueError(
+                f"checkpoint format v{version} unsupported "
+                f"(expected v{self.CHECKPOINT_VERSION})"
+            )
+        saved_n = payload.get("n")
+        if saved_n != self.app.num_requests:
+            raise ValueError(
+                f"checkpoint over {saved_n} requests, "
+                f"expected {self.app.num_requests}"
+            )
+        for entry in payload.get("prior", {}).get("coo", []):
+            prev, nxt, count = entry
+            self.prior.warm(int(prev), int(nxt), int(count))
+        for token, info in payload.get("tokens", {}).items():
+            try:
+                weight = float(info.get("weight", 1.0))
+            except (AttributeError, TypeError, ValueError):
+                weight = 1.0
+            self._restored_tokens[str(token)] = weight
 
     async def _ping_loop(self, conn: _Connection) -> None:
         """Probe a quiet connection; close it once pongs stop coming.

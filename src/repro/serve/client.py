@@ -21,6 +21,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Optional
 
+from repro.backends.retry import RetryPolicy
 from repro.core.cache_manager import RequestOutcome
 from repro.metrics.collector import MetricSummary, collect
 
@@ -48,6 +49,11 @@ class LiveReport:
     requests: list[tuple[float, int]] = field(default_factory=list)
     server_stats: Optional[dict] = None
     rejected: bool = False
+    #: Successful token reconnects, and when each one completed
+    #: (session-relative seconds) — lets a script assert that the push
+    #: pipeline kept working *after* a resume.
+    resumes: int = 0
+    resumed_at: list[float] = field(default_factory=list)
 
     @property
     def bytes_received(self) -> int:
@@ -73,8 +79,19 @@ class LiveReport:
         block was scheduled and delivered speculatively, not in
         response to the request.
         """
+        return self.prefetched_hits_after(0.0)
+
+    def prefetched_hits_after(self, t: float) -> int:
+        """Prefetched hits among requests issued at or after ``t``.
+
+        With ``t = resumed_at[0]`` this is the resume acceptance
+        signal: blocks still crossing the wire ahead of requests
+        *after* the session reattached.
+        """
         count = 0
         for issued_at, request in self.requests:
+            if issued_at < t:
+                continue
             arrived = self.first_block_at(request)
             if arrived is not None and arrived < issued_at:
                 count += 1
@@ -131,14 +148,34 @@ class LiveClient:
         self._t0 = time.monotonic()
         self._reader: Optional[asyncio.Task] = None
         self._done = asyncio.Event()
+        self._host = ""
+        self._port = 0
+        self._timeout = 10.0
+        self._auto_reconnect = False
+        self._retry = RetryPolicy()
+        self._closing = False
 
     # -- construction ------------------------------------------------
 
     @classmethod
     async def connect(
-        cls, host: str, port: int, weight: float = 1.0, timeout: float = 10.0
+        cls,
+        host: str,
+        port: int,
+        weight: float = 1.0,
+        timeout: float = 10.0,
+        auto_reconnect: bool = False,
+        retry: Optional[RetryPolicy] = None,
     ) -> "LiveClient":
-        """Open, send ``hello``, await ``welcome`` (or raise on reject)."""
+        """Open, send ``hello``, await ``welcome`` (or raise on reject).
+
+        With ``auto_reconnect`` the client treats an abrupt socket loss
+        as transient: it redials with the welcome's resume token on the
+        existing :class:`~repro.backends.retry.RetryPolicy` backoff
+        (deterministic jitter, bounded attempts) and keeps the same
+        report across the splice.  A server close 1001 ("going away")
+        is deliberate and is never retried.
+        """
         socket = await ws.connect(host, port)
         socket.send_text(
             protocol.encode_message(
@@ -162,6 +199,10 @@ class LiveClient:
             await socket.close()
             raise ConnectionError(f"unexpected handshake reply {msg['type']!r}")
         client = cls(socket, LiveReport(welcome=msg))
+        client._host, client._port = host, port
+        client._timeout = timeout
+        client._auto_reconnect = auto_reconnect
+        client._retry = retry or RetryPolicy()
         client._reader = asyncio.ensure_future(client._read_loop())
         return client
 
@@ -200,6 +241,7 @@ class LiveClient:
         return self.report
 
     async def close(self) -> None:
+        self._closing = True
         if self._reader is not None and not self._reader.done():
             self._reader.cancel()
         await self.socket.close()
@@ -211,6 +253,8 @@ class LiveClient:
             while True:
                 item = await self.socket.recv()
                 if item is None:
+                    if await self._maybe_reconnect():
+                        continue
                     break
                 opcode, payload = item
                 if opcode == ws.OP_BINARY:
@@ -233,6 +277,63 @@ class LiveClient:
             pass
         finally:
             self._done.set()
+
+    async def _maybe_reconnect(self) -> bool:
+        """Redial with the resume token after an abrupt socket loss.
+
+        Returns True once a new socket is spliced in (the read loop
+        continues on it).  Deliberate endings are final: a close we
+        initiated, a server 1001 "going away", or an explicit reject
+        of the token all return False.
+        """
+        if not self._auto_reconnect or self._closing:
+            return False
+        if self.socket.close_code == 1001:
+            return False  # server is draining: reconnecting is futile
+        token = self.report.welcome.get("token")
+        if not token:
+            return False
+        for attempt in range(1, self._retry.max_attempts + 1):
+            await asyncio.sleep(self._retry.backoff_s(0, attempt))
+            if self._closing:
+                return False
+            try:
+                socket = await ws.connect(self._host, self._port)
+                socket.send_text(
+                    protocol.encode_message(
+                        "hello",
+                        protocol=protocol.PROTOCOL_VERSION,
+                        resume=token,
+                    )
+                )
+                await socket.drain()
+                item = await asyncio.wait_for(
+                    socket.recv(), timeout=self._timeout
+                )
+            except (ConnectionError, OSError, asyncio.TimeoutError):
+                continue
+            if item is None or item[0] != ws.OP_TEXT:
+                await socket.close()
+                continue
+            msg = protocol.decode_message(item[1].decode("utf-8", "replace"))
+            if msg is None or msg["type"] == "reject":
+                # The token is unknown or expired; retrying cannot help.
+                await socket.close()
+                return False
+            if msg["type"] != "welcome":
+                await socket.close()
+                continue
+            old = self.socket
+            self.socket = socket
+            self.report.welcome = msg
+            self.report.resumes += 1
+            self.report.resumed_at.append(self.now)
+            try:
+                await old.close()
+            except (ConnectionError, OSError):
+                pass
+            return True
+        return False
 
 
 class AdmissionRejected(ConnectionError):

@@ -3,11 +3,19 @@
 One WebSocket per user session.  Control traffic is JSON text frames
 with a ``type`` field; pushed blocks are binary frames.  The exchange:
 
-1. client → ``{"type": "hello", "protocol": 1}``
-2. server → ``{"type": "welcome", "session": i, "num_requests": n,
-   "rows": r, "cols": c, "cell_width": w, "cell_height": h,
-   "block_bytes": b}`` — or ``{"type": "reject", "reason": ...}``
-   followed by close when the admission cap is hit.
+1. client → ``{"type": "hello", "protocol": 1}`` — or, to reattach a
+   dropped session, ``{"type": "hello", "protocol": 1, "resume": t}``
+   with the token from the previous welcome.
+2. server → ``{"type": "welcome", "session": i, "token": t,
+   "resumed": bool, "num_requests": n, "rows": r, "cols": c,
+   "cell_width": w, "cell_height": h, "block_bytes": b}`` — or
+   ``{"type": "reject", "reason": ...}`` followed by close when the
+   admission cap is hit, the server is draining, or a resume token is
+   unknown/expired.  ``token`` is the server-issued resume credential:
+   present it in a fresh hello within the server's ``--resume-grace``
+   window after an abrupt disconnect and the session continues with
+   its pipeline, fair-share weight, and metrics intact
+   (``resumed: true`` in the new welcome).
 3. client → any number of
    ``{"type": "event", "x": .., "y": ..}`` (interaction samples) and
    ``{"type": "request", "id": ..}`` (explicit user requests);
@@ -15,7 +23,15 @@ with a ``type`` field; pushed blocks are binary frames.  The exchange:
    Khameleon push channel.  Blocks flow whether or not the client ever
    requests anything; that is the point.
 4. client → ``{"type": "bye"}``; server → ``{"type": "stats", ...}``
-   (its §6.1 view of the session) and the closing handshake.
+   (its §6.1 view of the session) and the closing handshake.  A bye'd
+   session is over: its token is not resumable.
+
+Close semantics: a normal end uses close code 1000.  When the server
+drains (SIGTERM or ``stop()``) every connection gets close **1001**
+("going away") with the drain reason — clients must treat 1001 as
+final and not auto-reconnect; session state is instead persisted to
+the server's ``--checkpoint-out`` file and tokens become valid again
+on a server started with ``--checkpoint-in``.
 
 A block frame is a fixed 16-byte header followed by the block's payload
 bytes (the reproduction's blocks carry no pixels, so the payload is

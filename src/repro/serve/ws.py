@@ -219,6 +219,12 @@ class WebSocket:
         #: Pongs seen by :meth:`recv`; liveness monitors compare this
         #: against the pings they originated.
         self.pongs_received = 0
+        #: RFC 6455 §7.4 status code / reason of a received close frame
+        #: (None/"" until one arrives).  1001 ("going away") is how the
+        #: server tells clients a shutdown is deliberate — reconnect
+        #: logic must treat it as final, not as a transient drop.
+        self.close_code: Optional[int] = None
+        self.close_reason: str = ""
 
     # -- sending -----------------------------------------------------
 
@@ -286,6 +292,9 @@ class WebSocket:
                 self._send(OP_PONG, payload)
                 await self.drain()
             elif opcode == OP_CLOSE:
+                if len(payload) >= 2:
+                    (self.close_code,) = struct.unpack("!H", payload[:2])
+                    self.close_reason = payload[2:].decode("utf-8", "replace")
                 if not self.close_sent:
                     self._send_close_frame(payload[:2])
                 self.closed = True
@@ -300,11 +309,18 @@ class WebSocket:
         self.writer.write(_encode_frame(OP_CLOSE, payload, self.mask_frames))
         self.close_sent = True
 
-    async def close(self) -> None:
-        """Initiate (or complete) the closing handshake and drop TCP."""
+    async def close(self, code: int = 1000, reason: str = "") -> None:
+        """Initiate (or complete) the closing handshake and drop TCP.
+
+        ``code``/``reason`` follow RFC 6455 §7.4: 1000 is a normal
+        close, 1001 "going away" — the drain signal a server sends
+        before shutting down (reason text is truncated to fit the
+        123-byte control-frame budget).
+        """
         if not self.closed and not self.close_sent:
             try:
-                self._send_close_frame(struct.pack("!H", 1000))
+                payload = struct.pack("!H", code) + reason.encode("utf-8")[:123]
+                self._send_close_frame(payload)
                 await self.drain()
             except (ConnectionResetError, BrokenPipeError, OSError):
                 pass

@@ -60,6 +60,35 @@ class TestParse:
             ChaosConfig(flaky_period=-1)
         with pytest.raises(ValueError):
             ChaosConfig(worker_crashes=((-1, 0),))
+        with pytest.raises(ValueError):
+            ChaosConfig(disconnects=(((-1, 0.5)),))
+        with pytest.raises(ValueError):
+            ChaosConfig(disconnects=((0, -0.5),))
+        with pytest.raises(ValueError):
+            ChaosConfig(drain_round=-1)
+
+    def test_disconnect_session_at_time(self):
+        cfg = ChaosConfig.parse("disconnect:3@1.5")
+        assert cfg.disconnects == ((3, 1.5),)
+        assert cfg.disconnect_at(3) == pytest.approx(1.5)
+        assert cfg.disconnect_at(0) is None
+
+    def test_disconnect_bare_time_targets_session_zero(self):
+        cfg = ChaosConfig.parse("disconnect:2.5")
+        assert cfg.disconnects == ((0, 2.5),)
+        assert cfg.disconnect_at(0) == pytest.approx(2.5)
+
+    def test_drain_at_round(self):
+        cfg = ChaosConfig.parse("drain:4")
+        assert cfg.drain_round == 4
+        assert cfg.has_drain
+        assert not cfg.is_inert
+
+    def test_drain_combines_with_other_faults(self):
+        cfg = ChaosConfig.parse("drain:2,worker-crash:1,disconnect:0@1")
+        assert cfg.drain_round == 2
+        assert cfg.worker_crashes == ((0, 1),)
+        assert cfg.disconnects == ((0, 1.0),)
 
 
 class TestIntrospection:
@@ -77,12 +106,19 @@ class TestIntrospection:
         assert ChaosConfig(link_outages=((0.0, 1.0),)).has_link_faults
         assert ChaosConfig(worker_crashes=((0, 1),)).has_worker_faults
         assert not ChaosConfig(worker_crashes=((0, 1),)).is_inert
+        assert ChaosConfig(disconnects=((0, 1.0),)).has_connection_faults
+        assert not ChaosConfig(disconnects=((0, 1.0),)).is_inert
+        assert ChaosConfig(drain_round=0).has_drain
+        assert not ChaosConfig(drain_round=0).is_inert
 
     def test_describe(self):
         assert ChaosConfig().describe() == "none"
         text = ChaosConfig.parse("worker-crash:1,backend-err:0.05").describe()
         assert "crash s0@r1" in text
         assert "err 0.05" in text
+        text = ChaosConfig.parse("disconnect:1@2.5,drain:3").describe()
+        assert "disconnect c1@2.5s" in text
+        assert "drain @r3" in text
 
 
 class TestWrapBackend:

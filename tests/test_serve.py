@@ -467,3 +467,310 @@ class TestPingLiveness:
             create_app(make_env(), rows=6, cols=6, ping_interval_s=-1.0)
         with pytest.raises(ValueError):
             create_app(make_env(), rows=6, cols=6, ping_max_misses=0)
+
+
+# ---------------------------------------------------------------------------
+# Durable sessions: park / resume / drain
+# ---------------------------------------------------------------------------
+
+
+class TestReconnectAndResume:
+    def test_abrupt_disconnect_parks_then_token_resumes(self):
+        """Kill the TCP connection without a bye: the session parks
+        (pipeline keeps running) and a fresh socket presenting the
+        welcome token reattaches with metrics intact."""
+
+        async def main():
+            app = create_app(
+                make_env(), rows=6, cols=6, predictor="uniform", port=0,
+                resume_grace_s=10.0,
+            )
+            await app.start()
+            try:
+                client = await LiveClient.connect("127.0.0.1", app.port)
+                token = client.report.welcome["token"]
+                assert token
+                assert client.report.welcome.get("resumed") is False
+                client.send_event(5.0, 5.0)
+                await client.drain()
+                await asyncio.sleep(0.4)
+                # abrupt loss: RST the transport, no close frame
+                client.socket.writer.transport.abort()
+                await asyncio.sleep(0.3)
+                assert app.stats.sessions_parked == 1
+                assert app.stats.sessions_detached == 0
+                snap = app.status_snapshot()
+                assert snap["sessions_parked_now"] == 1
+                assert snap["sessions_live"] == 0
+
+                socket = await ws.connect("127.0.0.1", app.port)
+                socket.send_text(
+                    protocol.encode_message(
+                        "hello",
+                        protocol=protocol.PROTOCOL_VERSION,
+                        resume=token,
+                    )
+                )
+                await socket.drain()
+                msg = protocol.decode_message((await socket.recv())[1])
+                assert msg["type"] == "welcome"
+                assert msg["resumed"] is True
+                assert msg["token"] == token
+                assert msg["session"] == client.report.welcome["session"]
+                assert app.stats.sessions_resumed == 1
+                snap = app.status_snapshot()
+                assert snap["sessions_parked_now"] == 0
+                assert snap["sessions_live"] == 1
+                assert snap["sessions_resumed"] == 1
+                # the resumed socket keeps receiving pushed blocks
+                got_block = False
+                deadline = asyncio.get_running_loop().time() + 5.0
+                while asyncio.get_running_loop().time() < deadline:
+                    item = await asyncio.wait_for(socket.recv(), timeout=5.0)
+                    if item is not None and item[0] == ws.OP_BINARY:
+                        got_block = True
+                        break
+                assert got_block, "no blocks pushed after resume"
+                await socket.close()
+            finally:
+                await app.stop()
+            # one admission, resumed once, never double-counted
+            assert app.stats.sessions_admitted == 1
+
+        run(main())
+
+    def test_unknown_token_is_rejected_and_counted(self):
+        async def main():
+            app = create_app(
+                make_env(), rows=6, cols=6, predictor="uniform", port=0,
+                resume_grace_s=5.0,
+            )
+            await app.start()
+            try:
+                socket = await ws.connect("127.0.0.1", app.port)
+                socket.send_text(
+                    protocol.encode_message(
+                        "hello",
+                        protocol=protocol.PROTOCOL_VERSION,
+                        resume="no-such-token",
+                    )
+                )
+                await socket.drain()
+                msg = protocol.decode_message((await socket.recv())[1])
+                assert msg["type"] == "reject"
+                assert "token" in msg["reason"]
+                assert app.stats.resume_rejected == 1
+                assert app.status_snapshot()["resume_rejected"] == 1
+                await socket.close()
+            finally:
+                await app.stop()
+
+        run(main())
+
+    def test_grace_expiry_detaches_parked_session(self):
+        async def main():
+            app = create_app(
+                make_env(), rows=6, cols=6, predictor="uniform", port=0,
+                resume_grace_s=0.3,
+            )
+            await app.start()
+            try:
+                client = await LiveClient.connect("127.0.0.1", app.port)
+                client.socket.writer.transport.abort()
+                await asyncio.sleep(0.1)
+                assert app.stats.sessions_parked == 1
+                deadline = asyncio.get_running_loop().time() + 5.0
+                while (
+                    app.stats.sessions_detached == 0
+                    and asyncio.get_running_loop().time() < deadline
+                ):
+                    await asyncio.sleep(0.05)
+                assert app.stats.sessions_detached == 1
+                assert app.status_snapshot()["sessions_parked_now"] == 0
+            finally:
+                await app.stop()
+
+        run(main())
+
+    def test_zero_grace_keeps_legacy_detach_behavior(self):
+        async def main():
+            app = create_app(
+                make_env(), rows=6, cols=6, predictor="uniform", port=0,
+            )
+            await app.start()
+            try:
+                client = await LiveClient.connect("127.0.0.1", app.port)
+                client.socket.writer.transport.abort()
+                await asyncio.sleep(0.3)
+                assert app.stats.sessions_parked == 0
+                assert app.stats.sessions_detached == 1
+            finally:
+                await app.stop()
+
+        run(main())
+
+    def test_live_client_auto_reconnects_through_chaos_disconnect(self):
+        """The server-side fault injector aborts the socket mid-session;
+        LiveClient redials with its token and the same report object
+        keeps accumulating blocks."""
+        from repro.chaos import ChaosConfig
+
+        async def main():
+            app = create_app(
+                make_env(), rows=6, cols=6, predictor="uniform", port=0,
+                resume_grace_s=10.0,
+                chaos=ChaosConfig.parse("disconnect:0@0.5"),
+            )
+            await app.start()
+            try:
+                client = await LiveClient.connect(
+                    "127.0.0.1", app.port, auto_reconnect=True
+                )
+                deadline = asyncio.get_running_loop().time() + 10.0
+                while (
+                    client.report.resumes == 0
+                    and asyncio.get_running_loop().time() < deadline
+                ):
+                    client.send_event(10.0, 10.0)
+                    try:
+                        await client.drain()
+                    except (ConnectionError, OSError):
+                        pass
+                    await asyncio.sleep(0.1)
+                assert client.report.resumes == 1
+                assert len(client.report.resumed_at) == 1
+                assert app.stats.disconnects_injected == 1
+                assert app.stats.sessions_resumed == 1
+                await client.close()
+            finally:
+                await app.stop()
+
+        run(main())
+
+
+class TestGracefulDrain:
+    def test_stop_closes_with_going_away_1001(self):
+        """stop() must say 1001 "going away" before detaching, so
+        well-behaved reconnect logic knows not to retry."""
+
+        async def main():
+            app = create_app(
+                make_env(), rows=6, cols=6, predictor="uniform", port=0,
+                resume_grace_s=10.0,
+            )
+            await app.start()
+            client = await LiveClient.connect(
+                "127.0.0.1", app.port, auto_reconnect=True
+            )
+            await asyncio.sleep(0.2)
+            await app.stop()
+            # give the client's read loop the close frame
+            await asyncio.wait_for(client._done.wait(), timeout=5.0)
+            assert client.socket.close_code == 1001
+            assert "drain" in client.socket.close_reason
+            # 1001 is deliberate: auto-reconnect must NOT have fired
+            assert client.report.resumes == 0
+            await client.close()
+            assert app.stats.sessions_detached == 1
+
+        run(main())
+
+    def test_draining_server_rejects_new_hellos(self):
+        async def main():
+            app = create_app(
+                make_env(), rows=6, cols=6, predictor="uniform", port=0,
+            )
+            await app.start()
+            app._draining = True  # what stop()/SIGTERM sets first
+            try:
+                with pytest.raises(AdmissionRejected, match="drain"):
+                    await LiveClient.connect("127.0.0.1", app.port)
+                assert app.stats.sessions_rejected == 1
+            finally:
+                app._draining = False
+                await app.stop()
+
+        run(main())
+
+    def test_checkpoint_out_in_cycle_restores_tokens_and_prior(self, tmp_path):
+        """Drain writes {tokens, prior}; a restarted server warms the
+        prior and honors the old token as a fresh resumed session."""
+        import json
+
+        path = str(tmp_path / "serve.ckpt.json")
+
+        async def main():
+            app = create_app(
+                make_env(), rows=6, cols=6, predictor="shared-markov",
+                port=0, resume_grace_s=30.0, checkpoint_out=path,
+            )
+            await app.start()
+            client = await LiveClient.connect("127.0.0.1", app.port)
+            token = client.report.welcome["token"]
+            client.send_event(5.0, 5.0)
+            await client.drain()
+            await asyncio.sleep(0.6)
+            await app.stop()
+            await client.close()
+
+            with open(path) as fh:
+                payload = json.load(fh)
+            assert payload["format"] == "khameleon-serve-checkpoint"
+            assert payload["format_version"] == 1
+            assert payload["n"] == 36
+            assert token in payload["tokens"]
+
+            app2 = create_app(
+                make_env(), rows=6, cols=6, predictor="shared-markov",
+                port=0, resume_grace_s=30.0, checkpoint_in=path,
+            )
+            await app2.start()
+            try:
+                socket = await ws.connect("127.0.0.1", app2.port)
+                socket.send_text(
+                    protocol.encode_message(
+                        "hello",
+                        protocol=protocol.PROTOCOL_VERSION,
+                        resume=token,
+                    )
+                )
+                await socket.drain()
+                msg = protocol.decode_message((await socket.recv())[1])
+                assert msg["type"] == "welcome"
+                assert msg["resumed"] is True
+                assert app2.stats.sessions_resumed == 1
+                await socket.close()
+            finally:
+                await app2.stop()
+
+        run(main())
+
+    def test_checkpoint_in_rejects_wrong_universe(self, tmp_path):
+        import json
+
+        path = str(tmp_path / "bad.ckpt.json")
+        with open(path, "w") as fh:
+            json.dump(
+                {
+                    "format": "khameleon-serve-checkpoint",
+                    "format_version": 1,
+                    "n": 999,
+                    "tokens": {},
+                    "prior": {"transitions_observed": 0, "coo": []},
+                },
+                fh,
+            )
+
+        async def main():
+            app = create_app(
+                make_env(), rows=6, cols=6, predictor="uniform", port=0,
+                checkpoint_in=path,
+            )
+            with pytest.raises(ValueError, match="999"):
+                await app.start()
+
+        run(main())
+
+    def test_resume_grace_validation(self):
+        with pytest.raises(ValueError, match="resume_grace_s"):
+            create_app(make_env(), rows=6, cols=6, resume_grace_s=-1.0)
