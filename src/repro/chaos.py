@@ -22,12 +22,21 @@ The CLI spec is a comma-separated list of faults::
     disconnect:S         shorthand: drop session 0's connection at S
     drain:R              graceful drain after sync round R (mid-run
                          SIGTERM: stop, checkpoint, exit clean)
+    partition:A-B@R      cut coordinator<->worker links for shards
+                         A..B at sync round R (heals on its own)
+    netdelay:MS:P        delay fraction P of transport frames by MS ms
+    dup:P                duplicate fraction P of transport frames
+    corrupt:P            bit-flip fraction P of transport frames
 
 e.g. ``--chaos worker-crash:1,backend-err:0.05``.  Connection drops
 are consumed by the serve frontend (``python -m repro serve --chaos``)
 to exercise reconnect-and-resume; ``drain:R`` is consumed by the
 sharded fleet runner to exercise the ``--checkpoint-out`` /
-``--checkpoint-in`` drain/restore cycle.
+``--checkpoint-in`` drain/restore cycle.  The last four rows are
+*network* faults injected inside the fleet transport driver itself —
+they require ``--transport tcp`` (a pipe has no wire to corrupt) and
+are defended by the frame CRC / ack-retransmit / dedup machinery in
+:mod:`repro.fleet.transport`.
 """
 
 from __future__ import annotations
@@ -89,6 +98,11 @@ class ChaosConfig:
     worker_crashes: tuple[tuple[int, int], ...] = ()  # (shard, sync round)
     disconnects: tuple[tuple[int, float], ...] = ()  # (session, at seconds)
     drain_round: Optional[int] = None  # graceful drain after this sync round
+    partitions: tuple[tuple[int, int, int], ...] = ()  # (shard lo, hi, round)
+    netdelay_ms: float = 0.0
+    netdelay_rate: float = 0.0
+    dup_rate: float = 0.0
+    corrupt_rate: float = 0.0
     retry: RetryPolicy = field(default_factory=RetryPolicy)
     seed: int = 0
 
@@ -107,6 +121,18 @@ class ChaosConfig:
                 raise ValueError(f"bad disconnect ({session}, {at_s})")
         if self.drain_round is not None and self.drain_round < 0:
             raise ValueError("drain_round must be >= 0")
+        for lo, hi, round_ in self.partitions:
+            if lo < 0 or hi < lo or round_ < 0:
+                raise ValueError(f"bad partition ({lo}, {hi}, {round_})")
+        for rate, label in (
+            (self.netdelay_rate, "netdelay_rate"),
+            (self.dup_rate, "dup_rate"),
+            (self.corrupt_rate, "corrupt_rate"),
+        ):
+            if not 0.0 <= rate <= 1.0:
+                raise ValueError(f"{label} must be in [0, 1]")
+        if self.netdelay_ms < 0:
+            raise ValueError("netdelay_ms must be >= 0")
 
     # -- introspection ------------------------------------------------
 
@@ -135,6 +161,15 @@ class ChaosConfig:
         return self.drain_round is not None
 
     @property
+    def has_net_faults(self) -> bool:
+        """Faults that live inside the transport driver's wire path."""
+        return bool(self.partitions) or (
+            self.netdelay_rate > 0.0
+            or self.dup_rate > 0.0
+            or self.corrupt_rate > 0.0
+        )
+
+    @property
     def is_inert(self) -> bool:
         return not (
             self.has_backend_faults
@@ -142,6 +177,23 @@ class ChaosConfig:
             or self.has_worker_faults
             or self.has_connection_faults
             or self.has_drain
+            or self.has_net_faults
+        )
+
+    def partitions_at(self, round_index: int) -> list[tuple[int, int]]:
+        """``(lo, hi)`` shard ranges to cut before ``round_index``."""
+        return [(lo, hi) for lo, hi, r in self.partitions if r == round_index]
+
+    def net_spec(self):
+        """The picklable transport-level slice of this config."""
+        from repro.fleet.transport import NetChaosSpec
+
+        return NetChaosSpec(
+            netdelay_ms=self.netdelay_ms,
+            netdelay_rate=self.netdelay_rate,
+            dup_rate=self.dup_rate,
+            corrupt_rate=self.corrupt_rate,
+            seed=self.seed,
         )
 
     def crash_round(self, shard: int) -> Optional[int]:
@@ -212,6 +264,11 @@ class ChaosConfig:
         crashes: list[tuple[int, int]] = []
         disconnects: list[tuple[int, float]] = []
         drain_round: Optional[int] = None
+        partitions: list[tuple[int, int, int]] = []
+        netdelay_ms = 0.0
+        netdelay_rate = 0.0
+        dup_rate = 0.0
+        corrupt_rate = 0.0
         for part in spec.split(","):
             part = part.strip()
             if not part:
@@ -250,6 +307,19 @@ class ChaosConfig:
                         disconnects.append((0, float(value)))
                 elif name == "drain":
                     drain_round = int(value)
+                elif name == "partition":
+                    range_s, _, round_s = value.partition("@")
+                    lo_s, _, hi_s = range_s.partition("-")
+                    hi_s = hi_s or lo_s  # partition:S@R cuts one shard
+                    partitions.append((int(lo_s), int(hi_s), int(round_s)))
+                elif name == "netdelay":
+                    ms_s, _, rate_s = value.partition(":")
+                    netdelay_ms = float(ms_s)
+                    netdelay_rate = float(rate_s) if rate_s else 1.0
+                elif name == "dup":
+                    dup_rate = float(value)
+                elif name == "corrupt":
+                    corrupt_rate = float(value)
                 else:
                     raise ValueError(f"unknown chaos fault {name!r}")
             except ValueError as exc:
@@ -265,6 +335,11 @@ class ChaosConfig:
             worker_crashes=tuple(crashes),
             disconnects=tuple(disconnects),
             drain_round=drain_round,
+            partitions=tuple(partitions),
+            netdelay_ms=netdelay_ms,
+            netdelay_rate=netdelay_rate,
+            dup_rate=dup_rate,
+            corrupt_rate=corrupt_rate,
             seed=seed,
         )
 
@@ -292,4 +367,15 @@ class ChaosConfig:
             )
         if self.drain_round is not None:
             parts.append(f"drain @r{self.drain_round}")
+        if self.partitions:
+            parts.append(
+                "partition "
+                + "+".join(f"s{lo}-{hi}@r{r}" for lo, hi, r in self.partitions)
+            )
+        if self.netdelay_rate > 0.0:
+            parts.append(f"netdelay {self.netdelay_ms:g}ms p{self.netdelay_rate:g}")
+        if self.dup_rate > 0.0:
+            parts.append(f"dup {self.dup_rate:g}")
+        if self.corrupt_rate > 0.0:
+            parts.append(f"corrupt {self.corrupt_rate:g}")
         return ", ".join(parts) if parts else "none"

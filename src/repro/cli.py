@@ -165,6 +165,23 @@ def _build_parser() -> argparse.ArgumentParser:
         "(shared-markov only; default: 0.5)",
     )
     fleet.add_argument(
+        "--transport",
+        choices=["pipe", "tcp"],
+        default="pipe",
+        help="coordinator/worker link for sharded runs: in-process pipes, "
+        "or framed loopback TCP with CRC checks, acks, retransmit, and "
+        "partition detection (default: pipe)",
+    )
+    fleet.add_argument(
+        "--join-at-round",
+        type=int,
+        default=None,
+        metavar="R",
+        help="grow the fleet by one worker at sync round R: the "
+        "consistent-hash ring reroutes a slice of sessions and only "
+        "those migrate (sharded runs only)",
+    )
+    fleet.add_argument(
         "--prior-in",
         default=None,
         metavar="NPZ",
@@ -405,6 +422,10 @@ def _run_fleet_command(args) -> list[tuple[list[dict], str]]:
     )
     if (args.prior_in or args.prior_out) and args.predictor != "shared-markov":
         raise SystemExit("--prior-in/--prior-out need --predictor shared-markov")
+    if args.shards is None and args.transport != "pipe":
+        raise SystemExit("--transport needs --shards")
+    if args.shards is None and args.join_at_round is not None:
+        raise SystemExit("--join-at-round needs --shards")
     if args.shards is not None:
         if args.shards < 1:
             raise SystemExit("--shards must be >= 1")
@@ -417,6 +438,8 @@ def _run_fleet_command(args) -> list[tuple[list[dict], str]]:
             sync_interval_s=args.sync_interval,
             shared_prior=args.prior_in,
             prior_out=args.prior_out,
+            transport=args.transport,
+            join_at_round=args.join_at_round,
         )
     else:
         prior = None
@@ -478,6 +501,20 @@ def _run_fleet_command(args) -> list[tuple[list[dict], str]]:
             )
             if sharding.get("drained_at_round") is not None:
                 title += f" drained@r{sharding['drained_at_round']}"
+        if sharding.get("sessions_migrated"):
+            title += (
+                f" | sessions_migrated={sharding['sessions_migrated']}"
+                f" members={sharding['members']}"
+            )
+        transport_d = sharding.get("transport")
+        if transport_d is not None and transport_d["driver"] != "pipe":
+            totals = transport_d["totals"]
+            title += (
+                f" | transport={transport_d['driver']}"
+                f" retransmits={totals['retransmits']}"
+                f" crc_rejects={totals['crc_rejects']}"
+                f" partitions_detected={totals['partitions_detected']}"
+            )
     chaos_d = d.get("chaos")
     if chaos_d is not None:
         title += (

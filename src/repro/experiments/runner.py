@@ -33,11 +33,15 @@ from repro.encoding.naive import SingleBlockEncoder
 from repro.backends.filesystem import FileSystemBackend
 from repro.fleet import KhameleonFleet
 from repro.fleet.checkpoint import (
+    CTRL_KEY,
     CheckpointConfig,
     CheckpointStore,
     FleetCheckpoint,
     ShardCheckpoint,
+    capture_session,
     capture_shard,
+    migrate_out_of,
+    split_ctrl,
     unwrap_sync_payload,
     wrap_sync_payload,
 )
@@ -51,6 +55,7 @@ from repro.metrics.fleet import (
     early_hit_rate,
     jain_fairness,
     pool_snapshots,
+    pool_transport_counters,
 )
 from repro.predictors.base import MouseEvent
 from repro.sim.engine import Simulator
@@ -566,12 +571,69 @@ class ShardFleetSpec:
     #: drain): skip the rest of the run, ship partial results plus a
     #: final checkpoint.
     drain_after_round: Optional[int] = None
+    #: Explicit session ownership, overriding the hash route.  A mid-run
+    #: joiner owns exactly the sessions the grown ring moved to it — not
+    #: everything the ring *would* give it, since sessions that finished
+    #: before the join never migrate.
+    route_indices: Optional[tuple[int, ...]] = None
+    #: ``(new_num_shards, at_round, at_time_s)``: a member joins the
+    #: fleet after global sync round ``at_round``.  At that barrier this
+    #: worker captures and retires every owned session the grown ring
+    #: routes to the new member, shipping the checkpoints on the barrier
+    #: payload.  A respawned worker whose suffix starts *after* the join
+    #: replays the same retirement at the same sim time instead, so its
+    #: deterministic restore matches the stored digests.
+    grow_to: Optional[tuple[int, int, float]] = None
+    #: Adoption orders re-applied on respawn: a worker that previously
+    #: adopted a lost shard's sessions (via a ``peers``-borne control
+    #: message) must re-adopt them at the same sim time when it is
+    #: itself replaced, or its replay would silently drop them.  Each
+    #: entry is ``{"checkpoint": <ShardCheckpoint payload>,
+    #: "indices": [...], "at_s": float}``.
+    adopt_orders: tuple = ()
 
 
 def _shard_owned(total: int, shard: int, num_shards: int) -> list[int]:
     from repro.fleet.sharding import shard_of
 
     return [i for i in range(total) if shard_of(i, num_shards) == shard]
+
+
+def _suffix_trace(
+    trace: InteractionTrace, requests_seen: int, not_before_s: float
+) -> Optional[InteractionTrace]:
+    """The remainder of ``trace`` after its first ``requests_seen``
+    requests, shifted to start no earlier than ``not_before_s``.
+
+    This is how a migrated session resumes from its checkpointed
+    sequence position: the first ``requests_seen`` request-bearing
+    events (and the observe-only samples interleaved before them) are
+    already served and drop out; everything after replays at its
+    original absolute sim time, clamped up to the adoption point (the
+    clamp is monotone, so event order survives).  Returns ``None`` for
+    a session with no requests left — finished sessions don't migrate.
+    """
+    seen = 0
+    remainder: list[TraceEvent] = []
+    for event in trace.events:
+        if seen >= requests_seen:
+            remainder.append(event)
+        elif event.request is not None:
+            seen += 1
+    if not any(e.request is not None for e in remainder):
+        return None
+    return InteractionTrace(
+        events=[
+            TraceEvent(
+                time_s=max(e.time_s, not_before_s),
+                x=e.x,
+                y=e.y,
+                request=e.request,
+            )
+            for e in remainder
+        ],
+        name=f"{trace.name}+migrated",
+    )
 
 
 def _sharded_fleet_worker(spec: ShardFleetSpec, channel) -> dict:
@@ -593,7 +655,11 @@ def _sharded_fleet_worker(spec: ShardFleetSpec, channel) -> dict:
 
     k, num_shards = spec.shard, spec.num_shards
     total = spec.fleet_env.num_sessions
-    owned = _shard_owned(total, k, num_shards)
+    if spec.route_indices is not None:
+        owned = sorted(spec.route_indices)
+    else:
+        owned = _shard_owned(total, k, num_shards)
+    owned_set = set(owned)
     share = len(owned) / total
 
     env = spec.fleet_env.env
@@ -694,11 +760,71 @@ def _sharded_fleet_worker(spec: ShardFleetSpec, channel) -> dict:
             last_round = round_index
             return ckpt
 
-        # Restore-in-place verification: a respawned worker replays
-        # deterministically to its last checkpoint's sim time,
-        # re-captures, and compares digests.  (An intermediate pause is
-        # event-exact, so this perturbs nothing downstream.)
-        if spec.restore is not None and spec.restore.sim_time_s < until:
+        migrated_in: list[int] = []
+        migrated_out: list[int] = []
+
+        def adopt_sessions(order: dict, at_s: float, record: bool = True) -> None:
+            """Take over a lost shard's sessions from its checkpoint.
+
+            Each adopted session is admitted into this worker's live
+            fleet and resumes from its checkpointed request position:
+            the suffix of its trace replays at absolute sim times,
+            clamped up to the adoption barrier (events the dead shard
+            would have served between its last checkpoint and now fire
+            immediately — late, but not lost).
+            """
+            ckpt = ShardCheckpoint.from_payload(order["checkpoint"])
+            wanted = set(order.get("indices", ()))
+            for sc in ckpt.sessions:
+                if sc.index not in wanted:
+                    continue
+                suffix = _suffix_trace(
+                    spec.traces[sc.index], sc.requests_seen, at_s
+                )
+                if suffix is None:
+                    continue  # finished before the crash; nothing to resume
+                fleet._admit_session(sc.index)
+                session = fleet.sessions[-1]
+                session.start()
+                _replay(
+                    sim, suffix, session.client.observe, session.client.request
+                )
+                if record:
+                    migrated_in.append(sc.index)
+
+        def donate_sessions(at_s: float, record: bool = True) -> dict:
+            """Capture-and-retire every owned session the grown ring
+            routes to the joining member; ship the checkpoints."""
+            new_w = spec.grow_to[0]
+            moving = []
+            for idx, session in zip(
+                list(fleet.session_indices), list(fleet.sessions)
+            ):
+                if shard_of(idx, new_w) != new_w - 1:
+                    continue
+                sc = capture_session(session, idx)
+                if _suffix_trace(spec.traces[idx], sc.requests_seen, at_s) is None:
+                    continue  # finished sessions have nothing to move
+                moving.append((session, sc))
+            for session, _sc in moving:
+                fleet._retire_session(session)
+            if record:
+                migrated_out.extend(sc.index for _, sc in moving)
+            return {
+                "from_shard": k,
+                "at_s": at_s,
+                "sessions": [sc.to_payload() for _, sc in moving],
+            }
+
+        # Deterministic pre-steps for replacement workers, replayed in
+        # sim-time order before the barrier suffix: re-apply adoptions
+        # this worker's predecessor performed, re-retire sessions it
+        # donated to a joiner, and pause at the restore checkpoint to
+        # verify the replay against the stored digests.
+        pre_steps: list[tuple[float, int, Callable[[], None]]] = []
+
+        def verify_restore() -> None:
+            nonlocal ckpt_cpu
             run_chunk(spec.restore.sim_time_s)
             cpu_start = time.process_time()
             ours = capture_shard(
@@ -713,8 +839,51 @@ def _sharded_fleet_worker(spec: ShardFleetSpec, channel) -> dict:
             ckpt_cpu += time.process_time() - cpu_start
             state["restore_verified"] = ours.digest() == spec.restore.digest()
 
+        for order in spec.adopt_orders:
+            pre_steps.append(
+                (
+                    float(order["at_s"]),
+                    0,
+                    lambda o=order: (
+                        run_chunk(float(o["at_s"])),
+                        adopt_sessions(o, float(o["at_s"]), record=False),
+                    ),
+                )
+            )
+        if spec.grow_to is not None and spec.first_round > spec.grow_to[1]:
+            at_s = spec.grow_to[2]
+            pre_steps.append(
+                (
+                    at_s,
+                    1,
+                    lambda: (
+                        run_chunk(at_s),
+                        donate_sessions(at_s, record=False),
+                    ),
+                )
+            )
+        if spec.restore is not None and spec.restore.sim_time_s < until:
+            # Ordered after same-time adoptions/donations: the restore
+            # capture that produced the digests ran after them too.
+            pre_steps.append((spec.restore.sim_time_s, 2, verify_restore))
+        for _, _, step in sorted(pre_steps, key=lambda p: (p[0], p[1])):
+            step()
+
         rounds_run = 0
         drained = False
+
+        def exchange(payload) -> list:
+            """One barrier, with coordinator control orders peeled off
+            the peers list: adoption orders for a lost shard's sessions
+            apply here, at the barrier's sim time, before the next
+            chunk runs."""
+            peers = channel.exchange(payload)
+            data, ctrl = split_ctrl(peers)
+            for order in ctrl:
+                if order.get(CTRL_KEY) == "adopt":
+                    adopt_sessions(order, sim.now)
+            return data
+
         for local_index, point in enumerate(spec.sync_points):
             round_index = spec.first_round + local_index
             if point >= until:
@@ -723,28 +892,36 @@ def _sharded_fleet_worker(spec: ShardFleetSpec, channel) -> dict:
             if crash_at is not None and round_index == crash_at:
                 os._exit(17)
             rounds_run += 1
-            if cadence > 0:
-                # Checkpointing on: the capture (when due) rides the
-                # barrier payload next to the prior delta.
+            migrate = None
+            if spec.grow_to is not None and round_index == spec.grow_to[1]:
+                migrate = donate_sessions(point)
+            if cadence > 0 or migrate is not None:
+                # Checkpointing on (or a migration to announce): the
+                # capture rides the barrier payload next to the prior
+                # delta.
                 ckpt = None
-                if (round_index + 1) % cadence == 0:
+                if cadence > 0 and (round_index + 1) % cadence == 0:
                     ckpt = capture(round_index, point)
                 delta = None
                 if prior is not None:
                     delta = prior.delta_since(sent_vv)
                     sent_vv = prior.local_version_vector()
-                for peer in channel.exchange(wrap_sync_payload(delta, ckpt)):
+                for peer in exchange(wrap_sync_payload(delta, ckpt, migrate)):
                     peer_delta, _peer_ckpt = unwrap_sync_payload(peer)
                     if peer_delta and prior is not None:
                         prior.merge_delta(peer_delta)
             elif prior is not None:
                 delta = prior.delta_since(sent_vv)
                 sent_vv = prior.local_version_vector()
-                for peer in channel.exchange(delta):
-                    if peer:
-                        prior.merge_delta(peer)
+                for peer in exchange(delta):
+                    # Peers may wrap (a donor announcing a migration
+                    # checkpoints regardless of cadence); unwrap is a
+                    # pass-through for the historical bare deltas.
+                    peer_delta, _peer_ckpt = unwrap_sync_payload(peer)
+                    if peer_delta:
+                        prior.merge_delta(peer_delta)
             else:
-                channel.exchange(None)
+                exchange(None)
             if (
                 spec.drain_after_round is not None
                 and round_index == spec.drain_after_round
@@ -763,6 +940,8 @@ def _sharded_fleet_worker(spec: ShardFleetSpec, channel) -> dict:
             final_round = spec.first_round + max(rounds_run - 1, 0)
             state["final_checkpoint"] = capture(final_round, sim.now)
         state["drained"] = drained
+        state["migrated_in"] = sorted(migrated_in)
+        state["migrated_out"] = sorted(migrated_out)
         state["checkpoints_taken"] = taken
         state["checkpoint_cpu_s"] = ckpt_cpu
         state["last_checkpoint_round"] = last_round
@@ -781,7 +960,7 @@ def _sharded_fleet_worker(spec: ShardFleetSpec, channel) -> dict:
         cohort_width_s=spec.cohort_width_s,
         early_k=spec.early_k,
         shared_prior=spec.shared_prior_path,
-        session_route=lambda i: shard_of(i, num_shards) == k,
+        session_route=lambda i: i in owned_set,
         expected_sessions=expected_total * share,
         run_driver=drive,
     )
@@ -801,6 +980,8 @@ def _sharded_fleet_worker(spec: ShardFleetSpec, channel) -> dict:
         "num_sessions": len(fleet.sessions),
         "timing": state["timing"],
         "drained": state.get("drained", False),
+        "migrated_in": state.get("migrated_in", []),
+        "migrated_out": state.get("migrated_out", []),
         "resumed_sessions": state.get("resumed_sessions", 0),
         "restore_verified": state.get("restore_verified"),
         "checkpoints_taken": state.get("checkpoints_taken", 0),
@@ -829,6 +1010,9 @@ def run_fleet_sharded(
     prior_out=None,
     timeout_s: Optional[float] = 600.0,
     supervision: Optional["SupervisionPolicy"] = _DEFAULT_SUPERVISION,
+    transport: "str | Any" = "pipe",
+    join_at_round: Optional[int] = None,
+    partition_heal_s: float = 1.0,
 ) -> FleetRunResult:
     """:func:`run_fleet` partitioned across ``num_shards`` processes.
 
@@ -869,8 +1053,31 @@ def run_fleet_sharded(
     :func:`run_fleet` **bit-for-bit** apart from that extra block: the
     route keeps everything, every scale factor is exactly 1.0, and a
     chunked ``sim.run`` is event-exact — tests enforce this.
+
+    ``transport`` selects the coordinator↔worker wire: ``"pipe"`` (the
+    original ``multiprocessing.Pipe`` path, byte-identical to PR 7) or
+    ``"tcp"`` (framed, acked, CRC-checked loopback sockets — see
+    :mod:`repro.fleet.transport`); an already-built transport object
+    passes through.  The seam contract is that a fixed-seed W=1 run
+    produces a bit-identical pooled summary over either.  Network chaos
+    (``partition:A-B@R``, ``netdelay``, ``dup``, ``corrupt``) requires
+    ``"tcp"``; partitions are cut at the named barrier and heal after
+    ``partition_heal_s`` wall seconds.
+
+    Membership is elastic both ways.  A shard lost past its restart
+    budget has its checkpointed sessions *migrated*: the consistent-hash
+    ring minus the dead member routes each session to a survivor, which
+    adopts it mid-run via a control order on the next barrier broadcast
+    (``sessions_migrated`` in the pooled report, instead of the re-absorb
+    epilogue — which remains as the fallback when no barrier is left to
+    carry the order).  ``join_at_round=R`` grows the fleet instead: a
+    fresh worker joins after barrier R, and every session the grown
+    ring routes to it is captured, retired by its donor, and resumed by
+    the joiner from its checkpointed request position.
     """
+    from repro.fleet.ring import HashRing
     from repro.fleet.sharding import ShardRecovery, ShardTask, run_sharded
+    from repro.fleet.transport import PipeTransport, TcpTransport
     from repro.predictors.shared import SharedTransitionPrior
 
     if num_shards < 1:
@@ -916,7 +1123,49 @@ def run_fleet_sharded(
         (predictor == "shared-markov")
         or (chaos is not None and (chaos.has_worker_faults or chaos.has_drain))
         or (checkpoint is not None and checkpoint.captures)
+        or (chaos is not None and bool(chaos.partitions))
+        or join_at_round is not None
     )
+
+    # -- transport seam -----------------------------------------------
+    # Build the coordinator↔worker wire driver.  Net chaos is injected
+    # *inside* the TCP driver (the pipe has no wire to fault), and link
+    # cuts are anchored to barrier rounds via the before_round hook.
+    if isinstance(transport, str):
+        if transport == "pipe":
+            transport_obj = PipeTransport()
+        elif transport == "tcp":
+            transport_obj = TcpTransport(
+                chaos=chaos.net_spec() if chaos is not None else None
+            )
+        else:
+            raise ValueError(f"unknown transport {transport!r}")
+    else:
+        transport_obj = transport
+    if (
+        chaos is not None
+        and chaos.has_net_faults
+        and transport_obj.name != "tcp"
+    ):
+        raise ValueError(
+            "network chaos (partition/netdelay/dup/corrupt) requires "
+            "--transport tcp: a pipe has no wire to fault"
+        )
+
+    if join_at_round is not None:
+        if join_at_round < 0:
+            raise ValueError("join_at_round must be >= 0")
+        if not static:
+            raise ValueError(
+                "mid-run join needs a static fleet (churn fleets own "
+                "their own admission schedule)"
+            )
+
+    def before_round(round_index: int) -> None:
+        if chaos is None:
+            return
+        for lo, hi in chaos.partitions_at(round_index):
+            transport_obj.cut_links(range(lo, hi + 1), partition_heal_s)
     sync_points: tuple[float, ...] = ()
     if want_barriers and sync_interval_s > 0:
         sync_points = tuple(
@@ -933,6 +1182,19 @@ def run_fleet_sharded(
     if chaos is not None and chaos.has_drain and sync_points:
         drained_at_round = min(chaos.drain_round, len(sync_points) - 1)
         sync_points = sync_points[: drained_at_round + 1]
+
+    # Mid-run join: after barrier ``join_at_round`` a new member (shard
+    # index W, ring membership W+1) enters.  Every original worker gets
+    # the same ``grow_to`` marker and donates, at that barrier, the
+    # owned sessions the grown ring routes to the newcomer.
+    grow_to: Optional[tuple[int, int, float]] = None
+    if join_at_round is not None:
+        if join_at_round >= len(sync_points):
+            raise ValueError(
+                f"join_at_round={join_at_round} needs at least "
+                f"{join_at_round + 1} sync rounds, run has {len(sync_points)}"
+            )
+        grow_to = (num_shards + 1, join_at_round, sync_points[join_at_round])
 
     # Per-worker capture cadence: path-only configs capture every round
     # so the written bundle is as fresh as the run.
@@ -994,6 +1256,7 @@ def run_fleet_sharded(
                 first_round=first_round,
                 resume_from=resume_path,
                 drain_after_round=drained_at_round,
+                grow_to=grow_to,
             ),
             shard=k,
             num_shards=num_shards,
@@ -1008,6 +1271,17 @@ def run_fleet_sharded(
     # transitions is harmless).
     coord_state: dict = {"prior": None, "merged": 0}
     store = CheckpointStore() if checkpoint is not None else None
+
+    # Elastic-membership bookkeeping.  ``join_state["moved"]`` collects
+    # the SessionCheckpoint payloads donors ship at the join barrier;
+    # ``pending_ctrl`` holds adoption orders for lost shards' sessions
+    # until the next ``peers`` broadcast carries them; ``adoption_log``
+    # tracks, per lost shard, whether every order actually reached a
+    # live survivor (undelivered ⇒ the legacy re-absorb fallback runs).
+    join_state: dict = {"moved": {}, "joined": False, "route": (), "traces": None}
+    pending_ctrl: dict[int, list[dict]] = {}
+    adopt_orders_by_target: dict[int, list[dict]] = {}
+    adoption_log: dict[int, dict] = {}
 
     def ensure_coord_prior(n: int) -> "SharedTransitionPrior":
         if coord_state["prior"] is None:
@@ -1034,13 +1308,22 @@ def run_fleet_sharded(
             delta, ckpt = unwrap_sync_payload(offer)
             if ckpt is not None and store is not None:
                 store.put(ckpt)
+            order = migrate_out_of(offer)
+            if order is not None:
+                # A donor announcing sessions bound for the joiner:
+                # remember each session's checkpointed position so the
+                # joiner's suffix traces resume exactly there.
+                for sc in order.get("sessions", ()):
+                    join_state["moved"][int(sc["index"])] = dict(sc)
             if not delta:
                 continue  # empty delta, or a non-prior liveness barrier
             coord_state["merged"] += ensure_coord_prior(delta.n).merge_delta(
                 delta
             )
 
-    attempts = [0] * num_shards
+    # One extra slot so a mid-run joiner (shard index ``num_shards``)
+    # has a restart-attempt counter like everyone else.
+    attempts = [0] * (num_shards + 1)
 
     def seed_prior_path() -> Optional[str]:
         """Save the coordinator aggregate for a worker to warm from."""
@@ -1053,12 +1336,68 @@ def run_fleet_sharded(
         temp_files.append(handle.name)
         return handle.name
 
+    def _joinerize(task: ShardTask) -> ShardTask:
+        """Rewrite ``task`` into the joiner's identity: it routes by an
+        explicit session set (the ring's newcomer slice), sees the
+        grown membership, and never donates or restores-by-bundle."""
+        task.spec.route_indices = join_state["route"]
+        task.spec.traces = join_state["traces"]
+        task.spec.num_shards = num_shards + 1
+        task.spec.grow_to = None
+        task.spec.resume_from = None
+        task.num_shards = num_shards + 1
+        return task
+
+    def make_joiner(round_index: int) -> Optional[ShardTask]:
+        """Build the worker that joins after barrier ``round_index``.
+
+        Its sessions are exactly those the donors shipped at this
+        barrier; each runs the suffix of its global trace past its
+        checkpointed request count, so the newcomer resumes the
+        sessions mid-flight rather than replaying them from scratch.
+        It warms from the coordinator's aggregate prior — the crowd's
+        state as of the join barrier.
+        """
+        moved = join_state["moved"]
+        at_s = sync_points[round_index]
+        route = tuple(sorted(moved))
+        joiner_traces = list(traces)
+        for idx in route:
+            suffix = _suffix_trace(
+                traces[idx], int(moved[idx]["requests_seen"]), at_s
+            )
+            if suffix is not None:
+                joiner_traces[idx] = suffix
+        join_state.update(
+            joined=True, route=route, traces=tuple(joiner_traces)
+        )
+        seed_path = seed_prior_path()
+        task = _joinerize(
+            make_task(
+                num_shards,
+                sync_points[round_index + 1 :],
+                0,
+                first_round=round_index + 1,
+            )
+        )
+        if seed_path is not None:
+            task.spec.shared_prior_path = os.fspath(seed_path)
+        return task
+
     def respawn(shard: int, next_round: int) -> ShardTask:
         attempts[shard] += 1
         seed_path = seed_prior_path()
         task = make_task(
             shard, sync_points[next_round:], attempts[shard], first_round=next_round
         )
+        if shard == num_shards and join_state["joined"]:
+            task = _joinerize(task)
+        orders = adopt_orders_by_target.get(shard)
+        if orders:
+            # The predecessor adopted a lost shard's sessions; its
+            # replacement must re-adopt them (as a deterministic
+            # pre-step) or they would silently vanish with the restart.
+            task.spec.adopt_orders = tuple(orders)
         if seed_path is not None:
             task.spec.shared_prior_path = os.fspath(seed_path)
         if store is not None:
@@ -1069,6 +1408,67 @@ def run_fleet_sharded(
 
     recovery = ShardRecovery()
     reabsorbed: list[int] = []
+
+    def on_lost(lost_shard: int, next_round: int) -> None:
+        """Plan adoption of a shard lost past its restart budget.
+
+        The dead shard's last checkpoint is split by a consistent-hash
+        ring over the surviving membership — consistent hashing keeps
+        every survivor's own sessions where they are; only the dead
+        member's ranges reassign — and each survivor receives, in the
+        very next ``peers`` broadcast, an adoption order for the
+        sessions the shrunken ring routes to it.  Shards that cannot be
+        migrated (no checkpoint, no barrier left to carry the orders,
+        churn fleets, drain runs) fall through to the legacy re-absorb
+        epilogue.
+        """
+        if store is None or not static or drained_at_round is not None:
+            return
+        if next_round >= len(sync_points):
+            return  # no broadcast left to carry the orders
+        latest = store.latest(lost_shard)
+        if latest is None:
+            return
+        ring = HashRing(range(num_shards))
+        if join_state["joined"]:
+            ring.add(num_shards)
+        for dead in set(recovery.lost_shards):
+            if dead in ring:
+                ring.remove(dead)
+        if len(ring) == 0:
+            return
+        at_s = sync_points[next_round]
+        moved_away = set(join_state["moved"])
+        assign: dict[int, list[int]] = {}
+        for sc in latest.sessions:
+            if sc.index in moved_away:
+                continue  # already donated to the joiner pre-crash
+            assign.setdefault(ring.route(sc.index), []).append(sc.index)
+        payload = latest.to_payload()
+        planned = 0
+        for target, indices in sorted(assign.items()):
+            pending_ctrl.setdefault(target, []).append(
+                {
+                    CTRL_KEY: "adopt",
+                    "from_shard": lost_shard,
+                    "checkpoint": payload,
+                    "indices": indices,
+                    "at_s": at_s,
+                }
+            )
+            planned += 1
+        if planned:
+            adoption_log[lost_shard] = {"orders": planned, "delivered": 0}
+
+    def control(round_index: int, shard: int) -> list:
+        orders = pending_ctrl.pop(shard, [])
+        for order in orders:
+            adoption_log[order["from_shard"]]["delivered"] += 1
+            # Remember what this worker adopted: its own replacement,
+            # should it later crash, must re-adopt as a pre-step.
+            adopt_orders_by_target.setdefault(shard, []).append(order)
+        return orders
+
     try:
         tasks = [make_task(k, sync_points, 0) for k in range(num_shards)]
         shards = run_sharded(
@@ -1079,6 +1479,12 @@ def run_fleet_sharded(
             supervision=supervision,
             respawn=respawn if supervision is not None else None,
             recovery=recovery,
+            transport=transport_obj,
+            before_round=before_round,
+            on_lost=on_lost if supervision is not None else None,
+            control=control if supervision is not None else None,
+            join_at_round=join_at_round,
+            make_joiner=make_joiner if join_at_round is not None else None,
         )
 
         # Re-absorb shards lost past the restart budget: with
@@ -1089,8 +1495,15 @@ def run_fleet_sharded(
         # contribution against everything already pooled.  Drain runs
         # skip this: the written bundle keeps the lost shard's last
         # checkpoint for the --checkpoint-in restart instead.
+        migrated_shards = {
+            k for k, v in adoption_log.items() if v["delivered"] > 0
+        }
         if store is not None and drained_at_round is None:
             for k in recovery.lost_shards:
+                if k in migrated_shards:
+                    # Survivors adopted this shard's sessions mid-run;
+                    # re-running its slice would double-serve them.
+                    continue
                 seed_path = seed_prior_path()
                 salvage = make_task(
                     k, (), attempts[k] + 1, first_round=len(sync_points)
@@ -1137,16 +1550,44 @@ def run_fleet_sharded(
                             s["prior_delta"]
                         )
     finally:
+        # Idempotent: run_sharded's teardown already closed it on the
+        # happy path; this covers validation failures before spawn.
+        transport_obj.close()
         for path in temp_files:
             try:
                 os.unlink(path)
             except OSError:
                 pass
 
+    def _owned_now(k: int) -> list[int]:
+        """Sessions shard ``k`` is responsible for at end of run: its
+        hash slice, minus anything donated to a mid-run joiner — or,
+        for the joiner itself, exactly the adopted set."""
+        if join_state["joined"] and k == num_shards:
+            return list(join_state["route"])
+        owned = _shard_owned(len(traces), k, num_shards)
+        if join_state["joined"]:
+            owned = [i for i in owned if i not in join_state["moved"]]
+        return owned
+
     lost_shard_list = [k for k in recovery.lost_shards if k not in reabsorbed]
+    # Sessions on a migrated shard live on in their adopters; only the
+    # indices in orders that never reached a live survivor are lost.
+    undelivered: dict[int, int] = {}
+    for orders in pending_ctrl.values():
+        for order in orders:
+            undelivered[order["from_shard"]] = undelivered.get(
+                order["from_shard"], 0
+            ) + len(order["indices"])
     lost_sessions = sum(
-        len(_shard_owned(len(traces), k, num_shards)) for k in lost_shard_list
+        undelivered.get(k, 0) if k in migrated_shards else len(_owned_now(k))
+        for k in lost_shard_list
     )
+    sessions_migrated = sum(
+        len(s["migrated_in"]) for s in shards if s is not None
+    )
+    if join_state["joined"]:
+        sessions_migrated += len(join_state["route"])
 
     # --checkpoint-out: fold every surviving worker's final capture in
     # (fresher than the last barrier's) and persist the bundle.
@@ -1172,12 +1613,9 @@ def run_fleet_sharded(
             s["resumed_sessions"] for s in shards if s is not None
         )
         sessions_resumed += sum(
-            len(_shard_owned(len(traces), k, num_shards))
-            for k in recovery.recovered_shards
+            len(_owned_now(k)) for k in recovery.recovered_shards
         )
-        sessions_resumed += sum(
-            len(_shard_owned(len(traces), k, num_shards)) for k in reabsorbed
-        )
+        sessions_resumed += sum(len(_owned_now(k)) for k in reabsorbed)
 
     shards = [s for s in shards if s is not None]
 
@@ -1186,8 +1624,29 @@ def run_fleet_sharded(
     outcomes_by_session = [o for s in shards for o in s["outcomes_by_session"]]
     session_indices = [i for s in shards for i in s["session_indices"]]
     samples = [v for s in shards for v in s["fairness_samples"]]
+    dup_sessions = 0
+    if join_state["joined"]:
+        # A migrated session appears twice — the donor's served prefix
+        # and the joiner's suffix.  Results pool in shard order (donors
+        # before the joiner), so folding later occurrences into the
+        # first stitches prefix + suffix back into one logical session.
+        first_at: dict[int, int] = {}
+        merged_indices: list[int] = []
+        merged_outcomes: list[list] = []
+        for idx, outs in zip(session_indices, outcomes_by_session):
+            if idx in first_at:
+                merged_outcomes[first_at[idx]] = (
+                    merged_outcomes[first_at[idx]] + outs
+                )
+                dup_sessions += 1
+            else:
+                first_at[idx] = len(merged_indices)
+                merged_indices.append(idx)
+                merged_outcomes.append(outs)
+        session_indices = merged_indices
+        outcomes_by_session = merged_outcomes
     diagnostics: dict = {
-        "sessions": sum(d["sessions"] for d in reports),
+        "sessions": sum(d["sessions"] for d in reports) - dup_sessions,
         "blocks_sent": sum(d["blocks_sent"] for d in reports),
         "bytes_sent": sum(d["bytes_sent"] for d in reports),
         "blocks_deferred": sum(d["blocks_deferred"] for d in reports),
@@ -1234,8 +1693,23 @@ def run_fleet_sharded(
         "restarts": len(recovery.restarts),
         "restarts_by_shard": [
             sum(1 for s, _, _ in recovery.restarts if s == k)
-            for k in range(num_shards)
+            for k in range(
+                num_shards + (1 if join_state["joined"] else 0)
+            )
         ],
+        # Elastic membership: sessions carried to a new owner mid-run
+        # (adopted from a lost shard, or donated to a mid-run joiner).
+        "sessions_migrated": sessions_migrated,
+        "shards_migrated": len(migrated_shards),
+        "members": num_shards + (1 if join_state["joined"] else 0),
+    }
+    if join_state["joined"]:
+        diagnostics["sharding"]["joined_at_round"] = join_at_round
+    per_shard_counters = transport_obj.counter_snapshots()
+    diagnostics["sharding"]["transport"] = {
+        "driver": transport_obj.name,
+        "per_shard": per_shard_counters,
+        "totals": pool_transport_counters(per_shard_counters.values()),
     }
     if checkpoint is not None:
         final_round = len(sync_points) - 1

@@ -35,6 +35,7 @@ from .checkpoint import (
 )
 from .fleet import FleetConfig, KhameleonFleet
 from .lifecycle import ArrivalConfig, SessionManager, SessionPlan, SessionRecord
+from .ring import HashRing
 from .schedule_service import FleetScheduleService, batch_probability_matrices
 from .sharding import (
     ShardChannel,
@@ -45,6 +46,15 @@ from .sharding import (
     assign_shards,
     run_sharded,
     shard_of,
+)
+from .transport import (
+    FrameDecoder,
+    FramedEndpoint,
+    NetChaosSpec,
+    PipeTransport,
+    TcpTransport,
+    TransportCounters,
+    TransportError,
 )
 
 __all__ = [
@@ -69,4 +79,12 @@ __all__ = [
     "assign_shards",
     "run_sharded",
     "shard_of",
+    "HashRing",
+    "FrameDecoder",
+    "FramedEndpoint",
+    "NetChaosSpec",
+    "PipeTransport",
+    "TcpTransport",
+    "TransportCounters",
+    "TransportError",
 ]

@@ -476,9 +476,23 @@ class CheckpointStore:
 
 _SYNC_KEY = "__ckpt_sync__"
 
+#: Coordinator→worker control order riding a ``peers`` broadcast (PR 10
+#: elastic resharding): survivors are told to adopt a lost shard's
+#: sessions, carried as the lost shard's last ShardCheckpoint payload.
+CTRL_KEY = "__fleet_ctrl__"
 
-def wrap_sync_payload(delta, checkpoint: Optional[ShardCheckpoint]) -> dict:
-    return {_SYNC_KEY: True, "delta": delta, "checkpoint": checkpoint}
+
+def wrap_sync_payload(
+    delta,
+    checkpoint: Optional[ShardCheckpoint],
+    migrate_out: Optional[dict] = None,
+) -> dict:
+    payload = {_SYNC_KEY: True, "delta": delta, "checkpoint": checkpoint}
+    if migrate_out is not None:
+        # Only present when a worker hands sessions to a joining member
+        # — absent, the wrapped payload keeps its historical shape.
+        payload["migrate_out"] = migrate_out
+    return payload
 
 
 def unwrap_sync_payload(payload):
@@ -486,3 +500,17 @@ def unwrap_sync_payload(payload):
     if isinstance(payload, dict) and payload.get(_SYNC_KEY):
         return payload.get("delta"), payload.get("checkpoint")
     return payload, None
+
+
+def migrate_out_of(payload) -> Optional[dict]:
+    """The ``migrate_out`` order riding a wrapped sync payload, if any."""
+    if isinstance(payload, dict) and payload.get(_SYNC_KEY):
+        return payload.get("migrate_out")
+    return None
+
+
+def split_ctrl(peers: list) -> tuple[list, list]:
+    """Separate coordinator control orders from real peer payloads."""
+    data = [p for p in peers if not (isinstance(p, dict) and CTRL_KEY in p)]
+    ctrl = [p for p in peers if isinstance(p, dict) and CTRL_KEY in p]
+    return data, ctrl

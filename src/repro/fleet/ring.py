@@ -1,0 +1,127 @@
+"""Consistent-hash ring: membership-elastic session routing.
+
+PR 7's ``shard_of`` routed sessions with ``crc32(key) % W`` — perfect
+for a fixed fleet, catastrophic for an elastic one: changing ``W``
+remaps almost every key, so a single worker joining or leaving would
+force nearly every session to migrate.  A consistent-hash ring
+(Karger et al.) pins each node at many pseudo-random points on a
+2^32 hash circle and routes a key to the first node point at or after
+the key's own hash.  Adding a node steals only the key ranges that now
+fall to *its* points (an expected ``1/(W+1)`` fraction); removing a
+node reassigns only the ranges it owned.  Both bounds are exact
+structural properties, not statistics — the property tests enforce
+them key-by-key.
+
+Hashing is BLAKE2b over the string form: Python's builtin ``hash`` is
+salted per process, and the ring must route identically in the
+coordinator and every spawned worker.  (The pre-ring ``crc32 % W``
+router got away with CRC-32 because the modulus spread whatever
+entropy it had; ring positions need the full width well-mixed — CRC of
+short decimal strings clusters badly enough to starve shards of an
+8-session fleet.)
+
+The ring is deliberately tiny and dependency-free — it is imported by
+:mod:`repro.fleet.sharding` on every routing call, so construction is
+cached there per membership.
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+from typing import Any, Hashable, Iterable
+
+__all__ = ["HashRing", "DEFAULT_VNODES"]
+
+#: Virtual points per node.  More points flatten the per-node share
+#: variance (stddev ~ 1/sqrt(vnodes)); 128 keeps worst-case imbalance
+#: within the property tests' tolerance up to dozens of nodes while
+#: ring construction stays microseconds.
+DEFAULT_VNODES = 128
+
+
+def _hash(value: str) -> int:
+    digest = hashlib.blake2b(value.encode("utf-8"), digest_size=8).digest()
+    return int.from_bytes(digest, "big")
+
+
+class HashRing:
+    """A consistent-hash ring over hashable node identities.
+
+    ``route(key)`` is a pure function of the membership set (and the
+    ``vnodes`` parameter): two rings with equal members route every key
+    identically, regardless of insertion order or process.
+    """
+
+    def __init__(
+        self, nodes: Iterable[Hashable] = (), vnodes: int = DEFAULT_VNODES
+    ) -> None:
+        if vnodes < 1:
+            raise ValueError("vnodes must be >= 1")
+        self.vnodes = vnodes
+        self._points: list[tuple[int, Hashable]] = []
+        self._nodes: set = set()
+        for node in nodes:
+            self.add(node)
+
+    # -- membership ----------------------------------------------------
+
+    @property
+    def nodes(self) -> tuple:
+        """Current membership, sorted by string form (stable view)."""
+        return tuple(sorted(self._nodes, key=str))
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def __contains__(self, node: Hashable) -> bool:
+        return node in self._nodes
+
+    def add(self, node: Hashable) -> None:
+        """Join ``node``: claims an expected ``1/W`` share of the keys."""
+        if node in self._nodes:
+            raise ValueError(f"node {node!r} already on the ring")
+        self._nodes.add(node)
+        for v in range(self.vnodes):
+            # The node's string form salts every point; ties between
+            # distinct nodes' points are broken by the (node, vnode)
+            # tuple so equal hashes still order deterministically.
+            point = (_hash(f"{node}#{v}"), node)
+            bisect.insort(self._points, point)
+
+    def remove(self, node: Hashable) -> None:
+        """Leave: only the departing node's key ranges are reassigned."""
+        if node not in self._nodes:
+            raise ValueError(f"node {node!r} not on the ring")
+        self._nodes.discard(node)
+        self._points = [p for p in self._points if p[1] != node]
+
+    def without(self, node: Hashable) -> "HashRing":
+        """A new ring with ``node`` removed (the original is untouched)."""
+        other = HashRing(vnodes=self.vnodes)
+        for n in self._nodes:
+            if n != node:
+                other.add(n)
+        return other
+
+    # -- routing -------------------------------------------------------
+
+    def route(self, key: Any) -> Hashable:
+        """The node owning ``key``: first ring point at/after its hash."""
+        if not self._points:
+            raise ValueError("cannot route on an empty ring")
+        h = _hash(str(key))
+        # strictly-after points would skip a node point exactly at h;
+        # searching with node sentinel "" keeps points at h eligible.
+        i = bisect.bisect_left(self._points, (h, ""))
+        if i == len(self._points):
+            i = 0  # wrap: the circle has no end
+        return self._points[i][1]
+
+    def assign(self, keys: Iterable[Any]) -> dict:
+        """Partition ``keys`` by owner: ``{node: [keys...]}`` (all nodes
+        present, even those assigned nothing)."""
+        out: dict = {node: [] for node in self._nodes}
+        for key in keys:
+            out[self.route(key)].append(key)
+        return out

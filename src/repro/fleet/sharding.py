@@ -58,10 +58,11 @@ import os
 import threading
 import time
 import traceback
-import zlib
 from dataclasses import dataclass, field
 from multiprocessing.connection import Connection
 from typing import Any, Callable, Optional
+
+from .ring import HashRing
 
 __all__ = [
     "shard_of",
@@ -74,17 +75,32 @@ __all__ = [
     "run_sharded",
 ]
 
+# Rings are immutable per membership size; shard_of is on the routing
+# hot path for every session of every worker, so cache per W.
+_ring_cache: dict[int, HashRing] = {}
+
+
+def _ring_for(num_shards: int) -> HashRing:
+    ring = _ring_cache.get(num_shards)
+    if ring is None:
+        ring = _ring_cache[num_shards] = HashRing(range(num_shards))
+    return ring
+
 
 def shard_of(key: Any, num_shards: int) -> int:
     """Stable hash route: which shard owns ``key``?
 
-    Uses CRC-32 of the key's string form — Python's builtin ``hash``
-    is salted per process, which would route the same session to
-    different shards in the coordinator and a worker.
+    Routes over a consistent-hash ring (CRC-32 based — Python's
+    builtin ``hash`` is salted per process, which would route the same
+    session to different shards in the coordinator and a worker).  The
+    ring, unlike the old ``crc32 % W``, keeps routing *stable under
+    membership change*: going W → W±1 moves only ~1/W of the keys,
+    which is what makes mid-run joins and leaves migrate a handful of
+    sessions instead of reshuffling the whole fleet.
     """
     if num_shards < 1:
         raise ValueError("num_shards must be >= 1")
-    return zlib.crc32(str(key).encode()) % num_shards
+    return _ring_for(num_shards).route(key)
 
 
 def assign_shards(keys, num_shards: int) -> list[list[Any]]:
@@ -224,10 +240,18 @@ def _heartbeat_loop(
             return
 
 
-def _worker_entry(task: ShardTask, conn: Connection) -> None:
-    """Spawn target: resolve the entry point and run it on the channel."""
+def _worker_entry(task: ShardTask, conn) -> None:
+    """Spawn target: resolve the entry point and run it on the channel.
+
+    ``conn`` is either a pipe ``Connection`` (the pipe transport hands
+    the child its fd directly) or a connect-on-arrival spec like
+    :class:`~repro.fleet.transport.TcpWorkerSpec` — anything with a
+    ``connect()`` method is dialed here, inside the fresh process.
+    """
     stop_heartbeat = threading.Event()
     try:
+        if hasattr(conn, "connect"):
+            conn = conn.connect()
         module_name, _, func_name = task.entry.partition(":")
         fn: Callable = getattr(importlib.import_module(module_name), func_name)
         channel = ShardChannel(conn, task.shard, task.num_shards)
@@ -340,14 +364,20 @@ class _Supervisor:
         policy: Optional[SupervisionPolicy],
         respawn: Optional[Callable[[int, int], ShardTask]],
         recovery: ShardRecovery,
+        transport=None,
+        on_lost: Optional[Callable[[int, int], None]] = None,
     ) -> None:
+        from .transport import PipeTransport
+
         self.ctx = ctx
         self.tasks = list(tasks)
         self.policy = policy
         self.respawn = respawn
         self.recovery = recovery
+        self.transport = transport if transport is not None else PipeTransport()
+        self.on_lost = on_lost
         self.procs: list[Optional[mp.process.BaseProcess]] = [None] * len(tasks)
-        self.pipes: list[Optional[Connection]] = [None] * len(tasks)
+        self.pipes: list[Optional[Any]] = [None] * len(tasks)
         self.alive = [True] * len(tasks)
         self.attempts = [0] * len(tasks)
 
@@ -356,14 +386,34 @@ class _Supervisor:
         return self.policy is not None and self.respawn is not None
 
     def spawn(self, i: int) -> None:
-        parent_conn, child_conn = self.ctx.Pipe()
+        parent_conn, worker_handle = self.transport.open_endpoint(
+            self.tasks[i].shard, self.attempts[i]
+        )
         proc = self.ctx.Process(
-            target=_worker_entry, args=(self.tasks[i], child_conn), daemon=True
+            target=_worker_entry, args=(self.tasks[i], worker_handle), daemon=True
         )
         proc.start()
-        child_conn.close()  # child's end lives in the child now
+        # For pipes this closes the parent's copy of the child end so
+        # EOF propagates; a TCP worker spec holds nothing to release.
+        self.transport.release_worker_handle(worker_handle)
         self.procs[i] = proc
         self.pipes[i] = parent_conn
+
+    def add_member(self, task: ShardTask) -> int:
+        """Grow the fleet mid-run: spawn ``task`` as a new member.
+
+        The joiner takes part in every barrier from the next round on;
+        it is supervised like any original worker.  Returns its slot
+        index.
+        """
+        self.tasks.append(task)
+        self.procs.append(None)
+        self.pipes.append(None)
+        self.alive.append(True)
+        self.attempts.append(0)
+        i = len(self.tasks) - 1
+        self.spawn(i)
+        return i
 
     def dispose(self, i: int) -> None:
         conn = self.pipes[i]
@@ -414,6 +464,11 @@ class _Supervisor:
                 if self.attempts[i] > self.policy.max_restarts:
                     self.alive[i] = False
                     self.recovery.lost_shards.append(shard)
+                    if self.on_lost is not None:
+                        # Fired before this round's broadcasts, so a
+                        # migration planner can hand the lost shard's
+                        # sessions to survivors in the same round.
+                        self.on_lost(shard, next_round)
                     return None
                 self.recovery.restarts.append((shard, next_round, self.attempts[i]))
                 time.sleep(self.policy.backoff_before(self.attempts[i]))
@@ -443,6 +498,8 @@ class _Supervisor:
         for proc in self.procs:
             if proc is not None:
                 _dispose_proc(proc)
+        # Counters survive close(), so callers can snapshot after.
+        self.transport.close()
 
 
 def run_sharded(
@@ -453,6 +510,12 @@ def run_sharded(
     supervision: Optional[SupervisionPolicy] = None,
     respawn: Optional[Callable[[int, int], ShardTask]] = None,
     recovery: Optional[ShardRecovery] = None,
+    transport=None,
+    before_round: Optional[Callable[[int], None]] = None,
+    on_lost: Optional[Callable[[int, int], None]] = None,
+    control: Optional[Callable[[int, int], list[Any]]] = None,
+    join_at_round: Optional[int] = None,
+    make_joiner: Optional[Callable[[int], Optional[ShardTask]]] = None,
 ) -> list[Any]:
     """Run one process per task with ``sync_rounds`` barrier exchanges.
 
@@ -475,6 +538,24 @@ def run_sharded(
     stays ``None``, the loss lands in ``recovery``, and the survivors
     finish.  Only when *every* shard is lost does the call still
     raise.
+
+    Elasticity hooks (all optional, all default-off so the PR-7/8/9
+    byte path is untouched):
+
+    * ``transport`` — a driver with the :class:`PipeTransport` duck
+      type; default is the pipe driver, ``TcpTransport`` carries the
+      same protocol over framed loopback/LAN sockets.
+    * ``before_round(round_index)`` — runs before each round's
+      gathers; the chaos harness uses it to cut TCP links at an exact
+      barrier.
+    * ``on_lost(shard, round)`` — a shard just exhausted its restart
+      budget; fired before the round's broadcasts.
+    * ``control(round_index, shard)`` — extra coordinator→worker
+      entries appended to that worker's ``peers`` broadcast (session
+      adoption orders ride here, piggybacked on the barrier).
+    * ``join_at_round``/``make_joiner`` — after that round completes,
+      ``make_joiner(round_index)`` may return a :class:`ShardTask` for
+      a *new* member that participates in every later barrier.
     """
     if {t.shard for t in tasks} != set(range(len(tasks))):
         raise ValueError("task shard indices must be exactly 0..W-1")
@@ -484,13 +565,18 @@ def run_sharded(
     ctx = mp.get_context("spawn")
     if recovery is None:
         recovery = ShardRecovery()
-    sup = _Supervisor(ctx, tasks, supervision, respawn, recovery)
+    sup = _Supervisor(
+        ctx, tasks, supervision, respawn, recovery, transport, on_lost
+    )
     try:
         for i in range(len(tasks)):
             sup.spawn(i)
         for round_index in range(sync_rounds):
-            offers: list[Optional[Any]] = [None] * len(tasks)
-            for i in range(len(tasks)):
+            if before_round is not None:
+                before_round(round_index)
+            n = len(sup.tasks)  # membership may have grown last round
+            offers: list[Optional[Any]] = [None] * n
+            for i in range(n):
                 if not sup.alive[i]:
                     continue
                 offers[i] = sup.gather(i, "sync", round_index, timeout_s)
@@ -498,22 +584,33 @@ def run_sharded(
                 raise ShardError(
                     sup.tasks[-1].shard, "all shards lost — nothing to supervise"
                 )
-            for i in range(len(tasks)):
+            for i in range(n):
                 if not sup.alive[i]:
                     continue
                 peers = [
                     offers[j]
-                    for j in range(len(tasks))
+                    for j in range(n)
                     if j != i and sup.alive[j]
                 ]
+                if control is not None:
+                    peers = peers + list(
+                        control(round_index, sup.tasks[i].shard)
+                    )
                 sup.broadcast(i, ("peers", peers))
             if on_round is not None:
                 on_round(
                     round_index,
-                    [offers[i] for i in range(len(tasks)) if sup.alive[i]],
+                    [offers[i] for i in range(n) if sup.alive[i]],
                 )
-        results: list[Any] = [None] * len(tasks)
-        for i in range(len(tasks)):
+            if join_at_round is not None and round_index == join_at_round:
+                if make_joiner is not None:
+                    joiner = make_joiner(round_index)
+                    if joiner is not None:
+                        sup.add_member(joiner)
+        results: list[Any] = [None] * max(
+            (t.shard + 1 for t in sup.tasks), default=0
+        )
+        for i in range(len(sup.tasks)):
             if not sup.alive[i]:
                 continue
             value = sup.gather(i, "result", sync_rounds, timeout_s)

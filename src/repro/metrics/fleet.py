@@ -41,6 +41,7 @@ __all__ = [
     "early_hit_rate",
     "jain_fairness",
     "pool_snapshots",
+    "pool_transport_counters",
 ]
 
 
@@ -224,6 +225,39 @@ def pool_snapshots(snapshots: Sequence[dict]) -> dict:
             if any(v != first[key] for v in values[1:]):
                 raise ValueError(f"shards disagree on {key!r}: {values}")
             out[key] = first[key]
+    return out
+
+
+#: The shape of a :class:`repro.fleet.transport.TransportCounters`
+#: snapshot — the totals row and the no-traffic placeholder both keep
+#: this shape so downstream consumers (CLI title, serve /status) never
+#: branch on driver.
+TRANSPORT_COUNTER_ZERO = {
+    "retransmits": 0,
+    "crc_rejects": 0,
+    "dup_drops": 0,
+    "partitions_detected": 0,
+    "heartbeat_rtt_ms_max": 0.0,
+}
+
+
+def pool_transport_counters(snapshots) -> dict:
+    """Fold per-shard transport-counter snapshots into one totals row.
+
+    Event counters (retransmits, CRC rejects, duplicate drops,
+    partitions detected) sum across links; ``heartbeat_rtt_ms_max`` is
+    a worst-case latency, so the fleet figure is the max.  An empty
+    input (the pipe driver has no wire, hence no counters) yields the
+    all-zero shape rather than raising — "no faults possible" and "no
+    faults observed" print identically.
+    """
+    out = dict(TRANSPORT_COUNTER_ZERO)
+    for snap in snapshots:
+        for key, value in snap.items():
+            if key == "heartbeat_rtt_ms_max":
+                out[key] = max(out[key], value)
+            else:
+                out[key] = out.get(key, 0) + value
     return out
 
 

@@ -50,6 +50,7 @@ from repro.experiments.configs import FleetEnvironment
 from repro.fleet.fleet import FleetConfig, KhameleonFleet
 from repro.fleet.lifecycle import ArrivalConfig
 from repro.metrics.collector import collect
+from repro.metrics.fleet import TRANSPORT_COUNTER_ZERO
 from repro.predictors.base import MouseEvent
 from repro.predictors.shared import SharedTransitionPrior, make_shared_markov_predictor
 from repro.sim.fairshare import SharedDownlink
@@ -682,6 +683,13 @@ class KhameleonServeApp:
             # which only grows — the same quantity the sharded fleet's
             # CRDT deltas carry per row.
             "prior_version_mass": self.prior.transitions_observed,
+            # One serving process has no coordinator wire, so the
+            # transport counters are structurally zero — same shape as
+            # a sharded run's pooled totals, so dashboards never branch.
+            "transport": {
+                "driver": "local",
+                "totals": dict(TRANSPORT_COUNTER_ZERO),
+            },
         }
 
     def _http_request(self, start: str, headers: dict) -> Optional[tuple[int, str, str]]:

@@ -205,3 +205,67 @@ class TestDeterminism:
 
         assert draw_schedule(7) == draw_schedule(7)
         assert draw_schedule(7) != draw_schedule(8)
+
+
+class TestNetFaultGrammar:
+    """The wire-fault grammar rides the same --chaos string as backend
+    faults but lands in the transport driver, not the backend wrap."""
+
+    def test_full_net_spec(self):
+        cfg = ChaosConfig.parse(
+            "partition:0-1@2,netdelay:25:0.3,dup:0.1,corrupt:0.05", seed=4
+        )
+        assert cfg.partitions == ((0, 1, 2),)
+        assert cfg.netdelay_ms == pytest.approx(25.0)
+        assert cfg.netdelay_rate == pytest.approx(0.3)
+        assert cfg.dup_rate == pytest.approx(0.1)
+        assert cfg.corrupt_rate == pytest.approx(0.05)
+        assert cfg.has_net_faults
+        assert not cfg.is_inert
+        assert not cfg.has_backend_faults
+
+    def test_single_shard_partition_shorthand(self):
+        assert ChaosConfig.parse("partition:2@1").partitions == ((2, 2, 1),)
+
+    def test_partitions_at_filters_by_round(self):
+        cfg = ChaosConfig.parse("partition:0-1@1,partition:1-2@3")
+        assert cfg.partitions_at(1) == [(0, 1)]
+        assert cfg.partitions_at(3) == [(1, 2)]
+        assert cfg.partitions_at(0) == []
+
+    def test_net_spec_carries_rates_and_seed(self):
+        cfg = ChaosConfig.parse("netdelay:25:0.3,corrupt:0.05", seed=7)
+        spec = cfg.net_spec()
+        assert spec.netdelay_ms == pytest.approx(25.0)
+        assert spec.netdelay_rate == pytest.approx(0.3)
+        assert spec.corrupt_rate == pytest.approx(0.05)
+        assert spec.dup_rate == 0.0
+        assert spec.seed == 7
+        assert not spec.is_inert
+        # Partition-only chaos has an inert frame-level spec: cuts are
+        # coordinator-anchored, not probabilistic.
+        assert ChaosConfig.parse("partition:0-1@1").net_spec().is_inert
+
+    def test_net_faults_do_not_wrap_the_backend(self):
+        cfg = ChaosConfig.parse("corrupt:0.2,dup:0.2")
+        backend = object()
+        stack = cfg.wrap_backend(backend)
+        assert stack.top is backend  # no fault layer was added
+        assert stack.flaky is None and stack.erratic is None
+
+    def test_describe_mentions_net_faults(self):
+        text = ChaosConfig.parse(
+            "partition:0-1@2,netdelay:25:0.3,dup:0.1,corrupt:0.05"
+        ).describe()
+        assert "partition s0-1@r2" in text
+        assert "netdelay 25ms p0.3" in text
+        assert "dup 0.1" in text
+        assert "corrupt 0.05" in text
+
+    def test_validation_rejects_bad_net_values(self):
+        with pytest.raises(ValueError, match="corrupt_rate"):
+            ChaosConfig(corrupt_rate=1.5)
+        with pytest.raises(ValueError, match="netdelay_ms"):
+            ChaosConfig(netdelay_ms=-1.0)
+        with pytest.raises(ValueError, match="bad partition"):
+            ChaosConfig(partitions=((2, 1, 0),))

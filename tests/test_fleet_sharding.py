@@ -340,3 +340,145 @@ class TestPoolSnapshots:
     def test_mismatched_keys_raise(self):
         with pytest.raises(ValueError, match="keys differ"):
             pool_snapshots([{"a": 1}, {"b": 1}])
+
+
+class TestTcpTransportFleet:
+    """The transport seam contract: run_sharded over loopback TCP is
+    *the same computation* as over pipes — frames, CRCs, acks, and
+    retransmits must be invisible to the DES above them."""
+
+    def test_w1_tcp_is_bit_identical_to_pipe(self):
+        app, traces, fleet_env = small_fleet()
+        over_pipe = run_fleet_sharded(
+            app, traces, fleet_env, num_shards=1, predictor="shared-markov",
+            sync_interval_s=0.5, transport="pipe",
+        )
+        over_tcp = run_fleet_sharded(
+            app, traces, fleet_env, num_shards=1, predictor="shared-markov",
+            sync_interval_s=0.5, transport="tcp",
+        )
+        assert over_tcp.diagnostics["sharding"]["transport"]["driver"] == "tcp"
+        assert strip_sharding(over_tcp) == strip_sharding(over_pipe)
+        # The baseline too: the seam nests, it does not just cancel out.
+        baseline = run_fleet(app, traces, fleet_env, predictor="shared-markov")
+        assert strip_sharding(over_tcp) == baseline
+
+    def test_net_chaos_requires_tcp(self):
+        from repro.chaos import ChaosConfig
+
+        app, traces, fleet_env = small_fleet()
+        fleet_env = dataclasses.replace(
+            fleet_env, chaos=ChaosConfig.parse("corrupt:0.1")
+        )
+        with pytest.raises(ValueError, match="requires"):
+            run_fleet_sharded(
+                app, traces, fleet_env, num_shards=2,
+                predictor="shared-markov", transport="pipe",
+            )
+
+
+class TestChaoticWireEquivalence:
+    """Wire faults must change *counters*, never *results*: a noisy or
+    mid-run-partitioned link yields the same pooled summary as a clean
+    run, with the defenses' firing visible in the transport totals."""
+
+    def _clean_and_chaotic(self, chaos_str, **kw):
+        from repro.chaos import ChaosConfig
+
+        app, traces, fleet_env = small_fleet(num_sessions=6)
+        clean = run_fleet_sharded(
+            app, traces, fleet_env, num_shards=2, predictor="shared-markov",
+            sync_interval_s=1.0, transport="tcp",
+        )
+        noisy_env = dataclasses.replace(
+            fleet_env, chaos=ChaosConfig.parse(chaos_str)
+        )
+        chaotic = run_fleet_sharded(
+            app, traces, noisy_env, num_shards=2, predictor="shared-markov",
+            sync_interval_s=1.0, transport="tcp", **kw,
+        )
+        return clean, chaotic
+
+    def test_corrupt_and_dup_wire_is_result_invisible(self):
+        clean, chaotic = self._clean_and_chaotic("corrupt:0.05,dup:0.1")
+        assert chaotic.summary == clean.summary
+        assert chaotic.session_labels == clean.session_labels
+        totals = chaotic.diagnostics["sharding"]["transport"]["totals"]
+        assert totals["crc_rejects"] + totals["dup_drops"] > 0
+
+    def test_healed_partition_matches_clean_run(self):
+        clean, chaotic = self._clean_and_chaotic(
+            "partition:0-1@1", partition_heal_s=0.8
+        )
+        assert chaotic.summary == clean.summary
+        totals = chaotic.diagnostics["sharding"]["transport"]["totals"]
+        assert totals["partitions_detected"] >= 1
+
+
+class TestElasticMembership:
+    """Ring-routed resharding: a worker leaving past its restart budget
+    or joining mid-run moves only the ring-affected sessions, as
+    checkpoint payloads over the transport — no session is lost."""
+
+    def _elastic_fleet(self):
+        app = ImageExplorationApp(rows=8, cols=8)
+        traces = [
+            MouseTraceGenerator(app.layout, seed=100 + i).generate(duration_s=4.0)
+            for i in range(8)
+        ]
+        fleet_env = FleetEnvironment(num_sessions=8, env=DEFAULT_ENV)
+        return app, traces, fleet_env
+
+    def test_leave_migrates_sessions_to_survivors(self):
+        from repro.chaos import ChaosConfig
+        from repro.fleet import CheckpointConfig
+
+        app, traces, fleet_env = self._elastic_fleet()
+        fleet_env = dataclasses.replace(
+            fleet_env,
+            chaos=ChaosConfig.parse("worker-crash:1@2"),
+            checkpoint=CheckpointConfig(cadence_rounds=1),
+        )
+        result = run_fleet_sharded(
+            app, traces, fleet_env, num_shards=3, predictor="shared-markov",
+            sync_interval_s=1.0, transport="tcp",
+            supervision=SupervisionPolicy(max_restarts=0, backoff_s=0.01),
+        )
+        d = result.diagnostics["sharding"]
+        assert d["shards_lost"] == 1
+        assert d["shards_migrated"] == 1
+        assert d["sessions_lost"] == 0
+        assert d["sessions_migrated"] > 0
+        # Every session still reports: the dead shard's sessions resumed
+        # on survivors from their checkpointed positions.
+        assert len(result.summary.per_session) == 8
+        assert sorted(int(l) for l in result.session_labels) == list(range(8))
+
+    def test_join_migrates_sessions_to_newcomer(self):
+        app, traces, fleet_env = self._elastic_fleet()
+        result = run_fleet_sharded(
+            app, traces, fleet_env, num_shards=2, predictor="shared-markov",
+            sync_interval_s=1.0, transport="tcp", join_at_round=1,
+        )
+        d = result.diagnostics["sharding"]
+        assert d["members"] == 3
+        assert d["joined_at_round"] == 1
+        assert d["sessions_migrated"] > 0
+        assert d["sessions_lost"] == 0
+        assert len(result.summary.per_session) == 8
+        assert sorted(int(l) for l in result.session_labels) == list(range(8))
+        # The joiner really ran sessions: three restart columns now.
+        assert len(d["restarts_by_shard"]) == 3
+
+    def test_join_over_pipe_works_too(self):
+        """Elastic membership is transport-independent: the same join
+        rides the pipe driver's checkpoint payloads."""
+        app, traces, fleet_env = self._elastic_fleet()
+        result = run_fleet_sharded(
+            app, traces, fleet_env, num_shards=2, predictor="shared-markov",
+            sync_interval_s=1.0, transport="pipe", join_at_round=1,
+        )
+        d = result.diagnostics["sharding"]
+        assert d["members"] == 3
+        assert d["sessions_migrated"] > 0
+        assert d["sessions_lost"] == 0

@@ -18,6 +18,7 @@ import pytest
 from repro.core.blocks import Block
 from repro.experiments.configs import DEFAULT_ENV, FleetEnvironment
 from repro.fleet import ArrivalConfig
+from repro.metrics.fleet import TRANSPORT_COUNTER_ZERO
 from repro.serve import create_app
 from repro.serve import protocol, ws
 from repro.serve.client import AdmissionRejected, LiveClient
@@ -321,6 +322,11 @@ class TestStatusEndpoint:
                 assert body["outbox_depth"] == app.outbox_depth
                 assert body["blocks_pushed"] >= 0
                 assert body["prior_version_mass"] >= 0
+                # One process, no coordinator wire: the transport block
+                # is present (same shape as a sharded fleet's pooled
+                # totals) and structurally zero.
+                assert body["transport"]["driver"] == "local"
+                assert body["transport"]["totals"] == TRANSPORT_COUNTER_ZERO
                 assert body == app.status_snapshot()
                 await client.bye()
                 # The WebSocket side is untouched by the HTTP sidecar.
